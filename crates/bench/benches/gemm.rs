@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the numerical substrate: blocked GEMM,
+//! im2col lowering, and a full perforated conv forward pass.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pcnn_nn::models::tiny_alexnet;
+use pcnn_nn::PerforationPlan;
+use pcnn_tensor::{gemm, im2col, Conv2dGeometry, Tensor};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &(m, n, k) in &[(64usize, 64usize, 64usize), (128, 729, 300), (256, 256, 256)] {
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32).collect();
+        group.bench_function(format!("{m}x{n}x{k}"), |bch| {
+            bch.iter(|| {
+                let mut cbuf = vec![0.0f32; m * n];
+                gemm(m, n, k, black_box(&a), black_box(&b), &mut cbuf);
+                black_box(cbuf);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let geom = Conv2dGeometry::new(16, 32, 32, 3, 1, 1);
+    let input: Vec<f32> = (0..16 * 32 * 32).map(|i| i as f32).collect();
+    c.bench_function("im2col 16x32x32 k3", |bch| {
+        bch.iter(|| {
+            let mut cols = vec![0.0f32; geom.patch_len() * geom.out_positions()];
+            im2col(&geom, black_box(&input), &mut cols);
+            black_box(cols);
+        })
+    });
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let net = tiny_alexnet(10);
+    let input = Tensor::from_fn(vec![4, 1, 32, 32], |i| (i as f32 * 0.01).sin());
+    let identity = PerforationPlan::identity(net.conv_count());
+    let perforated = PerforationPlan::from_rates(vec![0.5; net.conv_count()]);
+    c.bench_function("forward tiny_alexnet b4 full", |bch| {
+        bch.iter(|| black_box(net.forward(black_box(&input), &identity).unwrap()))
+    });
+    c.bench_function("forward tiny_alexnet b4 perforated 0.5", |bch| {
+        bch.iter(|| black_box(net.forward(black_box(&input), &perforated).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_gemm, bench_im2col, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Maintenance utility: sweeps dataset difficulty so the trained trio
+//! lands in the paper's accuracy/entropy regime (Table I). Not part of the
+//! experiment set; kept for reproducibility of the calibration in
+//! `pcnn-bench::trained`.
+
+use pcnn_data::DatasetBuilder;
+use pcnn_nn::models::{tiny_alexnet, tiny_googlenet, tiny_vggnet};
+use pcnn_nn::train::{evaluate, train};
+use pcnn_nn::PerforationPlan;
+
+fn main() {
+    for noise in [2.0f32, 2.6, 3.2] {
+        let (train_set, test) = DatasetBuilder::new(10, 32)
+            .samples(1000)
+            .noise(noise).translate(true)
+            .seed(2017)
+            .build_split(200);
+        print!("noise {noise:.1}: ");
+        for (net, epochs) in [
+            (tiny_alexnet(10), 8),
+            (tiny_vggnet(10), 8),
+            (tiny_googlenet(10), 8),
+        ] {
+            let mut net = net;
+            // Decayed-lr schedule.
+            for lr in [0.03f32, 0.01, 0.003] {
+                train(&mut net, &train_set.images, &train_set.labels, epochs, 16, lr).unwrap();
+            }
+            let e = evaluate(
+                &net,
+                &test.images,
+                &test.labels,
+                &PerforationPlan::identity(net.conv_count()),
+            )
+            .unwrap();
+            print!(
+                "{} {:.1}%/{:.2}  ",
+                net.name(),
+                e.accuracy * 100.0,
+                e.entropy
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 13: normalised runtime and `SoC_time` per task x scheduler, on the
+//! simulated K20c and TX1.
+//!
+//! Runtime is normalised to the Performance-preferred scheduler (paper
+//! convention). `x` marks a missed real-time deadline (`SoC_time = 0`).
+//!
+//! Paper shape: every time-model-equipped scheduler stays imperceptible on
+//! K20; the energy-efficient scheduler (training-style batching) blows the
+//! deadline; on TX1 only P-CNN and Ideal meet the real-time deadline.
+
+use pcnn_bench::experiments::scheduler_matrix;
+use pcnn_bench::TableWriter;
+use pcnn_core::scheduler::SchedulerKind;
+
+fn main() {
+    let scenarios = scheduler_matrix(4);
+    let mut t = TableWriter::new(vec![
+        "GPU",
+        "task",
+        "scheduler",
+        "response (ms)",
+        "norm runtime",
+        "SoC_time",
+    ]);
+    for s in &scenarios {
+        let base = s
+            .of(SchedulerKind::PerformancePreferred)
+            .report
+            .response_time(s.app.kind);
+        for (kind, ev) in &s.results {
+            let resp = ev.report.response_time(s.app.kind);
+            t.row(vec![
+                s.arch_name.to_string(),
+                s.app.name.clone(),
+                kind.name().to_string(),
+                format!("{:.1}", resp * 1e3),
+                format!("{:.2}", resp / base),
+                if ev.soc.time == 0.0 {
+                    "x".into()
+                } else {
+                    format!("{:.2}", ev.soc.time)
+                },
+            ]);
+        }
+    }
+    t.print("Fig. 13: normalised runtime and SoC_time (x = deadline missed)");
+}

@@ -1,0 +1,32 @@
+//! Fig. 14: normalised energy per task x scheduler on the simulated K20c
+//! and TX1 (normalised to the Energy-efficient scheduler, paper
+//! convention).
+//!
+//! Paper shape: P-CNN consumes the least energy of the requirement-aware
+//! schedulers (nearly matching Ideal); QPE+ < QPE on the interactive task
+//! (power gating pays off when Util is low); QPE+ == QPE on saturated
+//! tasks; P-CNN < QPE+ on accuracy-insensitive tasks (perforation).
+
+use pcnn_bench::experiments::scheduler_matrix;
+use pcnn_bench::TableWriter;
+use pcnn_core::scheduler::SchedulerKind;
+
+fn main() {
+    let scenarios = scheduler_matrix(4);
+    let mut t = TableWriter::new(vec!["GPU", "task", "scheduler", "compute energy (J)", "idle (J)", "norm energy"]);
+    for s in &scenarios {
+        let base = s.of(SchedulerKind::EnergyEfficient).report.energy.total_j();
+        for (kind, ev) in &s.results {
+            let e = ev.report.energy.total_j();
+            t.row(vec![
+                s.arch_name.to_string(),
+                s.app.name.clone(),
+                kind.name().to_string(),
+                format!("{e:.3}"),
+                format!("{:.2}", ev.report.idle_energy_j),
+                format!("{:.2}", e / base),
+            ]);
+        }
+    }
+    t.print("Fig. 14: energy, normalised to the Energy-efficient scheduler");
+}

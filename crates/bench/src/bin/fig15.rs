@@ -1,0 +1,36 @@
+//! Fig. 15: the Satisfaction-of-CNN score (eq. 15) per task x scheduler on
+//! the simulated K20c and TX1, normalised to the Ideal scheduler.
+//!
+//! Paper shape: P-CNN achieves the highest SoC of the non-oracle
+//! schedulers on every task (close to Ideal); schedulers that miss the
+//! real-time deadline score `x` (zero).
+
+use pcnn_bench::experiments::scheduler_matrix;
+use pcnn_bench::TableWriter;
+use pcnn_core::scheduler::SchedulerKind;
+
+fn main() {
+    let scenarios = scheduler_matrix(4);
+    let mut t = TableWriter::new(vec!["GPU", "task", "scheduler", "SoC", "norm SoC"]);
+    for s in &scenarios {
+        let ideal = s.of(SchedulerKind::Ideal).soc.score;
+        for (kind, ev) in &s.results {
+            t.row(vec![
+                s.arch_name.to_string(),
+                s.app.name.clone(),
+                kind.name().to_string(),
+                if ev.soc.score == 0.0 {
+                    "x".into()
+                } else {
+                    format!("{:.4}", ev.soc.score)
+                },
+                if ev.soc.score == 0.0 {
+                    "x".into()
+                } else {
+                    format!("{:.2}", ev.soc.score / ideal)
+                },
+            ]);
+        }
+    }
+    t.print("Fig. 15: Satisfaction-of-CNN, normalised to Ideal (x = user satisfaction violated)");
+}

@@ -1,0 +1,69 @@
+//! Fig. 16: entropy-based vs accuracy-based approximation during tuning —
+//! speedup (bar), entropy (line) and labelled accuracy (line) per
+//! iteration.
+//!
+//! Paper shape: speedup rises monotonically; entropy rises as accuracy
+//! falls (entropy is an effective unsupervised accuracy proxy); the
+//! entropy-guided path reaches ~1.8x speedup at ~10% accuracy loss and
+//! matches the supervised accuracy-guided path.
+
+use pcnn_bench::trained::trained_alexnet;
+use pcnn_bench::TableWriter;
+use pcnn_core::tuning::{AccuracyTuner, TuningPath};
+
+fn print_path(title: &str, path: &TuningPath) {
+    let mut t = TableWriter::new(vec![
+        "iteration",
+        "speedup",
+        "entropy",
+        "accuracy",
+        "retained conv FLOPs",
+    ]);
+    for (i, e) in path.entries.iter().enumerate() {
+        t.row(vec![
+            i.to_string(),
+            format!("{:.2}x", e.speedup),
+            format!("{:.3}", e.entropy),
+            e.accuracy
+                .map(|a| format!("{:.1}%", a * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.0}%", e.retained_flops * 100.0),
+        ]);
+    }
+    t.print(title);
+}
+
+fn main() {
+    let model = trained_alexnet();
+    let calib = model.test.take(96);
+    let tuner = AccuracyTuner::new(&model.net, &calib.images).with_labels(&calib.labels);
+
+    // Entropy-guided (unsupervised, what P-CNN runs at run-time). The
+    // threshold is set so tuning stops near a 10% accuracy loss.
+    let base_entropy = model.baseline.entropy;
+    let threshold = base_entropy + 0.25;
+    let entropy_path = tuner.tune(threshold, 16);
+    print_path(
+        &format!("Fig. 16a: entropy-based tuning (threshold {threshold:.2})"),
+        &entropy_path,
+    );
+
+    // Accuracy-guided (supervised comparison).
+    let accuracy_path = tuner.tune_accuracy_guided(0.10, 16);
+    print_path("Fig. 16b: accuracy-based tuning (stop at 10% loss)", &accuracy_path);
+
+    let e_last = entropy_path.entries.last().unwrap();
+    let a_last = accuracy_path.entries.last().unwrap();
+    println!(
+        "entropy-guided:  {:.2}x speedup, accuracy {:.1}% (baseline {:.1}%)",
+        e_last.speedup,
+        e_last.accuracy.unwrap() * 100.0,
+        model.baseline.accuracy * 100.0
+    );
+    println!(
+        "accuracy-guided: {:.2}x speedup, accuracy {:.1}%",
+        a_last.speedup,
+        a_last.accuracy.unwrap() * 100.0
+    );
+    println!("paper: 1.8x speedup within 10% accuracy loss; both methods equivalent");
+}

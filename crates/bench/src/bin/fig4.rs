@@ -1,0 +1,47 @@
+//! Fig. 4: ratio of throughput *without* batching to throughput *with*
+//! batching (images/s), per network x library x GPU.
+//!
+//! Paper shape: ratios well below 1 (below 50% for cuDNN) — small batches
+//! underutilize the GPU.
+
+use pcnn_bench::harness::cell;
+use pcnn_bench::TableWriter;
+use pcnn_core::offline::library_schedule;
+use pcnn_core::runtime::simulate_schedule;
+use pcnn_gpu::arch::{GTX_970M, JETSON_TX1, TITAN_X};
+use pcnn_gpu::GpuArch;
+use pcnn_kernels::Library;
+use pcnn_nn::spec::{alexnet, googlenet, vggnet, NetworkSpec};
+
+fn throughput(arch: &GpuArch, spec: &NetworkSpec, lib: Library, batch: usize) -> Option<f64> {
+    let batch = lib.legal_batch(batch);
+    if !lib.fits(arch, spec, batch) {
+        return None;
+    }
+    let s = library_schedule(arch, spec, lib, batch);
+    let c = simulate_schedule(arch, &s);
+    Some(batch as f64 / c.seconds)
+}
+
+fn main() {
+    let nets = [(alexnet(), 128usize), (googlenet(), 64), (vggnet(), 32)];
+    let gpus = [&TITAN_X, &GTX_970M, &JETSON_TX1];
+    let mut t = TableWriter::new(vec!["CNN", "GPU", "cuBLAS", "cuDNN", "Nervana"]);
+    for (spec, batch) in &nets {
+        for gpu in gpus {
+            let mut row = vec![spec.name.clone(), gpu.name.to_string()];
+            for lib in Library::all() {
+                let ratio = match (
+                    throughput(gpu, spec, lib, 1),
+                    throughput(gpu, spec, lib, *batch),
+                ) {
+                    (Some(nb), Some(b)) => Some(nb / b),
+                    _ => None,
+                };
+                row.push(cell(ratio));
+            }
+            t.row(row);
+        }
+    }
+    t.print("Fig. 4: throughput ratio no-batching / batching (shape: < 1 everywhere, lowest for small-tile kernels)");
+}

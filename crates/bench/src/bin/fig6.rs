@@ -1,0 +1,31 @@
+//! Fig. 6: instruction breakdown — the fraction of floating-point
+//! instructions (computation density) for different SGEMM sub-matrix
+//! sizes.
+//!
+//! Paper shape: bigger tiles have a higher FP fraction (more work per
+//! loaded byte), which is why cuDNN's small 32x32 tile on TX1 has higher
+//! occupancy but lower performance.
+
+use pcnn_bench::TableWriter;
+use pcnn_kernels::sgemm::{build_kernel, SgemmConfig, SgemmShape, ALL_TILES};
+
+fn main() {
+    // AlexNet CONV2's per-group GEMM as the workload.
+    let shape = SgemmShape {
+        m: 128,
+        n: 729,
+        k: 1200,
+    };
+    let mut t = TableWriter::new(vec!["Sub-matrix", "FP insts", "other insts", "FP fraction"]);
+    for v in ALL_TILES {
+        let k = build_kernel(shape, &SgemmConfig::natural(v), "fig6");
+        let c = k.trace.warp_instr_counts();
+        t.row(vec![
+            format!("{}x{}", v.tile_m, v.tile_n),
+            c.ffma.to_string(),
+            (c.total() - c.ffma).to_string(),
+            format!("{:.1}%", c.fp_fraction() * 100.0),
+        ]);
+    }
+    t.print("Fig. 6: instruction breakdown by sub-matrix size (shape: FP fraction grows with tile area)");
+}

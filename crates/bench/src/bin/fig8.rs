@@ -1,0 +1,43 @@
+//! Fig. 8: computing throughput vs batch size across platforms, with the
+//! optimal batch size (the knee where `GridSize` reaches `maxBlocks` and
+//! throughput plateaus) marked per platform.
+//!
+//! Paper shape: throughput rises with batch then saturates; the knee moves
+//! right with GPU size (bigger GPUs need bigger batches to fill).
+
+use pcnn_bench::TableWriter;
+use pcnn_core::offline::OfflineCompiler;
+use pcnn_core::runtime::simulate_schedule;
+use pcnn_gpu::arch::all_platforms;
+use pcnn_nn::spec::alexnet;
+
+fn main() {
+    let spec = alexnet();
+    let batches = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    let mut t = TableWriter::new(vec![
+        "GPU", "b=1", "b=2", "b=4", "b=8", "b=16", "b=32", "b=64", "b=128", "opt batch",
+    ]);
+    for arch in all_platforms() {
+        let compiler = OfflineCompiler::new(arch, &spec);
+        let mut row = vec![arch.name.to_string()];
+        let mut tps = Vec::new();
+        for &b in &batches {
+            let schedule = compiler.compile_batch(b);
+            let c = simulate_schedule(arch, &schedule);
+            let tp = b as f64 / c.seconds;
+            tps.push(tp);
+            row.push(format!("{tp:.0}"));
+        }
+        // The knee: first batch reaching 90% of the best throughput.
+        let best = tps.iter().copied().fold(0.0, f64::max);
+        let knee = batches
+            .iter()
+            .zip(&tps)
+            .find(|(_, &tp)| tp >= 0.9 * best)
+            .map(|(&b, _)| b)
+            .unwrap_or(128);
+        row.push(knee.to_string());
+        t.row(row);
+    }
+    t.print("Fig. 8: AlexNet throughput (images/s) vs batch size (shape: saturating curves; optimal batch grows with GPU size)");
+}

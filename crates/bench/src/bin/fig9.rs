@@ -1,0 +1,36 @@
+//! Fig. 9: TLP vs registers-per-thread for the 128x128 SGEMM tile on K20
+//! (curReg 127, minReg 32), with the pruned stair points (the rightmost —
+//! most registers — point of each TLP stair) marked.
+
+use pcnn_bench::TableWriter;
+use pcnn_gpu::arch::K20C;
+use pcnn_kernels::sgemm::TILE_128X128;
+use pcnn_kernels::spill::SpillPlan;
+use pcnn_kernels::tuning::{min_regs, tlp_stairs};
+
+fn main() {
+    println!(
+        "curReg = {}, minReg = {}",
+        TILE_128X128.natural_regs,
+        min_regs(&K20C)
+    );
+    let stairs = tlp_stairs(&K20C, &TILE_128X128);
+    let mut t = TableWriter::new(vec![
+        "regs/thread (pruned point)",
+        "TLP",
+        "spill->shared",
+        "spill->global",
+        "spill cost (cycles/iter)",
+    ]);
+    for p in &stairs {
+        let spill = SpillPlan::plan(&K20C, &TILE_128X128, p.regs, p.tlp);
+        t.row(vec![
+            p.regs.to_string(),
+            p.tlp.to_string(),
+            spill.to_shared.to_string(),
+            spill.to_global.to_string(),
+            format!("{:.0}", spill.cost(&K20C)),
+        ]);
+    }
+    t.print("Fig. 9: TLP vs registers, 128x128 tile on K20 (shape: staircase from TLP 2 at 127 regs to TLP 8 at 32 regs; only rightmost points kept)");
+}

@@ -1,0 +1,232 @@
+//! `pcnn` — command-line front end to the P-CNN framework.
+//!
+//! ```text
+//! pcnn platforms
+//! pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet>
+//!               --task <interactive|realtime|background> [--rate <imgs/s>]
+//! pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]
+//! pcnn tune     --gpu <...> --m <M> --n <N> --k <K>
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use pcnn_bench::TableWriter;
+use pcnn_core::offline::{library_schedule, OfflineCompiler};
+use pcnn_core::runtime::simulate_schedule;
+use pcnn_core::task::{AppSpec, UserRequirements};
+use pcnn_data::WorkloadKind;
+use pcnn_gpu::arch::{all_platforms, GpuArch, GTX_970M, JETSON_TX1, K20C, TITAN_X};
+use pcnn_kernels::sgemm::SgemmShape;
+use pcnn_kernels::{tune_kernel, Library};
+use pcnn_nn::spec::{alexnet, googlenet, vggnet, NetworkSpec};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let name = key.strip_prefix("--")?;
+        let value = it.next()?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Some(flags)
+}
+
+fn pick_gpu(name: &str) -> Option<&'static GpuArch> {
+    match name {
+        "k20" | "k20c" => Some(&K20C),
+        "titanx" => Some(&TITAN_X),
+        "970m" | "gtx970m" => Some(&GTX_970M),
+        "tx1" => Some(&JETSON_TX1),
+        _ => None,
+    }
+}
+
+fn pick_net(name: &str) -> Option<NetworkSpec> {
+    match name {
+        "alexnet" => Some(alexnet()),
+        "vggnet" | "vgg" | "vgg16" => Some(vggnet()),
+        "googlenet" => Some(googlenet()),
+        _ => None,
+    }
+}
+
+fn pick_library(name: &str) -> Option<Library> {
+    match name {
+        "cublas" => Some(Library::CuBlas),
+        "cudnn" => Some(Library::CuDnn),
+        "nervana" => Some(Library::Nervana),
+        _ => None,
+    }
+}
+
+fn cmd_platforms() -> ExitCode {
+    let mut t = TableWriter::new(vec!["gpu", "class", "cores", "MHz", "SMs", "TFLOPS", "GB/s"]);
+    for a in all_platforms() {
+        t.row(vec![
+            a.name.to_string(),
+            format!("{:?}", a.platform),
+            a.total_cores().to_string(),
+            a.freq_mhz.to_string(),
+            a.n_sms.to_string(),
+            format!("{:.2}", a.peak_flops() / 1e12),
+            format!("{:.1}", a.mem_bandwidth_gbps),
+        ]);
+    }
+    t.print("available platforms");
+    ExitCode::SUCCESS
+}
+
+fn cmd_compile(flags: &HashMap<String, String>) -> ExitCode {
+    let (Some(gpu), Some(net)) = (
+        flags.get("gpu").and_then(|g| pick_gpu(g)),
+        flags.get("net").and_then(|n| pick_net(n)),
+    ) else {
+        return usage();
+    };
+    let rate: f64 = flags
+        .get("rate")
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(30.0);
+    let app = match flags.get("task").map(String::as_str) {
+        Some("interactive") => AppSpec::age_detection(),
+        Some("realtime") => AppSpec::video_surveillance(rate),
+        Some("background") => AppSpec::image_tagging(),
+        _ => return usage(),
+    };
+    let req = UserRequirements::infer(&app);
+    let compiler = OfflineCompiler::new(gpu, &net);
+    let schedule = compiler.compile(&app, &req);
+    println!(
+        "compiled {} for {} ({:?} task): batch {}",
+        net.name, gpu.name, app.kind, schedule.batch
+    );
+    let mut t = TableWriter::new(vec!["layer", "grid", "optTLP", "optSM", "predicted (ms)"]);
+    for l in &schedule.layers {
+        t.row(vec![
+            l.name.clone(),
+            l.kernel.grid.to_string(),
+            l.opt_tlp.to_string(),
+            l.opt_sm.to_string(),
+            format!("{:.3}", l.predicted_seconds * 1e3),
+        ]);
+    }
+    t.print("per-layer plan");
+    let cost = simulate_schedule(gpu, &schedule);
+    println!(
+        "simulated: {:.2} ms / batch, {:.4} J",
+        cost.seconds * 1e3,
+        cost.energy.total_j()
+    );
+    if app.kind != WorkloadKind::Background {
+        if let Some(t_user) = req.t_user() {
+            println!(
+                "time requirement {:.1} ms: {}",
+                t_user * 1e3,
+                if cost.seconds <= t_user { "met" } else { "NOT met" }
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> ExitCode {
+    let (Some(gpu), Some(net)) = (
+        flags.get("gpu").and_then(|g| pick_gpu(g)),
+        flags.get("net").and_then(|n| pick_net(n)),
+    ) else {
+        return usage();
+    };
+    let batch: usize = flags
+        .get("batch")
+        .and_then(|b| b.parse().ok())
+        .unwrap_or(1);
+    let schedule = match flags.get("library") {
+        Some(lib_name) => {
+            let Some(lib) = pick_library(lib_name) else {
+                return usage();
+            };
+            let batch = lib.legal_batch(batch);
+            if !lib.fits(gpu, &net, batch) {
+                println!(
+                    "{} {} batch {batch} on {}: OUT OF MEMORY ({} MB needed, {} MB usable)",
+                    lib.name(),
+                    net.name,
+                    gpu.name,
+                    lib.memory_estimate(gpu, &net, batch).total() / (1 << 20),
+                    gpu.usable_mem / (1 << 20)
+                );
+                return ExitCode::SUCCESS;
+            }
+            library_schedule(gpu, &net, lib, batch)
+        }
+        None => OfflineCompiler::new(gpu, &net).compile_batch(batch),
+    };
+    let cost = simulate_schedule(gpu, &schedule);
+    println!(
+        "{} batch {} on {}: {:.2} ms ({:.0} images/s), {:.4} J",
+        net.name,
+        schedule.batch,
+        gpu.name,
+        cost.seconds * 1e3,
+        schedule.batch as f64 / cost.seconds,
+        cost.energy.total_j()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_tune(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(gpu) = flags.get("gpu").and_then(|g| pick_gpu(g)) else {
+        return usage();
+    };
+    let dims: Option<(usize, usize, usize)> = (|| {
+        Some((
+            flags.get("m")?.parse().ok()?,
+            flags.get("n")?.parse().ok()?,
+            flags.get("k")?.parse().ok()?,
+        ))
+    })();
+    let Some((m, n, k)) = dims else { return usage() };
+    let shape = SgemmShape { m, n, k };
+    let tuned = tune_kernel(gpu, shape);
+    let v = tuned.config.variant;
+    println!("GEMM {m}x{n}x{k} on {}:", gpu.name);
+    println!(
+        "  tile {}x{} ({} threads), {} regs/thread (spill {} shared / {} global)",
+        v.tile_m,
+        v.tile_n,
+        v.block_size,
+        tuned.config.regs_per_thread,
+        tuned.config.spill.to_shared,
+        tuned.config.spill.to_global
+    );
+    println!(
+        "  grid {}, optTLP {}, rEC {:.3}, invocation waves {}",
+        tuned.grid, tuned.opt_tlp, tuned.rec, tuned.invocations
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some(flags) = parse_flags(rest) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "platforms" => cmd_platforms(),
+        "compile" => cmd_compile(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "tune" => cmd_tune(&flags),
+        _ => usage(),
+    }
+}

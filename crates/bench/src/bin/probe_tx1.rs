@@ -1,0 +1,30 @@
+//! Maintenance probe: per-layer simulated times of AlexNet batch 1 on TX1
+//! under P-CNN's tuned kernels, at several uniform perforation rates. Used
+//! to diagnose the real-time scenario's speedup headroom.
+
+use pcnn_core::offline::OfflineCompiler;
+use pcnn_core::runtime::simulate_schedule;
+use pcnn_gpu::arch::JETSON_TX1;
+use pcnn_nn::spec::alexnet;
+
+fn main() {
+    let spec = alexnet();
+    let compiler = OfflineCompiler::new(&JETSON_TX1, &spec);
+    for rate in [0.0, 0.4, 0.8] {
+        let rates = vec![rate; spec.conv_layers().len()];
+        let s = compiler.compile_perforated(1, &rates, true);
+        println!("rate {rate}:");
+        for l in &s.layers {
+            println!(
+                "  {:>6}  grid {:>4}  optSM {}  optTLP {}  predicted {:.2} ms",
+                l.name,
+                l.kernel.grid,
+                l.opt_sm,
+                l.opt_tlp,
+                l.predicted_seconds * 1e3
+            );
+        }
+        let c = simulate_schedule(&JETSON_TX1, &s);
+        println!("  simulated total: {:.2} ms", c.seconds * 1e3);
+    }
+}

@@ -1,0 +1,35 @@
+//! Table I: accuracy vs entropy across the three networks.
+//!
+//! Paper values (ImageNet): AlexNet 79.4% / 1.05, VGGNet 86.6% / 0.88,
+//! GoogLeNet 88.5% / 0.83 — accuracy rises as entropy falls. We reproduce
+//! the *relationship* on the trained tiny stand-ins (see `DESIGN.md`).
+
+use pcnn_bench::trained::{trained_alexnet, trained_googlenet, trained_vggnet};
+use pcnn_bench::TableWriter;
+
+fn main() {
+    let models = [
+        ("AlexNet (tiny)", trained_alexnet()),
+        ("VGGNet (tiny)", trained_vggnet()),
+        ("GoogLeNet (tiny)", trained_googlenet()),
+    ];
+    let paper = [(79.4, 1.05), (86.6, 0.88), (88.5, 0.83)];
+
+    let mut t = TableWriter::new(vec![
+        "CNN",
+        "paper accuracy",
+        "paper entropy",
+        "ours accuracy",
+        "ours entropy",
+    ]);
+    for ((name, model), (pa, pe)) in models.iter().zip(paper) {
+        t.row(vec![
+            name.to_string(),
+            format!("{pa:.1}%"),
+            format!("{pe:.2}"),
+            format!("{:.1}%", model.baseline.accuracy * 100.0),
+            format!("{:.2}", model.baseline.entropy),
+        ]);
+    }
+    t.print("Table I: accuracy vs entropy (higher-capacity nets: higher accuracy, lower entropy)");
+}

@@ -1,0 +1,43 @@
+//! Tables II and VI: the four GPU platform configurations and the
+//! simulator parameters, as encoded in the `pcnn-gpu` presets.
+
+use pcnn_bench::TableWriter;
+use pcnn_gpu::arch::all_platforms;
+
+fn main() {
+    let mut t = TableWriter::new(vec![
+        "GPU",
+        "platform",
+        "CUDA cores",
+        "freq (MHz)",
+        "SMs",
+        "regs/SM",
+        "shared/SM (KB)",
+        "max CTAs",
+        "max threads",
+        "BW (GB/s)",
+        "memory (GB)",
+        "peak TFLOPS",
+    ]);
+    for arch in all_platforms() {
+        t.row(vec![
+            arch.name.to_string(),
+            format!("{:?}", arch.platform),
+            arch.total_cores().to_string(),
+            arch.freq_mhz.to_string(),
+            arch.n_sms.to_string(),
+            arch.regs_per_sm.to_string(),
+            (arch.shmem_per_sm / 1024).to_string(),
+            arch.max_ctas_per_sm.to_string(),
+            arch.max_threads_per_sm.to_string(),
+            format!("{:.1}", arch.mem_bandwidth_gbps),
+            format!("{:.0}", arch.mem_capacity as f64 / (1u64 << 30) as f64),
+            format!("{:.2}", arch.peak_flops() / 1e12),
+        ]);
+    }
+    t.print("Tables II + VI: platform configurations (paper: K20c 2496 cores/706 MHz, TitanX 3072/1000, 970m 1280/924, TX1 256/998; 64K regs, 2048 threads)");
+    println!(
+        "Note: the Maxwell parts carry 96 KB shared memory per SM — the value the paper's own\n\
+         Table IV block counts imply — although its Table VI writes 48 KB (see EXPERIMENTS.md)."
+    );
+}

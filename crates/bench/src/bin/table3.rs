@@ -1,0 +1,54 @@
+//! Table III: network latency (ms) with and without batching, for three
+//! networks x three GPUs x three libraries. Out-of-memory cells print `x`.
+//!
+//! Batching uses the paper's sizes (AlexNet 128, GoogLeNet 64, VGGNet 32);
+//! non-batching is 1 image — except Nervana, whose minimum batch is 32
+//! (bold cells in the paper).
+
+use pcnn_bench::harness::cell;
+use pcnn_bench::TableWriter;
+use pcnn_core::offline::library_schedule;
+use pcnn_core::runtime::simulate_schedule;
+use pcnn_gpu::arch::{GTX_970M, JETSON_TX1, TITAN_X};
+use pcnn_gpu::GpuArch;
+use pcnn_kernels::Library;
+use pcnn_nn::spec::{alexnet, googlenet, vggnet, NetworkSpec};
+
+fn latency_ms(arch: &GpuArch, spec: &NetworkSpec, lib: Library, batch: usize) -> Option<f64> {
+    let batch = lib.legal_batch(batch);
+    if !lib.fits(arch, spec, batch) {
+        return None;
+    }
+    let schedule = library_schedule(arch, spec, lib, batch);
+    Some(simulate_schedule(arch, &schedule).seconds * 1e3)
+}
+
+fn main() {
+    let nets = [
+        (alexnet(), 128usize),
+        (googlenet(), 64),
+        (vggnet(), 32),
+    ];
+    let gpus = [&TITAN_X, &GTX_970M, &JETSON_TX1];
+
+    let mut t = TableWriter::new(vec![
+        "CNN", "GPU", "batch:cuBLAS", "batch:cuDNN", "batch:Nervana", "nb:cuBLAS", "nb:cuDNN",
+        "nb:Nervana",
+    ]);
+    for (spec, train_batch) in &nets {
+        for gpu in gpus {
+            let mut row = vec![spec.name.clone(), gpu.name.to_string()];
+            for &batch in &[*train_batch, 1usize] {
+                for lib in Library::all() {
+                    row.push(cell(latency_ms(gpu, spec, lib, batch)));
+                }
+            }
+            t.row(row);
+        }
+    }
+    t.print("Table III: latency (ms) w/ and w/o batching (x = out of memory; Nervana non-batching runs at its minimum batch of 32)");
+    println!(
+        "Expected shape: batching latency >> non-batching latency; cuDNN/Nervana OOM on the\n\
+         mobile GPU for GoogLeNet/VGGNet with batching; Nervana fastest where it fits."
+    );
+}

@@ -1,0 +1,64 @@
+//! Table IV: detailed information of the CNN-dominated SGEMM kernels —
+//! AlexNet CONV2/CONV5 (non-batching) under cuBLAS and cuDNN on TX1 and
+//! K20: result matrix, sub-matrix, registers, shared memory, block size,
+//! register/shared-memory block limits, maxBlocks and GridSize.
+
+use pcnn_bench::TableWriter;
+use pcnn_gpu::arch::{JETSON_TX1, K20C};
+use pcnn_gpu::occupancy::Occupancy;
+use pcnn_gpu::GpuArch;
+use pcnn_kernels::sgemm::{grid_size, SgemmConfig, SgemmShape};
+use pcnn_kernels::Library;
+use pcnn_nn::spec::alexnet;
+
+fn main() {
+    let spec = alexnet();
+    let convs = spec.conv_layers();
+    let layers = [
+        ("CONV2", convs[1].clone()),
+        ("CONV5", convs[4].clone()),
+    ];
+    let gpus: [&GpuArch; 2] = [&JETSON_TX1, &K20C];
+    let libs = [Library::CuBlas, Library::CuDnn];
+
+    let mut t = TableWriter::new(vec![
+        "GPU",
+        "Library",
+        "Layer",
+        "Result-matrix",
+        "Sub-matrix",
+        "Regs",
+        "Shmem",
+        "Block",
+        "#blk(reg)",
+        "#blk(shm)",
+        "maxBlocks",
+        "Grid",
+    ]);
+    for gpu in gpus {
+        for lib in libs {
+            for (name, conv) in &layers {
+                let shape = SgemmShape::of_conv(conv, 1);
+                let v = lib.variant_for(gpu, shape);
+                let config = SgemmConfig::natural(v);
+                let res = config.resources();
+                let occ = Occupancy::of(gpu, &res);
+                t.row(vec![
+                    gpu.name.to_string(),
+                    lib.name().to_string(),
+                    name.to_string(),
+                    format!("{}x{}", shape.m, shape.n),
+                    format!("{}x{}", v.tile_m, v.tile_n),
+                    v.natural_regs.to_string(),
+                    v.shmem_bytes.to_string(),
+                    v.block_size.to_string(),
+                    Occupancy::register_blocks(gpu, &res).to_string(),
+                    Occupancy::shmem_blocks(gpu, &res).to_string(),
+                    occ.max_blocks(gpu).to_string(),
+                    grid_size(shape, &v).to_string(),
+                ]);
+            }
+        }
+    }
+    t.print("Table IV: dominated-kernel details (paper rows: TX1 cuBLAS grid 12/4, cuDNN grid 92/24; K20 grid 24/6, maxBlocks 8/40/39)");
+}

@@ -1,0 +1,49 @@
+//! Table V: per-layer `Util` (eq. 6) of AlexNet across GPU platforms with
+//! the non-batching method.
+//!
+//! Paper values: Util decreases toward the later conv layers (K20:
+//! 0.82 -> 0.15; 970m: 0.6 -> 0.1; TX1: 1 -> 0.5), motivating per-layer SM
+//! partitioning.
+
+use pcnn_bench::TableWriter;
+use pcnn_gpu::arch::{GTX_970M, JETSON_TX1, K20C};
+use pcnn_gpu::metrics::utilization;
+use pcnn_gpu::occupancy::Occupancy;
+use pcnn_kernels::sgemm::{grid_size, SgemmConfig, SgemmShape};
+use pcnn_kernels::Library;
+use pcnn_nn::spec::alexnet;
+
+fn main() {
+    let spec = alexnet();
+    let gpus = [&K20C, &GTX_970M, &JETSON_TX1];
+    let paper: [&[f64]; 3] = [
+        &[0.82, 0.62, 0.46, 0.23, 0.15],
+        &[0.6, 0.3, 0.3, 0.15, 0.1],
+        &[1.0, 0.75, 0.75, 0.75, 0.5],
+    ];
+
+    let mut t = TableWriter::new(vec![
+        "GPU", "CONV1", "CONV2", "CONV3", "CONV4", "CONV5", "paper",
+    ]);
+    for (gpu, paper_row) in gpus.iter().zip(paper) {
+        let mut row = vec![gpu.name.to_string()];
+        for conv in spec.conv_layers() {
+            let shape = SgemmShape::of_conv(conv, 1);
+            let lib = Library::CuBlas;
+            let v = lib.variant_for(gpu, shape);
+            let occ = Occupancy::of(gpu, &SgemmConfig::natural(v).resources());
+            // Grouped layers launch one grid per group; Util is per launch.
+            let util = utilization(grid_size(shape, &v), occ.max_blocks(gpu));
+            row.push(format!("{util:.2}"));
+        }
+        row.push(
+            paper_row
+                .iter()
+                .map(|u| format!("{u:.2}"))
+                .collect::<Vec<_>>()
+                .join("/"),
+        );
+        t.row(row);
+    }
+    t.print("Table V: Util of AlexNet conv layers, non-batching (shape: decreasing toward CONV5 on every platform)");
+}

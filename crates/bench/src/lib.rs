@@ -1,0 +1,9 @@
+//! Shared infrastructure for the benchmark harness binaries that
+//! regenerate every table and figure of the paper (see `DESIGN.md` §4 for
+//! the experiment index and `EXPERIMENTS.md` for recorded results).
+
+pub mod experiments;
+pub mod harness;
+pub mod trained;
+
+pub use harness::TableWriter;

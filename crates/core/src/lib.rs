@@ -1,0 +1,35 @@
+//! P-CNN: the user-satisfaction-aware CNN inference framework (paper
+//! §IV–V).
+//!
+//! The pipeline mirrors Fig. 10:
+//!
+//! 1. **User input** ([`task`]) — classify the application (interactive /
+//!    real-time / background) and infer its time and accuracy requirements
+//!    from a look-up table.
+//! 2. **Cross-platform offline compilation** ([`offline`], [`timemodel`]) —
+//!    select the batch size for the task class, coordinately fine-tune each
+//!    layer's SGEMM kernel (`pcnn-kernels`), and derive `optSM`/`optTLP`
+//!    from the resource model (eq. 11) and the time model (eq. 12/13).
+//! 3. **Run-time management** ([`tuning`], [`runtime`]) — entropy-based
+//!    accuracy tuning (eq. 14, Fig. 12) building tuning tables, the
+//!    Priority-SM run-time kernel scheduler with SM power gating, and
+//!    calibration that backtracks the tuning path when output uncertainty
+//!    exceeds the user threshold.
+//!
+//! [`soc`] implements the Satisfaction-of-CNN metric (eq. 15) and
+//! [`scheduler`] the five baseline schedulers plus P-CNN itself (§V.B),
+//! evaluated by the [`runtime`] executor on the `pcnn-gpu` simulator.
+
+pub mod calibration;
+pub mod offline;
+pub mod runtime;
+pub mod scheduler;
+pub mod soc;
+pub mod task;
+pub mod timemodel;
+pub mod tuning;
+
+pub use offline::{OfflineCompiler, Schedule};
+pub use scheduler::SchedulerKind;
+pub use soc::{Soc, SocInputs};
+pub use task::{AppSpec, UserRequirements};

@@ -1,0 +1,381 @@
+//! Cross-platform offline compilation (paper §IV.B, Fig. 10 left half).
+//!
+//! Given the deployed GPU architecture, the network and the inferred user
+//! requirements, the compiler:
+//!
+//! 1. selects the initial batch size (background: fill the GPU; others:
+//!    data available within the time requirement),
+//! 2. coordinately fine-tunes each layer's SGEMM kernel (§IV.B.2),
+//! 3. derives `optSM` per layer (eq. 11) and predicts the response time
+//!    (eq. 12), shrinking the batch until the requirement holds (eq. 13).
+
+use pcnn_data::WorkloadKind;
+use pcnn_gpu::{DispatchPolicy, GpuArch, KernelDesc};
+use pcnn_gpu::sim::dispatch::simulate_kernel;
+use pcnn_gpu::sim::SimCache;
+use pcnn_kernels::sgemm::{build_kernel, SgemmShape};
+use pcnn_kernels::{tune_kernel, tune_kernel_candidates, Library};
+use pcnn_nn::spec::{LayerSpec, NetworkSpec};
+
+use crate::task::{AppSpec, UserRequirements};
+use crate::timemodel::{adjust_batch, opt_sm, tuned_layer_time};
+
+/// The compiled execution plan of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlan {
+    /// Layer name.
+    pub name: String,
+    /// The simulator kernel for one group.
+    pub kernel: KernelDesc,
+    /// Grouped-convolution group count (kernels run back-to-back).
+    pub groups: usize,
+    /// `optSM` for this layer (eq. 11).
+    pub opt_sm: usize,
+    /// `optTLP` for this layer.
+    pub opt_tlp: usize,
+    /// Time-model prediction for this layer (eq. 12), seconds.
+    pub predicted_seconds: f64,
+}
+
+impl LayerPlan {
+    /// The dispatch policy the run-time kernel scheduler uses for this
+    /// layer (§IV.C.2): Priority-SM over `optSM` SMs with power gating.
+    pub fn psm_policy(&self) -> DispatchPolicy {
+        DispatchPolicy::PrioritySm {
+            sms: self.opt_sm,
+            tlp: self.opt_tlp,
+            power_gate: true,
+        }
+    }
+}
+
+/// A compiled schedule: batch size plus per-GEMM-layer plans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Selected batch size.
+    pub batch: usize,
+    /// One plan per GEMM layer (convolutions and classifier layers).
+    pub layers: Vec<LayerPlan>,
+    /// Whether the run-time scheduler power-gates unused SMs.
+    pub power_gated: bool,
+    /// Per-conv-layer perforation rates (empty when not tuned).
+    pub perforation: Vec<f64>,
+}
+
+impl Schedule {
+    /// Time-model prediction of one whole batch (sum over layers).
+    pub fn predicted_seconds(&self) -> f64 {
+        self.layers.iter().map(|l| l.predicted_seconds).sum()
+    }
+}
+
+/// All GEMM layers of a network at a batch size, as `(spec index, name,
+/// groups, shape)`. Classifier (FC) layers are `M = out, N = batch,
+/// K = in` GEMMs.
+pub fn gemm_layers(spec: &NetworkSpec, batch: usize) -> Vec<(usize, String, usize, SgemmShape)> {
+    let mut out = Vec::new();
+    for (i, layer) in spec.layers.iter().enumerate() {
+        match layer {
+            LayerSpec::Conv(c) => {
+                out.push((i, c.name.clone(), c.groups, SgemmShape::of_conv(c, batch)));
+            }
+            LayerSpec::Fc(f) => out.push((
+                i,
+                f.name.clone(),
+                1,
+                SgemmShape {
+                    m: f.out_features,
+                    n: batch,
+                    k: f.in_features,
+                },
+            )),
+            LayerSpec::Pool(_) => {}
+        }
+    }
+    out
+}
+
+/// Like [`gemm_layers`] but with per-conv-layer perforation rates applied:
+/// each perforated convolution evaluates only `ceil((1 - rate) x W_o H_o)`
+/// output positions per image (paper Fig. 11), shrinking the GEMM's N.
+///
+/// # Panics
+///
+/// Panics if `rates.len()` differs from the spec's conv-layer count.
+pub fn gemm_layers_perforated(
+    spec: &NetworkSpec,
+    batch: usize,
+    rates: &[f64],
+) -> Vec<(usize, String, usize, SgemmShape)> {
+    let n_convs = spec.conv_layers().len();
+    assert_eq!(rates.len(), n_convs, "rate vector length mismatch");
+    let mut out = Vec::new();
+    let mut ci = 0;
+    for (i, layer) in spec.layers.iter().enumerate() {
+        match layer {
+            LayerSpec::Conv(c) => {
+                let rate = rates[ci].clamp(0.0, 0.95);
+                ci += 1;
+                let mut shape = SgemmShape::of_conv(c, batch);
+                let kept = (((1.0 - rate) * c.out_positions() as f64).ceil() as usize).max(1);
+                shape.n = kept * batch;
+                out.push((i, c.name.clone(), c.groups, shape));
+            }
+            LayerSpec::Fc(f) => out.push((
+                i,
+                f.name.clone(),
+                1,
+                SgemmShape {
+                    m: f.out_features,
+                    n: batch,
+                    k: f.in_features,
+                },
+            )),
+            LayerSpec::Pool(_) => {}
+        }
+    }
+    out
+}
+
+/// The cross-platform offline compiler.
+#[derive(Debug, Clone)]
+pub struct OfflineCompiler<'a> {
+    arch: &'a GpuArch,
+    spec: &'a NetworkSpec,
+}
+
+impl<'a> OfflineCompiler<'a> {
+    /// Creates a compiler for one (architecture, network) pair.
+    pub fn new(arch: &'a GpuArch, spec: &'a NetworkSpec) -> Self {
+        Self { arch, spec }
+    }
+
+    /// §IV.B.1(a): the optimal background batch — the smallest batch at
+    /// which the *least-utilized* GEMM layer reaches `Util = 1`, capped by
+    /// what fits in memory under the reference (cuBLAS) footprint.
+    pub fn background_batch(&self) -> usize {
+        let mut batch = 1usize;
+        while batch < 512 {
+            if !Library::CuBlas.fits(self.arch, self.spec, batch) {
+                // Back off to the largest batch that fits.
+                return (batch / 2).max(1);
+            }
+            let all_full = gemm_layers(self.spec, batch).iter().all(|(_, _, _, shape)| {
+                let tuned = tune_kernel(self.arch, *shape);
+                let max_blocks = self.arch.n_sms * tuned.opt_tlp;
+                tuned.grid >= max_blocks
+            });
+            if all_full {
+                return batch;
+            }
+            batch *= 2;
+        }
+        512
+    }
+
+    /// §IV.B.1(b): the initial batch for time-sensitive tasks — the images
+    /// that arrive within the time requirement.
+    pub fn initial_batch(&self, app: &AppSpec, req: &UserRequirements) -> usize {
+        match app.kind {
+            WorkloadKind::Background => self.background_batch(),
+            _ => {
+                let t = req.t_user().unwrap_or(0.1);
+                ((app.data_rate * t).floor() as usize).max(1)
+            }
+        }
+    }
+
+    /// Compiles a schedule for a batch size: per-layer coordinated kernel
+    /// tuning, `optSM`, and time prediction.
+    pub fn compile_batch(&self, batch: usize) -> Schedule {
+        let rates = vec![0.0; self.spec.conv_layers().len()];
+        self.compile_perforated(batch, &rates, true)
+    }
+
+    /// Compiles a schedule with perforation rates and an explicit
+    /// power-gating choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len()` differs from the spec's conv-layer count.
+    pub fn compile_perforated(&self, batch: usize, rates: &[f64], power_gated: bool) -> Schedule {
+        let layers = gemm_layers_perforated(self.spec, batch, rates)
+            .into_iter()
+            .map(|(_, name, groups, shape)| {
+                // The analytic S_kernel score prunes the design space to a
+                // handful of candidates; a short simulator run on each
+                // decides (the "explore the performance of the candidate
+                // points" step of §IV.B.2).
+                let mut best: Option<(f64, LayerPlan)> = None;
+                for tuned in tune_kernel_candidates(self.arch, shape, 4) {
+                    let kernel = build_kernel(shape, &tuned.config, &name);
+                    // Packing CTAs at the staircase TLP is not always
+                    // optimal for compute-bound tiles; also profile lower
+                    // TLPs, which eq. 11 spreads across more SMs.
+                    let mut tlps = vec![tuned.opt_tlp, tuned.opt_tlp.div_ceil(2), 1];
+                    tlps.sort_unstable();
+                    tlps.dedup();
+                    for tlp in tlps {
+                        let sm = crate::timemodel::opt_sm(
+                            kernel.grid.max(1),
+                            tlp,
+                            self.arch.n_sms,
+                        );
+                        let policy = DispatchPolicy::PrioritySm {
+                            sms: sm,
+                            tlp,
+                            power_gate: true,
+                        };
+                        let mut cache = SimCache::new();
+                        let sim = simulate_kernel(self.arch, &kernel, policy, &mut cache);
+                        let measured = sim.seconds * groups as f64;
+                        let (_, t) = tuned_layer_time(self.arch, shape, &tuned, groups);
+                        let plan = LayerPlan {
+                            name: name.clone(),
+                            kernel: kernel.clone(),
+                            groups,
+                            opt_sm: sm,
+                            opt_tlp: tlp,
+                            predicted_seconds: t,
+                        };
+                        if best.as_ref().map(|(b, _)| measured < *b).unwrap_or(true) {
+                            best = Some((measured, plan));
+                        }
+                    }
+                }
+                best.expect("at least one candidate").1
+            })
+            .collect();
+        Schedule {
+            batch,
+            layers,
+            power_gated,
+            perforation: rates.to_vec(),
+        }
+    }
+
+    /// The full offline compilation (§IV.B.3 "Global decision"): start
+    /// from the task's initial batch, then shrink via eq. 13 until the
+    /// predicted response time meets `T_user`.
+    pub fn compile(&self, app: &AppSpec, req: &UserRequirements) -> Schedule {
+        let mut batch = self.initial_batch(app, req);
+        let mut schedule = self.compile_batch(batch);
+        let Some(t_user) = req.t_user() else {
+            return schedule; // background: done after kernel optimization
+        };
+        for _ in 0..8 {
+            let predicted = schedule.predicted_seconds();
+            let new_batch = adjust_batch(batch, predicted, t_user);
+            if new_batch == batch {
+                break;
+            }
+            batch = new_batch;
+            schedule = self.compile_batch(batch);
+        }
+        schedule
+    }
+}
+
+/// Builds a kernel plan for a library's (untuned) kernel choice — used by
+/// the baseline schedulers that do not tune.
+pub fn library_schedule(
+    arch: &GpuArch,
+    spec: &NetworkSpec,
+    library: Library,
+    batch: usize,
+) -> Schedule {
+    let layers = gemm_layers(spec, batch)
+        .into_iter()
+        .map(|(_, name, groups, shape)| {
+            let config = library.config_for(arch, shape);
+            let kernel = build_kernel(shape, &config, &name);
+            let occ =
+                pcnn_gpu::occupancy::Occupancy::of(arch, &config.resources()).ctas_per_sm();
+            let tlp = occ.max(1);
+            let sm = opt_sm(kernel.grid.max(1), tlp, arch.n_sms);
+            LayerPlan {
+                name,
+                kernel,
+                groups,
+                opt_sm: sm,
+                opt_tlp: tlp,
+                predicted_seconds: 0.0,
+            }
+        })
+        .collect();
+    Schedule {
+        batch,
+        layers,
+        power_gated: false,
+        perforation: vec![0.0; spec.conv_layers().len()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_gpu::arch::{JETSON_TX1, K20C};
+    use pcnn_nn::spec::alexnet;
+
+    #[test]
+    fn gemm_layers_cover_convs_and_fcs() {
+        let spec = alexnet();
+        let layers = gemm_layers(&spec, 1);
+        assert_eq!(layers.len(), 5 + 3);
+        // CONV2's grouped shape.
+        let (_, name, groups, shape) = &layers[1];
+        assert_eq!(name, "CONV2");
+        assert_eq!(*groups, 2);
+        assert_eq!((shape.m, shape.n, shape.k), (128, 729, 1200));
+    }
+
+    #[test]
+    fn compile_batch_produces_plans() {
+        let spec = alexnet();
+        let c = OfflineCompiler::new(&K20C, &spec);
+        let s = c.compile_batch(1);
+        assert_eq!(s.layers.len(), 8);
+        for l in &s.layers {
+            assert!(l.opt_sm >= 1 && l.opt_sm <= K20C.n_sms, "{}", l.name);
+            assert!(l.opt_tlp >= 1);
+            assert!(l.predicted_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn non_batching_releases_sms_on_k20() {
+        // §III.C: at batch 1, AlexNet underutilizes the K20 — optSM must be
+        // below 13 for at least the late layers.
+        let spec = alexnet();
+        let s = OfflineCompiler::new(&K20C, &spec).compile_batch(1);
+        let conv5 = s.layers.iter().find(|l| l.name == "CONV5").unwrap();
+        assert!(conv5.opt_sm < K20C.n_sms, "optSM {}", conv5.opt_sm);
+    }
+
+    #[test]
+    fn interactive_compile_meets_time_budget_on_k20() {
+        let spec = alexnet();
+        let app = AppSpec::age_detection();
+        let req = UserRequirements::infer(&app);
+        let s = OfflineCompiler::new(&K20C, &spec).compile(&app, &req);
+        assert!(s.predicted_seconds() <= req.t_user().unwrap() * 1.05);
+        assert!(s.batch >= 1);
+    }
+
+    #[test]
+    fn background_batch_grows_with_gpu() {
+        let spec = alexnet();
+        let k20 = OfflineCompiler::new(&K20C, &spec).background_batch();
+        let tx1 = OfflineCompiler::new(&JETSON_TX1, &spec).background_batch();
+        assert!(k20 > tx1, "K20 {k20} vs TX1 {tx1}");
+        assert!(tx1 >= 1);
+    }
+
+    #[test]
+    fn library_schedule_has_no_gating() {
+        let spec = alexnet();
+        let s = library_schedule(&K20C, &spec, Library::CuBlas, 1);
+        assert!(!s.power_gated);
+        assert_eq!(s.layers.len(), 8);
+    }
+}

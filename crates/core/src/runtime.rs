@@ -1,0 +1,251 @@
+//! Run-time kernel management and workload execution (paper §IV.C.2).
+//!
+//! Executes a request trace against a compiled [`Schedule`]: every GEMM
+//! layer is simulated on the `pcnn-gpu` simulator under the schedule's
+//! dispatch policy (Priority-SM over `optSM` SMs with power gating for
+//! P-CNN/QPE+; plain Round-Robin for the baselines), requests are batched
+//! according to the schedule, and per-request latency plus end-to-end
+//! energy are accounted.
+
+use std::collections::HashMap;
+
+use pcnn_data::{RequestTrace, WorkloadKind};
+use pcnn_gpu::sim::dispatch::simulate_kernel;
+use pcnn_gpu::sim::SimCache;
+use pcnn_gpu::{DispatchPolicy, EnergyBreakdown, GpuArch};
+
+use crate::offline::Schedule;
+
+/// Simulated cost of one forward pass of the whole network at the
+/// schedule's batch size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkCost {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Energy over the pass.
+    pub energy: EnergyBreakdown,
+}
+
+/// Simulates every layer of `schedule` once and sums time and energy.
+/// Grouped-convolution groups run back-to-back (cost multiplied).
+pub fn simulate_schedule(arch: &GpuArch, schedule: &Schedule) -> NetworkCost {
+    let mut seconds = 0.0;
+    let mut energy = EnergyBreakdown::default();
+    for layer in &schedule.layers {
+        let policy = if schedule.power_gated {
+            layer.psm_policy()
+        } else {
+            DispatchPolicy::RoundRobin
+        };
+        let mut cache = SimCache::new();
+        let r = simulate_kernel(arch, &layer.kernel, policy, &mut cache);
+        let g = layer.groups as f64;
+        seconds += r.seconds * g;
+        energy = energy.plus(&EnergyBreakdown {
+            dynamic_j: r.energy.dynamic_j * g,
+            leakage_j: r.energy.leakage_j * g,
+            dram_j: r.energy.dram_j * g,
+            constant_j: r.energy.constant_j * g,
+        });
+    }
+    NetworkCost { seconds, energy }
+}
+
+/// Outcome of executing a whole request trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Per-request latency: completion of the request's last image minus
+    /// the request's arrival.
+    pub latencies: Vec<f64>,
+    /// Time from first arrival to last completion.
+    pub makespan: f64,
+    /// Energy spent computing (what the paper's GPGPU-Sim + GPUWattch
+    /// setup measures and what the SoC metric divides by).
+    pub energy: EnergyBreakdown,
+    /// Additional idle energy between batches (constant platform power
+    /// over the non-busy span) — identical across schedulers up to
+    /// makespan differences, reported separately.
+    pub idle_energy_j: f64,
+}
+
+impl ExecutionReport {
+    /// Mean per-request latency.
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        self.latencies.iter().sum::<f64>() / self.latencies.len() as f64
+    }
+
+    /// Worst per-request latency.
+    pub fn max_latency(&self) -> f64 {
+        self.latencies.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The characteristic response time the SoC metric scores: the worst
+    /// frame for real-time tasks, the mean response for interactive tasks,
+    /// and the makespan for background bursts.
+    pub fn response_time(&self, kind: WorkloadKind) -> f64 {
+        match kind {
+            WorkloadKind::RealTime => self.max_latency(),
+            WorkloadKind::Interactive => self.mean_latency(),
+            WorkloadKind::Background => self.makespan,
+        }
+    }
+}
+
+/// Executes `trace` under schedules built by `build` (one per needed chunk
+/// size — the schedule's batch for full chunks, smaller for the tail).
+///
+/// Images queue FIFO; a chunk of `batch` images starts when all its images
+/// have arrived and the GPU is free. The final partial chunk runs at its
+/// own size.
+///
+/// # Panics
+///
+/// Panics if the trace is empty or `build` returns a schedule whose batch
+/// differs from the requested size.
+pub fn execute_trace(
+    arch: &GpuArch,
+    trace: &RequestTrace,
+    batch: usize,
+    mut build: impl FnMut(usize) -> Schedule,
+) -> ExecutionReport {
+    assert!(batch > 0, "batch must be positive");
+    // Flatten images: (arrival, request index).
+    let mut images: Vec<(f64, usize)> = Vec::new();
+    for (ri, &(at, n)) in trace.requests().iter().enumerate() {
+        for _ in 0..n {
+            images.push((at, ri));
+        }
+    }
+    assert!(!images.is_empty(), "empty trace");
+
+    let mut costs: HashMap<usize, NetworkCost> = HashMap::new();
+    let mut cost_of = |size: usize| -> NetworkCost {
+        if let Some(c) = costs.get(&size) {
+            return *c;
+        }
+        let schedule = build(size);
+        assert_eq!(schedule.batch, size, "builder returned wrong batch");
+        let c = simulate_schedule(arch, &schedule);
+        costs.insert(size, c);
+        c
+    };
+
+    let n_requests = trace.requests().len();
+    let mut request_done = vec![0.0f64; n_requests];
+    let mut gpu_free = 0.0f64;
+    let mut busy = 0.0f64;
+    let mut energy = EnergyBreakdown::default();
+    let mut idx = 0;
+    while idx < images.len() {
+        let size = batch.min(images.len() - idx);
+        let chunk = &images[idx..idx + size];
+        let ready = chunk.last().expect("non-empty chunk").0;
+        let cost = cost_of(size);
+        let start = gpu_free.max(ready);
+        let finish = start + cost.seconds;
+        for &(_, ri) in chunk {
+            request_done[ri] = request_done[ri].max(finish);
+        }
+        gpu_free = finish;
+        busy += cost.seconds;
+        energy = energy.plus(&cost.energy);
+        idx += size;
+    }
+    let makespan = gpu_free;
+    // Idle periods burn the constant platform power only (deep idle).
+    let idle_energy_j = (makespan - busy).max(0.0) * arch.energy.constant_w;
+
+    let latencies = trace
+        .requests()
+        .iter()
+        .zip(&request_done)
+        .map(|(&(at, _), &done)| done - at)
+        .collect();
+    ExecutionReport {
+        latencies,
+        makespan,
+        energy,
+        idle_energy_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::OfflineCompiler;
+    use pcnn_gpu::arch::K20C;
+    use pcnn_nn::spec::alexnet;
+
+    fn schedule_builder(batch: usize) -> Schedule {
+        let spec = alexnet();
+        OfflineCompiler::new(&K20C, &spec).compile_batch(batch)
+    }
+
+    #[test]
+    fn simulate_schedule_positive_cost() {
+        let s = schedule_builder(1);
+        let c = simulate_schedule(&K20C, &s);
+        assert!(c.seconds > 0.0);
+        assert!(c.energy.total_j() > 0.0);
+    }
+
+    #[test]
+    fn interactive_trace_latencies() {
+        let trace = RequestTrace::interactive(4, 0.5, 1.0, 7);
+        let report = execute_trace(&K20C, &trace, 1, schedule_builder);
+        assert_eq!(report.latencies.len(), 4);
+        // Requests are well separated; each latency equals one batch-1 pass.
+        let c = simulate_schedule(&K20C, &schedule_builder(1));
+        for &l in &report.latencies {
+            assert!((l - c.seconds).abs() < 1e-9, "latency {l} vs {}", c.seconds);
+        }
+    }
+
+    #[test]
+    fn background_burst_batches() {
+        let trace = RequestTrace::background(10);
+        let report = execute_trace(&K20C, &trace, 4, schedule_builder);
+        // 3 chunks (4+4+2), one request.
+        assert_eq!(report.latencies.len(), 1);
+        assert!(report.makespan > 0.0);
+        assert_eq!(report.response_time(WorkloadKind::Background), report.makespan);
+    }
+
+    #[test]
+    fn batching_delays_first_request() {
+        // Real-time 30 fps frames, batch 8: the first frame waits for 7
+        // more frames before processing starts.
+        let trace = RequestTrace::real_time(8, 30.0);
+        let batched = execute_trace(&K20C, &trace, 8, schedule_builder);
+        let single = execute_trace(&K20C, &trace, 1, schedule_builder);
+        assert!(
+            batched.latencies[0] > single.latencies[0] + 7.0 / 30.0 - 1e-6,
+            "batched {} vs single {}",
+            batched.latencies[0],
+            single.latencies[0]
+        );
+    }
+
+    #[test]
+    fn idle_energy_reported_separately() {
+        // Two requests 10 s apart: idle energy is ~10 s x constant power,
+        // and the compute energy is exactly two batch-1 passes.
+        let trace = RequestTrace::interactive(2, 10.0, 10.0, 1);
+        let report = execute_trace(&K20C, &trace, 1, schedule_builder);
+        let compute = simulate_schedule(&K20C, &schedule_builder(1));
+        assert!(
+            (report.idle_energy_j - 10.0 * K20C.energy.constant_w).abs() / report.idle_energy_j
+                < 0.05,
+            "idle {}",
+            report.idle_energy_j
+        );
+        assert!(
+            (report.energy.total_j() - 2.0 * compute.energy.total_j()).abs()
+                < 1e-9 * report.energy.total_j(),
+            "compute energy mismatch"
+        );
+    }
+}

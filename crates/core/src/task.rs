@@ -1,0 +1,140 @@
+//! User input: application specification and requirement inference
+//! (paper §IV.A).
+
+use pcnn_data::WorkloadKind;
+
+/// What the user's application tells P-CNN about itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Application name (e.g. `"age detection"`).
+    pub name: String,
+    /// Task class.
+    pub kind: WorkloadKind,
+    /// Input-data generation rate in images/second (frame rate for
+    /// real-time tasks; request rate for interactive tasks; ignored for
+    /// background bursts).
+    pub data_rate: f64,
+    /// Whether the task needs high accuracy (e.g. surveillance) or can
+    /// trade accuracy for speed (e.g. entertainment apps).
+    pub accuracy_sensitive: bool,
+}
+
+impl AppSpec {
+    /// The paper's interactive example: age detection after a selfie.
+    pub fn age_detection() -> Self {
+        Self {
+            name: "age detection".into(),
+            kind: WorkloadKind::Interactive,
+            data_rate: 1.0,
+            accuracy_sensitive: false,
+        }
+    }
+
+    /// The paper's real-time example: video surveillance at a frame rate.
+    pub fn video_surveillance(fps: f64) -> Self {
+        Self {
+            name: "video surveillance".into(),
+            kind: WorkloadKind::RealTime,
+            data_rate: fps,
+            accuracy_sensitive: true,
+        }
+    }
+
+    /// The paper's background example: image tagging of a photo roll.
+    pub fn image_tagging() -> Self {
+        Self {
+            name: "image tagging".into(),
+            kind: WorkloadKind::Background,
+            data_rate: f64::INFINITY,
+            accuracy_sensitive: false,
+        }
+    }
+}
+
+/// Inferred end-user requirements (the look-up table of §IV.A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserRequirements {
+    /// End of the imperceptible region `T_i` in seconds (`None` for
+    /// background tasks — the whole axis is imperceptible).
+    pub t_imperceptible: Option<f64>,
+    /// End of the tolerable region `T_t` in seconds. For real-time tasks
+    /// this equals the deadline (`T_i == T_t`: no tolerable region).
+    pub t_unusable: Option<f64>,
+    /// Output-uncertainty threshold (`CNN_threshold`, nats): tuning stops
+    /// and calibration triggers beyond it.
+    pub entropy_threshold: f64,
+}
+
+impl UserRequirements {
+    /// Infers requirements from an application spec, using the human-
+    /// computer-interaction constants the paper cites (§V.C): 100 ms
+    /// imperceptible / 3 s abandonment for interactive tasks [31][32], the
+    /// frame period as a hard deadline for real-time tasks, and no time
+    /// requirement for background tasks.
+    ///
+    /// Accuracy-sensitive tasks get a tight entropy threshold (little
+    /// tuning headroom); entertainment-class tasks a loose one.
+    pub fn infer(app: &AppSpec) -> Self {
+        let entropy_threshold = if app.accuracy_sensitive { 1.00 } else { 1.20 };
+        match app.kind {
+            WorkloadKind::Interactive => Self {
+                t_imperceptible: Some(0.100),
+                t_unusable: Some(3.0),
+                entropy_threshold,
+            },
+            WorkloadKind::RealTime => {
+                let deadline = 1.0 / app.data_rate;
+                Self {
+                    t_imperceptible: Some(deadline),
+                    t_unusable: Some(deadline),
+                    entropy_threshold,
+                }
+            }
+            WorkloadKind::Background => Self {
+                t_imperceptible: None,
+                t_unusable: None,
+                entropy_threshold,
+            },
+        }
+    }
+
+    /// The target response time the offline compiler plans for (`T_user`):
+    /// the end of the imperceptible region, or `None` for background
+    /// tasks.
+    pub fn t_user(&self) -> Option<f64> {
+        self.t_imperceptible
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactive_uses_hci_constants() {
+        let r = UserRequirements::infer(&AppSpec::age_detection());
+        assert_eq!(r.t_imperceptible, Some(0.1));
+        assert_eq!(r.t_unusable, Some(3.0));
+    }
+
+    #[test]
+    fn realtime_deadline_is_frame_period() {
+        let r = UserRequirements::infer(&AppSpec::video_surveillance(60.0));
+        assert_eq!(r.t_imperceptible, r.t_unusable);
+        assert!((r.t_imperceptible.unwrap() - 1.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_has_no_time_requirement() {
+        let r = UserRequirements::infer(&AppSpec::image_tagging());
+        assert_eq!(r.t_user(), None);
+        assert_eq!(r.t_unusable, None);
+    }
+
+    #[test]
+    fn accuracy_sensitivity_tightens_threshold() {
+        let strict = UserRequirements::infer(&AppSpec::video_surveillance(30.0));
+        let loose = UserRequirements::infer(&AppSpec::age_detection());
+        assert!(strict.entropy_threshold < loose.entropy_threshold);
+    }
+}

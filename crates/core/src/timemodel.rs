@@ -1,0 +1,142 @@
+//! The platform-independent analytical models of §IV.B.3:
+//! the resource model (`optSM`, eq. 11), the time model (eq. 12) and the
+//! batch-size adjustment (eq. 13).
+
+use pcnn_gpu::GpuArch;
+use pcnn_kernels::sgemm::{grid_size, SgemmShape};
+use pcnn_kernels::TunedKernel;
+
+/// Paper eq. 11: the minimum number of SMs that keeps the number of
+/// invocation waves unchanged:
+///
+/// `ceil(GridSize / (optTLP * optSM)) == ceil(GridSize / (optTLP * nSMs))`.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn opt_sm(grid_size: usize, opt_tlp: usize, n_sms: usize) -> usize {
+    assert!(grid_size > 0 && opt_tlp > 0 && n_sms > 0, "zero argument");
+    let waves = grid_size.div_ceil(opt_tlp * n_sms);
+    // Smallest optSM with ceil(grid / (tlp * optSM)) == waves:
+    // optSM >= grid / (tlp * waves).
+    grid_size.div_ceil(opt_tlp * waves).min(n_sms)
+}
+
+/// Paper eq. 12: predicted execution time of one layer's GEMM.
+///
+/// `t = FLOPs / (peakFlops_per_SM x optSM x rEC x FFMA fraction)`
+///
+/// where `FLOPs` already includes the batch, `rEC` is eq. 9 and the FFMA
+/// fraction is the kernel's computation density (Fig. 6).
+///
+/// # Panics
+///
+/// Panics if any factor is non-positive.
+pub fn layer_time(
+    arch: &GpuArch,
+    flops: u64,
+    opt_sm: usize,
+    rec: f64,
+    ffma_fraction: f64,
+) -> f64 {
+    assert!(opt_sm > 0, "optSM must be positive");
+    assert!(rec > 0.0 && rec <= 1.0, "rEC out of range: {rec}");
+    assert!(
+        ffma_fraction > 0.0 && ffma_fraction <= 1.0,
+        "FFMA fraction out of range: {ffma_fraction}"
+    );
+    flops as f64 / (arch.peak_flops_per_sm() * opt_sm as f64 * rec * ffma_fraction)
+}
+
+/// Convenience: eq. 11 + eq. 12 for a tuned kernel on a GEMM shape,
+/// returning `(optSM, predicted seconds)`. `groups` grouped-convolution
+/// kernels run back-to-back.
+pub fn tuned_layer_time(
+    arch: &GpuArch,
+    shape: SgemmShape,
+    tuned: &TunedKernel,
+    groups: usize,
+) -> (usize, f64) {
+    let grid = grid_size(shape, &tuned.config.variant);
+    let sm = opt_sm(grid, tuned.opt_tlp, arch.n_sms);
+    // Computation density of the kernel's instruction mix.
+    let kernel = pcnn_kernels::sgemm::build_kernel(shape, &tuned.config, "t");
+    let density = kernel.trace.warp_instr_counts().fp_fraction();
+    let t = layer_time(arch, shape.flops(), sm, tuned.rec, density) * groups as f64;
+    (sm, t)
+}
+
+/// Paper eq. 13: shrink the batch to meet the user's time requirement:
+/// `new batch = (T_user / T) x batch`, floored at 1.
+///
+/// # Panics
+///
+/// Panics if `predicted <= 0` or `batch == 0`.
+pub fn adjust_batch(batch: usize, predicted: f64, t_user: f64) -> usize {
+    assert!(predicted > 0.0, "predicted time must be positive");
+    assert!(batch > 0, "batch must be positive");
+    if predicted <= t_user {
+        return batch;
+    }
+    ((t_user / predicted * batch as f64).floor() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_gpu::arch::K20C;
+
+    #[test]
+    fn paper_example_eq11() {
+        // §IV.B.3: GridSize 40, optTLP 3, 10 SMs -> optSM 7.
+        assert_eq!(opt_sm(40, 3, 10), 7);
+    }
+
+    #[test]
+    fn opt_sm_full_grid_needs_all() {
+        assert_eq!(opt_sm(130, 1, 13), 13);
+    }
+
+    #[test]
+    fn opt_sm_small_grid_releases_sms() {
+        // Grid 4, TLP 2: 2 SMs suffice for the single wave.
+        assert_eq!(opt_sm(4, 2, 13), 2);
+    }
+
+    #[test]
+    fn opt_sm_never_exceeds_nsms() {
+        for grid in [1, 7, 39, 40, 100, 1000] {
+            for tlp in [1, 2, 5] {
+                let s = opt_sm(grid, tlp, 13);
+                assert!((1..=13).contains(&s));
+                // eq. 11 invariant.
+                assert_eq!(
+                    grid.div_ceil(tlp * s),
+                    grid.div_ceil(tlp * 13),
+                    "waves changed for grid {grid} tlp {tlp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layer_time_scales_with_work_and_sms() {
+        let t1 = layer_time(&K20C, 1_000_000_000, 13, 0.9, 0.7);
+        let t2 = layer_time(&K20C, 2_000_000_000, 13, 0.9, 0.7);
+        let t3 = layer_time(&K20C, 1_000_000_000, 26 / 2, 0.9, 0.7);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        assert_eq!(t1, t3);
+        let fewer_sms = layer_time(&K20C, 1_000_000_000, 6, 0.9, 0.7);
+        assert!(fewer_sms > t1);
+    }
+
+    #[test]
+    fn adjust_batch_meets_requirement() {
+        // Predicted 0.4 s for batch 64, user wants 0.1 s -> batch 16.
+        assert_eq!(adjust_batch(64, 0.4, 0.1), 16);
+        // Already fast enough: unchanged.
+        assert_eq!(adjust_batch(64, 0.05, 0.1), 64);
+        // Never below 1.
+        assert_eq!(adjust_batch(2, 10.0, 0.001), 1);
+    }
+}

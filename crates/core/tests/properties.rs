@@ -1,0 +1,103 @@
+//! Property-based tests of the analytical models and the SoC metric.
+
+use pcnn_core::scheduler::map_rates;
+use pcnn_core::soc::{soc_accuracy, soc_time};
+use pcnn_core::task::{AppSpec, UserRequirements};
+use pcnn_core::timemodel::{adjust_batch, opt_sm};
+use pcnn_nn::perforation::PerforationPlan;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// eq. 11: optSM preserves the wave count and is minimal.
+    #[test]
+    fn opt_sm_minimal_and_invariant(
+        grid in 1usize..5000,
+        tlp in 1usize..16,
+        n_sms in 1usize..32,
+    ) {
+        let s = opt_sm(grid, tlp, n_sms);
+        prop_assert!(s >= 1 && s <= n_sms);
+        let full_waves = grid.div_ceil(tlp * n_sms);
+        prop_assert_eq!(grid.div_ceil(tlp * s), full_waves, "waves changed");
+        if s > 1 {
+            prop_assert!(
+                grid.div_ceil(tlp * (s - 1)) > full_waves,
+                "optSM {s} not minimal for grid {grid} tlp {tlp} sms {n_sms}"
+            );
+        }
+    }
+
+    /// eq. 13: the adjusted batch is never larger, never zero, and under a
+    /// linear time model meets the requirement.
+    #[test]
+    fn adjust_batch_contracts(batch in 1usize..512, predicted in 0.001f64..10.0, t_user in 0.001f64..1.0) {
+        let b = adjust_batch(batch, predicted, t_user);
+        prop_assert!(b >= 1 && b <= batch);
+        if predicted <= t_user {
+            prop_assert_eq!(b, batch);
+        } else if b > 1 {
+            // Linear scaling: time(b) = predicted * b / batch <= t_user.
+            prop_assert!(predicted * b as f64 / batch as f64 <= t_user * (1.0 + 1e-9));
+        }
+    }
+
+    /// SoC_time is 1 on [0, T_i], 0 past T_t, and non-increasing.
+    #[test]
+    fn soc_time_monotone(t1 in 0.0f64..5.0, t2 in 0.0f64..5.0) {
+        let req = UserRequirements::infer(&AppSpec::age_detection());
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(soc_time(&req, lo) >= soc_time(&req, hi));
+        prop_assert!(soc_time(&req, lo) <= 1.0 && soc_time(&req, hi) >= 0.0);
+    }
+
+    /// SoC_accuracy is in (0, 1], 1 within the threshold, and
+    /// non-increasing in entropy.
+    #[test]
+    fn soc_accuracy_monotone(e1 in 0.0f64..4.0, e2 in 0.0f64..4.0) {
+        let req = UserRequirements::infer(&AppSpec::video_surveillance(30.0));
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        let a_lo = soc_accuracy(&req, lo);
+        let a_hi = soc_accuracy(&req, hi);
+        prop_assert!(a_lo >= a_hi);
+        prop_assert!(a_hi > 0.0 && a_lo <= 1.0);
+        if hi <= req.entropy_threshold {
+            prop_assert_eq!(a_hi, 1.0);
+        }
+    }
+
+    /// Depth-mapping of tuning rates preserves the value set and the
+    /// endpoints.
+    #[test]
+    fn map_rates_endpoints_and_range(
+        rates in prop::collection::vec(0.0f64..0.9, 1..6),
+        target in 1usize..12,
+    ) {
+        let plan = PerforationPlan::from_rates(rates.clone());
+        let mapped = map_rates(&plan, target);
+        prop_assert_eq!(mapped.len(), target);
+        for &r in &mapped {
+            prop_assert!(rates.contains(&r), "mapped rate {r} not in source");
+        }
+        prop_assert_eq!(mapped[0], rates[0]);
+        if target > 1 {
+            prop_assert_eq!(mapped[target - 1], *rates.last().unwrap());
+        }
+    }
+
+    /// Retained-FLOPs fraction is a convex combination: within the min/max
+    /// retained rate across layers.
+    #[test]
+    fn retained_fraction_bounds(
+        rates in prop::collection::vec(0.0f64..0.9, 1..6),
+        flops in prop::collection::vec(1u64..1_000_000, 1..6),
+    ) {
+        prop_assume!(rates.len() == flops.len());
+        let plan = PerforationPlan::from_rates(rates.clone());
+        let f = plan.retained_flops_fraction(&flops);
+        let lo = rates.iter().map(|r| 1.0 - r).fold(f64::MAX, f64::min);
+        let hi = rates.iter().map(|r| 1.0 - r).fold(f64::MIN, f64::max);
+        prop_assert!(f >= lo - 1e-12 && f <= hi + 1e-12);
+    }
+}

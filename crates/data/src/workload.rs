@@ -1,0 +1,159 @@
+//! Inference request workloads for the three task classes of §II.B.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three CNN application classes of the paper (§II.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// User-facing, latency-tolerant up to a point (e.g. age detection).
+    Interactive,
+    /// Hard per-frame deadline (e.g. video surveillance).
+    RealTime,
+    /// No latency requirement, energy-sensitive (e.g. image tagging).
+    Background,
+}
+
+/// A deterministic trace of inference requests.
+///
+/// Each entry is `(arrival time in seconds, number of images)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    kind: WorkloadKind,
+    requests: Vec<(f64, usize)>,
+}
+
+impl RequestTrace {
+    /// Interactive workload: single-image requests separated by think
+    /// times drawn uniformly from `[min_gap, max_gap]` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_requests == 0` or the gap range is invalid.
+    pub fn interactive(n_requests: usize, min_gap: f64, max_gap: f64, seed: u64) -> Self {
+        assert!(n_requests > 0, "need at least one request");
+        assert!(
+            min_gap >= 0.0 && max_gap >= min_gap,
+            "invalid gap range [{min_gap}, {max_gap}]"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        let requests = (0..n_requests)
+            .map(|_| {
+                let at = t;
+                t += rng.gen_range(min_gap..=max_gap);
+                (at, 1)
+            })
+            .collect();
+        Self {
+            kind: WorkloadKind::Interactive,
+            requests,
+        }
+    }
+
+    /// Real-time workload: one frame every `1/fps` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps <= 0` or `n_frames == 0`.
+    pub fn real_time(n_frames: usize, fps: f64) -> Self {
+        assert!(fps > 0.0, "fps must be positive");
+        assert!(n_frames > 0, "need at least one frame");
+        let period = 1.0 / fps;
+        let requests = (0..n_frames).map(|i| (i as f64 * period, 1)).collect();
+        Self {
+            kind: WorkloadKind::RealTime,
+            requests,
+        }
+    }
+
+    /// Background workload: all `n_images` available at time zero (e.g. a
+    /// camera roll to tag).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_images == 0`.
+    pub fn background(n_images: usize) -> Self {
+        assert!(n_images > 0, "need at least one image");
+        Self {
+            kind: WorkloadKind::Background,
+            requests: vec![(0.0, n_images)],
+        }
+    }
+
+    /// The workload class.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// The `(arrival seconds, image count)` pairs, in arrival order.
+    pub fn requests(&self) -> &[(f64, usize)] {
+        &self.requests
+    }
+
+    /// Total images across all requests.
+    pub fn total_images(&self) -> usize {
+        self.requests.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Mean image arrival rate in images/second over the trace span
+    /// (`total images / last arrival`), or `f64::INFINITY` for a
+    /// zero-length span (single burst).
+    pub fn arrival_rate(&self) -> f64 {
+        let span = self.requests.last().map(|&(t, _)| t).unwrap_or(0.0);
+        if span == 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_images() as f64 / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_time_is_periodic() {
+        let t = RequestTrace::real_time(4, 60.0);
+        let times: Vec<f64> = t.requests().iter().map(|&(at, _)| at).collect();
+        for (i, at) in times.iter().enumerate() {
+            assert!((at - i as f64 / 60.0).abs() < 1e-12);
+        }
+        assert_eq!(t.kind(), WorkloadKind::RealTime);
+    }
+
+    #[test]
+    fn interactive_is_monotonic_and_single_image() {
+        let t = RequestTrace::interactive(10, 0.5, 2.0, 3);
+        let mut prev = -1.0;
+        for &(at, n) in t.requests() {
+            assert!(at > prev);
+            assert_eq!(n, 1);
+            prev = at;
+        }
+    }
+
+    #[test]
+    fn interactive_is_deterministic_per_seed() {
+        assert_eq!(
+            RequestTrace::interactive(5, 0.1, 1.0, 7),
+            RequestTrace::interactive(5, 0.1, 1.0, 7)
+        );
+    }
+
+    #[test]
+    fn background_is_one_burst() {
+        let t = RequestTrace::background(500);
+        assert_eq!(t.requests().len(), 1);
+        assert_eq!(t.total_images(), 500);
+        assert_eq!(t.arrival_rate(), f64::INFINITY);
+    }
+
+    #[test]
+    fn arrival_rate_counts_span() {
+        let t = RequestTrace::real_time(61, 60.0);
+        // 61 frames over exactly 1 second span.
+        assert!((t.arrival_rate() - 61.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,149 @@
+//! GPUWattch-style energy accounting.
+
+use crate::arch::GpuArch;
+use crate::sim::trace::InstrCounts;
+
+/// Energy of one kernel (or one whole inference), decomposed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Core dynamic energy (J): ALU + shared-memory + L1 traffic.
+    pub dynamic_j: f64,
+    /// SM leakage over the execution window (J); power-gated SMs
+    /// contribute at their residual rate.
+    pub leakage_j: f64,
+    /// DRAM access energy (J).
+    pub dram_j: f64,
+    /// Constant platform energy (NoC, MC, board) over the window (J).
+    pub constant_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total joules.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.leakage_j + self.dram_j + self.constant_j
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            dynamic_j: self.dynamic_j + other.dynamic_j,
+            leakage_j: self.leakage_j + other.leakage_j,
+            dram_j: self.dram_j + other.dram_j,
+            constant_j: self.constant_j + other.constant_j,
+        }
+    }
+}
+
+/// Computes energy from instruction counts and the execution window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyModel;
+
+impl EnergyModel {
+    /// Energy of an execution window.
+    ///
+    /// * `instr` — warp-instruction counts of the whole launch.
+    /// * `seconds` — window length.
+    /// * `powered_sms` — SMs kept on (leaking at full rate).
+    /// * `gated_sms` — SMs power-gated for the window (residual rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds < 0`.
+    pub fn compute(
+        &self,
+        arch: &GpuArch,
+        instr: &InstrCounts,
+        seconds: f64,
+        powered_sms: usize,
+        gated_sms: usize,
+    ) -> EnergyBreakdown {
+        assert!(seconds >= 0.0, "negative time");
+        let e = &arch.energy;
+        let pj = 1e-12;
+        // Warp instruction = 32 thread-ops.
+        let threads = 32.0;
+        let dynamic_j = threads
+            * pj
+            * (instr.ffma as f64 * e.ffma_pj
+                + instr.ialu as f64 * e.ialu_pj
+                + (instr.lds + instr.sts) as f64 * e.shmem_pj
+                + (instr.ldg + instr.stg) as f64 * e.global_pj);
+        let dram_j = instr.dram_bytes() as f64 * e.dram_pj_per_byte * pj;
+        let leakage_j = seconds
+            * (powered_sms as f64 * e.sm_leakage_w + gated_sms as f64 * e.gated_sm_w);
+        let constant_j = seconds * e.constant_w;
+        EnergyBreakdown {
+            dynamic_j,
+            leakage_j,
+            dram_j,
+            constant_j,
+        }
+    }
+
+    /// Idle energy over a window with `gated` of the GPU's SMs gated and
+    /// the rest powered but inactive.
+    pub fn idle(&self, arch: &GpuArch, seconds: f64, gated_sms: usize) -> EnergyBreakdown {
+        let powered = arch.n_sms.saturating_sub(gated_sms);
+        self.compute(arch, &InstrCounts::default(), seconds, powered, gated_sms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{JETSON_TX1, K20C};
+
+    fn some_instrs() -> InstrCounts {
+        InstrCounts {
+            ffma: 1_000_000,
+            ialu: 100_000,
+            lds: 200_000,
+            sts: 50_000,
+            ldg: 80_000,
+            stg: 10_000,
+        }
+    }
+
+    #[test]
+    fn all_components_nonnegative() {
+        let e = EnergyModel.compute(&K20C, &some_instrs(), 0.01, 13, 0);
+        assert!(e.dynamic_j > 0.0);
+        assert!(e.leakage_j > 0.0);
+        assert!(e.dram_j > 0.0);
+        assert!(e.constant_j > 0.0);
+        assert!((e.total_j() - (e.dynamic_j + e.leakage_j + e.dram_j + e.constant_j)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gating_reduces_leakage() {
+        let instr = some_instrs();
+        let all_on = EnergyModel.compute(&K20C, &instr, 0.01, 13, 0);
+        let gated = EnergyModel.compute(&K20C, &instr, 0.01, 7, 6);
+        assert!(gated.leakage_j < all_on.leakage_j);
+        assert_eq!(gated.dynamic_j, all_on.dynamic_j);
+    }
+
+    #[test]
+    fn mobile_cheaper_per_op_than_server() {
+        let instr = some_instrs();
+        let k20 = EnergyModel.compute(&K20C, &instr, 0.0, 0, 0);
+        let tx1 = EnergyModel.compute(&JETSON_TX1, &instr, 0.0, 0, 0);
+        assert!(tx1.dynamic_j < k20.dynamic_j);
+    }
+
+    #[test]
+    fn idle_has_no_dynamic() {
+        let e = EnergyModel.idle(&K20C, 1.0, 0);
+        assert_eq!(e.dynamic_j, 0.0);
+        assert_eq!(e.dram_j, 0.0);
+        // 13 SMs x 3 W + 28 W constant = 67 J over 1 s.
+        assert!((e.total_j() - 67.0).abs() < 1.0, "{}", e.total_j());
+    }
+
+    #[test]
+    fn plus_adds_components() {
+        let a = EnergyModel.idle(&K20C, 1.0, 0);
+        let b = a.plus(&a);
+        assert!((b.total_j() - 2.0 * a.total_j()).abs() < 1e-12);
+    }
+}

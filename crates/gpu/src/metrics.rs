@@ -1,0 +1,79 @@
+//! The paper's characterization metrics: `Util` (eq. 6) and `cpE` (eq. 3).
+
+use crate::arch::GpuArch;
+
+/// Resource utilization of a kernel launch (paper eq. 6):
+///
+/// `Util = GridSize / (nCycle * maxBlocks)` where
+/// `nCycle = ceil(GridSize / maxBlocks)` is the number of waves.
+///
+/// `Util == 1` means every wave fills the GPU; small values mean most CTA
+/// slots idle (Table V).
+///
+/// # Panics
+///
+/// Panics if `grid_size == 0` or `max_blocks == 0`.
+pub fn utilization(grid_size: usize, max_blocks: usize) -> f64 {
+    assert!(grid_size > 0, "grid size must be positive");
+    assert!(max_blocks > 0, "max blocks must be positive");
+    let waves = grid_size.div_ceil(max_blocks);
+    grid_size as f64 / (waves * max_blocks) as f64
+}
+
+/// Compute efficiency of a convolutional layer (paper eq. 3): achieved
+/// FLOP/s over the GPU's peak FLOP/s.
+///
+/// `flops` is the layer's `Conv_FLOPs x batch`, `seconds` the measured (or
+/// simulated) execution time.
+///
+/// # Panics
+///
+/// Panics if `seconds <= 0`.
+pub fn compute_efficiency(arch: &GpuArch, flops: u64, seconds: f64) -> f64 {
+    assert!(seconds > 0.0, "time must be positive");
+    (flops as f64 / seconds) / arch.peak_flops()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::K20C;
+
+    #[test]
+    fn util_full_wave_is_one() {
+        assert_eq!(utilization(39, 39), 1.0);
+        assert_eq!(utilization(78, 39), 1.0);
+    }
+
+    #[test]
+    fn util_partial_wave() {
+        // Grid 12, maxBlocks 8 (cuBLAS CONV2 on TX1): 2 waves, util 12/16.
+        assert!((utilization(12, 8) - 0.75).abs() < 1e-12);
+        // Grid 4, maxBlocks 8: util 0.5 (Table V CONV5 on TX1).
+        assert!((utilization(4, 8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn util_never_exceeds_one() {
+        for grid in 1..60 {
+            for max in 1..20 {
+                let u = utilization(grid, max);
+                assert!(u > 0.0 && u <= 1.0, "util({grid},{max}) = {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn cpe_at_peak_is_one() {
+        let flops = K20C.peak_flops() as u64;
+        let cpe = compute_efficiency(&K20C, flops, 1.0);
+        assert!((cpe - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cpe_scales_inverse_with_time() {
+        let a = compute_efficiency(&K20C, 1_000_000_000, 0.001);
+        let b = compute_efficiency(&K20C, 1_000_000_000, 0.002);
+        assert!((a / b - 2.0).abs() < 1e-9);
+    }
+}

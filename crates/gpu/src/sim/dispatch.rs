@@ -1,0 +1,278 @@
+//! Event-driven CTA dispatch across SMs.
+//!
+//! Implements the hardware Round-Robin CTA scheduler and the paper's
+//! Priority-SM scheduler (§III.C Fig. 7): PSM packs `optTLP` CTAs onto the
+//! first SM, then the second, using only `optSM` SMs so the rest can be
+//! power-gated (§IV.C.2).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::arch::GpuArch;
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::metrics::{compute_efficiency, utilization};
+use crate::occupancy::Occupancy;
+use crate::sim::trace::InstrCounts;
+use crate::sim::{KernelDesc, SimCache};
+
+/// CTA dispatch policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Hardware behaviour: CTAs spread round-robin over all SMs, each SM
+    /// filled up to the occupancy limit; all SMs stay powered.
+    RoundRobin,
+    /// Priority-SM: pack `tlp` CTAs per SM onto at most `sms` SMs; unused
+    /// SMs are power-gated when `power_gate` is set.
+    PrioritySm {
+        /// SMs to use (`optSM`); clamped to the architecture's SM count.
+        sms: usize,
+        /// CTAs per SM (`optTLP`); clamped to the occupancy limit.
+        tlp: usize,
+        /// Power-gate the unused SMs.
+        power_gate: bool,
+    },
+}
+
+/// Result of simulating one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// End-to-end cycles.
+    pub cycles: u64,
+    /// End-to-end seconds.
+    pub seconds: f64,
+    /// SMs that executed at least one CTA.
+    pub sms_used: usize,
+    /// Resident-CTA cap per SM that was in force.
+    pub tlp: usize,
+    /// Chip-wide `maxBlocks` for this kernel (occupancy x all SMs).
+    pub max_blocks: usize,
+    /// Warp-instruction counts of the whole launch.
+    pub instr: InstrCounts,
+    /// Energy decomposition over the launch window.
+    pub energy: EnergyBreakdown,
+    /// Useful FLOPs of the launch.
+    pub flops: u64,
+}
+
+impl KernelResult {
+    /// Paper eq. 3 `cpE` for this launch.
+    pub fn cpe(&self, arch: &GpuArch) -> f64 {
+        compute_efficiency(arch, self.flops, self.seconds)
+    }
+
+    /// Paper eq. 6 `Util` for this launch (grid vs the chip-wide
+    /// occupancy-limited `maxBlocks`).
+    pub fn util(&self, grid: usize) -> f64 {
+        utilization(grid, self.max_blocks)
+    }
+
+    /// Achieved throughput in FLOP/s.
+    pub fn throughput(&self) -> f64 {
+        self.flops as f64 / self.seconds
+    }
+}
+
+/// Simulates one kernel launch under `policy`.
+///
+/// # Panics
+///
+/// Panics if the kernel has an empty grid or zero-sized blocks.
+pub fn simulate_kernel(
+    arch: &GpuArch,
+    kernel: &KernelDesc,
+    policy: DispatchPolicy,
+    cache: &mut SimCache,
+) -> KernelResult {
+    assert!(kernel.grid > 0, "empty grid");
+    let occ = Occupancy::of(arch, &kernel.resources);
+    let occ_tlp = occ.ctas_per_sm().max(1);
+    let (sms, tlp, gated) = match policy {
+        DispatchPolicy::RoundRobin => (arch.n_sms, occ_tlp, 0),
+        DispatchPolicy::PrioritySm {
+            sms,
+            tlp,
+            power_gate,
+        } => {
+            let sms = sms.clamp(1, arch.n_sms);
+            let tlp = tlp.clamp(1, occ_tlp);
+            let gated = if power_gate { arch.n_sms - sms } else { 0 };
+            (sms, tlp, gated)
+        }
+    };
+
+    // Per-SM resident counts and a finish-event heap.
+    let mut resident = vec![0usize; sms];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut remaining = kernel.grid;
+    let mut sms_touched = vec![false; sms];
+
+    // Initial fill. RR deals one CTA per SM in turn; PSM fills an SM to
+    // `tlp` before moving on (paper Fig. 7).
+    match policy {
+        DispatchPolicy::RoundRobin => {
+            'fill: loop {
+                let mut assigned = false;
+                for r in resident.iter_mut() {
+                    if remaining == 0 {
+                        break 'fill;
+                    }
+                    if *r < tlp {
+                        *r += 1;
+                        remaining -= 1;
+                        assigned = true;
+                    }
+                }
+                if !assigned {
+                    break;
+                }
+            }
+        }
+        DispatchPolicy::PrioritySm { .. } => {
+            for r in resident.iter_mut() {
+                while *r < tlp && remaining > 0 {
+                    *r += 1;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    // Launch the initial residents: every CTA on an SM gets the duration of
+    // a wave at that SM's resident count.
+    for sm in 0..sms {
+        if resident[sm] > 0 {
+            sms_touched[sm] = true;
+            let d = cache.wave_cycles(arch, kernel, resident[sm], sms);
+            for _ in 0..resident[sm] {
+                heap.push(Reverse((d, sm)));
+            }
+        }
+    }
+
+    let mut end = 0u64;
+    while let Some(Reverse((t, sm))) = heap.pop() {
+        end = end.max(t);
+        resident[sm] -= 1;
+        if remaining > 0 {
+            remaining -= 1;
+            resident[sm] += 1;
+            let d = cache.wave_cycles(arch, kernel, resident[sm], sms);
+            heap.push(Reverse((t + d, sm)));
+        }
+    }
+
+    let seconds = end as f64 / arch.freq_hz();
+    let per_warp = kernel.trace.warp_instr_counts();
+    let instr = per_warp.scaled((kernel.warps_per_cta() * kernel.grid) as u64);
+    let sms_used = sms_touched.iter().filter(|&&b| b).count();
+    let powered = arch.n_sms - gated;
+    let energy = EnergyModel.compute(arch, &instr, seconds, powered, gated);
+    KernelResult {
+        cycles: end,
+        seconds,
+        sms_used,
+        tlp,
+        max_blocks: occ.max_blocks(arch),
+        instr,
+        energy,
+        flops: kernel.flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::K20C;
+    use crate::occupancy::KernelResources;
+    use crate::sim::trace::{CtaTrace, Op};
+
+    fn kernel(grid: usize) -> KernelDesc {
+        KernelDesc {
+            name: "t".into(),
+            grid,
+            resources: KernelResources {
+                block_size: 128,
+                regs_per_thread: 64,
+                shmem_per_block: 8192,
+            },
+            trace: CtaTrace {
+                prologue: vec![(Op::Ialu, 8), (Op::Ldg, 4), (Op::WaitMem, 1)],
+                body: vec![(Op::Ldg, 4), (Op::Lds, 8), (Op::Ffma, 64), (Op::Bar, 1)],
+                body_iters: 32,
+                epilogue: vec![(Op::Stg, 8)],
+            },
+            // Useful FLOPs consistent with the trace: 32 iters x 64 FFMA x
+            // 4 warps x 32 lanes x 2 FLOPs per CTA.
+            flops: 2 * 32 * 64 * 4 * 32 * grid as u64,
+        }
+    }
+
+    #[test]
+    fn all_ctas_complete() {
+        let k = kernel(50);
+        let mut cache = SimCache::new();
+        let r = simulate_kernel(&K20C, &k, DispatchPolicy::RoundRobin, &mut cache);
+        assert!(r.cycles > 0);
+        assert!(r.seconds > 0.0);
+        // Instruction counts cover the full grid.
+        let per_warp = k.trace.warp_instr_counts();
+        assert_eq!(r.instr.ffma, per_warp.ffma * 4 * 50);
+    }
+
+    #[test]
+    fn psm_uses_fewer_sms_for_small_grids() {
+        // 4 CTAs, PSM tlp 2 -> 2 SMs; RR spreads to 4 SMs.
+        let k = kernel(4);
+        let mut c1 = SimCache::new();
+        let rr = simulate_kernel(&K20C, &k, DispatchPolicy::RoundRobin, &mut c1);
+        let mut c2 = SimCache::new();
+        let psm = simulate_kernel(
+            &K20C,
+            &k,
+            DispatchPolicy::PrioritySm {
+                sms: 2,
+                tlp: 2,
+                power_gate: true,
+            },
+            &mut c2,
+        );
+        assert_eq!(rr.sms_used, 4);
+        assert_eq!(psm.sms_used, 2);
+        // Fig. 7's point: nearly the same performance with half the SMs.
+        assert!(psm.seconds < rr.seconds * 2.5);
+        // And lower leakage energy thanks to gating.
+        assert!(psm.energy.leakage_j < rr.energy.leakage_j);
+    }
+
+    #[test]
+    fn bigger_grid_takes_longer() {
+        let mut c1 = SimCache::new();
+        let mut c2 = SimCache::new();
+        let small = simulate_kernel(&K20C, &kernel(10), DispatchPolicy::RoundRobin, &mut c1);
+        let big = simulate_kernel(&K20C, &kernel(200), DispatchPolicy::RoundRobin, &mut c2);
+        assert!(big.cycles > small.cycles);
+    }
+
+    #[test]
+    fn rr_on_full_grid_uses_all_sms() {
+        let mut cache = SimCache::new();
+        let r = simulate_kernel(&K20C, &kernel(100), DispatchPolicy::RoundRobin, &mut cache);
+        assert_eq!(r.sms_used, K20C.n_sms);
+    }
+
+    #[test]
+    fn util_matches_eq6() {
+        let k = kernel(20);
+        let mut cache = SimCache::new();
+        let r = simulate_kernel(&K20C, &k, DispatchPolicy::RoundRobin, &mut cache);
+        let util = r.util(k.grid);
+        assert!(util > 0.0 && util <= 1.0);
+    }
+
+    #[test]
+    fn cpe_below_one() {
+        let mut cache = SimCache::new();
+        let r = simulate_kernel(&K20C, &kernel(100), DispatchPolicy::RoundRobin, &mut cache);
+        let cpe = r.cpe(&K20C);
+        assert!(cpe > 0.0 && cpe < 1.0, "cpe {cpe}");
+    }
+}

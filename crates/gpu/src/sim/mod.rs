@@ -1,0 +1,169 @@
+//! The two-level kernel simulator (see crate docs).
+
+pub mod dispatch;
+pub mod multitask;
+pub mod trace;
+pub mod warp;
+
+use std::collections::HashMap;
+
+use crate::arch::GpuArch;
+use crate::occupancy::KernelResources;
+use trace::CtaTrace;
+
+/// Number of main-loop iterations simulated in detail before extrapolating
+/// to the full trip count.
+const SAMPLE_ITERS: u32 = 6;
+
+/// Everything the simulator needs to execute one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesc {
+    /// Kernel name for diagnostics.
+    pub name: String,
+    /// Number of CTAs (paper eq. 4's `GridSize`).
+    pub grid: usize,
+    /// Static per-CTA resources.
+    pub resources: KernelResources,
+    /// Per-warp instruction trace template.
+    pub trace: CtaTrace,
+    /// Useful floating-point work of the whole launch, for `cpE`.
+    pub flops: u64,
+}
+
+impl KernelDesc {
+    /// Warps per CTA.
+    pub fn warps_per_cta(&self) -> usize {
+        self.resources.block_size.div_ceil(32)
+    }
+}
+
+/// Memoization of single-SM wave simulations, keyed by
+/// `(resident CTAs, active SMs)`.
+#[derive(Debug, Default)]
+pub struct SimCache {
+    waves: HashMap<(usize, usize), u64>,
+}
+
+impl SimCache {
+    /// Creates an empty cache. One cache is valid for a single
+    /// `(arch, kernel)` pair — create a fresh one per kernel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cycles for `tlp` CTAs of `kernel` to run to completion on one SM
+    /// with `active_sms` SMs sharing DRAM bandwidth.
+    ///
+    /// Uses detailed simulation of a sampled number of main-loop iterations
+    /// and linear extrapolation over the remaining trip count (steady-state
+    /// CPI sampling).
+    pub fn wave_cycles(
+        &mut self,
+        arch: &GpuArch,
+        kernel: &KernelDesc,
+        tlp: usize,
+        active_sms: usize,
+    ) -> u64 {
+        let key = (tlp, active_sms);
+        if let Some(&c) = self.waves.get(&key) {
+            return c;
+        }
+        let cycles = simulate_wave(arch, kernel, tlp, active_sms);
+        self.waves.insert(key, cycles);
+        cycles
+    }
+}
+
+fn simulate_wave(arch: &GpuArch, kernel: &KernelDesc, tlp: usize, active_sms: usize) -> u64 {
+    let warps = kernel.warps_per_cta();
+    let iters = kernel.trace.body_iters;
+    if iters <= 2 * SAMPLE_ITERS {
+        // Short loop: simulate exactly.
+        let ops = kernel.trace.sampled(iters);
+        return warp::simulate_sm(arch, &ops, warps, tlp, active_sms);
+    }
+    // Two detailed runs give the steady-state cycles-per-iteration.
+    let c1 = warp::simulate_sm(arch, &kernel.trace.sampled(SAMPLE_ITERS), warps, tlp, active_sms);
+    let c2 = warp::simulate_sm(
+        arch,
+        &kernel.trace.sampled(2 * SAMPLE_ITERS),
+        warps,
+        tlp,
+        active_sms,
+    );
+    let per_iter = (c2.saturating_sub(c1)) as f64 / SAMPLE_ITERS as f64;
+    c2 + (per_iter * (iters - 2 * SAMPLE_ITERS) as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::trace::{CtaTrace, Op};
+    use super::*;
+    use crate::arch::K20C;
+
+    fn toy_kernel(iters: u32) -> KernelDesc {
+        KernelDesc {
+            name: "toy".into(),
+            grid: 8,
+            resources: KernelResources {
+                block_size: 64,
+                regs_per_thread: 32,
+                shmem_per_block: 1024,
+            },
+            trace: CtaTrace {
+                prologue: vec![(Op::Ialu, 4), (Op::Ldg, 2), (Op::WaitMem, 1)],
+                body: vec![(Op::Lds, 4), (Op::Ffma, 32), (Op::Bar, 1)],
+                body_iters: iters,
+                epilogue: vec![(Op::Stg, 2)],
+            },
+            flops: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn wave_cycles_scale_with_iters() {
+        let k_short = toy_kernel(8);
+        let k_long = toy_kernel(80);
+        let mut c1 = SimCache::new();
+        let mut c2 = SimCache::new();
+        let short = c1.wave_cycles(&K20C, &k_short, 2, 13);
+        let long = c2.wave_cycles(&K20C, &k_long, 2, 13);
+        // 10x the iterations: well over 3x the cycles even after the fixed
+        // prologue/memory-latency overhead of the short run.
+        assert!(long > 3 * short, "long {long} vs short {short}");
+    }
+
+    #[test]
+    fn extrapolation_close_to_exact() {
+        // For a kernel whose trip count is just above the sampling
+        // threshold, extrapolation must agree with exact simulation well.
+        let k = toy_kernel(13);
+        let exact = warp::simulate_sm(&K20C, &k.trace.sampled(13), k.warps_per_cta(), 2, 13);
+        let mut cache = SimCache::new();
+        let est = cache.wave_cycles(&K20C, &k, 2, 13);
+        let err = (est as f64 - exact as f64).abs() / exact as f64;
+        assert!(err < 0.15, "extrapolation error {err:.3}: {est} vs {exact}");
+    }
+
+    #[test]
+    fn cache_is_hit() {
+        let k = toy_kernel(40);
+        let mut cache = SimCache::new();
+        let a = cache.wave_cycles(&K20C, &k, 3, 13);
+        let b = cache.wave_cycles(&K20C, &k, 3, 13);
+        assert_eq!(a, b);
+        assert_eq!(cache.waves.len(), 1);
+    }
+
+    #[test]
+    fn more_tlp_takes_longer_per_wave_but_not_linearly() {
+        // Running 4 CTAs together must take less than 4x the time of 1 CTA
+        // (latency hiding) but at least as long as 1 CTA.
+        let k = toy_kernel(40);
+        let mut cache = SimCache::new();
+        let one = cache.wave_cycles(&K20C, &k, 1, 13);
+        let four = cache.wave_cycles(&K20C, &k, 4, 13);
+        assert!(four >= one);
+        assert!(four < 4 * one, "no latency hiding: {four} vs 4x{one}");
+    }
+}

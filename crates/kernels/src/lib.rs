@@ -1,0 +1,28 @@
+//! The SGEMM kernel model and the deep-learning-library policies.
+//!
+//! A convolutional layer is an SGEMM `F_m x D_m` (paper §II.A). This crate
+//! models how such a kernel is built and tuned:
+//!
+//! * [`sgemm`] — the Volkov-style tiled SGEMM: tile catalogue, GridSize
+//!   (eq. 4), effective-computation ratio `rEC` (eq. 9), invocation count
+//!   (eq. 8), and instruction-trace generation for the `pcnn-gpu`
+//!   simulator.
+//! * [`spill`] — the register-spilling model of §IV.B.2 (spill to spare
+//!   shared memory first, then to global; cost per eq. 7).
+//! * [`tuning`] — coordinated fine-tuning of sub-matrix size and
+//!   registers-per-thread: TLP-stair pruning (Fig. 9) and the `S_kernel`
+//!   selection metric (eq. 10).
+//! * [`library`] — kernel-selection and memory policies of the three
+//!   characterized libraries (cuBLAS, cuDNN, Nervana; Table IV), including
+//!   Nervana's minimum batch of 32 and each library's workspace behaviour
+//!   that produces Table III's out-of-memory cells.
+
+pub mod library;
+pub mod sgemm;
+pub mod spill;
+pub mod tuning;
+
+pub use library::Library;
+pub use sgemm::{SgemmConfig, SgemmShape, SgemmVariant};
+pub use spill::SpillPlan;
+pub use tuning::{tune_kernel, tune_kernel_candidates, TunedKernel};

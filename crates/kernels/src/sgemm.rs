@@ -1,0 +1,393 @@
+//! The tiled SGEMM kernel model.
+
+use pcnn_gpu::occupancy::KernelResources;
+use pcnn_gpu::sim::trace::{CtaTrace, Op};
+use pcnn_gpu::sim::KernelDesc;
+use pcnn_gpu::GpuArch;
+use pcnn_nn::spec::ConvSpec;
+
+use crate::spill::SpillPlan;
+
+/// Shape of one SGEMM: result matrix `M x N`, reduction depth `K`.
+///
+/// For a convolutional layer, `M = N_f / groups`, `N = W_o H_o x batch`,
+/// `K = S_f^2 N_c / groups` (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SgemmShape {
+    /// Result-matrix rows.
+    pub m: usize,
+    /// Result-matrix columns.
+    pub n: usize,
+    /// Reduction depth.
+    pub k: usize,
+}
+
+impl SgemmShape {
+    /// The per-group GEMM of a conv layer at a batch size.
+    pub fn of_conv(conv: &ConvSpec, batch: usize) -> Self {
+        let (m, n, k) = conv.gemm_shape(batch);
+        Self { m, n, k }
+    }
+
+    /// Useful FLOPs: `2 M N K`.
+    pub fn flops(&self) -> u64 {
+        2 * self.m as u64 * self.n as u64 * self.k as u64
+    }
+}
+
+/// A sub-matrix (tile) variant of the SGEMM kernel with its natural
+/// resource usage.
+///
+/// The catalogue reproduces the configurations the paper characterizes
+/// (Table IV, §IV.B.2): the common tiles 128x128, 128x64 and 128x32, plus
+/// the 64x64 (cuBLAS/cuDNN on Kepler) and 32x32 (cuDNN on the mobile GPU)
+/// variants. `tile_m`/`tile_n` follow the result-matrix convention
+/// `M x N`; the paper writes the TX1 cuBLAS tile as "128x64" with the
+/// 128 along `N` (its grid sizes only match with `m = 64, n = 128`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SgemmVariant {
+    /// Tile rows (along `M`).
+    pub tile_m: usize,
+    /// Tile columns (along `N`).
+    pub tile_n: usize,
+    /// Threads per CTA.
+    pub block_size: usize,
+    /// K-loop step per iteration.
+    pub k_step: usize,
+    /// Registers per thread of the untuned kernel (`curReg`).
+    pub natural_regs: usize,
+    /// Shared memory per CTA in bytes (double-buffered tiles + padding).
+    pub shmem_bytes: usize,
+}
+
+/// 128x128 tile, 256 threads (Fig. 9's kernel: `curReg` 127).
+pub const TILE_128X128: SgemmVariant = SgemmVariant {
+    tile_m: 128,
+    tile_n: 128,
+    block_size: 256,
+    k_step: 8,
+    natural_regs: 127,
+    shmem_bytes: 2 * (128 + 128) * 8 * 4 + 256,
+};
+
+/// 64x128 tile, 128 threads (cuBLAS on Maxwell; Table IV "128x64" on TX1:
+/// 120 registers, 12 544 B shared).
+pub const TILE_64X128: SgemmVariant = SgemmVariant {
+    tile_m: 64,
+    tile_n: 128,
+    block_size: 128,
+    k_step: 8,
+    natural_regs: 120,
+    shmem_bytes: 12544,
+};
+
+/// 32x128 tile, 128 threads (the "128x32" common size).
+pub const TILE_32X128: SgemmVariant = SgemmVariant {
+    tile_m: 32,
+    tile_n: 128,
+    block_size: 128,
+    k_step: 8,
+    natural_regs: 72,
+    shmem_bytes: 2 * (32 + 128) * 8 * 4 + 256,
+};
+
+/// 64x64 tile, 256 threads (cuBLAS/cuDNN on K20: 79 registers, 8 468 B).
+pub const TILE_64X64: SgemmVariant = SgemmVariant {
+    tile_m: 64,
+    tile_n: 64,
+    block_size: 256,
+    k_step: 8,
+    natural_regs: 79,
+    shmem_bytes: 8468,
+};
+
+/// 32x32 tile, 64 threads (cuDNN on TX1: 48 registers, 2 304 B, k-step 4).
+pub const TILE_32X32: SgemmVariant = SgemmVariant {
+    tile_m: 32,
+    tile_n: 32,
+    block_size: 64,
+    k_step: 4,
+    natural_regs: 48,
+    shmem_bytes: 2304,
+};
+
+/// 64x8 tile, 64 threads: the GEMV-style kernel every library falls back
+/// to for matrix-vector shapes (classifier layers at batch 1). Nearly all
+/// its DRAM traffic is the weight matrix, read once.
+pub const TILE_64X8: SgemmVariant = SgemmVariant {
+    tile_m: 64,
+    tile_n: 8,
+    block_size: 64,
+    k_step: 8,
+    natural_regs: 40,
+    shmem_bytes: 2 * (64 + 8) * 8 * 4 + 256,
+};
+
+/// Every tile variant, largest first.
+pub const ALL_TILES: [SgemmVariant; 6] = [
+    TILE_128X128,
+    TILE_64X128,
+    TILE_32X128,
+    TILE_64X64,
+    TILE_32X32,
+    TILE_64X8,
+];
+
+impl SgemmVariant {
+    /// Outputs computed per thread (`tile_m * tile_n / block_size`).
+    pub fn outputs_per_thread(&self) -> usize {
+        self.tile_m * self.tile_n / self.block_size
+    }
+
+    /// Micro-tile side pair `(tm, tn)` per thread: the most square
+    /// factorisation of `outputs_per_thread`.
+    pub fn micro_tile(&self) -> (usize, usize) {
+        let outputs = self.outputs_per_thread();
+        let mut tm = (outputs as f64).sqrt() as usize;
+        while tm > 1 && !outputs.is_multiple_of(tm) {
+            tm -= 1;
+        }
+        (tm.max(1), outputs / tm.max(1))
+    }
+}
+
+/// A fully-specified kernel: tile variant + (possibly reduced) register
+/// count + the spill plan that reduction implies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SgemmConfig {
+    /// Tile variant.
+    pub variant: SgemmVariant,
+    /// Registers per thread actually allocated (`<= variant.natural_regs`).
+    pub regs_per_thread: usize,
+    /// Spill plan implied by the register reduction.
+    pub spill: SpillPlan,
+}
+
+impl SgemmConfig {
+    /// The untuned kernel for a variant (no spilling).
+    pub fn natural(variant: SgemmVariant) -> Self {
+        Self {
+            variant,
+            regs_per_thread: variant.natural_regs,
+            spill: SpillPlan::none(),
+        }
+    }
+
+    /// Static resources for the occupancy calculator. Shared memory grows
+    /// by the spill-to-shared slots.
+    pub fn resources(&self) -> KernelResources {
+        KernelResources {
+            block_size: self.variant.block_size,
+            regs_per_thread: self.regs_per_thread,
+            shmem_per_block: self.variant.shmem_bytes
+                + self.spill.to_shared * self.variant.block_size * 4,
+        }
+    }
+}
+
+/// Paper eq. 4: `GridSize = ceil(M/m) * ceil(N/n)`.
+pub fn grid_size(shape: SgemmShape, variant: &SgemmVariant) -> usize {
+    shape.m.div_ceil(variant.tile_m) * shape.n.div_ceil(variant.tile_n)
+}
+
+/// Paper eq. 9: ratio of effective to overall computation.
+pub fn effective_computation(shape: SgemmShape, variant: &SgemmVariant) -> f64 {
+    let padded = shape.m.div_ceil(variant.tile_m)
+        * shape.n.div_ceil(variant.tile_n)
+        * variant.tile_m
+        * variant.tile_n;
+    (shape.m * shape.n) as f64 / padded as f64
+}
+
+/// Paper eq. 8: invocation waves needed at a given TLP.
+///
+/// # Panics
+///
+/// Panics if `tlp == 0` or `n_sms == 0`.
+pub fn n_invocations(grid: usize, tlp: usize, n_sms: usize) -> usize {
+    assert!(tlp > 0 && n_sms > 0, "tlp and n_sms must be positive");
+    grid.div_ceil(tlp * n_sms)
+}
+
+/// Builds the complete per-warp instruction trace and [`KernelDesc`] for an
+/// SGEMM of `shape` under `config` (one grouped-conv group; launch one
+/// kernel per group).
+///
+/// The trace is a double-buffered main loop: prefetch the next K-slice from
+/// global memory, compute on the current slice from shared memory, fence,
+/// commit the prefetch to shared memory, barrier. Spilled registers add
+/// shared/global traffic per iteration (paper eq. 7's inserted
+/// instructions).
+pub fn build_kernel(shape: SgemmShape, config: &SgemmConfig, name: &str) -> KernelDesc {
+    let v = &config.variant;
+    let per_thread_loads = (v.tile_m + v.tile_n) * v.k_step / v.block_size;
+    let per_thread_loads = per_thread_loads.max(1);
+    let (tm, tn) = v.micro_tile();
+    let lds_per_iter = (tm + tn) * v.k_step;
+    let ffma_per_iter = v.outputs_per_thread() * v.k_step;
+    let spill = &config.spill;
+
+    // Prefetch next tiles (fire-and-forget), then compute on the current
+    // shared-memory tiles.
+    let mut body: Vec<(Op, u32)> = vec![
+        (Op::Ldg, per_thread_loads as u32),
+        (Op::Ialu, (per_thread_loads / 2 + 2) as u32),
+        (Op::Lds, lds_per_iter as u32),
+        (Op::Ffma, ffma_per_iter as u32),
+    ];
+    // Register-spill traffic: each spilled register is stored and reloaded
+    // once per iteration (plus address arithmetic).
+    if spill.to_shared > 0 {
+        body.push((Op::Sts, spill.to_shared as u32));
+        body.push((Op::Lds, spill.to_shared as u32));
+    }
+    if spill.to_global > 0 {
+        body.push((Op::Stg, spill.to_global as u32));
+        body.push((Op::Ldg, spill.to_global as u32));
+    }
+    if spill.total() > 0 {
+        body.push((Op::Ialu, spill.total() as u32));
+    }
+    // Commit the prefetched tiles.
+    body.push((Op::WaitMem, 1));
+    body.push((Op::Sts, per_thread_loads as u32));
+    body.push((Op::Bar, 1));
+
+    let prologue = vec![
+        (Op::Ialu, 24),
+        (Op::Ldg, per_thread_loads as u32),
+        (Op::WaitMem, 1),
+        (Op::Sts, per_thread_loads as u32),
+        (Op::Bar, 1),
+    ];
+    let epilogue = vec![
+        (Op::Ialu, (v.outputs_per_thread() / 2 + 4) as u32),
+        (Op::Stg, v.outputs_per_thread() as u32),
+    ];
+
+    let body_iters = shape.k.div_ceil(v.k_step).max(1) as u32;
+    KernelDesc {
+        name: name.to_string(),
+        grid: grid_size(shape, v),
+        resources: config.resources(),
+        trace: CtaTrace {
+            prologue,
+            body,
+            body_iters,
+            epilogue,
+        },
+        flops: shape.flops(),
+    }
+}
+
+/// Builds the kernel for one group of a conv layer at a batch size; callers
+/// multiply time by `groups` (groups run back-to-back) or launch per group.
+pub fn build_conv_kernel(
+    _arch: &GpuArch,
+    conv: &ConvSpec,
+    batch: usize,
+    config: &SgemmConfig,
+) -> KernelDesc {
+    let shape = SgemmShape::of_conv(conv, batch);
+    build_kernel(shape, config, &conv.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table IV grid sizes, non-batching AlexNet.
+    #[test]
+    fn table4_grid_sizes() {
+        // CONV2: 128 x 729, cuBLAS tile m=64 n=128 -> 2 * 6 = 12.
+        let conv2 = SgemmShape { m: 128, n: 729, k: 1200 };
+        assert_eq!(grid_size(conv2, &TILE_64X128), 12);
+        // CONV5: 128 x 169 -> 2 * 2 = 4.
+        let conv5 = SgemmShape { m: 128, n: 169, k: 1728 };
+        assert_eq!(grid_size(conv5, &TILE_64X128), 4);
+        // cuDNN 32x32: CONV2 -> 4 * 23 = 92; CONV5 -> 4 * 6 = 24.
+        assert_eq!(grid_size(conv2, &TILE_32X32), 92);
+        assert_eq!(grid_size(conv5, &TILE_32X32), 24);
+        // K20 64x64: CONV2 -> 2 * 12 = 24; CONV5 -> 2 * 3 = 6.
+        assert_eq!(grid_size(conv2, &TILE_64X64), 24);
+        assert_eq!(grid_size(conv5, &TILE_64X64), 6);
+    }
+
+    #[test]
+    fn rec_exact_and_padded() {
+        let exact = SgemmShape { m: 128, n: 128, k: 64 };
+        assert_eq!(effective_computation(exact, &TILE_128X128), 1.0);
+        let padded = SgemmShape { m: 129, n: 128, k: 64 };
+        assert!((effective_computation(padded, &TILE_128X128) - 129.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rec_in_unit_interval() {
+        for &v in &ALL_TILES {
+            for m in [1, 31, 128, 729] {
+                for n in [1, 169, 128, 3025] {
+                    let r = effective_computation(SgemmShape { m, n, k: 100 }, &v);
+                    assert!(r > 0.0 && r <= 1.0, "rEC({m},{n}) = {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn n_invocations_matches_eq8() {
+        // GridSize 40, TLP 3, 10 SMs -> ceil(40/30) = 2.
+        assert_eq!(n_invocations(40, 3, 10), 2);
+        assert_eq!(n_invocations(30, 3, 10), 1);
+        assert_eq!(n_invocations(31, 3, 10), 2);
+    }
+
+    #[test]
+    fn micro_tiles_are_exact_factorizations() {
+        for &v in &ALL_TILES {
+            let (tm, tn) = v.micro_tile();
+            assert_eq!(tm * tn, v.outputs_per_thread(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn trace_ffma_covers_tile_work() {
+        // Whole-CTA FFMA thread-ops across the k-loop must equal
+        // tile_m * tile_n * K (one MAC per output element per k).
+        let shape = SgemmShape { m: 64, n: 128, k: 1728 };
+        let cfg = SgemmConfig::natural(TILE_64X128);
+        let k = build_kernel(shape, &cfg, "t");
+        let per_warp = k.trace.warp_instr_counts();
+        let warps = k.warps_per_cta() as u64;
+        let ffma_thread_ops = per_warp.ffma * warps * 32;
+        let expected = (64 * 128 * 1728 / TILE_64X128.k_step) as u64 * TILE_64X128.k_step as u64;
+        assert_eq!(ffma_thread_ops, expected);
+    }
+
+    #[test]
+    fn spilled_kernel_adds_memory_ops() {
+        let shape = SgemmShape { m: 128, n: 729, k: 1200 };
+        let natural = build_kernel(shape, &SgemmConfig::natural(TILE_64X128), "n");
+        let spilled_cfg = SgemmConfig {
+            variant: TILE_64X128,
+            regs_per_thread: 96,
+            spill: SpillPlan {
+                to_shared: 16,
+                to_global: 8,
+            },
+        };
+        let spilled = build_kernel(shape, &spilled_cfg, "s");
+        let a = natural.trace.warp_instr_counts();
+        let b = spilled.trace.warp_instr_counts();
+        assert!(b.lds > a.lds);
+        assert!(b.stg > a.stg);
+        assert_eq!(b.ffma, a.ffma);
+    }
+
+    #[test]
+    fn grid_scales_with_batch() {
+        let conv = ConvSpec::new("c", 128, 3, 64, 13, 13, 1, 1, 1);
+        let g1 = grid_size(SgemmShape::of_conv(&conv, 1), &TILE_64X64);
+        let g8 = grid_size(SgemmShape::of_conv(&conv, 8), &TILE_64X64);
+        assert!(g8 > 4 * g1);
+    }
+}

@@ -1,0 +1,140 @@
+//! The register-spilling model of §IV.B.2 (paper eq. 7).
+//!
+//! Reducing registers-per-thread raises TLP (Fig. 9) but forces spilled
+//! values into memory. P-CNN spills to *spare shared memory* first (faster,
+//! and only up to the amount that does not reduce TLP), then to global
+//! memory.
+
+use pcnn_gpu::GpuArch;
+
+use crate::sgemm::SgemmVariant;
+
+/// Where the spilled registers went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpillPlan {
+    /// Registers per thread spilled to spare shared memory.
+    pub to_shared: usize,
+    /// Registers per thread spilled to global (local) memory.
+    pub to_global: usize,
+}
+
+impl SpillPlan {
+    /// No spilling.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Total spilled registers per thread.
+    pub fn total(&self) -> usize {
+        self.to_shared + self.to_global
+    }
+
+    /// Plans the spill for reducing `variant`'s registers to
+    /// `target_regs`, with `tlp` CTAs intended to be resident per SM.
+    ///
+    /// Spare shared memory per CTA is what remains of the SM's shared
+    /// memory after `tlp` CTAs' natural tile buffers — using it for spills
+    /// keeps TLP unchanged (§IV.B.2: "we only utilize the spare shared
+    /// memory for spilling so that the TLP is not decreased").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tlp == 0`.
+    pub fn plan(arch: &GpuArch, variant: &SgemmVariant, target_regs: usize, tlp: usize) -> Self {
+        assert!(tlp > 0, "tlp must be positive");
+        let spilled = variant.natural_regs.saturating_sub(target_regs);
+        if spilled == 0 {
+            return Self::none();
+        }
+        let used = variant.shmem_bytes * tlp;
+        let spare_bytes = arch.shmem_per_sm.saturating_sub(used) / tlp;
+        // Each spilled register needs 4 bytes per thread.
+        let shared_capacity = spare_bytes / (4 * variant.block_size);
+        let to_shared = spilled.min(shared_capacity);
+        Self {
+            to_shared,
+            to_global: spilled - to_shared,
+        }
+    }
+
+    /// Paper eq. 7: the per-iteration overhead of the inserted spill
+    /// instructions, in cycles:
+    /// `N_global x Cost_global + N_shm x Cost_shm + N_others`.
+    ///
+    /// Each spilled register costs one store and one reload per loop
+    /// iteration plus one address op (`N_others = total()`).
+    pub fn cost(&self, arch: &GpuArch) -> f64 {
+        let cost_global = arch.timing.global_latency as f64;
+        // A shared access costs its issue stall; the latency itself
+        // overlaps under TLP, so charge the pipeline-visible portion.
+        let cost_shm = (arch.timing.lds_stall * 8) as f64;
+        2.0 * self.to_global as f64 * cost_global
+            + 2.0 * self.to_shared as f64 * cost_shm
+            + self.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sgemm::{TILE_128X128, TILE_64X128};
+    use pcnn_gpu::arch::K20C;
+
+    #[test]
+    fn no_reduction_no_spill() {
+        let p = SpillPlan::plan(&K20C, &TILE_128X128, TILE_128X128.natural_regs, 2);
+        assert_eq!(p, SpillPlan::none());
+        assert_eq!(p.cost(&K20C), 0.0);
+    }
+
+    #[test]
+    fn small_reduction_fits_in_shared() {
+        // 128x128 uses 16640 B shared; at tlp=2, K20 has 48K - 33280 =
+        // 15872 B spare -> 7936 B per CTA -> 7 registers per thread fit.
+        let p = SpillPlan::plan(&K20C, &TILE_128X128, TILE_128X128.natural_regs - 6, 2);
+        assert_eq!(p.to_shared, 6);
+        assert_eq!(p.to_global, 0);
+    }
+
+    #[test]
+    fn large_reduction_overflows_to_global() {
+        let p = SpillPlan::plan(&K20C, &TILE_128X128, 64, 2);
+        assert_eq!(p.total(), TILE_128X128.natural_regs - 64);
+        assert!(p.to_global > 0, "{p:?}");
+        assert!(p.to_shared > 0, "{p:?}");
+    }
+
+    #[test]
+    fn higher_tlp_leaves_less_spare_shared() {
+        let lo = SpillPlan::plan(&K20C, &TILE_64X128, 80, 1);
+        let hi = SpillPlan::plan(&K20C, &TILE_64X128, 80, 3);
+        assert!(hi.to_shared <= lo.to_shared);
+        assert_eq!(lo.total(), hi.total());
+    }
+
+    #[test]
+    fn global_spills_cost_more_than_shared() {
+        let shared_only = SpillPlan {
+            to_shared: 4,
+            to_global: 0,
+        };
+        let global_only = SpillPlan {
+            to_shared: 0,
+            to_global: 4,
+        };
+        assert!(global_only.cost(&K20C) > 5.0 * shared_only.cost(&K20C));
+    }
+
+    #[test]
+    fn cost_is_monotone_in_spills() {
+        let a = SpillPlan {
+            to_shared: 2,
+            to_global: 1,
+        };
+        let b = SpillPlan {
+            to_shared: 4,
+            to_global: 2,
+        };
+        assert!(b.cost(&K20C) > a.cost(&K20C));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the SGEMM kernel model's invariants.
+
+use pcnn_gpu::arch::{GpuArch, GTX_970M, JETSON_TX1, K20C};
+use pcnn_kernels::sgemm::{
+    build_kernel, effective_computation, grid_size, n_invocations, SgemmConfig, SgemmShape,
+    ALL_TILES,
+};
+use pcnn_kernels::tuning::{tlp_stairs, tune_kernel};
+use pcnn_kernels::{Library, SpillPlan};
+use proptest::prelude::*;
+
+fn arch_strategy() -> impl Strategy<Value = &'static GpuArch> {
+    prop_oneof![Just(&K20C), Just(&GTX_970M), Just(&JETSON_TX1)]
+}
+
+fn shape_strategy() -> impl Strategy<Value = SgemmShape> {
+    (1usize..600, 1usize..4000, 8usize..4000).prop_map(|(m, n, k)| SgemmShape { m, n, k })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The grid covers the result matrix: grid x tile area >= M x N, and
+    /// removing one CTA would leave it uncovered.
+    #[test]
+    fn grid_covers_result_matrix(shape in shape_strategy()) {
+        for v in &ALL_TILES {
+            let g = grid_size(shape, v);
+            prop_assert!(g >= 1);
+            prop_assert!(g * v.tile_m * v.tile_n >= shape.m * shape.n);
+            // Tight along each axis.
+            prop_assert!((shape.m.div_ceil(v.tile_m) - 1) * v.tile_m < shape.m);
+            prop_assert!((shape.n.div_ceil(v.tile_n) - 1) * v.tile_n < shape.n);
+        }
+    }
+
+    /// rEC is exactly (useful work) / (grid work).
+    #[test]
+    fn rec_consistent_with_grid(shape in shape_strategy()) {
+        for v in &ALL_TILES {
+            let rec = effective_computation(shape, v);
+            let g = grid_size(shape, v);
+            let expected = (shape.m * shape.n) as f64 / (g * v.tile_m * v.tile_n) as f64;
+            prop_assert!((rec - expected).abs() < 1e-12);
+            prop_assert!(rec > 0.0 && rec <= 1.0);
+        }
+    }
+
+    /// More TLP or more SMs never increases the invocation count.
+    #[test]
+    fn invocations_antitone(grid in 1usize..2000, tlp in 1usize..16, sms in 1usize..24) {
+        let base = n_invocations(grid, tlp, sms);
+        prop_assert!(n_invocations(grid, tlp + 1, sms) <= base);
+        prop_assert!(n_invocations(grid, tlp, sms + 1) <= base);
+        prop_assert!(base >= 1);
+    }
+
+    /// The spill plan conserves the register deficit and prefers shared.
+    #[test]
+    fn spill_conserves_and_prefers_shared(
+        arch in arch_strategy(),
+        target in 16usize..128,
+        tlp in 1usize..8,
+    ) {
+        for v in &ALL_TILES {
+            let plan = SpillPlan::plan(arch, v, target, tlp);
+            let expected = v.natural_regs.saturating_sub(target);
+            prop_assert_eq!(plan.total(), expected);
+            if plan.to_global > 0 {
+                // Global only used once shared capacity is exhausted: with
+                // one more unit of spare shared it would shrink.
+                prop_assert!(plan.to_shared <= expected);
+            }
+        }
+    }
+
+    /// The generated trace's FFMA work covers the padded tile exactly:
+    /// thread-FLOPs = 2 x grid x tile_m x tile_n x K (rounded up to the
+    /// k-step).
+    #[test]
+    fn trace_work_matches_tile_math(shape in shape_strategy()) {
+        for v in &ALL_TILES {
+            let k = build_kernel(shape, &SgemmConfig::natural(*v), "prop");
+            let per_warp = k.trace.warp_instr_counts();
+            let thread_macs = per_warp.ffma * k.warps_per_cta() as u64 * 32;
+            let k_padded = shape.k.div_ceil(v.k_step).max(1) * v.k_step;
+            prop_assert_eq!(
+                thread_macs,
+                (v.tile_m * v.tile_n * k_padded) as u64,
+                "tile {}x{}", v.tile_m, v.tile_n
+            );
+        }
+    }
+
+    /// Tuned kernels respect occupancy and produce consistent metadata.
+    #[test]
+    fn tuned_kernel_is_consistent(arch in arch_strategy(), shape in shape_strategy()) {
+        let t = tune_kernel(arch, shape);
+        prop_assert!(t.opt_tlp >= 1);
+        prop_assert_eq!(t.grid, grid_size(shape, &t.config.variant));
+        prop_assert!((t.rec - effective_computation(shape, &t.config.variant)).abs() < 1e-12);
+        prop_assert!(t.config.regs_per_thread <= t.config.variant.natural_regs);
+        let occ = pcnn_gpu::occupancy::Occupancy::of(arch, &t.config.resources());
+        prop_assert!(t.opt_tlp <= occ.ctas_per_sm().max(1));
+    }
+
+    /// The TLP staircase is strictly monotone and bounded.
+    #[test]
+    fn stairs_monotone(arch in arch_strategy()) {
+        for v in &ALL_TILES {
+            let stairs = tlp_stairs(arch, v);
+            prop_assert!(!stairs.is_empty());
+            for w in stairs.windows(2) {
+                prop_assert!(w[1].regs < w[0].regs);
+                prop_assert!(w[1].tlp > w[0].tlp);
+            }
+            prop_assert!(stairs[0].regs == v.natural_regs);
+        }
+    }
+
+    /// Library batch legalisation is idempotent and minimal.
+    #[test]
+    fn legal_batch_properties(batch in 1usize..300) {
+        for lib in Library::all() {
+            let legal = lib.legal_batch(batch);
+            prop_assert!(legal >= batch);
+            prop_assert_eq!(legal % lib.min_batch(), 0);
+            prop_assert_eq!(lib.legal_batch(legal), legal);
+            prop_assert!(legal - batch < lib.min_batch());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Network-uncertainty measurement (paper §II.B.4, eq. 2).
+//!
+//! During run-time there is no labelled data, so P-CNN uses the entropy of
+//! the classifier's output distribution, `H(Y) = -Σ p_i ln p_i`, as an
+//! unsupervised proxy for accuracy: higher entropy means a more confused
+//! network (Table I shows entropy decreasing as accuracy increases).
+
+use pcnn_tensor::Tensor;
+
+/// Numerically-stable softmax of one logit row.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    assert!(!logits.is_empty(), "softmax of empty slice");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Discrete entropy `H(p) = -Σ p_i ln p_i` in nats (paper eq. 2).
+///
+/// Zero-probability entries contribute zero, matching the `p ln p -> 0`
+/// limit.
+pub fn entropy(probs: &[f32]) -> f64 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -(p as f64) * (p as f64).ln())
+        .sum()
+}
+
+/// Entropy of a softmaxed logit row.
+pub fn entropy_of_logits(logits: &[f32]) -> f64 {
+    entropy(&softmax(logits))
+}
+
+/// Mean output entropy over a batch of logits `[N, classes]` — the
+/// `CNN_entropy` that drives accuracy tuning and calibration.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D or has an empty batch.
+pub fn mean_entropy(logits: &Tensor) -> f64 {
+    assert_eq!(logits.ndim(), 2, "mean_entropy expects [N, classes]");
+    let n = logits.shape()[0];
+    let c = logits.shape()[1];
+    assert!(n > 0, "empty batch");
+    (0..n)
+        .map(|i| entropy_of_logits(&logits.data()[i * c..(i + 1) * c]))
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Top-1 predictions for a batch of logits `[N, classes]`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D.
+pub fn predictions(logits: &Tensor) -> Vec<usize> {
+    assert_eq!(logits.ndim(), 2, "predictions expects [N, classes]");
+    let c = logits.shape()[1];
+    logits
+        .data()
+        .chunks(c)
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
+                .map(|(i, _)| i)
+                .expect("empty class row")
+        })
+        .collect()
+}
+
+/// Top-1 accuracy of logits against labels.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or the batch is empty.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let preds = predictions(logits);
+    assert_eq!(preds.len(), labels.len(), "label count mismatch");
+    assert!(!labels.is_empty(), "empty batch");
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_ln_k() {
+        let h = entropy(&[0.25; 4]);
+        assert!((h - 4.0f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_of_onehot_is_zero() {
+        assert_eq!(entropy(&[0.0, 1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn paper_example_p1_more_uncertain_than_p2() {
+        // §II.B.4: H(0.4, 0.4, 0.2) > H(0.7, 0.2, 0.1).
+        assert!(entropy(&[0.4, 0.4, 0.2]) > entropy(&[0.7, 0.2, 0.1]));
+    }
+
+    #[test]
+    fn mean_entropy_averages_rows() {
+        // Row 0 uniform over 2 (H = ln 2), row 1 one-hot-ish (H ~ 0).
+        let t = Tensor::from_vec(vec![2, 2], vec![0.0, 0.0, 100.0, -100.0]).unwrap();
+        let h = mean_entropy(&t);
+        assert!((h - 2.0f64.ln() / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let t = Tensor::from_vec(vec![3, 2], vec![1., 0., 0., 1., 1., 0.]).unwrap();
+        assert_eq!(accuracy(&t, &[0, 1, 1]), 2.0 / 3.0);
+    }
+}

@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+use pcnn_tensor::ShapeError;
+
+/// Errors produced by network construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor had an unexpected shape for the layer it was fed to.
+    Shape {
+        /// Human-readable location, e.g. the layer name.
+        context: String,
+        /// Expected shape description.
+        expected: String,
+        /// Actual shape encountered.
+        actual: Vec<usize>,
+    },
+    /// A perforation plan referenced a conv layer the network does not have,
+    /// or used a rate outside `[0, 1)`.
+    Perforation(String),
+    /// Underlying tensor error.
+    Tensor(ShapeError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Shape {
+                context,
+                expected,
+                actual,
+            } => write!(f, "{context}: expected {expected}, got shape {actual:?}"),
+            NnError::Perforation(msg) => write!(f, "invalid perforation plan: {msg}"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for NnError {
+    fn from(e: ShapeError) -> Self {
+        NnError::Tensor(e)
+    }
+}

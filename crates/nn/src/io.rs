@@ -1,0 +1,311 @@
+//! Saving and loading trained networks.
+//!
+//! A deployed P-CNN installation trains once and ships weights to many
+//! platforms (the paper's "deploy CNN trained models to all kinds of
+//! platforms without time-consuming retraining"), so the runnable networks
+//! support a small, self-describing binary format:
+//!
+//! ```text
+//! magic "PCNN" | version u32 | name | input shape [u32; 3] | layer count |
+//!   per layer: tag u8 + parameters (f32 data little-endian)
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use pcnn_tensor::{Conv2dGeometry, Tensor};
+
+use crate::layer::{Conv2d, Layer, Linear, MaxPool2d};
+use crate::network::Network;
+
+const MAGIC: &[u8; 4] = b"PCNN";
+const VERSION: u32 = 1;
+
+const TAG_CONV: u8 = 1;
+const TAG_RELU: u8 = 2;
+const TAG_POOL: u8 = 3;
+const TAG_FLATTEN: u8 = 4;
+const TAG_LINEAR: u8 = 5;
+const TAG_DROPOUT: u8 = 6;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn write_f32s(w: &mut impl Write, data: &[f32]) -> io::Result<()> {
+    write_u32(w, data.len() as u32)?;
+    for &x in data {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s(r: &mut impl Read) -> io::Result<Vec<f32>> {
+    let n = read_u32(r)? as usize;
+    // Guard against absurd lengths from corrupt files (1 GiB of floats).
+    if n > (1 << 28) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible tensor length {n}"),
+        ));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut b = [0u8; 4];
+    for _ in 0..n {
+        r.read_exact(&mut b)?;
+        out.push(f32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let n = read_u32(r)? as usize;
+    if n > 4096 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible string length",
+        ));
+    }
+    let mut b = vec![0u8; n];
+    r.read_exact(&mut b)?;
+    String::from_utf8(b).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Serialises a network (structure + weights) to a writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save(net: &Network, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_str(w, net.name())?;
+    for d in net.input_shape() {
+        write_u32(w, d as u32)?;
+    }
+    write_u32(w, net.layers().len() as u32)?;
+    for layer in net.layers() {
+        match layer {
+            Layer::Conv2d(c) => {
+                w.write_all(&[TAG_CONV])?;
+                let g = c.geometry();
+                for v in [g.in_channels, g.in_h, g.in_w, g.kernel, g.stride, g.pad] {
+                    write_u32(w, v as u32)?;
+                }
+                write_u32(w, c.out_channels() as u32)?;
+                let (weight, bias) = c.params();
+                write_f32s(w, weight.data())?;
+                write_f32s(w, bias)?;
+            }
+            Layer::Relu => w.write_all(&[TAG_RELU])?,
+            Layer::MaxPool2d(p) => {
+                w.write_all(&[TAG_POOL])?;
+                write_u32(w, p.kernel as u32)?;
+                write_u32(w, p.stride as u32)?;
+            }
+            Layer::Flatten => w.write_all(&[TAG_FLATTEN])?,
+            Layer::Linear(l) => {
+                w.write_all(&[TAG_LINEAR])?;
+                write_u32(w, l.in_features() as u32)?;
+                write_u32(w, l.out_features() as u32)?;
+                let (weight, bias) = l.params();
+                write_f32s(w, weight.data())?;
+                write_f32s(w, bias)?;
+            }
+            Layer::Dropout(p) => {
+                w.write_all(&[TAG_DROPOUT])?;
+                w.write_all(&p.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserialises a network previously written by [`save`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for wrong magic/version/tags or inconsistent
+/// tensor lengths, and propagates reader I/O errors.
+pub fn load(r: &mut impl Read) -> io::Result<Network> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let name = read_str(r)?;
+    let mut shape = [0usize; 3];
+    for d in &mut shape {
+        *d = read_u32(r)? as usize;
+    }
+    let n_layers = read_u32(r)? as usize;
+    if n_layers > 1024 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible layer count",
+        ));
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        match tag[0] {
+            TAG_CONV => {
+                let in_c = read_u32(r)? as usize;
+                let in_h = read_u32(r)? as usize;
+                let in_w = read_u32(r)? as usize;
+                let kernel = read_u32(r)? as usize;
+                let stride = read_u32(r)? as usize;
+                let pad = read_u32(r)? as usize;
+                let out_c = read_u32(r)? as usize;
+                let geom = Conv2dGeometry::new(in_c, in_h, in_w, kernel, stride, pad);
+                let weight_data = read_f32s(r)?;
+                let bias = read_f32s(r)?;
+                let weight = Tensor::from_vec(vec![out_c, geom.patch_len()], weight_data)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                if bias.len() != out_c {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "conv bias length mismatch",
+                    ));
+                }
+                layers.push(Layer::Conv2d(Conv2d::from_parts(geom, out_c, weight, bias)));
+            }
+            TAG_RELU => layers.push(Layer::Relu),
+            TAG_POOL => {
+                let kernel = read_u32(r)? as usize;
+                let stride = read_u32(r)? as usize;
+                layers.push(Layer::MaxPool2d(MaxPool2d::new(kernel, stride)));
+            }
+            TAG_FLATTEN => layers.push(Layer::Flatten),
+            TAG_LINEAR => {
+                let in_f = read_u32(r)? as usize;
+                let out_f = read_u32(r)? as usize;
+                let weight_data = read_f32s(r)?;
+                let bias = read_f32s(r)?;
+                let weight = Tensor::from_vec(vec![out_f, in_f], weight_data)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                if bias.len() != out_f {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "linear bias length mismatch",
+                    ));
+                }
+                layers.push(Layer::Linear(Linear::from_parts(weight, bias)));
+            }
+            TAG_DROPOUT => {
+                let mut b = [0u8; 4];
+                r.read_exact(&mut b)?;
+                layers.push(Layer::Dropout(f32::from_le_bytes(b)));
+            }
+            t => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown layer tag {t}"),
+                ))
+            }
+        }
+    }
+    Ok(Network::new(&name, shape, layers))
+}
+
+/// Saves a network to a file.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialisation errors.
+pub fn save_file(net: &Network, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    save(net, &mut w)
+}
+
+/// Loads a network from a file.
+///
+/// # Errors
+///
+/// Propagates filesystem and deserialisation errors.
+pub fn load_file(path: impl AsRef<Path>) -> io::Result<Network> {
+    let mut r = BufReader::new(File::open(path)?);
+    load(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::tiny_alexnet;
+    use crate::perforation::PerforationPlan;
+
+    #[test]
+    fn roundtrip_preserves_outputs() {
+        let net = tiny_alexnet(7);
+        let mut buf = Vec::new();
+        save(&net, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.name(), net.name());
+        assert_eq!(loaded.input_shape(), net.input_shape());
+        assert_eq!(loaded.num_classes(), net.num_classes());
+        let input = Tensor::from_fn(vec![2, 1, 32, 32], |i| (i as f32 * 0.013).sin());
+        let plan = PerforationPlan::identity(net.conv_count());
+        let a = net.forward(&input, &plan).unwrap();
+        let b = loaded.forward(&input, &plan).unwrap();
+        assert_eq!(a, b, "loaded network diverges from the original");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = load(&mut &b"NOPE____"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let net = tiny_alexnet(3);
+        let mut buf = Vec::new();
+        save(&net, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let net = tiny_alexnet(3);
+        let mut buf = Vec::new();
+        save(&net, &mut buf).unwrap();
+        // The first layer tag sits right after magic+version+name+shape+count.
+        let offset = 4 + 4 + (4 + net.name().len()) + 12 + 4;
+        buf[offset] = 99;
+        let err = load(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pcnn-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.pcnn");
+        let net = tiny_alexnet(4);
+        save_file(&net, &path).unwrap();
+        let loaded = load_file(&path).unwrap();
+        assert_eq!(loaded.num_classes(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+}

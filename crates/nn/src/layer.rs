@@ -1,0 +1,872 @@
+//! Runnable CNN layers with real forward and backward passes.
+//!
+//! Convolutions are executed exactly as the paper describes (§II.A, Fig. 2):
+//! im2col lowers the input to the data matrix `D_m`, the filter matrix `F_m`
+//! multiplies it with a GEMM, and the result is the output feature map.
+//! Perforated inference (Fig. 11) evaluates the GEMM only at a sampled
+//! subset of output positions and interpolates the rest.
+
+use pcnn_tensor::{
+    col2im_accumulate, gemm, gemm_bias, gemm_nt, gemm_tn, im2col, im2col_positions,
+    Conv2dGeometry, Tensor,
+};
+use rand::Rng;
+
+use crate::perforation::LayerPerforation;
+use crate::NnError;
+
+/// Per-layer state captured by a training-mode forward pass and consumed by
+/// the backward pass.
+#[derive(Debug, Clone, Default)]
+pub enum LayerCache {
+    /// Nothing to remember.
+    #[default]
+    None,
+    /// Max-pool: flat input index of each output element's argmax.
+    PoolIndices(Vec<usize>),
+    /// Dropout: the seed that generated the keep mask.
+    DropoutSeed(u64),
+}
+
+/// Parameter gradients of one layer (only conv/linear layers have any).
+#[derive(Debug, Clone)]
+pub struct ParamGrads {
+    /// Gradient of the weight tensor.
+    pub d_weight: Tensor,
+    /// Gradient of the bias vector.
+    pub d_bias: Vec<f32>,
+}
+
+/// 2-D convolution: weights `[out_channels, S_f^2 * N_c]`, NCHW activations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    geom: Conv2dGeometry,
+    out_channels: usize,
+    weight: Tensor,
+    bias: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with He-initialised weights.
+    pub fn new(geom: Conv2dGeometry, out_channels: usize, rng: &mut impl Rng) -> Self {
+        let fan_in = geom.patch_len() as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let weight = Tensor::from_fn(vec![out_channels, geom.patch_len()], |_| {
+            // Box-Muller from two uniforms; cheap and dependency-free.
+            let u1: f32 = rng.gen_range(1e-7..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        });
+        Self {
+            geom,
+            out_channels,
+            weight,
+            bias: vec![0.0; out_channels],
+        }
+    }
+
+    /// Reassembles a conv layer from saved parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight shape does not match the geometry.
+    pub fn from_parts(
+        geom: Conv2dGeometry,
+        out_channels: usize,
+        weight: Tensor,
+        bias: Vec<f32>,
+    ) -> Self {
+        assert_eq!(
+            weight.shape(),
+            &[out_channels, geom.patch_len()],
+            "conv weight shape mismatch"
+        );
+        assert_eq!(bias.len(), out_channels, "conv bias length mismatch");
+        Self {
+            geom,
+            out_channels,
+            weight,
+            bias,
+        }
+    }
+
+    /// The layer geometry.
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.geom
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Output shape for a batch of `n` images.
+    pub fn output_shape(&self, n: usize) -> Vec<usize> {
+        vec![n, self.out_channels, self.geom.out_h, self.geom.out_w]
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<usize, NnError> {
+        let g = &self.geom;
+        if input.ndim() != 4
+            || input.shape()[1] != g.in_channels
+            || input.shape()[2] != g.in_h
+            || input.shape()[3] != g.in_w
+        {
+            return Err(NnError::Shape {
+                context: "Conv2d".into(),
+                expected: format!("[N, {}, {}, {}]", g.in_channels, g.in_h, g.in_w),
+                actual: input.shape().to_vec(),
+            });
+        }
+        Ok(input.shape()[0])
+    }
+
+    /// Full (unperforated) forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `input` is not `[N, N_c, H, W]`.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let batch = self.check_input(input)?;
+        let g = &self.geom;
+        let (k, n_pos) = (g.patch_len(), g.out_positions());
+        let mut cols = vec![0.0; k * n_pos];
+        let mut out = Tensor::zeros(self.output_shape(batch));
+        for b in 0..batch {
+            im2col(g, input.batch_item(b), &mut cols);
+            gemm_bias(
+                self.out_channels,
+                n_pos,
+                k,
+                self.weight.data(),
+                &cols,
+                &self.bias,
+                out.batch_item_mut(b),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Perforated forward pass (paper Fig. 11): evaluate the GEMM only at
+    /// `perf.kept` output positions and fill the rest by nearest-kept-
+    /// neighbour interpolation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] on input shape mismatch, or
+    /// [`NnError::Perforation`] if the plan's position list does not match
+    /// this layer's output map.
+    pub fn forward_perforated(
+        &self,
+        input: &Tensor,
+        perf: &LayerPerforation,
+    ) -> Result<Tensor, NnError> {
+        let batch = self.check_input(input)?;
+        let g = &self.geom;
+        if perf.out_h() != g.out_h || perf.out_w() != g.out_w {
+            return Err(NnError::Perforation(format!(
+                "plan is for {}x{} map, layer has {}x{}",
+                perf.out_h(),
+                perf.out_w(),
+                g.out_h,
+                g.out_w
+            )));
+        }
+        let kept = perf.kept_positions();
+        if kept.is_empty() {
+            return Err(NnError::Perforation("no kept positions".into()));
+        }
+        let (k, n_pos) = (g.patch_len(), g.out_positions());
+        let n_keep = kept.len();
+        let mut cols = vec![0.0; k * n_keep];
+        let mut sampled = vec![0.0; self.out_channels * n_keep];
+        let mut out = Tensor::zeros(self.output_shape(batch));
+        for b in 0..batch {
+            im2col_positions(g, input.batch_item(b), kept, &mut cols);
+            for (c, s) in sampled
+                .chunks_mut(n_keep)
+                .enumerate()
+                .take(self.out_channels)
+            {
+                s.fill(self.bias[c]);
+            }
+            gemm(
+                self.out_channels,
+                n_keep,
+                k,
+                self.weight.data(),
+                &cols,
+                &mut sampled,
+            );
+            // Interpolation: every position averages its kept-neighbour
+            // stencil (kept positions reference only themselves).
+            let out_b = out.batch_item_mut(b);
+            for c in 0..self.out_channels {
+                let src = &sampled[c * n_keep..(c + 1) * n_keep];
+                let dst = &mut out_b[c * n_pos..(c + 1) * n_pos];
+                for (p, d) in dst.iter_mut().enumerate() {
+                    let sources = perf.interpolation_sources(p);
+                    let sum: f32 = sources.iter().map(|&i| src[i as usize]).sum();
+                    *d = sum / sources.len() as f32;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Backward pass. Recomputes im2col from the saved `input`.
+    ///
+    /// Returns `(d_input, grads)`.
+    pub fn backward(&self, input: &Tensor, grad_out: &Tensor) -> (Tensor, ParamGrads) {
+        let batch = input.shape()[0];
+        let g = &self.geom;
+        let (k, n_pos) = (g.patch_len(), g.out_positions());
+        let mut cols = vec![0.0; k * n_pos];
+        let mut d_cols = vec![0.0; k * n_pos];
+        let mut d_weight = Tensor::zeros(vec![self.out_channels, k]);
+        let mut d_bias = vec![0.0; self.out_channels];
+        let mut d_input = Tensor::zeros(input.shape().to_vec());
+        for b in 0..batch {
+            im2col(g, input.batch_item(b), &mut cols);
+            let go = grad_out.batch_item(b);
+            // dW += dOut x cols^T
+            gemm_nt(
+                self.out_channels,
+                k,
+                n_pos,
+                go,
+                &cols,
+                d_weight.data_mut(),
+            );
+            for c in 0..self.out_channels {
+                d_bias[c] += go[c * n_pos..(c + 1) * n_pos].iter().sum::<f32>();
+            }
+            // dCols = W^T x dOut
+            d_cols.fill(0.0);
+            gemm_tn(k, n_pos, self.out_channels, self.weight.data(), go, &mut d_cols);
+            col2im_accumulate(g, &d_cols, d_input.batch_item_mut(b));
+        }
+        (d_input, ParamGrads { d_weight, d_bias })
+    }
+
+    /// Mutable access to `(weight, bias)` for the optimiser.
+    pub fn params_mut(&mut self) -> (&mut Tensor, &mut Vec<f32>) {
+        (&mut self.weight, &mut self.bias)
+    }
+
+    /// Read-only access to `(weight, bias)`.
+    pub fn params(&self) -> (&Tensor, &[f32]) {
+        (&self.weight, &self.bias)
+    }
+}
+
+/// 2-D max pooling with square window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxPool2d {
+    /// Window side.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0` or `stride == 0`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        Self { kernel, stride }
+    }
+
+    fn out_dim(&self, input: usize) -> usize {
+        assert!(input >= self.kernel, "pool window larger than input");
+        (input - self.kernel) / self.stride + 1
+    }
+
+    /// Forward pass; returns the pooled tensor and the argmax cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `input` is not 4-D.
+    pub fn forward(&self, input: &Tensor) -> Result<(Tensor, LayerCache), NnError> {
+        if input.ndim() != 4 {
+            return Err(NnError::Shape {
+                context: "MaxPool2d".into(),
+                expected: "[N, C, H, W]".into(),
+                actual: input.shape().to_vec(),
+            });
+        }
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (oh, ow) = (self.out_dim(h), self.out_dim(w));
+        let mut out = Tensor::zeros(vec![n, c, oh, ow]);
+        let mut indices = vec![0usize; n * c * oh * ow];
+        let in_data = input.data();
+        let out_data = out.data_mut();
+        let mut oi = 0;
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best_idx = base + oy * self.stride * w + ox * self.stride;
+                        let mut best = in_data[best_idx];
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let idx =
+                                    base + (oy * self.stride + ky) * w + ox * self.stride + kx;
+                                if in_data[idx] > best {
+                                    best = in_data[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out_data[oi] = best;
+                        indices[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        Ok((out, LayerCache::PoolIndices(indices)))
+    }
+
+    /// Backward pass: scatter gradients to the cached argmax positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is not [`LayerCache::PoolIndices`] of matching size.
+    pub fn backward(
+        &self,
+        input_shape: &[usize],
+        cache: &LayerCache,
+        grad_out: &Tensor,
+    ) -> Tensor {
+        let LayerCache::PoolIndices(indices) = cache else {
+            panic!("MaxPool2d::backward requires PoolIndices cache");
+        };
+        assert_eq!(indices.len(), grad_out.len(), "cache/grad size mismatch");
+        let mut d_input = Tensor::zeros(input_shape.to_vec());
+        let d = d_input.data_mut();
+        for (i, &src) in indices.iter().enumerate() {
+            d[src] += grad_out.data()[i];
+        }
+        d_input
+    }
+}
+
+/// Fully-connected layer: weights `[out_features, in_features]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Tensor,
+    bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a linear layer with He-initialised weights.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        let std = (2.0 / in_features as f32).sqrt();
+        let weight = Tensor::from_fn(vec![out_features, in_features], |_| {
+            let u1: f32 = rng.gen_range(1e-7..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        });
+        Self {
+            in_features,
+            out_features,
+            weight,
+            bias: vec![0.0; out_features],
+        }
+    }
+
+    /// Reassembles a linear layer from saved parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not 2-D or the bias length mismatches.
+    pub fn from_parts(weight: Tensor, bias: Vec<f32>) -> Self {
+        assert_eq!(weight.ndim(), 2, "linear weight must be [out, in]");
+        let out_features = weight.shape()[0];
+        let in_features = weight.shape()[1];
+        assert_eq!(bias.len(), out_features, "linear bias length mismatch");
+        Self {
+            in_features,
+            out_features,
+            weight,
+            bias,
+        }
+    }
+
+    /// Read-only access to `(weight, bias)`.
+    pub fn params(&self) -> (&Tensor, &[f32]) {
+        (&self.weight, &self.bias)
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Forward pass on a `[N, in_features]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] on mismatch.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        if input.ndim() != 2 || input.shape()[1] != self.in_features {
+            return Err(NnError::Shape {
+                context: "Linear".into(),
+                expected: format!("[N, {}]", self.in_features),
+                actual: input.shape().to_vec(),
+            });
+        }
+        let n = input.shape()[0];
+        let mut out = Tensor::zeros(vec![n, self.out_features]);
+        for (row, o) in out.data_mut().chunks_mut(self.out_features).enumerate() {
+            o.copy_from_slice(&self.bias);
+            let _ = row;
+        }
+        gemm_nt(
+            n,
+            self.out_features,
+            self.in_features,
+            input.data(),
+            self.weight.data(),
+            out.data_mut(),
+        );
+        Ok(out)
+    }
+
+    /// Backward pass; returns `(d_input, grads)`.
+    pub fn backward(&self, input: &Tensor, grad_out: &Tensor) -> (Tensor, ParamGrads) {
+        let n = input.shape()[0];
+        let mut d_weight = Tensor::zeros(vec![self.out_features, self.in_features]);
+        // dW = dOut^T x input
+        gemm_tn(
+            self.out_features,
+            self.in_features,
+            n,
+            grad_out.data(),
+            input.data(),
+            d_weight.data_mut(),
+        );
+        let mut d_bias = vec![0.0; self.out_features];
+        for row in grad_out.data().chunks(self.out_features) {
+            for (b, &g) in d_bias.iter_mut().zip(row) {
+                *b += g;
+            }
+        }
+        let mut d_input = Tensor::zeros(vec![n, self.in_features]);
+        // dIn = dOut x W
+        gemm(
+            n,
+            self.in_features,
+            self.out_features,
+            grad_out.data(),
+            self.weight.data(),
+            d_input.data_mut(),
+        );
+        (d_input, ParamGrads { d_weight, d_bias })
+    }
+
+    /// Mutable access to `(weight, bias)` for the optimiser.
+    pub fn params_mut(&mut self) -> (&mut Tensor, &mut Vec<f32>) {
+        (&mut self.weight, &mut self.bias)
+    }
+}
+
+/// One layer of a runnable [`crate::Network`].
+#[derive(Debug, Clone)]
+pub enum Layer {
+    /// Convolution.
+    Conv2d(Conv2d),
+    /// Element-wise max(0, x).
+    Relu,
+    /// Max pooling.
+    MaxPool2d(MaxPool2d),
+    /// NCHW -> [N, C*H*W].
+    Flatten,
+    /// Fully-connected.
+    Linear(Linear),
+    /// Inverted dropout with the given drop probability — active only in
+    /// training-mode forward passes (identity at inference). AlexNet-style
+    /// regularisation; it also hardens the features against perforation.
+    Dropout(f32),
+}
+
+/// Deterministic per-element keep decision for dropout: a multiplicative
+/// hash of `(seed, index)` compared against the keep probability.
+fn dropout_keep(seed: u64, index: usize, drop_p: f32) -> bool {
+    let h = (seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_mul(0xD1B54A32D192ED03)
+        .rotate_left(29);
+    ((h >> 11) as f64 / (1u64 << 53) as f64) >= drop_p as f64
+}
+
+impl Layer {
+    /// Short kind name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Layer::Conv2d(_) => "conv",
+            Layer::Relu => "relu",
+            Layer::MaxPool2d(_) => "maxpool",
+            Layer::Flatten => "flatten",
+            Layer::Linear(_) => "linear",
+            Layer::Dropout(_) => "dropout",
+        }
+    }
+
+    /// Inference forward pass with optional perforation for conv layers
+    /// (dropout layers are the identity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/perforation errors from the concrete layer.
+    pub fn forward(
+        &self,
+        input: &Tensor,
+        perf: Option<&LayerPerforation>,
+    ) -> Result<(Tensor, LayerCache), NnError> {
+        self.forward_mode(input, perf, None)
+    }
+
+    /// Forward pass; `train_seed = Some(seed)` activates training-only
+    /// behaviour (dropout masks derived deterministically from the seed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/perforation errors from the concrete layer.
+    pub fn forward_mode(
+        &self,
+        input: &Tensor,
+        perf: Option<&LayerPerforation>,
+        train_seed: Option<u64>,
+    ) -> Result<(Tensor, LayerCache), NnError> {
+        match self {
+            Layer::Conv2d(c) => {
+                let out = match perf {
+                    Some(p) if !p.is_identity() => c.forward_perforated(input, p)?,
+                    _ => c.forward(input)?,
+                };
+                Ok((out, LayerCache::None))
+            }
+            Layer::Relu => Ok((input.map(|x| x.max(0.0)), LayerCache::None)),
+            Layer::MaxPool2d(p) => p.forward(input),
+            Layer::Flatten => {
+                let n = input.shape()[0];
+                let rest: usize = input.shape()[1..].iter().product();
+                Ok((
+                    input.clone().reshape(vec![n, rest])?,
+                    LayerCache::None,
+                ))
+            }
+            Layer::Linear(l) => Ok((l.forward(input)?, LayerCache::None)),
+            Layer::Dropout(p) => match train_seed {
+                None => Ok((input.clone(), LayerCache::None)),
+                Some(seed) => {
+                    let keep_scale = 1.0 / (1.0 - p);
+                    let mut out = input.clone();
+                    for (i, v) in out.data_mut().iter_mut().enumerate() {
+                        *v = if dropout_keep(seed, i, *p) {
+                            *v * keep_scale
+                        } else {
+                            0.0
+                        };
+                    }
+                    Ok((out, LayerCache::DropoutSeed(seed)))
+                }
+            },
+        }
+    }
+
+    /// Backward pass.
+    ///
+    /// `input`/`output` are this layer's training-forward activations and
+    /// `cache` its [`LayerCache`]. Returns `(d_input, parameter grads)`.
+    pub fn backward(
+        &self,
+        input: &Tensor,
+        output: &Tensor,
+        cache: &LayerCache,
+        grad_out: &Tensor,
+    ) -> (Tensor, Option<ParamGrads>) {
+        match self {
+            Layer::Conv2d(c) => {
+                let (d_in, g) = c.backward(input, grad_out);
+                (d_in, Some(g))
+            }
+            Layer::Relu => {
+                let mut d = grad_out.clone();
+                for (dv, &o) in d.data_mut().iter_mut().zip(output.data()) {
+                    if o <= 0.0 {
+                        *dv = 0.0;
+                    }
+                }
+                (d, None)
+            }
+            Layer::MaxPool2d(p) => (p.backward(input.shape(), cache, grad_out), None),
+            Layer::Flatten => (
+                grad_out
+                    .clone()
+                    .reshape(input.shape().to_vec())
+                    .expect("flatten backward reshape cannot fail"),
+                None,
+            ),
+            Layer::Linear(l) => {
+                let (d_in, g) = l.backward(input, grad_out);
+                (d_in, Some(g))
+            }
+            Layer::Dropout(p) => {
+                let LayerCache::DropoutSeed(seed) = cache else {
+                    // Inference-mode dropout is the identity.
+                    return (grad_out.clone(), None);
+                };
+                let keep_scale = 1.0 / (1.0 - p);
+                let mut d = grad_out.clone();
+                for (i, v) in d.data_mut().iter_mut().enumerate() {
+                    *v = if dropout_keep(*seed, i, *p) {
+                        *v * keep_scale
+                    } else {
+                        0.0
+                    };
+                }
+                (d, None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perforation::LayerPerforation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn conv_fixture() -> (Conv2d, Tensor) {
+        let geom = Conv2dGeometry::new(2, 6, 6, 3, 1, 1);
+        let conv = Conv2d::new(geom, 4, &mut rng());
+        let input = Tensor::from_fn(vec![2, 2, 6, 6], |i| ((i * 7) % 11) as f32 / 11.0 - 0.5);
+        (conv, input)
+    }
+
+    #[test]
+    fn conv_forward_shape() {
+        let (conv, input) = conv_fixture();
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[2, 4, 6, 6]);
+    }
+
+    #[test]
+    fn conv_matches_direct_convolution() {
+        // Validate im2col+GEMM against a naive sliding-window convolution.
+        let geom = Conv2dGeometry::new(1, 4, 4, 3, 1, 0);
+        let conv = Conv2d::new(geom, 1, &mut rng());
+        let input = Tensor::from_fn(vec![1, 1, 4, 4], |i| i as f32);
+        let out = conv.forward(&input).unwrap();
+        let (w, b) = conv.params();
+        for oy in 0..2 {
+            for ox in 0..2 {
+                let mut acc = b[0];
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        acc += w.data()[ky * 3 + kx] * input.get(&[0, 0, oy + ky, ox + kx]);
+                    }
+                }
+                let got = out.get(&[0, 0, oy, ox]);
+                assert!((acc - got).abs() < 1e-4, "{acc} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channels() {
+        let (conv, _) = conv_fixture();
+        let bad = Tensor::zeros(vec![1, 3, 6, 6]);
+        assert!(matches!(conv.forward(&bad), Err(NnError::Shape { .. })));
+    }
+
+    #[test]
+    fn perforation_rate_zero_is_identity() {
+        let (conv, input) = conv_fixture();
+        let full = conv.forward(&input).unwrap();
+        let plan = LayerPerforation::new(6, 6, 0.0, 1);
+        let perf = conv.forward_perforated(&input, &plan).unwrap();
+        assert_eq!(full, perf);
+    }
+
+    #[test]
+    fn perforation_preserves_kept_positions() {
+        let (conv, input) = conv_fixture();
+        let full = conv.forward(&input).unwrap();
+        let plan = LayerPerforation::new(6, 6, 0.5, 1);
+        let perf = conv.forward_perforated(&input, &plan).unwrap();
+        for &p in plan.kept_positions() {
+            for c in 0..4 {
+                let (y, x) = (p / 6, p % 6);
+                assert!(
+                    (full.get(&[0, c, y, x]) - perf.get(&[0, c, y, x])).abs() < 1e-4,
+                    "kept position {p} changed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perforation_error_bounded_on_smooth_input() {
+        // A constant input must be reproduced exactly regardless of rate.
+        let geom = Conv2dGeometry::new(1, 8, 8, 3, 1, 1);
+        let conv = Conv2d::new(geom, 2, &mut rng());
+        let input = Tensor::full(vec![1, 1, 8, 8], 1.0);
+        let full = conv.forward(&input).unwrap();
+        let plan = LayerPerforation::new(8, 8, 0.75, 1);
+        let perf = conv.forward_perforated(&input, &plan).unwrap();
+        // Interior positions (away from the zero-padding boundary) see the
+        // same constant patch everywhere.
+        for c in 0..2 {
+            for y in 1..7 {
+                for x in 1..7 {
+                    let f = full.get(&[0, c, y, x]);
+                    let p = perf.get(&[0, c, y, x]);
+                    // The interpolant may copy a border value; allow the
+                    // layer's own dynamic range.
+                    assert!(p.is_finite(), "non-finite at {c},{y},{x}: {p} vs {f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_backward_numerical_gradient() {
+        let geom = Conv2dGeometry::new(1, 4, 4, 3, 1, 1);
+        let mut conv = Conv2d::new(geom, 2, &mut rng());
+        let input = Tensor::from_fn(vec![1, 1, 4, 4], |i| (i as f32 / 7.0).sin());
+        // Loss = sum(out^2)/2, so dL/dOut = out.
+        let out = conv.forward(&input).unwrap();
+        let (_, grads) = conv.backward(&input, &out);
+        // Check dW numerically for a few weights.
+        let eps = 1e-3;
+        for &wi in &[0usize, 3, 8, 10] {
+            let orig = conv.weight.data()[wi];
+            conv.weight.data_mut()[wi] = orig + eps;
+            let lp: f32 = conv
+                .forward(&input)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|x| x * x / 2.0)
+                .sum();
+            conv.weight.data_mut()[wi] = orig - eps;
+            let lm: f32 = conv
+                .forward(&input)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|x| x * x / 2.0)
+                .sum();
+            conv.weight.data_mut()[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grads.d_weight.data()[wi];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "weight {wi}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let input = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1., 2., 3., 4., //
+                5., 6., 7., 8., //
+                9., 10., 11., 12., //
+                13., 14., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let pool = MaxPool2d::new(2, 2);
+        let (out, cache) = pool.forward(&input).unwrap();
+        assert_eq!(out.data(), &[6., 8., 14., 16.]);
+        let grad = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let d_in = pool.backward(input.shape(), &cache, &grad);
+        assert_eq!(d_in.get(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(d_in.get(&[0, 0, 1, 3]), 2.0);
+        assert_eq!(d_in.get(&[0, 0, 3, 1]), 3.0);
+        assert_eq!(d_in.get(&[0, 0, 3, 3]), 4.0);
+        assert_eq!(d_in.sum(), 10.0);
+    }
+
+    #[test]
+    fn linear_forward_backward_shapes() {
+        let lin = Linear::new(6, 3, &mut rng());
+        let input = Tensor::from_fn(vec![4, 6], |i| i as f32 / 10.0);
+        let out = lin.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[4, 3]);
+        let (d_in, grads) = lin.backward(&input, &out);
+        assert_eq!(d_in.shape(), &[4, 6]);
+        assert_eq!(grads.d_weight.shape(), &[3, 6]);
+        assert_eq!(grads.d_bias.len(), 3);
+    }
+
+    #[test]
+    fn linear_numerical_gradient() {
+        let mut lin = Linear::new(3, 2, &mut rng());
+        let input = Tensor::from_fn(vec![2, 3], |i| (i as f32).cos());
+        let out = lin.forward(&input).unwrap();
+        let (_, grads) = lin.backward(&input, &out);
+        let eps = 1e-3;
+        for wi in 0..6 {
+            let orig = lin.weight.data()[wi];
+            lin.weight.data_mut()[wi] = orig + eps;
+            let lp: f32 = lin.forward(&input).unwrap().data().iter().map(|x| x * x / 2.0).sum();
+            lin.weight.data_mut()[wi] = orig - eps;
+            let lm: f32 = lin.forward(&input).unwrap().data().iter().map(|x| x * x / 2.0).sum();
+            lin.weight.data_mut()[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grads.d_weight.data()[wi]).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "weight {wi}"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_backward_masks_negatives() {
+        let layer = Layer::Relu;
+        let input = Tensor::from_vec(vec![1, 4], vec![-1., 2., -3., 4.]).unwrap();
+        let (out, cache) = layer.forward(&input, None).unwrap();
+        assert_eq!(out.data(), &[0., 2., 0., 4.]);
+        let grad = Tensor::from_vec(vec![1, 4], vec![1., 1., 1., 1.]).unwrap();
+        let (d_in, _) = layer.backward(&input, &out, &cache, &grad);
+        assert_eq!(d_in.data(), &[0., 1., 0., 1.]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let layer = Layer::Flatten;
+        let input = Tensor::from_fn(vec![2, 3, 2, 2], |i| i as f32);
+        let (out, cache) = layer.forward(&input, None).unwrap();
+        assert_eq!(out.shape(), &[2, 12]);
+        let (back, _) = layer.backward(&input, &out, &cache, &out);
+        assert_eq!(back.shape(), input.shape());
+    }
+}

@@ -1,0 +1,236 @@
+//! First-order GPU memory-footprint model.
+//!
+//! Table III of the paper marks several (network, library, GPU) cells as
+//! out-of-memory (`x`). Whether a deployment fits is determined by the
+//! weights, the per-batch activations, and — crucially — the *library's*
+//! workspace strategy: Caffe's cuBLAS path lowers one image at a time,
+//! Caffe's cuDNN integration caps per-layer workspace (8 MB by default),
+//! while on the mobile platform the aggressive libraries allocate lowering
+//! buffers for the whole batch across layers. The [`WorkspacePolicy`] enum
+//! captures these strategies; `pcnn-kernels` maps each library+platform to
+//! a policy.
+
+use crate::spec::NetworkSpec;
+
+/// Bytes per activation element (fp32 by default; Nervana's fp16 storage on
+/// desktop-class Maxwell GPUs halves it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivationPrecision {
+    /// 4-byte floats.
+    Fp32,
+    /// 2-byte floats.
+    Fp16,
+}
+
+impl ActivationPrecision {
+    /// Bytes per element.
+    pub fn bytes(self) -> u64 {
+        match self {
+            ActivationPrecision::Fp32 => 4,
+            ActivationPrecision::Fp16 => 2,
+        }
+    }
+}
+
+/// How a deep-learning library allocates convolution lowering workspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkspacePolicy {
+    /// Lower one image at a time and reuse a single buffer sized for the
+    /// largest layer (Caffe's cuBLAS path).
+    SingleImageMax,
+    /// One workspace per conv layer, each capped (Caffe's cuDNN
+    /// integration; the default cap is 8 MB).
+    PerLayerCapped {
+        /// Per-layer cap in bytes.
+        cap_bytes: u64,
+    },
+    /// Whole-batch lowering buffers for every conv layer simultaneously,
+    /// scaled by `factor` (the fastest-algorithm-greedy strategy observed on
+    /// the mobile platform).
+    FullBatchSum {
+        /// Fraction of the full per-layer sum actually resident.
+        factor: f64,
+    },
+}
+
+/// Decomposed memory estimate in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryEstimate {
+    /// Filter + classifier weights.
+    pub weights: u64,
+    /// All layer activations for the whole batch (including the input).
+    pub activations: u64,
+    /// Library workspace.
+    pub workspace: u64,
+}
+
+impl MemoryEstimate {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.weights + self.activations + self.workspace
+    }
+
+    /// Whether the estimate fits in `usable_bytes` of GPU memory.
+    pub fn fits(&self, usable_bytes: u64) -> bool {
+        self.total() <= usable_bytes
+    }
+}
+
+/// Estimates the inference footprint of `spec` at `batch` under a library's
+/// workspace policy and activation precision.
+///
+/// # Panics
+///
+/// Panics if `batch == 0`.
+pub fn estimate(
+    spec: &NetworkSpec,
+    batch: usize,
+    policy: WorkspacePolicy,
+    precision: ActivationPrecision,
+) -> MemoryEstimate {
+    assert!(batch > 0, "batch must be positive");
+    let b = batch as u64;
+    let weights = spec.total_weights() as u64 * 4; // weights stay fp32
+    let activations = spec.total_activations() as u64 * b * precision.bytes();
+    let elem = precision.bytes();
+    let workspace = match policy {
+        WorkspacePolicy::SingleImageMax => spec.max_im2col_workspace() as u64 * elem,
+        WorkspacePolicy::PerLayerCapped { cap_bytes } => spec
+            .conv_layers()
+            .iter()
+            .map(|c| {
+                // im2col_workspace is per group; all groups are lowered.
+                let ws = c.im2col_workspace() as u64 * c.groups as u64 * b * elem;
+                ws.min(cap_bytes)
+            })
+            .sum(),
+        WorkspacePolicy::FullBatchSum { factor } => {
+            let sum: u64 = spec
+                .conv_layers()
+                .iter()
+                .map(|c| c.im2col_workspace() as u64 * c.groups as u64)
+                .sum();
+            (sum as f64 * b as f64 * elem as f64 * factor) as u64
+        }
+    };
+    MemoryEstimate {
+        weights,
+        activations,
+        workspace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{alexnet, googlenet, vggnet};
+
+    const GB: u64 = 1024 * 1024 * 1024;
+
+    #[test]
+    fn alexnet_weights_around_240mb() {
+        let est = estimate(
+            &alexnet(),
+            1,
+            WorkspacePolicy::SingleImageMax,
+            ActivationPrecision::Fp32,
+        );
+        let mb = est.weights / (1024 * 1024);
+        assert!((200..260).contains(&mb), "AlexNet weights {mb} MB");
+    }
+
+    #[test]
+    fn activations_scale_with_batch() {
+        let e1 = estimate(
+            &alexnet(),
+            1,
+            WorkspacePolicy::SingleImageMax,
+            ActivationPrecision::Fp32,
+        );
+        let e8 = estimate(
+            &alexnet(),
+            8,
+            WorkspacePolicy::SingleImageMax,
+            ActivationPrecision::Fp32,
+        );
+        assert_eq!(e8.activations, 8 * e1.activations);
+        assert_eq!(e8.workspace, e1.workspace); // single-image buffer
+    }
+
+    #[test]
+    fn fp16_halves_activations() {
+        let f32e = estimate(
+            &vggnet(),
+            4,
+            WorkspacePolicy::SingleImageMax,
+            ActivationPrecision::Fp32,
+        );
+        let f16e = estimate(
+            &vggnet(),
+            4,
+            WorkspacePolicy::SingleImageMax,
+            ActivationPrecision::Fp16,
+        );
+        assert_eq!(f16e.activations * 2, f32e.activations);
+        assert_eq!(f16e.weights, f32e.weights);
+    }
+
+    #[test]
+    fn per_layer_cap_bounds_workspace() {
+        let cap = 8 * 1024 * 1024;
+        let est = estimate(
+            &vggnet(),
+            32,
+            WorkspacePolicy::PerLayerCapped { cap_bytes: cap },
+            ActivationPrecision::Fp32,
+        );
+        let n_conv = vggnet().conv_layers().len() as u64;
+        assert!(est.workspace <= cap * n_conv);
+        assert!(est.workspace >= cap); // at least one layer hits the cap
+    }
+
+    #[test]
+    fn full_batch_sum_dwarfs_capped() {
+        let spec = googlenet();
+        let full = estimate(
+            &spec,
+            64,
+            WorkspacePolicy::FullBatchSum { factor: 1.0 },
+            ActivationPrecision::Fp32,
+        );
+        let capped = estimate(
+            &spec,
+            64,
+            WorkspacePolicy::PerLayerCapped {
+                cap_bytes: 8 * 1024 * 1024,
+            },
+            ActivationPrecision::Fp32,
+        );
+        assert!(full.workspace > 4 * capped.workspace);
+    }
+
+    #[test]
+    fn table3_shape_vgg_batched_is_multi_gb() {
+        // VGG at batch 32 with fp32 activations occupies a few GB — the
+        // regime where mobile GPUs OOM (Table III).
+        let est = estimate(
+            &vggnet(),
+            32,
+            WorkspacePolicy::SingleImageMax,
+            ActivationPrecision::Fp32,
+        );
+        assert!(est.total() > 2 * GB, "total {}", est.total());
+        assert!(est.total() < 5 * GB, "total {}", est.total());
+    }
+
+    #[test]
+    fn fits_is_threshold() {
+        let est = MemoryEstimate {
+            weights: 10,
+            activations: 20,
+            workspace: 5,
+        };
+        assert!(est.fits(35));
+        assert!(!est.fits(34));
+    }
+}

@@ -1,0 +1,297 @@
+//! A runnable sequential CNN.
+
+use pcnn_tensor::Tensor;
+
+use crate::layer::{Layer, LayerCache};
+use crate::perforation::{LayerPerforation, PerforationPlan};
+use crate::spec::{ConvSpec, FcSpec, LayerSpec, NetworkSpec, PoolSpec};
+use crate::NnError;
+
+/// All intermediate state of a training-mode forward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardTrace {
+    /// `activations[0]` is the input; `activations[i + 1]` is layer `i`'s
+    /// output. The last entry holds the logits.
+    pub activations: Vec<Tensor>,
+    /// Per-layer caches for the backward pass.
+    pub caches: Vec<LayerCache>,
+}
+
+impl ForwardTrace {
+    /// The network output (logits).
+    pub fn logits(&self) -> &Tensor {
+        self.activations.last().expect("trace always has input")
+    }
+}
+
+/// A runnable sequential network.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_nn::models::tiny_alexnet;
+/// use pcnn_nn::PerforationPlan;
+/// use pcnn_tensor::Tensor;
+///
+/// let net = tiny_alexnet(7);
+/// let input = Tensor::zeros(vec![1, 1, 32, 32]);
+/// let logits = net.forward(&input, &PerforationPlan::identity(net.conv_count())).unwrap();
+/// assert_eq!(logits.shape(), &[1, net.num_classes()]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+    input_shape: [usize; 3],
+    num_classes: usize,
+}
+
+impl Network {
+    /// Assembles a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or does not end in a linear layer.
+    pub fn new(
+        name: &str,
+        input_shape: [usize; 3],
+        layers: Vec<Layer>,
+    ) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        let num_classes = match layers.last() {
+            Some(Layer::Linear(l)) => l.out_features(),
+            _ => panic!("network must end in a Linear classifier layer"),
+        };
+        Self {
+            name: name.to_string(),
+            layers,
+            input_shape,
+            num_classes,
+        }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `[C, H, W]` of one input image.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.input_shape
+    }
+
+    /// Number of classifier outputs.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable layers (for the optimiser).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Number of convolutional layers.
+    pub fn conv_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv2d(_)))
+            .count()
+    }
+
+    /// Builds the per-layer [`LayerPerforation`]s for a plan.
+    ///
+    /// `multiple` rounds each layer's kept-position count up to a multiple
+    /// of the SGEMM tile dimension (pass 1 for exact rates).
+    fn layer_perforations(
+        &self,
+        plan: &PerforationPlan,
+        multiple: usize,
+    ) -> Result<Vec<Option<LayerPerforation>>, NnError> {
+        if plan.len() != self.conv_count() {
+            return Err(NnError::Perforation(format!(
+                "plan covers {} conv layers, network has {}",
+                plan.len(),
+                self.conv_count()
+            )));
+        }
+        let mut out = Vec::with_capacity(self.layers.len());
+        let mut ci = 0;
+        for layer in &self.layers {
+            if let Layer::Conv2d(c) = layer {
+                let rate = plan.rate(ci);
+                ci += 1;
+                if rate > 0.0 {
+                    out.push(Some(LayerPerforation::new(
+                        c.geometry().out_h,
+                        c.geometry().out_w,
+                        rate,
+                        multiple,
+                    )));
+                    continue;
+                }
+            }
+            out.push(None);
+        }
+        Ok(out)
+    }
+
+    /// Inference forward pass under a perforation plan. Returns logits
+    /// `[N, classes]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch or an inconsistent plan.
+    pub fn forward(&self, input: &Tensor, plan: &PerforationPlan) -> Result<Tensor, NnError> {
+        let perfs = self.layer_perforations(plan, 1)?;
+        let mut x = input.clone();
+        for (layer, perf) in self.layers.iter().zip(&perfs) {
+            let (out, _) = layer.forward(&x, perf.as_ref())?;
+            x = out;
+        }
+        Ok(x)
+    }
+
+    /// Training-mode forward pass (never perforated) that records every
+    /// activation and cache. `seed` drives the dropout masks — pass a
+    /// fresh value per optimisation step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn forward_train(&self, input: &Tensor, seed: u64) -> Result<ForwardTrace, NnError> {
+        let mut activations = vec![input.clone()];
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for (li, layer) in self.layers.iter().enumerate() {
+            let (out, cache) = layer.forward_mode(
+                activations.last().expect("nonempty"),
+                None,
+                Some(seed.wrapping_add(li as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+            )?;
+            activations.push(out);
+            caches.push(cache);
+        }
+        Ok(ForwardTrace {
+            activations,
+            caches,
+        })
+    }
+
+    /// Shape-level [`NetworkSpec`] of this runnable network, for the
+    /// analytical time/resource models.
+    pub fn spec(&self) -> NetworkSpec {
+        let mut layers = Vec::new();
+        let mut conv_idx = 0;
+        let mut pool_idx = 0;
+        let mut fc_idx = 0;
+        // Track the running activation shape.
+        let [mut c, mut h, mut w] = self.input_shape;
+        for layer in &self.layers {
+            match layer {
+                Layer::Conv2d(conv) => {
+                    conv_idx += 1;
+                    let g = conv.geometry();
+                    layers.push(LayerSpec::Conv(ConvSpec::new(
+                        &format!("CONV{conv_idx}"),
+                        conv.out_channels(),
+                        g.kernel,
+                        g.in_channels,
+                        g.out_w,
+                        g.out_h,
+                        g.stride,
+                        g.pad,
+                        1,
+                    )));
+                    c = conv.out_channels();
+                    h = g.out_h;
+                    w = g.out_w;
+                }
+                Layer::MaxPool2d(p) => {
+                    pool_idx += 1;
+                    h = (h - p.kernel) / p.stride + 1;
+                    w = (w - p.kernel) / p.stride + 1;
+                    layers.push(LayerSpec::Pool(PoolSpec {
+                        name: format!("POOL{pool_idx}"),
+                        channels: c,
+                        w_o: w,
+                        h_o: h,
+                    }));
+                }
+                Layer::Linear(l) => {
+                    fc_idx += 1;
+                    layers.push(LayerSpec::Fc(FcSpec {
+                        name: format!("FC{fc_idx}"),
+                        in_features: l.in_features(),
+                        out_features: l.out_features(),
+                    }));
+                }
+                Layer::Relu | Layer::Flatten | Layer::Dropout(_) => {}
+            }
+        }
+        NetworkSpec {
+            name: self.name.clone(),
+            input_elems: self.input_shape.iter().product(),
+            layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::tiny_alexnet;
+
+    #[test]
+    fn forward_produces_class_logits() {
+        let net = tiny_alexnet(5);
+        let input = Tensor::from_fn(vec![3, 1, 32, 32], |i| (i as f32 * 0.01).sin());
+        let out = net
+            .forward(&input, &PerforationPlan::identity(net.conv_count()))
+            .unwrap();
+        assert_eq!(out.shape(), &[3, 5]);
+        assert!(out.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn forward_rejects_wrong_plan_length() {
+        let net = tiny_alexnet(5);
+        let input = Tensor::zeros(vec![1, 1, 32, 32]);
+        let err = net.forward(&input, &PerforationPlan::identity(99)).unwrap_err();
+        assert!(matches!(err, NnError::Perforation(_)));
+    }
+
+    #[test]
+    fn perforated_forward_changes_but_stays_finite() {
+        let net = tiny_alexnet(5);
+        let input = Tensor::from_fn(vec![2, 1, 32, 32], |i| ((i * 31 % 17) as f32) / 17.0);
+        let full = net
+            .forward(&input, &PerforationPlan::identity(net.conv_count()))
+            .unwrap();
+        let plan = PerforationPlan::from_rates(vec![0.5; net.conv_count()]);
+        let perf = net.forward(&input, &plan).unwrap();
+        assert_eq!(full.shape(), perf.shape());
+        assert!(perf.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn forward_train_records_all_activations() {
+        let net = tiny_alexnet(4);
+        let input = Tensor::zeros(vec![1, 1, 32, 32]);
+        let trace = net.forward_train(&input, 1).unwrap();
+        assert_eq!(trace.activations.len(), net.layers().len() + 1);
+        assert_eq!(trace.caches.len(), net.layers().len());
+        assert_eq!(trace.logits().shape(), &[1, 4]);
+    }
+
+    #[test]
+    fn spec_reflects_structure() {
+        let net = tiny_alexnet(6);
+        let spec = net.spec();
+        assert_eq!(spec.conv_layers().len(), net.conv_count());
+        assert!(spec.total_flops() > 0);
+    }
+}

@@ -1,0 +1,555 @@
+//! Shape-level descriptions of the paper's full-size networks.
+//!
+//! The characterization (§III), the kernel model and the analytical models
+//! (§IV.B) only need each convolutional layer's GEMM shape and FLOP count
+//! (paper eq. 1): `Conv_FLOPs = 2 * N_f * S_f^2 * N_c * W_o * H_o`. These
+//! specs carry exactly that, including AlexNet's channel grouping (which is
+//! why Table IV lists a `128 x 729` result matrix for CONV2: 256 filters in
+//! two groups of 128).
+
+/// Shape of one convolutional layer, possibly grouped.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_nn::spec::ConvSpec;
+///
+/// // AlexNet CONV5: 256 filters in 2 groups, 3x3 over 192x13x13 input.
+/// let c = ConvSpec::new("CONV5", 256, 3, 384, 13, 13, 1, 1, 2);
+/// assert_eq!(c.gemm_shape(1), (128, 169, 1728));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Layer name, e.g. `"CONV2"` or `"inception_3a/3x3"`.
+    pub name: String,
+    /// Total number of filters `N_f` (across all groups).
+    pub n_f: usize,
+    /// Square filter side `S_f`.
+    pub s_f: usize,
+    /// Total input channels `N_c` (across all groups).
+    pub n_c: usize,
+    /// Output map width `W_o`.
+    pub w_o: usize,
+    /// Output map height `H_o`.
+    pub h_o: usize,
+    /// Stride (kept for completeness; the GEMM shape already encodes it).
+    pub stride: usize,
+    /// Padding.
+    pub pad: usize,
+    /// Channel groups (AlexNet CONV2/4/5 use 2).
+    pub groups: usize,
+}
+
+impl ConvSpec {
+    /// Creates a conv-layer spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups == 0` or does not divide both `n_f` and `n_c`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        n_f: usize,
+        s_f: usize,
+        n_c: usize,
+        w_o: usize,
+        h_o: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> Self {
+        assert!(groups > 0, "groups must be positive");
+        assert_eq!(n_f % groups, 0, "groups must divide n_f");
+        assert_eq!(n_c % groups, 0, "groups must divide n_c");
+        Self {
+            name: name.to_string(),
+            n_f,
+            s_f,
+            n_c,
+            w_o,
+            h_o,
+            stride,
+            pad,
+            groups,
+        }
+    }
+
+    /// The per-group SGEMM shape `(M, N, K)` for a given batch size:
+    /// `M = N_f / groups`, `N = W_o * H_o * batch`, `K = S_f^2 * N_c / groups`
+    /// (paper Fig. 2; batching concatenates images along N).
+    pub fn gemm_shape(&self, batch: usize) -> (usize, usize, usize) {
+        (
+            self.n_f / self.groups,
+            self.w_o * self.h_o * batch,
+            self.s_f * self.s_f * self.n_c / self.groups,
+        )
+    }
+
+    /// `Conv_FLOPs` for one image (paper eq. 1), summed over groups.
+    ///
+    /// Grouping does not change the total: each group computes
+    /// `2 * (N_f/g) * S_f^2 * (N_c/g) * W_o * H_o` and there are `g` groups,
+    /// so the total is `2 * N_f * S_f^2 * N_c * W_o * H_o / g`.
+    pub fn flops(&self) -> u64 {
+        let (m, n, k) = self.gemm_shape(1);
+        2 * (m as u64) * (n as u64) * (k as u64) * self.groups as u64
+    }
+
+    /// Output positions `W_o * H_o` for one image.
+    pub fn out_positions(&self) -> usize {
+        self.w_o * self.h_o
+    }
+
+    /// Number of weight parameters (filters only, biases excluded).
+    pub fn weight_count(&self) -> usize {
+        self.n_f * self.s_f * self.s_f * self.n_c / self.groups
+    }
+
+    /// Output activation element count for one image.
+    pub fn activation_count(&self) -> usize {
+        self.n_f * self.w_o * self.h_o
+    }
+
+    /// im2col workspace elements for one image and one group:
+    /// `K * N` of the per-group GEMM.
+    pub fn im2col_workspace(&self) -> usize {
+        let (_, n, k) = self.gemm_shape(1);
+        n * k
+    }
+}
+
+/// Shape of a pooling layer (max or average — the distinction does not
+/// matter for cost models).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PoolSpec {
+    /// Layer name.
+    pub name: String,
+    /// Channels (unchanged by pooling).
+    pub channels: usize,
+    /// Output map width.
+    pub w_o: usize,
+    /// Output map height.
+    pub h_o: usize,
+}
+
+/// Shape of a fully-connected (classifier) layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FcSpec {
+    /// Layer name.
+    pub name: String,
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+}
+
+impl FcSpec {
+    /// FLOPs for one image: `2 * in * out`.
+    pub fn flops(&self) -> u64 {
+        2 * self.in_features as u64 * self.out_features as u64
+    }
+
+    /// Number of weight parameters.
+    pub fn weight_count(&self) -> usize {
+        self.in_features * self.out_features
+    }
+}
+
+/// One layer of a shape-level network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LayerSpec {
+    /// Convolutional layer.
+    Conv(ConvSpec),
+    /// Pooling layer.
+    Pool(PoolSpec),
+    /// Fully-connected layer.
+    Fc(FcSpec),
+}
+
+impl LayerSpec {
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerSpec::Conv(c) => &c.name,
+            LayerSpec::Pool(p) => &p.name,
+            LayerSpec::Fc(f) => &f.name,
+        }
+    }
+
+    /// FLOPs for one image (pooling counted as zero — it is never the
+    /// bottleneck and the paper's models ignore it).
+    pub fn flops(&self) -> u64 {
+        match self {
+            LayerSpec::Conv(c) => c.flops(),
+            LayerSpec::Pool(_) => 0,
+            LayerSpec::Fc(f) => f.flops(),
+        }
+    }
+
+    /// Output activation elements for one image.
+    pub fn activation_count(&self) -> usize {
+        match self {
+            LayerSpec::Conv(c) => c.activation_count(),
+            LayerSpec::Pool(p) => p.channels * p.w_o * p.h_o,
+            LayerSpec::Fc(f) => f.out_features,
+        }
+    }
+
+    /// Weight parameters.
+    pub fn weight_count(&self) -> usize {
+        match self {
+            LayerSpec::Conv(c) => c.weight_count(),
+            LayerSpec::Pool(_) => 0,
+            LayerSpec::Fc(f) => f.weight_count(),
+        }
+    }
+}
+
+/// A shape-level network: an ordered list of [`LayerSpec`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkSpec {
+    /// Network name (`"AlexNet"`, `"VGGNet"`, `"GoogLeNet"`).
+    pub name: String,
+    /// Input image elements per image (e.g. `3 * 227 * 227`).
+    pub input_elems: usize,
+    /// Layers in execution order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// All convolutional layers, in order.
+    pub fn conv_layers(&self) -> Vec<&ConvSpec> {
+        self.layers
+            .iter()
+            .filter_map(|l| match l {
+                LayerSpec::Conv(c) => Some(c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total FLOPs for one image.
+    pub fn total_flops(&self) -> u64 {
+        self.layers.iter().map(|l| l.flops()).sum()
+    }
+
+    /// Total weight parameters.
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(|l| l.weight_count()).sum()
+    }
+
+    /// Sum of all per-image activation element counts (plus the input).
+    pub fn total_activations(&self) -> usize {
+        self.input_elems + self.layers.iter().map(|l| l.activation_count()).sum::<usize>()
+    }
+
+    /// Largest per-image im2col workspace over all conv layers.
+    pub fn max_im2col_workspace(&self) -> usize {
+        self.conv_layers()
+            .iter()
+            .map(|c| c.im2col_workspace())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// AlexNet (Krizhevsky et al.), 227x227x3 input, with the original channel
+/// grouping on CONV2/4/5.
+pub fn alexnet() -> NetworkSpec {
+    NetworkSpec {
+        name: "AlexNet".to_string(),
+        input_elems: 3 * 227 * 227,
+        layers: vec![
+            LayerSpec::Conv(ConvSpec::new("CONV1", 96, 11, 3, 55, 55, 4, 0, 1)),
+            LayerSpec::Pool(PoolSpec {
+                name: "POOL1".into(),
+                channels: 96,
+                w_o: 27,
+                h_o: 27,
+            }),
+            LayerSpec::Conv(ConvSpec::new("CONV2", 256, 5, 96, 27, 27, 1, 2, 2)),
+            LayerSpec::Pool(PoolSpec {
+                name: "POOL2".into(),
+                channels: 256,
+                w_o: 13,
+                h_o: 13,
+            }),
+            LayerSpec::Conv(ConvSpec::new("CONV3", 384, 3, 256, 13, 13, 1, 1, 1)),
+            LayerSpec::Conv(ConvSpec::new("CONV4", 384, 3, 384, 13, 13, 1, 1, 2)),
+            LayerSpec::Conv(ConvSpec::new("CONV5", 256, 3, 384, 13, 13, 1, 1, 2)),
+            LayerSpec::Pool(PoolSpec {
+                name: "POOL3".into(),
+                channels: 256,
+                w_o: 6,
+                h_o: 6,
+            }),
+            LayerSpec::Fc(FcSpec {
+                name: "FC6".into(),
+                in_features: 9216,
+                out_features: 4096,
+            }),
+            LayerSpec::Fc(FcSpec {
+                name: "FC7".into(),
+                in_features: 4096,
+                out_features: 4096,
+            }),
+            LayerSpec::Fc(FcSpec {
+                name: "FC8".into(),
+                in_features: 4096,
+                out_features: 1000,
+            }),
+        ],
+    }
+}
+
+/// VGGNet-16 (configuration D), 224x224x3 input.
+pub fn vggnet() -> NetworkSpec {
+    let mut layers = Vec::new();
+    // (name, n_f, n_c, map side)
+    let convs: &[(&str, usize, usize, usize)] = &[
+        ("CONV1_1", 64, 3, 224),
+        ("CONV1_2", 64, 64, 224),
+        ("CONV2_1", 128, 64, 112),
+        ("CONV2_2", 128, 128, 112),
+        ("CONV3_1", 256, 128, 56),
+        ("CONV3_2", 256, 256, 56),
+        ("CONV3_3", 256, 256, 56),
+        ("CONV4_1", 512, 256, 28),
+        ("CONV4_2", 512, 512, 28),
+        ("CONV4_3", 512, 512, 28),
+        ("CONV5_1", 512, 512, 14),
+        ("CONV5_2", 512, 512, 14),
+        ("CONV5_3", 512, 512, 14),
+    ];
+    let mut prev_side = 224;
+    for &(name, n_f, n_c, side) in convs {
+        if side != prev_side {
+            layers.push(LayerSpec::Pool(PoolSpec {
+                name: format!("POOL_{}", side * 2),
+                channels: n_c,
+                w_o: side,
+                h_o: side,
+            }));
+            prev_side = side;
+        }
+        layers.push(LayerSpec::Conv(ConvSpec::new(
+            name, n_f, 3, n_c, side, side, 1, 1, 1,
+        )));
+    }
+    layers.push(LayerSpec::Pool(PoolSpec {
+        name: "POOL5".into(),
+        channels: 512,
+        w_o: 7,
+        h_o: 7,
+    }));
+    layers.push(LayerSpec::Fc(FcSpec {
+        name: "FC6".into(),
+        in_features: 25088,
+        out_features: 4096,
+    }));
+    layers.push(LayerSpec::Fc(FcSpec {
+        name: "FC7".into(),
+        in_features: 4096,
+        out_features: 4096,
+    }));
+    layers.push(LayerSpec::Fc(FcSpec {
+        name: "FC8".into(),
+        in_features: 4096,
+        out_features: 1000,
+    }));
+    NetworkSpec {
+        name: "VGGNet".to_string(),
+        input_elems: 3 * 224 * 224,
+        layers,
+    }
+}
+
+/// Parameters of one GoogLeNet inception module.
+struct Inception {
+    name: &'static str,
+    in_c: usize,
+    side: usize,
+    n1x1: usize,
+    n3x3_red: usize,
+    n3x3: usize,
+    n5x5_red: usize,
+    n5x5: usize,
+    pool_proj: usize,
+}
+
+impl Inception {
+    fn out_channels(&self) -> usize {
+        self.n1x1 + self.n3x3 + self.n5x5 + self.pool_proj
+    }
+
+    fn push_layers(&self, layers: &mut Vec<LayerSpec>) {
+        let s = self.side;
+        let mk = |suffix: &str, n_f: usize, s_f: usize, n_c: usize| {
+            LayerSpec::Conv(ConvSpec::new(
+                &format!("{}/{}", self.name, suffix),
+                n_f,
+                s_f,
+                n_c,
+                s,
+                s,
+                1,
+                (s_f - 1) / 2,
+                1,
+            ))
+        };
+        layers.push(mk("1x1", self.n1x1, 1, self.in_c));
+        layers.push(mk("3x3_reduce", self.n3x3_red, 1, self.in_c));
+        layers.push(mk("3x3", self.n3x3, 3, self.n3x3_red));
+        layers.push(mk("5x5_reduce", self.n5x5_red, 1, self.in_c));
+        layers.push(mk("5x5", self.n5x5, 5, self.n5x5_red));
+        layers.push(mk("pool_proj", self.pool_proj, 1, self.in_c));
+    }
+}
+
+/// GoogLeNet (Szegedy et al.), 224x224x3 input, with every convolution of
+/// every inception module listed as its own GEMM.
+pub fn googlenet() -> NetworkSpec {
+    let mut layers = vec![
+        LayerSpec::Conv(ConvSpec::new("conv1/7x7_s2", 64, 7, 3, 112, 112, 2, 3, 1)),
+        LayerSpec::Pool(PoolSpec {
+            name: "pool1".into(),
+            channels: 64,
+            w_o: 56,
+            h_o: 56,
+        }),
+        LayerSpec::Conv(ConvSpec::new("conv2/3x3_reduce", 64, 1, 64, 56, 56, 1, 0, 1)),
+        LayerSpec::Conv(ConvSpec::new("conv2/3x3", 192, 3, 64, 56, 56, 1, 1, 1)),
+        LayerSpec::Pool(PoolSpec {
+            name: "pool2".into(),
+            channels: 192,
+            w_o: 28,
+            h_o: 28,
+        }),
+    ];
+    let incepts = [
+        Inception { name: "3a", in_c: 192, side: 28, n1x1: 64, n3x3_red: 96, n3x3: 128, n5x5_red: 16, n5x5: 32, pool_proj: 32 },
+        Inception { name: "3b", in_c: 256, side: 28, n1x1: 128, n3x3_red: 128, n3x3: 192, n5x5_red: 32, n5x5: 96, pool_proj: 64 },
+        Inception { name: "4a", in_c: 480, side: 14, n1x1: 192, n3x3_red: 96, n3x3: 208, n5x5_red: 16, n5x5: 48, pool_proj: 64 },
+        Inception { name: "4b", in_c: 512, side: 14, n1x1: 160, n3x3_red: 112, n3x3: 224, n5x5_red: 24, n5x5: 64, pool_proj: 64 },
+        Inception { name: "4c", in_c: 512, side: 14, n1x1: 128, n3x3_red: 128, n3x3: 256, n5x5_red: 24, n5x5: 64, pool_proj: 64 },
+        Inception { name: "4d", in_c: 512, side: 14, n1x1: 112, n3x3_red: 144, n3x3: 288, n5x5_red: 32, n5x5: 64, pool_proj: 64 },
+        Inception { name: "4e", in_c: 528, side: 14, n1x1: 256, n3x3_red: 160, n3x3: 320, n5x5_red: 32, n5x5: 128, pool_proj: 128 },
+        Inception { name: "5a", in_c: 832, side: 7, n1x1: 256, n3x3_red: 160, n3x3: 320, n5x5_red: 32, n5x5: 128, pool_proj: 128 },
+        Inception { name: "5b", in_c: 832, side: 7, n1x1: 384, n3x3_red: 192, n3x3: 384, n5x5_red: 48, n5x5: 128, pool_proj: 128 },
+    ];
+    let mut prev_side = 28;
+    for inc in &incepts {
+        if inc.side != prev_side {
+            layers.push(LayerSpec::Pool(PoolSpec {
+                name: format!("pool_{}", inc.side),
+                channels: inc.in_c,
+                w_o: inc.side,
+                h_o: inc.side,
+            }));
+            prev_side = inc.side;
+        }
+        inc.push_layers(&mut layers);
+    }
+    let last_out = incepts.last().map(Inception::out_channels).unwrap_or(1024);
+    layers.push(LayerSpec::Pool(PoolSpec {
+        name: "avgpool".into(),
+        channels: last_out,
+        w_o: 1,
+        h_o: 1,
+    }));
+    layers.push(LayerSpec::Fc(FcSpec {
+        name: "loss3/classifier".into(),
+        in_features: last_out,
+        out_features: 1000,
+    }));
+    NetworkSpec {
+        name: "GoogLeNet".to_string(),
+        input_elems: 3 * 224 * 224,
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_table4_gemm_shapes() {
+        let net = alexnet();
+        let convs = net.conv_layers();
+        assert_eq!(convs.len(), 5);
+        // Table IV result matrices for the non-batching case.
+        assert_eq!(convs[1].gemm_shape(1), (128, 729, 1200)); // CONV2
+        assert_eq!(convs[4].gemm_shape(1), (128, 169, 1728)); // CONV5
+    }
+
+    #[test]
+    fn alexnet_conv2_is_heaviest_conv() {
+        // §III.C: CONV2 has the largest computational load among AlexNet's
+        // conv layers.
+        let net = alexnet();
+        let convs = net.conv_layers();
+        let conv2_flops = convs[1].flops();
+        for c in &convs {
+            assert!(c.flops() <= conv2_flops, "{} exceeds CONV2", c.name);
+        }
+    }
+
+    #[test]
+    fn vggnet_flops_match_paper_magnitude() {
+        // Paper §I: VGGNet needs ~1.5e10 multiplications per image, i.e.
+        // ~3.0e10 FLOPs with the 2-FLOPs-per-MAC convention.
+        let flops = vggnet().total_flops() as f64;
+        assert!(
+            (2.5e10..4.0e10).contains(&flops),
+            "VGG FLOPs {flops:.3e} outside expected band"
+        );
+    }
+
+    #[test]
+    fn vggnet_weight_count_is_138m() {
+        let w = vggnet().total_weights();
+        assert!((130_000_000..145_000_000).contains(&w), "VGG weights {w}");
+    }
+
+    #[test]
+    fn alexnet_weight_count_near_60m() {
+        let w = alexnet().total_weights();
+        assert!((55_000_000..65_000_000).contains(&w), "AlexNet weights {w}");
+    }
+
+    #[test]
+    fn googlenet_structure() {
+        let net = googlenet();
+        // 3 stem convs + 9 inceptions x 6 convs = 57 conv GEMMs.
+        assert_eq!(net.conv_layers().len(), 57);
+        // ~6.8M params (no aux classifiers).
+        let w = net.total_weights();
+        assert!((5_500_000..8_000_000).contains(&w), "GoogLeNet weights {w}");
+        // ~3e9 FLOPs per image.
+        let f = net.total_flops() as f64;
+        assert!((2.0e9..4.5e9).contains(&f), "GoogLeNet FLOPs {f:.3e}");
+    }
+
+    #[test]
+    fn grouping_preserves_total_flops() {
+        let grouped = ConvSpec::new("g", 256, 5, 96, 27, 27, 1, 2, 2);
+        let ungrouped = ConvSpec::new("u", 256, 5, 96, 27, 27, 1, 2, 1);
+        assert_eq!(grouped.flops() * 2, ungrouped.flops());
+    }
+
+    #[test]
+    fn gemm_shape_scales_n_with_batch() {
+        let c = ConvSpec::new("c", 64, 3, 32, 8, 8, 1, 1, 1);
+        let (m1, n1, k1) = c.gemm_shape(1);
+        let (m4, n4, k4) = c.gemm_shape(4);
+        assert_eq!((m1, k1), (m4, k4));
+        assert_eq!(n4, 4 * n1);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups must divide n_f")]
+    fn conv_spec_rejects_bad_groups() {
+        ConvSpec::new("bad", 10, 3, 4, 5, 5, 1, 1, 4);
+    }
+}

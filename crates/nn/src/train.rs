@@ -1,0 +1,303 @@
+//! SGD training and evaluation of the runnable tiny networks.
+
+use pcnn_tensor::Tensor;
+
+use crate::entropy::{accuracy, mean_entropy, softmax};
+use crate::layer::{Layer, ParamGrads};
+use crate::network::Network;
+use crate::perforation::PerforationPlan;
+use crate::NnError;
+
+/// Softmax + cross-entropy loss and its gradient w.r.t. the logits.
+///
+/// Returns `(mean loss, d_logits)` where `d_logits = (softmax - onehot) / N`.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or any label is out
+/// of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
+    cross_entropy_smoothed(logits, labels, 0.0)
+}
+
+/// Label-smoothed cross-entropy: the target distribution is
+/// `(1 - eps)` on the true class and `eps / classes` elsewhere.
+///
+/// Smoothing keeps the trained classifier's confidence calibrated, which
+/// is what makes output entropy an effective unsupervised accuracy proxy
+/// (paper §II.B.4) — an unsmoothed tiny network saturates its softmax and
+/// stays confidently wrong under perforation.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size, any label is out
+/// of range, or `eps` is outside `[0, 1)`.
+pub fn cross_entropy_smoothed(logits: &Tensor, labels: &[usize], eps: f32) -> (f64, Tensor) {
+    assert_eq!(logits.ndim(), 2, "cross_entropy expects [N, classes]");
+    assert!((0.0..1.0).contains(&eps), "eps {eps} outside [0,1)");
+    let n = logits.shape()[0];
+    let c = logits.shape()[1];
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let off_target = eps / c as f32;
+    let on_target = 1.0 - eps + off_target;
+    let mut grad = Tensor::zeros(vec![n, c]);
+    let mut loss = 0.0;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range ({c} classes)");
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let probs = softmax(row);
+        for (j, &p) in probs.iter().enumerate() {
+            let target = if j == label { on_target } else { off_target };
+            loss += -(target as f64) * (p.max(1e-12) as f64).ln();
+            grad.data_mut()[i * c + j] = (p - target) / n as f32;
+        }
+    }
+    (loss / n as f64, grad)
+}
+
+/// Plain SGD with momentum over a [`Network`]'s parameters.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    /// Per-layer gradient L2-norm clip (`None` disables). Keeps deep tiny
+    /// nets from diverging on noisy synthetic data.
+    pub grad_clip: Option<f32>,
+    /// Label-smoothing epsilon (see [`cross_entropy_smoothed`]).
+    pub label_smoothing: f32,
+    step_count: u64,
+    velocity: Vec<Option<ParamGrads>>,
+}
+
+impl Sgd {
+    /// Creates an optimiser for `net` with gradient clipping at norm 5 and
+    /// label smoothing 0.1.
+    pub fn new(net: &Network, lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            grad_clip: Some(5.0),
+            label_smoothing: 0.1,
+            step_count: 0,
+            velocity: vec![None; net.layers().len()],
+        }
+    }
+
+    fn clip(&self, g: &mut ParamGrads) {
+        let Some(max_norm) = self.grad_clip else { return };
+        let norm: f32 = g
+            .d_weight
+            .data()
+            .iter()
+            .chain(g.d_bias.iter())
+            .map(|x| x * x)
+            .sum::<f32>()
+            .sqrt();
+        if norm > max_norm {
+            let scale = max_norm / norm;
+            g.d_weight.map_inplace(|x| x * scale);
+            for b in &mut g.d_bias {
+                *b *= scale;
+            }
+        }
+    }
+
+    /// One forward/backward/update step on a minibatch. Returns the mean
+    /// cross-entropy loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the forward pass.
+    pub fn step(
+        &mut self,
+        net: &mut Network,
+        input: &Tensor,
+        labels: &[usize],
+    ) -> Result<f64, NnError> {
+        self.step_count += 1;
+        let trace = net.forward_train(input, self.step_count)?;
+        let (loss, mut grad) =
+            cross_entropy_smoothed(trace.logits(), labels, self.label_smoothing);
+        // Backward through the layers in reverse.
+        let n_layers = net.layers().len();
+        let mut param_grads: Vec<Option<ParamGrads>> = vec![None; n_layers];
+        for i in (0..n_layers).rev() {
+            let layer = &net.layers()[i];
+            let (d_in, grads) = layer.backward(
+                &trace.activations[i],
+                &trace.activations[i + 1],
+                &trace.caches[i],
+                &grad,
+            );
+            param_grads[i] = grads;
+            grad = d_in;
+        }
+        // Apply updates.
+        for (i, maybe_grads) in param_grads.into_iter().enumerate() {
+            let Some(mut g) = maybe_grads else { continue };
+            self.clip(&mut g);
+            let v = self.velocity[i].get_or_insert_with(|| ParamGrads {
+                d_weight: Tensor::zeros(g.d_weight.shape().to_vec()),
+                d_bias: vec![0.0; g.d_bias.len()],
+            });
+            for (vel, &gw) in v.d_weight.data_mut().iter_mut().zip(g.d_weight.data()) {
+                *vel = self.momentum * *vel - self.lr * gw;
+            }
+            for (vel, &gb) in v.d_bias.iter_mut().zip(&g.d_bias) {
+                *vel = self.momentum * *vel - self.lr * gb;
+            }
+            match &mut net.layers_mut()[i] {
+                Layer::Conv2d(c) => {
+                    let (w, b) = c.params_mut();
+                    for (wv, &dv) in w.data_mut().iter_mut().zip(v.d_weight.data()) {
+                        *wv += dv;
+                    }
+                    for (bv, &dv) in b.iter_mut().zip(&v.d_bias) {
+                        *bv += dv;
+                    }
+                }
+                Layer::Linear(l) => {
+                    let (w, b) = l.params_mut();
+                    for (wv, &dv) in w.data_mut().iter_mut().zip(v.d_weight.data()) {
+                        *wv += dv;
+                    }
+                    for (bv, &dv) in b.iter_mut().zip(&v.d_bias) {
+                        *bv += dv;
+                    }
+                }
+                _ => unreachable!("only conv/linear layers produce gradients"),
+            }
+        }
+        Ok(loss)
+    }
+}
+
+/// Trains `net` on `(inputs, labels)` minibatches for `epochs` passes.
+/// Returns the per-epoch mean losses.
+///
+/// `inputs` is `[N, C, H, W]`; minibatches of `batch` images are sliced in
+/// order (the caller shuffles if desired — our synthetic datasets are
+/// already i.i.d.).
+///
+/// # Errors
+///
+/// Propagates forward-pass shape errors.
+pub fn train(
+    net: &mut Network,
+    inputs: &Tensor,
+    labels: &[usize],
+    epochs: usize,
+    batch: usize,
+    lr: f32,
+) -> Result<Vec<f64>, NnError> {
+    assert!(batch > 0, "batch must be positive");
+    let n = inputs.shape()[0];
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let mut opt = Sgd::new(net, lr, 0.9);
+    let mut losses = Vec::with_capacity(epochs);
+    let item: usize = inputs.shape()[1..].iter().product();
+    for _ in 0..epochs {
+        let mut epoch_loss = 0.0;
+        let mut n_batches = 0;
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch).min(n);
+            let nb = end - start;
+            let mut shape = inputs.shape().to_vec();
+            shape[0] = nb;
+            let mb = Tensor::from_vec(
+                shape,
+                inputs.data()[start * item..end * item].to_vec(),
+            )?;
+            epoch_loss += opt.step(net, &mb, &labels[start..end])?;
+            n_batches += 1;
+            start = end;
+        }
+        losses.push(epoch_loss / n_batches.max(1) as f64);
+    }
+    Ok(losses)
+}
+
+/// Evaluation result on a labelled set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Top-1 accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Mean output entropy (`CNN_entropy`, paper eq. 2) in nats.
+    pub entropy: f64,
+}
+
+/// Evaluates accuracy and mean entropy under a perforation plan.
+///
+/// # Errors
+///
+/// Propagates forward-pass errors.
+pub fn evaluate(
+    net: &Network,
+    inputs: &Tensor,
+    labels: &[usize],
+    plan: &PerforationPlan,
+) -> Result<Evaluation, NnError> {
+    let logits = net.forward(inputs, plan)?;
+    Ok(Evaluation {
+        accuracy: accuracy(&logits, labels),
+        entropy: mean_entropy(&logits),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::tiny_alexnet;
+
+    #[test]
+    fn cross_entropy_of_perfect_logits_is_small() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![20., 0., 0., 0., 20., 0.]).unwrap();
+        let (loss, grad) = cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-3, "loss {loss}");
+        assert!(grad.data().iter().all(|g| g.abs() < 1.0));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1, 4], vec![0.3, -0.2, 0.9, 0.1]).unwrap();
+        let (_, grad) = cross_entropy(&logits, &[2]);
+        let s: f32 = grad.data().iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 5 out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        let logits = Tensor::zeros(vec![1, 3]);
+        cross_entropy(&logits, &[5]);
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_fixed_batch() {
+        let mut net = tiny_alexnet(3);
+        let input = Tensor::from_fn(vec![6, 1, 32, 32], |i| ((i % 37) as f32) / 37.0 - 0.5);
+        let labels = vec![0, 1, 2, 0, 1, 2];
+        let mut opt = Sgd::new(&net, 0.05, 0.9);
+        let first = opt.step(&mut net, &input, &labels).unwrap();
+        let mut last = first;
+        for _ in 0..20 {
+            last = opt.step(&mut net, &input, &labels).unwrap();
+        }
+        assert!(
+            last < first * 0.8,
+            "loss did not decrease: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn train_runs_epochs_and_reports_losses() {
+        let mut net = tiny_alexnet(2);
+        let input = Tensor::from_fn(vec![8, 1, 32, 32], |i| ((i % 23) as f32) / 23.0);
+        let labels = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let losses = train(&mut net, &input, &labels, 3, 4, 0.05).unwrap();
+        assert_eq!(losses.len(), 3);
+    }
+}

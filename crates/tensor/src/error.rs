@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a tensor is constructed or reshaped with a shape that
+/// does not match its element count.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_tensor::Tensor;
+///
+/// let err = Tensor::from_vec(vec![2, 3], vec![1.0; 5]).unwrap_err();
+/// assert!(err.to_string().contains("expected 6"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    shape: Vec<usize>,
+    expected: usize,
+    actual: usize,
+}
+
+impl ShapeError {
+    pub(crate) fn new(shape: Vec<usize>, actual: usize) -> Self {
+        let expected = shape.iter().product();
+        Self {
+            shape,
+            expected,
+            actual,
+        }
+    }
+
+    /// The offending shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The element count the shape requires.
+    pub fn expected_len(&self) -> usize {
+        self.expected
+    }
+
+    /// The element count that was actually supplied.
+    pub fn actual_len(&self) -> usize {
+        self.actual
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape {:?} expected {} elements, got {}",
+            self.shape, self.expected, self.actual
+        )
+    }
+}
+
+impl Error for ShapeError {}

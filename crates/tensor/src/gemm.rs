@@ -1,0 +1,249 @@
+//! Blocked row-major single-precision matrix multiplication.
+//!
+//! The GPU kernels in the paper are SGEMMs (§III.C, Table IV); this module
+//! is the CPU implementation that actually performs the arithmetic in the
+//! reproduction, while `pcnn-kernels`/`pcnn-gpu` model how the same SGEMM
+//! would behave on each GPU microarchitecture.
+
+/// Cache-blocking tile sizes. 64x64x64 f32 tiles fit comfortably in L1/L2 on
+/// any host this runs on; the exact value only affects speed, not results.
+const MC: usize = 64;
+const NC: usize = 64;
+const KC: usize = 64;
+
+/// `C += A * B` for row-major matrices.
+///
+/// `A` is `m x k`, `B` is `k x n`, `C` is `m x n`. Accumulates into `C`
+/// (callers wanting `C = A * B` should zero `C` first — [`crate::Tensor::zeros`]
+/// does).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its `m/n/k`-implied length.
+pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k, "A too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+
+    for i0 in (0..m).step_by(MC) {
+        let i_max = (i0 + MC).min(m);
+        for p0 in (0..k).step_by(KC) {
+            let p_max = (p0 + KC).min(k);
+            for j0 in (0..n).step_by(NC) {
+                let j_max = (j0 + NC).min(n);
+                for i in i0..i_max {
+                    let a_row = &a[i * k..i * k + k];
+                    let c_row = &mut c[i * n..i * n + n];
+                    for p in p0..p_max {
+                        let aval = a_row[p];
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[p * n..p * n + n];
+                        for j in j0..j_max {
+                            c_row[j] += aval * b_row[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C = A * B + bias` where `bias` is broadcast along rows: `C[i][j] += bias[i]`.
+///
+/// This matches the fused filter-matrix x data-matrix convolution of the
+/// paper's Fig. 2, where each output channel (row of `C`) has one bias.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m/n/k` or
+/// `bias.len() < m`.
+pub fn gemm_bias(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], bias: &[f32], c: &mut [f32]) {
+    assert!(bias.len() >= m, "bias too short: {} < {m}", bias.len());
+    assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+    for i in 0..m {
+        let row = &mut c[i * n..i * n + n];
+        for v in row.iter_mut() {
+            *v = bias[i];
+        }
+    }
+    gemm(m, n, k, a, b, c);
+}
+
+/// `C += A * B^T` for row-major matrices: `A` is `m x k`, `B` is `n x k`,
+/// `C` is `m x n`.
+///
+/// Used by the convolution/linear backward passes (`dW = dOut * cols^T`).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied length.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k, "A too short");
+    assert!(b.len() >= n * k, "B too short");
+    assert!(c.len() >= m * n, "C too short");
+    for i in 0..m {
+        let a_row = &a[i * k..i * k + k];
+        let c_row = &mut c[i * n..i * n + n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..j * k + k];
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a_row[p] * b_row[p];
+            }
+            *cv += acc;
+        }
+    }
+}
+
+/// `C += A^T * B` for row-major matrices: `A` is `k x m`, `B` is `k x n`,
+/// `C` is `m x n`.
+///
+/// Used by the convolution/linear backward passes (`dCols = W^T * dOut`).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied length.
+pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= k * m, "A too short");
+    assert!(b.len() >= k * n, "B too short");
+    assert!(c.len() >= m * n, "C too short");
+    for p in 0..k {
+        let a_row = &a[p * m..p * m + m];
+        let b_row = &b[p * n..p * n + n];
+        for i in 0..m {
+            let aval = a_row[i];
+            if aval == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..i * n + n];
+            for j in 0..n {
+                c_row[j] += aval * b_row[j];
+            }
+        }
+    }
+}
+
+/// Reference triple-loop GEMM used to validate [`gemm`] in tests and
+/// property checks. `C += A * B`.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its implied length.
+pub fn gemm_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(a.len() >= m * k && b.len() >= k * n && c.len() >= m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i % 13) as f32 - 6.0).collect()
+    }
+
+    #[test]
+    fn gemm_matches_naive_small() {
+        let (m, n, k) = (3, 4, 5);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm(m, n, k, &a, &b, &mut c1);
+        gemm_naive(m, n, k, &a, &b, &mut c2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn gemm_matches_naive_blocked_boundary() {
+        // Sizes that straddle the 64-blocking boundaries.
+        let (m, n, k) = (65, 67, 129);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm(m, n, k, &a, &b, &mut c1);
+        gemm_naive(m, n, k, &a, &b, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates() {
+        let mut c = vec![1.0; 4];
+        gemm(2, 2, 1, &[1.0, 2.0], &[3.0, 4.0], &mut c);
+        assert_eq!(c, vec![4.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gemm_bias_broadcasts_per_row() {
+        let a = [1.0, 0.0, 0.0, 1.0]; // identity
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![0.0; 4];
+        gemm_bias(2, 2, 2, &a, &b, &[10.0, 20.0], &mut c);
+        assert_eq!(c, vec![15.0, 16.0, 27.0, 28.0]);
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops() {
+        let mut c = vec![0.0f32; 0];
+        gemm(0, 0, 0, &[], &[], &mut c);
+        let mut c = vec![3.0; 2];
+        gemm(1, 2, 0, &[], &[], &mut c);
+        assert_eq!(c, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "A too short")]
+    fn gemm_panics_on_short_a() {
+        let mut c = vec![0.0; 4];
+        gemm(2, 2, 2, &[1.0; 3], &[1.0; 4], &mut c);
+    }
+
+    fn transpose(rows: usize, cols: usize, x: &[f32]) -> Vec<f32> {
+        let mut t = vec![0.0; rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                t[j * rows + i] = x[i * cols + j];
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn gemm_nt_matches_explicit_transpose() {
+        let (m, n, k) = (4, 5, 6);
+        let a = seq(m * k);
+        let b = seq(n * k); // B is n x k
+        let bt = transpose(n, k, &b); // k x n
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm_nt(m, n, k, &a, &b, &mut c1);
+        gemm_naive(m, n, k, &a, &bt, &mut c2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let (m, n, k) = (4, 5, 6);
+        let a = seq(k * m); // A is k x m
+        let b = seq(k * n);
+        let at = transpose(k, m, &a); // m x k
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm_tn(m, n, k, &a, &b, &mut c1);
+        gemm_naive(m, n, k, &at, &b, &mut c2);
+        assert_eq!(c1, c2);
+    }
+}

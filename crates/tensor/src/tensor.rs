@@ -1,0 +1,307 @@
+use std::fmt;
+
+use crate::ShapeError;
+
+/// A dense, row-major `f32` tensor.
+///
+/// CNN activations use the NCHW convention: `shape = [batch, channels,
+/// height, width]`. Matrices use `[rows, cols]`. The type is deliberately
+/// simple — contiguous storage, no strides — because the P-CNN workloads
+/// only need contiguous forward/backward passes and im2col lowering.
+///
+/// # Example
+///
+/// ```
+/// use pcnn_tensor::Tensor;
+///
+/// let mut t = Tensor::zeros(vec![1, 2, 2, 2]);
+/// t.set(&[0, 1, 0, 1], 3.5);
+/// assert_eq!(t.get(&[0, 1, 0, 1]), 3.5);
+/// assert_eq!(t.len(), 8);
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with zeros.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(shape: Vec<usize>, value: f32) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len()` does not equal the product of
+    /// `shape`.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, ShapeError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(ShapeError::new(shape, data.len()));
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f` at every flat index.
+    pub fn from_fn(shape: Vec<usize>, mut f: impl FnMut(usize) -> f32) -> Self {
+        let len = shape.iter().product();
+        let data = (0..len).map(&mut f).collect();
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Flat offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index.len() != self.ndim()` or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.shape.len(),
+            "index rank {} != tensor rank {}",
+            index.len(),
+            self.shape.len()
+        );
+        let mut off = 0;
+        for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(ix < dim, "index {ix} out of bounds for axis {i} (dim {dim})");
+            off = off * dim + ix;
+        }
+        off
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds (see [`Tensor::offset`]).
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Writes an element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds (see [`Tensor::offset`]).
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the new shape's element count differs.
+    pub fn reshape(self, shape: Vec<usize>) -> Result<Self, ShapeError> {
+        Self::from_vec(shape, self.data)
+    }
+
+    /// Applies `f` element-wise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Index of the maximum element (first occurrence). Returns `None` for
+    /// an empty tensor.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Contiguous slice covering batch item `n` of an NCHW tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 4-dimensional or `n` is out of range.
+    pub fn batch_item(&self, n: usize) -> &[f32] {
+        assert_eq!(self.ndim(), 4, "batch_item requires an NCHW tensor");
+        assert!(n < self.shape[0], "batch index {n} out of range");
+        let stride: usize = self.shape[1..].iter().product();
+        &self.data[n * stride..(n + 1) * stride]
+    }
+
+    /// Mutable variant of [`Tensor::batch_item`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 4-dimensional or `n` is out of range.
+    pub fn batch_item_mut(&mut self, n: usize) -> &mut [f32] {
+        assert_eq!(self.ndim(), 4, "batch_item_mut requires an NCHW tensor");
+        assert!(n < self.shape[0], "batch index {n} out of range");
+        let stride: usize = self.shape[1..].iter().product();
+        &mut self.data[n * stride..(n + 1) * stride]
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Keep Debug output bounded: print shape and at most 8 leading values.
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        let ellipsis = if self.data.len() > 8 { ", .." } else { "" };
+        write!(f, "Tensor{:?} {:?}{}", self.shape, preview, ellipsis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_len() {
+        let t = Tensor::zeros(vec![2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_mismatch() {
+        let err = Tensor::from_vec(vec![2, 2], vec![0.0; 3]).unwrap_err();
+        assert_eq!(err.expected_len(), 4);
+        assert_eq!(err.actual_len(), 3);
+    }
+
+    #[test]
+    fn offset_is_row_major() {
+        let t = Tensor::zeros(vec![2, 3, 4]);
+        assert_eq!(t.offset(&[0, 0, 0]), 0);
+        assert_eq!(t.offset(&[0, 0, 3]), 3);
+        assert_eq!(t.offset(&[0, 1, 0]), 4);
+        assert_eq!(t.offset(&[1, 0, 0]), 12);
+        assert_eq!(t.offset(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_panics_out_of_bounds() {
+        let t = Tensor::zeros(vec![2, 2]);
+        t.offset(&[0, 2]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(vec![3, 3]);
+        t.set(&[1, 2], 7.25);
+        assert_eq!(t.get(&[1, 2]), 7.25);
+        assert_eq!(t.get(&[2, 1]), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let r = t.reshape(vec![3, 2]).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), &[1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn reshape_rejects_bad_shape() {
+        let t = Tensor::zeros(vec![2, 3]);
+        assert!(t.reshape(vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn argmax_finds_first_max() {
+        let t = Tensor::from_vec(vec![4], vec![1., 9., 9., 2.]).unwrap();
+        assert_eq!(t.argmax(), Some(1));
+        assert_eq!(Tensor::zeros(vec![0]).argmax(), None);
+    }
+
+    #[test]
+    fn batch_item_slices_correctly() {
+        let t = Tensor::from_fn(vec![2, 1, 2, 2], |i| i as f32);
+        assert_eq!(t.batch_item(0), &[0., 1., 2., 3.]);
+        assert_eq!(t.batch_item(1), &[4., 5., 6., 7.]);
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let t = Tensor::from_vec(vec![3], vec![1., -2., 3.]).unwrap();
+        let r = t.map(|x| x.abs());
+        assert_eq!(r.data(), &[1., 2., 3.]);
+    }
+
+    #[test]
+    fn debug_is_bounded() {
+        let t = Tensor::zeros(vec![100]);
+        let s = format!("{t:?}");
+        assert!(s.len() < 120, "debug output too long: {s}");
+        assert!(s.contains(".."));
+    }
+}

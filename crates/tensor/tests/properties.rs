@@ -1,0 +1,93 @@
+//! Property-based tests for the tensor substrate.
+
+use pcnn_tensor::{
+    col2im_accumulate, conv_output_dim, gemm, gemm_naive, im2col, Conv2dGeometry, Tensor,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Blocked GEMM must agree with the reference triple loop.
+    #[test]
+    fn gemm_matches_reference(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i32 % 7) as f32
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm(m, n, k, &a, &b, &mut c1);
+        gemm_naive(m, n, k, &a, &b, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    /// Every element of the im2col matrix is either zero (padding) or a
+    /// value present in the input.
+    #[test]
+    fn im2col_only_moves_values(
+        c in 1usize..3,
+        h in 3usize..8,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        prop_assume!(h + 2 * pad >= kernel);
+        let geom = Conv2dGeometry::new(c, h, h, kernel, stride, pad);
+        let input: Vec<f32> = (0..c * h * h).map(|i| (i + 1) as f32).collect();
+        let mut cols = vec![f32::NAN; geom.patch_len() * geom.out_positions()];
+        im2col(&geom, &input, &mut cols);
+        for &v in &cols {
+            prop_assert!(v == 0.0 || input.contains(&v));
+        }
+    }
+
+    /// col2im(im2col(x)) multiplies each pixel by the number of patches that
+    /// contain it; with ones as input the result counts patch coverage and
+    /// must total patch_len * out_positions.
+    #[test]
+    fn col2im_conserves_mass(
+        c in 1usize..3,
+        h in 3usize..8,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+    ) {
+        prop_assume!(h >= kernel);
+        let geom = Conv2dGeometry::new(c, h, h, kernel, stride, 0);
+        let cols = vec![1.0; geom.patch_len() * geom.out_positions()];
+        let mut out = vec![0.0; c * h * h];
+        col2im_accumulate(&geom, &cols, &mut out);
+        let total: f32 = out.iter().sum();
+        prop_assert_eq!(total as usize, geom.patch_len() * geom.out_positions());
+    }
+
+    /// Output dim is monotone: larger input never shrinks the output.
+    #[test]
+    fn conv_output_dim_monotone(input in 8usize..64, kernel in 1usize..8, stride in 1usize..4) {
+        let a = conv_output_dim(input, kernel, stride, 0);
+        let b = conv_output_dim(input + 1, kernel, stride, 0);
+        prop_assert!(b >= a);
+    }
+
+    /// Reshape round-trips and offset/get agree with flat indexing.
+    #[test]
+    fn tensor_offset_agrees_with_flat(d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5) {
+        let t = Tensor::from_fn(vec![d0, d1, d2], |i| i as f32);
+        for i in 0..d0 {
+            for j in 0..d1 {
+                for k in 0..d2 {
+                    let off = t.offset(&[i, j, k]);
+                    prop_assert_eq!(t.get(&[i, j, k]), off as f32);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Coordinated kernel fine-tuning explorer (paper §IV.B.2, Fig. 9).
+//!
+//! For every AlexNet conv layer on a chosen platform, shows the pruned
+//! TLP-staircase design space of the best tile and the configuration the
+//! tuner selects, next to the stock library kernel.
+//!
+//! Run with: `cargo run --release -p pcnn-core --example kernel_tuner [gpu]`
+//! where `gpu` is one of `k20`, `titanx`, `970m`, `tx1` (default `k20`).
+
+use pcnn_gpu::arch::{GpuArch, GTX_970M, JETSON_TX1, K20C, TITAN_X};
+use pcnn_kernels::sgemm::SgemmShape;
+use pcnn_kernels::tuning::tlp_stairs;
+use pcnn_kernels::{tune_kernel, Library};
+use pcnn_nn::spec::alexnet;
+
+fn pick_arch(name: &str) -> &'static GpuArch {
+    match name {
+        "titanx" => &TITAN_X,
+        "970m" => &GTX_970M,
+        "tx1" => &JETSON_TX1,
+        _ => &K20C,
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "k20".into());
+    let arch = pick_arch(&arg);
+    println!("coordinated fine-tuning on {} (batch 1)\n", arch.name);
+
+    let spec = alexnet();
+    for conv in spec.conv_layers() {
+        let shape = SgemmShape::of_conv(conv, 1);
+        let tuned = tune_kernel(arch, shape);
+        let lib = Library::CuBlas.variant_for(arch, shape);
+        let v = tuned.config.variant;
+        println!(
+            "{}: GEMM {}x{}x{}",
+            conv.name, shape.m, shape.n, shape.k
+        );
+        println!(
+            "  tuned : tile {}x{}, {} regs (spill {} shared / {} global), optTLP {}, rEC {:.2}, waves {}",
+            v.tile_m,
+            v.tile_n,
+            tuned.config.regs_per_thread,
+            tuned.config.spill.to_shared,
+            tuned.config.spill.to_global,
+            tuned.opt_tlp,
+            tuned.rec,
+            tuned.invocations
+        );
+        println!(
+            "  cuBLAS: tile {}x{}, {} regs",
+            lib.tile_m, lib.tile_n, lib.natural_regs
+        );
+        let stairs = tlp_stairs(arch, &v);
+        let points: Vec<String> = stairs
+            .iter()
+            .map(|p| format!("{}r->TLP{}", p.regs, p.tlp))
+            .collect();
+        println!("  staircase: {}\n", points.join(", "));
+    }
+}

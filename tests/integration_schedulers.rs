@@ -1,0 +1,140 @@
+//! Cross-crate scheduler invariants — the qualitative claims of the
+//! paper's Figs. 13–15 as assertions.
+
+use pcnn_core::scheduler::{
+    decide, evaluate, scenario_trace, SchedulerContext, SchedulerKind,
+};
+use pcnn_core::task::{AppSpec, UserRequirements};
+use pcnn_core::tuning::{TuningEntry, TuningPath};
+use pcnn_gpu::arch::K20C;
+use pcnn_nn::perforation::PerforationPlan;
+use pcnn_nn::spec::{alexnet, NetworkSpec};
+
+/// A synthetic but realistic tuning path (entropies on the measured scale
+/// of the trained counterpart models).
+fn path(n: usize) -> TuningPath {
+    let mk = |r: f64, e: f64| TuningEntry {
+        plan: PerforationPlan::from_rates(vec![r; n]),
+        entropy: e,
+        accuracy: None,
+        retained_flops: 1.0 - r,
+        speedup: 1.0 / (1.0 - r * 0.8),
+    };
+    TuningPath {
+        entries: vec![mk(0.0, 0.95), mk(0.2, 1.05), mk(0.4, 1.18), mk(0.6, 1.35)],
+    }
+}
+
+fn ctx<'a>(spec: &'a NetworkSpec, app: &'a AppSpec, p: &'a TuningPath) -> SchedulerContext<'a> {
+    SchedulerContext {
+        arch: &K20C,
+        spec,
+        app,
+        req: UserRequirements::infer(app),
+        training_batch: 128,
+        tuning_path: p,
+    }
+}
+
+#[test]
+fn pcnn_beats_every_baseline_on_interactive_soc() {
+    let spec = alexnet();
+    let app = AppSpec::age_detection();
+    let p = path(5);
+    let c = ctx(&spec, &app, &p);
+    let trace = scenario_trace(&app, 3, 99);
+    let pcnn = evaluate(SchedulerKind::PCnn, &c, &trace).soc.score;
+    for kind in [
+        SchedulerKind::PerformancePreferred,
+        SchedulerKind::EnergyEfficient,
+        SchedulerKind::Qpe,
+        SchedulerKind::QpePlus,
+    ] {
+        let s = evaluate(kind, &c, &trace).soc.score;
+        assert!(
+            pcnn >= s * 0.999,
+            "{} ({s:.5}) beat P-CNN ({pcnn:.5})",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn ideal_is_an_upper_bound() {
+    let spec = alexnet();
+    let p = path(5);
+    for app in [AppSpec::age_detection(), AppSpec::image_tagging()] {
+        let c = ctx(&spec, &app, &p);
+        let trace = scenario_trace(&app, 2, 5);
+        let ideal = evaluate(SchedulerKind::Ideal, &c, &trace).soc.score;
+        for kind in SchedulerKind::all() {
+            let s = evaluate(kind, &c, &trace).soc.score;
+            assert!(
+                ideal >= s * 0.999,
+                "{}: {} ({s:.5}) beat Ideal ({ideal:.5})",
+                app.name,
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn energy_efficient_violates_interactive_satisfaction() {
+    let spec = alexnet();
+    let app = AppSpec::age_detection();
+    let p = path(5);
+    let c = ctx(&spec, &app, &p);
+    let trace = scenario_trace(&app, 3, 42);
+    let ev = evaluate(SchedulerKind::EnergyEfficient, &c, &trace);
+    // Waiting to fill a 128-image batch blows the 100 ms imperceptible
+    // bound (paper Fig. 13).
+    assert!(ev.soc.time < 1.0, "SoC_time {}", ev.soc.time);
+}
+
+#[test]
+fn energy_efficient_misses_realtime_deadline() {
+    let spec = alexnet();
+    let app = AppSpec::video_surveillance(60.0);
+    let p = path(5);
+    let c = ctx(&spec, &app, &p);
+    let trace = scenario_trace(&app, 4, 1);
+    let ev = evaluate(SchedulerKind::EnergyEfficient, &c, &trace);
+    assert_eq!(ev.soc.time, 0.0);
+    assert_eq!(ev.soc.score, 0.0);
+}
+
+#[test]
+fn gating_saves_energy_at_same_batch() {
+    let spec = alexnet();
+    let app = AppSpec::age_detection();
+    let p = path(5);
+    let c = ctx(&spec, &app, &p);
+    let trace = scenario_trace(&app, 3, 4);
+    let qpe_plus = evaluate(SchedulerKind::QpePlus, &c, &trace);
+    let perf = evaluate(SchedulerKind::PerformancePreferred, &c, &trace);
+    // QPE+ gates idle SMs; the performance-preferred baseline does not.
+    assert!(
+        qpe_plus.report.energy.leakage_j < perf.report.energy.leakage_j,
+        "leakage {} vs {}",
+        qpe_plus.report.energy.leakage_j,
+        perf.report.energy.leakage_j
+    );
+}
+
+#[test]
+fn pcnn_respects_the_entropy_threshold_off_realtime() {
+    let spec = alexnet();
+    let p = path(5);
+    for app in [AppSpec::age_detection(), AppSpec::image_tagging()] {
+        let c = ctx(&spec, &app, &p);
+        let d = decide(SchedulerKind::PCnn, &c);
+        assert!(
+            d.entropy <= c.req.entropy_threshold + 1e-9,
+            "{}: entropy {} above threshold {}",
+            app.name,
+            d.entropy,
+            c.req.entropy_threshold
+        );
+    }
+}

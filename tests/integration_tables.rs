@@ -1,0 +1,107 @@
+//! The paper's characterization tables as cross-crate assertions.
+
+use pcnn_gpu::arch::{GTX_970M, JETSON_TX1, K20C, TITAN_X};
+use pcnn_gpu::metrics::utilization;
+use pcnn_gpu::occupancy::Occupancy;
+use pcnn_kernels::sgemm::{grid_size, SgemmConfig, SgemmShape};
+use pcnn_kernels::Library;
+use pcnn_nn::spec::{alexnet, googlenet, vggnet};
+
+/// Table V, digit-for-digit: Util of AlexNet conv layers, non-batching.
+#[test]
+fn table5_util_matches_paper_exactly() {
+    let spec = alexnet();
+    let expected: [(&pcnn_gpu::GpuArch, [f64; 5]); 3] = [
+        (&K20C, [0.82, 0.62, 0.46, 0.23, 0.15]),
+        (&GTX_970M, [0.60, 0.30, 0.30, 0.15, 0.10]),
+        (&JETSON_TX1, [1.00, 0.75, 0.75, 0.75, 0.50]),
+    ];
+    for (arch, utils) in expected {
+        for (conv, want) in spec.conv_layers().iter().zip(utils) {
+            let shape = SgemmShape::of_conv(conv, 1);
+            let v = Library::CuBlas.variant_for(arch, shape);
+            let occ = Occupancy::of(arch, &SgemmConfig::natural(v).resources());
+            let util = utilization(grid_size(shape, &v), occ.max_blocks(arch));
+            assert!(
+                (util - want).abs() < 0.005,
+                "{} {}: util {util:.3} vs paper {want}",
+                arch.name,
+                conv.name
+            );
+        }
+    }
+}
+
+/// Table IV's grid sizes for the dominated kernels.
+#[test]
+fn table4_grid_sizes_match_paper() {
+    let spec = alexnet();
+    let conv2 = SgemmShape::of_conv(spec.conv_layers()[1], 1);
+    let conv5 = SgemmShape::of_conv(spec.conv_layers()[4], 1);
+    let cases = [
+        (&JETSON_TX1, Library::CuBlas, conv2, 12),
+        (&JETSON_TX1, Library::CuBlas, conv5, 4),
+        (&JETSON_TX1, Library::CuDnn, conv2, 92),
+        (&JETSON_TX1, Library::CuDnn, conv5, 24),
+        (&K20C, Library::CuBlas, conv2, 24),
+        (&K20C, Library::CuBlas, conv5, 6),
+        (&K20C, Library::CuDnn, conv2, 24),
+        (&K20C, Library::CuDnn, conv5, 6),
+    ];
+    for (arch, lib, shape, want) in cases {
+        let v = lib.variant_for(arch, shape);
+        assert_eq!(grid_size(shape, &v), want, "{} {:?}", arch.name, lib);
+    }
+}
+
+/// Table III's out-of-memory pattern, end-to-end through the library
+/// memory policies.
+#[test]
+fn table3_oom_pattern_matches_paper() {
+    let (alex, goog, vgg) = (alexnet(), googlenet(), vggnet());
+    // (spec, training batch, [cuBLAS, cuDNN, Nervana] fits on TX1?)
+    let rows = [
+        (&alex, 128usize, [true, true, true]),
+        (&goog, 64, [true, false, false]),
+        (&vgg, 32, [true, false, false]),
+    ];
+    for (spec, batch, fits) in rows {
+        for (lib, want) in Library::all().into_iter().zip(fits) {
+            assert_eq!(
+                lib.fits(&JETSON_TX1, spec, batch),
+                want,
+                "{} {} batch {batch} on TX1",
+                lib.name(),
+                spec.name
+            );
+        }
+    }
+    // Desktop and notebook GPUs fit everything (no x cells in those rows).
+    for arch in [&TITAN_X, &GTX_970M] {
+        for (spec, batch) in [(&alex, 128), (&goog, 64), (&vgg, 32)] {
+            for lib in Library::all() {
+                assert!(lib.fits(arch, spec, batch), "{} on {}", spec.name, arch.name);
+            }
+        }
+    }
+}
+
+/// Section III.B's qualitative claim: non-batching latency is far below
+/// batching latency, but throughput is far worse (Fig. 4 ratios < 1).
+#[test]
+fn batching_tradeoff_shape() {
+    use pcnn_core::offline::library_schedule;
+    use pcnn_core::runtime::simulate_schedule;
+    let spec = alexnet();
+    for arch in [&K20C, &JETSON_TX1] {
+        let nb = simulate_schedule(arch, &library_schedule(arch, &spec, Library::CuBlas, 1));
+        let b = simulate_schedule(arch, &library_schedule(arch, &spec, Library::CuBlas, 64));
+        assert!(nb.seconds < b.seconds, "{}", arch.name);
+        let ratio = (1.0 / nb.seconds) / (64.0 / b.seconds);
+        assert!(
+            ratio < 0.9,
+            "{}: no-batching throughput ratio {ratio:.2} not < 0.9",
+            arch.name
+        );
+    }
+}

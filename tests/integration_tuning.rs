@@ -1,0 +1,94 @@
+//! Integration of the real training stack with the entropy-based accuracy
+//! tuner and calibration — the Fig. 16 claims as assertions.
+
+use pcnn_core::tuning::AccuracyTuner;
+use pcnn_data::DatasetBuilder;
+use pcnn_nn::models::tiny_alexnet;
+use pcnn_nn::train::{evaluate as eval_net, train};
+use pcnn_nn::PerforationPlan;
+
+fn trained() -> (pcnn_nn::Network, pcnn_data::Dataset) {
+    let mut net = tiny_alexnet(10);
+    let (train_set, test) = DatasetBuilder::new(10, 32)
+        .samples(500)
+        .noise(3.2)
+        .translate(true)
+        .seed(2017)
+        .build_split(96);
+    for lr in [0.03f32, 0.01] {
+        train(&mut net, &train_set.images, &train_set.labels, 6, 16, lr).expect("training");
+    }
+    (net, test)
+}
+
+#[test]
+fn tuning_reaches_useful_speedup_within_modest_accuracy_loss() {
+    let (net, test) = trained();
+    let base = eval_net(
+        &net,
+        &test.images,
+        &test.labels,
+        &PerforationPlan::identity(net.conv_count()),
+    )
+    .unwrap();
+    assert!(base.accuracy > 0.6, "baseline too weak: {}", base.accuracy);
+
+    let tuner = AccuracyTuner::new(&net, &test.images).with_labels(&test.labels);
+    let path = tuner.tune(base.entropy + 0.25, 16);
+    let last = path.entries.last().unwrap();
+    // Paper Fig. 16: ~1.8x speedup within ~10% accuracy loss. Allow a
+    // generous band — the claim is a useful speedup at modest loss.
+    assert!(last.speedup >= 1.3, "speedup {}", last.speedup);
+    let loss = base.accuracy - last.accuracy.unwrap();
+    assert!(loss <= 0.25, "accuracy loss {loss}");
+}
+
+#[test]
+fn entropy_and_accuracy_guided_paths_agree() {
+    let (net, test) = trained();
+    let tuner = AccuracyTuner::new(&net, &test.images).with_labels(&test.labels);
+    let base_entropy = tuner.tune(f64::MAX, 0).entries[0].entropy;
+    let entropy_path = tuner.tune(base_entropy + 0.25, 12);
+    let accuracy_path = tuner.tune_accuracy_guided(0.10, 12);
+    let e = entropy_path.entries.last().unwrap();
+    let a = accuracy_path.entries.last().unwrap();
+    // The unsupervised method lands within 0.5x of the supervised one
+    // (the paper reports them as equivalent).
+    assert!(
+        (e.speedup - a.speedup).abs() <= 0.5 * a.speedup,
+        "entropy {} vs accuracy {}",
+        e.speedup,
+        a.speedup
+    );
+}
+
+#[test]
+fn calibration_recovers_from_hard_inputs() {
+    let (net, test) = trained();
+    let calib = test.take(48);
+    let tuner = AccuracyTuner::new(&net, &calib.images);
+    let path = tuner.tune(f64::MAX, 8);
+    let threshold = path.entries[1].entropy + 0.01;
+    let deep = path.entries.len() - 1;
+    // Live entropy spikes above the threshold: calibration must back off
+    // to a strictly shallower (more precise) table.
+    let backed = path.calibrate(deep, path.entries[deep].entropy + 0.3, threshold);
+    assert!(backed < deep);
+    // The backed-off table's stored entropy respects the threshold shifted
+    // by the observed gap.
+    assert!(path.entries[backed].entropy <= path.entries[deep].entropy);
+}
+
+#[test]
+fn entropy_rises_as_accuracy_falls_along_the_path() {
+    let (net, test) = trained();
+    let tuner = AccuracyTuner::new(&net, &test.images).with_labels(&test.labels);
+    let path = tuner.tune(f64::MAX, 8);
+    let first = &path.entries[0];
+    let last = path.entries.last().unwrap();
+    assert!(last.entropy > first.entropy, "entropy did not rise");
+    assert!(
+        last.accuracy.unwrap() < first.accuracy.unwrap(),
+        "accuracy did not fall"
+    );
+}
