@@ -8,7 +8,11 @@ use pcnn_tensor::{gemm, im2col, Conv2dGeometry, Tensor};
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
-    for &(m, n, k) in &[(64usize, 64usize, 64usize), (128, 729, 300), (256, 256, 256)] {
+    for &(m, n, k) in &[
+        (64usize, 64usize, 64usize),
+        (128, 729, 300),
+        (256, 256, 256),
+    ] {
         let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32).collect();
         let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32).collect();
         group.bench_function(format!("{m}x{n}x{k}"), |bch| {

@@ -11,7 +11,11 @@ use pcnn_kernels::sgemm::{build_kernel, SgemmConfig, SgemmShape, TILE_128X128, T
 use pcnn_kernels::SpillPlan;
 
 fn conv2_shape() -> SgemmShape {
-    SgemmShape { m: 128, n: 729, k: 1200 }
+    SgemmShape {
+        m: 128,
+        n: 729,
+        k: 1200,
+    }
 }
 
 fn bench_kernel_sim(c: &mut Criterion) {
@@ -45,7 +49,11 @@ fn bench_kernel_sim(c: &mut Criterion) {
 /// bench log.
 fn bench_dispatch_ablation(c: &mut Criterion) {
     let kernel = build_kernel(
-        SgemmShape { m: 128, n: 169, k: 1728 },
+        SgemmShape {
+            m: 128,
+            n: 169,
+            k: 1728,
+        },
         &SgemmConfig::natural(TILE_64X64),
         "conv5",
     );
@@ -54,7 +62,11 @@ fn bench_dispatch_ablation(c: &mut Criterion) {
     let psm = simulate_kernel(
         &K20C,
         &kernel,
-        DispatchPolicy::PrioritySm { sms: 3, tlp: 2, power_gate: true },
+        DispatchPolicy::PrioritySm {
+            sms: 3,
+            tlp: 2,
+            power_gate: true,
+        },
         &mut cache,
     );
     println!(
@@ -68,7 +80,12 @@ fn bench_dispatch_ablation(c: &mut Criterion) {
     c.bench_function("dispatch RR conv5", |b| {
         b.iter(|| {
             let mut cache = SimCache::new();
-            black_box(simulate_kernel(&K20C, &kernel, DispatchPolicy::RoundRobin, &mut cache))
+            black_box(simulate_kernel(
+                &K20C,
+                &kernel,
+                DispatchPolicy::RoundRobin,
+                &mut cache,
+            ))
         })
     });
     c.bench_function("dispatch PSM conv5", |b| {
@@ -77,7 +94,11 @@ fn bench_dispatch_ablation(c: &mut Criterion) {
             black_box(simulate_kernel(
                 &K20C,
                 &kernel,
-                DispatchPolicy::PrioritySm { sms: 3, tlp: 2, power_gate: true },
+                DispatchPolicy::PrioritySm {
+                    sms: 3,
+                    tlp: 2,
+                    power_gate: true,
+                },
                 &mut cache,
             ))
         })
@@ -91,12 +112,18 @@ fn bench_spill_ablation(c: &mut Criterion) {
     let shared_cfg = SgemmConfig {
         variant: TILE_128X128,
         regs_per_thread: 121,
-        spill: SpillPlan { to_shared: 6, to_global: 0 },
+        spill: SpillPlan {
+            to_shared: 6,
+            to_global: 0,
+        },
     };
     let global_cfg = SgemmConfig {
         variant: TILE_128X128,
         regs_per_thread: 121,
-        spill: SpillPlan { to_shared: 0, to_global: 6 },
+        spill: SpillPlan {
+            to_shared: 0,
+            to_global: 6,
+        },
     };
     let ks = build_kernel(shape, &shared_cfg, "spill-shared");
     let kg = build_kernel(shape, &global_cfg, "spill-global");
@@ -113,16 +140,31 @@ fn bench_spill_ablation(c: &mut Criterion) {
     c.bench_function("sim spill-to-shared", |b| {
         b.iter(|| {
             let mut cache = SimCache::new();
-            black_box(simulate_kernel(&K20C, &ks, DispatchPolicy::RoundRobin, &mut cache))
+            black_box(simulate_kernel(
+                &K20C,
+                &ks,
+                DispatchPolicy::RoundRobin,
+                &mut cache,
+            ))
         })
     });
     c.bench_function("sim spill-to-global", |b| {
         b.iter(|| {
             let mut cache = SimCache::new();
-            black_box(simulate_kernel(&K20C, &kg, DispatchPolicy::RoundRobin, &mut cache))
+            black_box(simulate_kernel(
+                &K20C,
+                &kg,
+                DispatchPolicy::RoundRobin,
+                &mut cache,
+            ))
         })
     });
 }
 
-criterion_group!(benches, bench_kernel_sim, bench_dispatch_ablation, bench_spill_ablation);
+criterion_group!(
+    benches,
+    bench_kernel_sim,
+    bench_dispatch_ablation,
+    bench_spill_ablation
+);
 criterion_main!(benches);

@@ -13,7 +13,11 @@ use pcnn_kernels::{tune_kernel, tune_kernel_candidates};
 use pcnn_nn::spec::alexnet;
 
 fn bench_tuner(c: &mut Criterion) {
-    let shape = SgemmShape { m: 128, n: 729, k: 1200 };
+    let shape = SgemmShape {
+        m: 128,
+        n: 729,
+        k: 1200,
+    };
     c.bench_function("tune_kernel conv2 on K20", |b| {
         b.iter(|| black_box(tune_kernel(&K20C, black_box(shape))))
     });
@@ -32,7 +36,11 @@ fn bench_compile(c: &mut Criterion) {
 /// Ablation: the analytic S_kernel pick vs exhaustively simulating every
 /// candidate. Printed once into the bench log.
 fn skernel_selection_quality(c: &mut Criterion) {
-    let shape = SgemmShape { m: 128, n: 729, k: 1200 };
+    let shape = SgemmShape {
+        m: 128,
+        n: 729,
+        k: 1200,
+    };
     let candidates = tune_kernel_candidates(&K20C, shape, usize::MAX);
     let mut best_sim = f64::MAX;
     let mut analytic_sim = f64::MAX;
@@ -56,5 +64,10 @@ fn skernel_selection_quality(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_tuner, bench_compile, skernel_selection_quality);
+criterion_group!(
+    benches,
+    bench_tuner,
+    bench_compile,
+    skernel_selection_quality
+);
 criterion_main!(benches);

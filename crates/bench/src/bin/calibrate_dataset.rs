@@ -9,10 +9,12 @@ use pcnn_nn::train::{evaluate, train};
 use pcnn_nn::PerforationPlan;
 
 fn main() {
+    let _trace = pcnn_bench::trace::init_from_env();
     for noise in [2.0f32, 2.6, 3.2] {
         let (train_set, test) = DatasetBuilder::new(10, 32)
             .samples(1000)
-            .noise(noise).translate(true)
+            .noise(noise)
+            .translate(true)
             .seed(2017)
             .build_split(200);
         print!("noise {noise:.1}: ");
@@ -24,7 +26,15 @@ fn main() {
             let mut net = net;
             // Decayed-lr schedule.
             for lr in [0.03f32, 0.01, 0.003] {
-                train(&mut net, &train_set.images, &train_set.labels, epochs, 16, lr).unwrap();
+                train(
+                    &mut net,
+                    &train_set.images,
+                    &train_set.labels,
+                    epochs,
+                    16,
+                    lr,
+                )
+                .unwrap();
             }
             let e = evaluate(
                 &net,

@@ -12,8 +12,16 @@ use pcnn_bench::TableWriter;
 use pcnn_core::scheduler::SchedulerKind;
 
 fn main() {
+    let _trace = pcnn_bench::trace::init_from_env();
     let scenarios = scheduler_matrix(4);
-    let mut t = TableWriter::new(vec!["GPU", "task", "scheduler", "compute energy (J)", "idle (J)", "norm energy"]);
+    let mut t = TableWriter::new(vec![
+        "GPU",
+        "task",
+        "scheduler",
+        "compute energy (J)",
+        "idle (J)",
+        "norm energy",
+    ]);
     for s in &scenarios {
         let base = s.of(SchedulerKind::EnergyEfficient).report.energy.total_j();
         for (kind, ev) in &s.results {

@@ -34,6 +34,7 @@ fn print_path(title: &str, path: &TuningPath) {
 }
 
 fn main() {
+    let _trace = pcnn_bench::trace::init_from_env();
     let model = trained_alexnet();
     let calib = model.test.take(96);
     let tuner = AccuracyTuner::new(&model.net, &calib.images).with_labels(&calib.labels);
@@ -50,7 +51,10 @@ fn main() {
 
     // Accuracy-guided (supervised comparison).
     let accuracy_path = tuner.tune_accuracy_guided(0.10, 16);
-    print_path("Fig. 16b: accuracy-based tuning (stop at 10% loss)", &accuracy_path);
+    print_path(
+        "Fig. 16b: accuracy-based tuning (stop at 10% loss)",
+        &accuracy_path,
+    );
 
     let e_last = entropy_path.entries.last().unwrap();
     let a_last = accuracy_path.entries.last().unwrap();

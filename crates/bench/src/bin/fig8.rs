@@ -12,10 +12,20 @@ use pcnn_gpu::arch::all_platforms;
 use pcnn_nn::spec::alexnet;
 
 fn main() {
+    let _trace = pcnn_bench::trace::init_from_env();
     let spec = alexnet();
     let batches = [1usize, 2, 4, 8, 16, 32, 64, 128];
     let mut t = TableWriter::new(vec![
-        "GPU", "b=1", "b=2", "b=4", "b=8", "b=16", "b=32", "b=64", "b=128", "opt batch",
+        "GPU",
+        "b=1",
+        "b=2",
+        "b=4",
+        "b=8",
+        "b=16",
+        "b=32",
+        "b=64",
+        "b=128",
+        "opt batch",
     ]);
     for arch in all_platforms() {
         let compiler = OfflineCompiler::new(arch, &spec);

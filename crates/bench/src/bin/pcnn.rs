@@ -23,7 +23,7 @@ use pcnn_nn::spec::{alexnet, googlenet, vggnet, NetworkSpec};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>"
+        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest"
     );
     ExitCode::from(2)
 }
@@ -33,8 +33,11 @@ fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut it = args.iter();
     while let Some(key) = it.next() {
         let name = key.strip_prefix("--")?;
-        let value = it.next()?;
-        flags.insert(name.to_string(), value.clone());
+        let (name, value) = match name.split_once('=') {
+            Some((n, v)) => (n, v.to_string()),
+            None => (name, it.next()?.clone()),
+        };
+        flags.insert(name.to_string(), value);
     }
     Some(flags)
 }
@@ -68,7 +71,9 @@ fn pick_library(name: &str) -> Option<Library> {
 }
 
 fn cmd_platforms() -> ExitCode {
-    let mut t = TableWriter::new(vec!["gpu", "class", "cores", "MHz", "SMs", "TFLOPS", "GB/s"]);
+    let mut t = TableWriter::new(vec![
+        "gpu", "class", "cores", "MHz", "SMs", "TFLOPS", "GB/s",
+    ]);
     for a in all_platforms() {
         t.row(vec![
             a.name.to_string(),
@@ -130,7 +135,11 @@ fn cmd_compile(flags: &HashMap<String, String>) -> ExitCode {
             println!(
                 "time requirement {:.1} ms: {}",
                 t_user * 1e3,
-                if cost.seconds <= t_user { "met" } else { "NOT met" }
+                if cost.seconds <= t_user {
+                    "met"
+                } else {
+                    "NOT met"
+                }
             );
         }
     }
@@ -144,10 +153,7 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> ExitCode {
     ) else {
         return usage();
     };
-    let batch: usize = flags
-        .get("batch")
-        .and_then(|b| b.parse().ok())
-        .unwrap_or(1);
+    let batch: usize = flags.get("batch").and_then(|b| b.parse().ok()).unwrap_or(1);
     let schedule = match flags.get("library") {
         Some(lib_name) => {
             let Some(lib) = pick_library(lib_name) else {
@@ -193,7 +199,9 @@ fn cmd_tune(flags: &HashMap<String, String>) -> ExitCode {
             flags.get("k")?.parse().ok()?,
         ))
     })();
-    let Some((m, n, k)) = dims else { return usage() };
+    let Some((m, n, k)) = dims else {
+        return usage();
+    };
     let shape = SgemmShape { m, n, k };
     let tuned = tune_kernel(gpu, shape);
     let v = tuned.config.variant;
@@ -215,6 +223,9 @@ fn cmd_tune(flags: &HashMap<String, String>) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Any subcommand accepts `--trace <path>` (or PCNN_TRACE) and writes
+    // telemetry files on exit.
+    let _trace = pcnn_bench::trace::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         return usage();

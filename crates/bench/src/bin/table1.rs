@@ -8,6 +8,7 @@ use pcnn_bench::trained::{trained_alexnet, trained_googlenet, trained_vggnet};
 use pcnn_bench::TableWriter;
 
 fn main() {
+    let _trace = pcnn_bench::trace::init_from_env();
     let models = [
         ("AlexNet (tiny)", trained_alexnet()),
         ("VGGNet (tiny)", trained_vggnet()),

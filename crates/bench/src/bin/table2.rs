@@ -5,6 +5,7 @@ use pcnn_bench::TableWriter;
 use pcnn_gpu::arch::all_platforms;
 
 fn main() {
+    let _trace = pcnn_bench::trace::init_from_env();
     let mut t = TableWriter::new(vec![
         "GPU",
         "platform",

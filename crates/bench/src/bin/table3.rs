@@ -24,15 +24,18 @@ fn latency_ms(arch: &GpuArch, spec: &NetworkSpec, lib: Library, batch: usize) ->
 }
 
 fn main() {
-    let nets = [
-        (alexnet(), 128usize),
-        (googlenet(), 64),
-        (vggnet(), 32),
-    ];
+    let _trace = pcnn_bench::trace::init_from_env();
+    let nets = [(alexnet(), 128usize), (googlenet(), 64), (vggnet(), 32)];
     let gpus = [&TITAN_X, &GTX_970M, &JETSON_TX1];
 
     let mut t = TableWriter::new(vec![
-        "CNN", "GPU", "batch:cuBLAS", "batch:cuDNN", "batch:Nervana", "nb:cuBLAS", "nb:cuDNN",
+        "CNN",
+        "GPU",
+        "batch:cuBLAS",
+        "batch:cuDNN",
+        "batch:Nervana",
+        "nb:cuBLAS",
+        "nb:cuDNN",
         "nb:Nervana",
     ]);
     for (spec, train_batch) in &nets {

@@ -12,12 +12,10 @@ use pcnn_kernels::Library;
 use pcnn_nn::spec::alexnet;
 
 fn main() {
+    let _trace = pcnn_bench::trace::init_from_env();
     let spec = alexnet();
     let convs = spec.conv_layers();
-    let layers = [
-        ("CONV2", convs[1].clone()),
-        ("CONV5", convs[4].clone()),
-    ];
+    let layers = [("CONV2", convs[1].clone()), ("CONV5", convs[4].clone())];
     let gpus: [&GpuArch; 2] = [&JETSON_TX1, &K20C];
     let libs = [Library::CuBlas, Library::CuDnn];
 

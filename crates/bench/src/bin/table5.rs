@@ -14,6 +14,7 @@ use pcnn_kernels::Library;
 use pcnn_nn::spec::alexnet;
 
 fn main() {
+    let _trace = pcnn_bench::trace::init_from_env();
     let spec = alexnet();
     let gpus = [&K20C, &GTX_970M, &JETSON_TX1];
     let paper: [&[f64]; 3] = [
@@ -26,6 +27,7 @@ fn main() {
         "GPU", "CONV1", "CONV2", "CONV3", "CONV4", "CONV5", "paper",
     ]);
     for (gpu, paper_row) in gpus.iter().zip(paper) {
+        let _span = pcnn_telemetry::span!("table5.platform", gpu = gpu.name);
         let mut row = vec![gpu.name.to_string()];
         for conv in spec.conv_layers() {
             let shape = SgemmShape::of_conv(conv, 1);
@@ -33,7 +35,18 @@ fn main() {
             let v = lib.variant_for(gpu, shape);
             let occ = Occupancy::of(gpu, &SgemmConfig::natural(v).resources());
             // Grouped layers launch one grid per group; Util is per launch.
-            let util = utilization(grid_size(shape, &v), occ.max_blocks(gpu));
+            let grid = grid_size(shape, &v);
+            let max_blocks = occ.max_blocks(gpu);
+            let util = utilization(grid, max_blocks);
+            pcnn_telemetry::event!(
+                "table5.util",
+                gpu = gpu.name,
+                layer = conv.name.as_str(),
+                grid = grid,
+                max_blocks = max_blocks,
+                util = util
+            );
+            pcnn_telemetry::histogram("table5.util", util);
             row.push(format!("{util:.2}"));
         }
         row.push(

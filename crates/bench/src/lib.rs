@@ -4,6 +4,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod trace;
 pub mod trained;
 
 pub use harness::TableWriter;

@@ -1,0 +1,123 @@
+//! Telemetry wiring for the harness binaries: every fig/table binary
+//! accepts `--trace <path>` (or the `PCNN_TRACE` environment variable) and
+//! writes a Chrome trace-event file there plus a JSON-Lines manifest to
+//! `<path>.manifest.jsonl` when it exits.
+
+use std::path::PathBuf;
+
+/// RAII handle returned by [`init_from_env`]; exports the trace files on
+/// drop (i.e. when `main` returns).
+#[must_use = "telemetry is exported when the session is dropped"]
+pub struct TraceSession {
+    path: Option<PathBuf>,
+}
+
+impl TraceSession {
+    /// Whether tracing was requested.
+    pub fn active(&self) -> bool {
+        self.path.is_some()
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else {
+            return;
+        };
+        if let Err(e) = pcnn_telemetry::export_chrome_trace(&path) {
+            eprintln!("warning: could not write trace {}: {e}", path.display());
+            return;
+        }
+        let manifest = manifest_path(&path);
+        if let Err(e) = pcnn_telemetry::export_manifest(&manifest) {
+            eprintln!(
+                "warning: could not write manifest {}: {e}",
+                manifest.display()
+            );
+            return;
+        }
+        eprintln!(
+            "telemetry: trace {} manifest {} (open the trace in https://ui.perfetto.dev)",
+            path.display(),
+            manifest.display()
+        );
+    }
+}
+
+/// The manifest sidecar written next to a trace file.
+pub fn manifest_path(trace: &std::path::Path) -> PathBuf {
+    let mut s = trace.as_os_str().to_os_string();
+    s.push(".manifest.jsonl");
+    PathBuf::from(s)
+}
+
+/// Extracts the trace path from `--trace <path>` / `--trace=<path>` args,
+/// falling back to the `env` value (the `PCNN_TRACE` variable).
+pub fn trace_path(args: &[String], env: Option<String>) -> Option<PathBuf> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            return it.next().map(PathBuf::from);
+        }
+        if let Some(v) = a.strip_prefix("--trace=") {
+            return Some(PathBuf::from(v));
+        }
+    }
+    env.filter(|v| !v.is_empty()).map(PathBuf::from)
+}
+
+/// Call once at the top of a harness binary's `main`. When tracing was
+/// requested, telemetry recording is switched on for the rest of the run
+/// and the files are written when the returned session drops.
+pub fn init_from_env() -> TraceSession {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = trace_path(&args, std::env::var("PCNN_TRACE").ok());
+    if path.is_some() {
+        pcnn_telemetry::set_enabled(true);
+    }
+    TraceSession { path }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_forms() {
+        assert_eq!(
+            trace_path(&s(&["--trace", "/tmp/t.json"]), None),
+            Some(PathBuf::from("/tmp/t.json"))
+        );
+        assert_eq!(
+            trace_path(&s(&["--trace=/tmp/t.json"]), None),
+            Some(PathBuf::from("/tmp/t.json"))
+        );
+        assert_eq!(trace_path(&s(&["--other"]), None), None);
+    }
+
+    #[test]
+    fn env_is_the_fallback() {
+        assert_eq!(
+            trace_path(&[], Some("/tmp/e.json".into())),
+            Some(PathBuf::from("/tmp/e.json"))
+        );
+        assert_eq!(trace_path(&[], Some(String::new())), None);
+        // The flag wins over the env var.
+        assert_eq!(
+            trace_path(&s(&["--trace", "/a"]), Some("/b".into())),
+            Some(PathBuf::from("/a"))
+        );
+    }
+
+    #[test]
+    fn manifest_is_a_sidecar() {
+        assert_eq!(
+            manifest_path(std::path::Path::new("/tmp/x.json")),
+            PathBuf::from("/tmp/x.json.manifest.jsonl")
+        );
+    }
+}

@@ -39,8 +39,15 @@ fn train_one(mut net: Network, epochs: usize) -> TrainedModel {
     // Decayed-lr schedule; gradient clipping in `Sgd` keeps the deeper
     // models stable.
     for lr in [0.03f32, 0.01, 0.003] {
-        train(&mut net, &train_set.images, &train_set.labels, epochs, 16, lr)
-            .expect("training cannot fail on consistent shapes");
+        train(
+            &mut net,
+            &train_set.images,
+            &train_set.labels,
+            epochs,
+            16,
+            lr,
+        )
+        .expect("training cannot fail on consistent shapes");
     }
     let baseline = evaluate(
         &net,

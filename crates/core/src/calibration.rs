@@ -93,8 +93,20 @@ impl<'a> CalibratedPipeline<'a> {
         let plan = &self.path.entries[table_used].plan;
         let logits = self.net.forward(batch, plan)?;
         let entropy = mean_entropy(&logits);
+        pcnn_telemetry::counter("calibration.batches", 1);
+        pcnn_telemetry::histogram("calibration.entropy", entropy);
         if entropy > self.threshold {
             self.current = self.path.calibrate(table_used, entropy, self.threshold);
+            if self.current < table_used {
+                pcnn_telemetry::counter("calibration.backoffs", 1);
+                pcnn_telemetry::event!(
+                    "calibration.backoff",
+                    entropy = entropy,
+                    threshold = self.threshold,
+                    from_table = table_used,
+                    to_table = self.current
+                );
+            }
         }
         Ok(CalibratedStep {
             logits,
@@ -168,7 +180,10 @@ mod tests {
         // the entropy jump is large).
         let step = p.process(&hard).unwrap();
         if step.entropy > threshold {
-            assert!(step.backed_off() || start == 0, "no back-off despite violation");
+            assert!(
+                step.backed_off() || start == 0,
+                "no back-off despite violation"
+            );
             assert!(p.current_table() < start);
         }
     }

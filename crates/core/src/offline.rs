@@ -10,9 +10,9 @@
 //!    (eq. 12), shrinking the batch until the requirement holds (eq. 13).
 
 use pcnn_data::WorkloadKind;
-use pcnn_gpu::{DispatchPolicy, GpuArch, KernelDesc};
 use pcnn_gpu::sim::dispatch::simulate_kernel;
 use pcnn_gpu::sim::SimCache;
+use pcnn_gpu::{DispatchPolicy, GpuArch, KernelDesc};
 use pcnn_kernels::sgemm::{build_kernel, SgemmShape};
 use pcnn_kernels::{tune_kernel, tune_kernel_candidates, Library};
 use pcnn_nn::spec::{LayerSpec, NetworkSpec};
@@ -160,11 +160,13 @@ impl<'a> OfflineCompiler<'a> {
                 // Back off to the largest batch that fits.
                 return (batch / 2).max(1);
             }
-            let all_full = gemm_layers(self.spec, batch).iter().all(|(_, _, _, shape)| {
-                let tuned = tune_kernel(self.arch, *shape);
-                let max_blocks = self.arch.n_sms * tuned.opt_tlp;
-                tuned.grid >= max_blocks
-            });
+            let all_full = gemm_layers(self.spec, batch)
+                .iter()
+                .all(|(_, _, _, shape)| {
+                    let tuned = tune_kernel(self.arch, *shape);
+                    let max_blocks = self.arch.n_sms * tuned.opt_tlp;
+                    tuned.grid >= max_blocks
+                });
             if all_full {
                 return batch;
             }
@@ -199,9 +201,21 @@ impl<'a> OfflineCompiler<'a> {
     ///
     /// Panics if `rates.len()` differs from the spec's conv-layer count.
     pub fn compile_perforated(&self, batch: usize, rates: &[f64], power_gated: bool) -> Schedule {
+        let _span = pcnn_telemetry::span!(
+            "offline.compile_batch",
+            batch = batch,
+            power_gated = power_gated
+        );
         let layers = gemm_layers_perforated(self.spec, batch, rates)
             .into_iter()
             .map(|(_, name, groups, shape)| {
+                let _layer_span = pcnn_telemetry::span!(
+                    "offline.tune_layer",
+                    layer = name.as_str(),
+                    m = shape.m,
+                    n = shape.n,
+                    k = shape.k
+                );
                 // The analytic S_kernel score prunes the design space to a
                 // handful of candidates; a short simulator run on each
                 // decides (the "explore the performance of the candidate
@@ -216,11 +230,7 @@ impl<'a> OfflineCompiler<'a> {
                     tlps.sort_unstable();
                     tlps.dedup();
                     for tlp in tlps {
-                        let sm = crate::timemodel::opt_sm(
-                            kernel.grid.max(1),
-                            tlp,
-                            self.arch.n_sms,
-                        );
+                        let sm = crate::timemodel::opt_sm(kernel.grid.max(1), tlp, self.arch.n_sms);
                         let policy = DispatchPolicy::PrioritySm {
                             sms: sm,
                             tlp,
@@ -230,6 +240,17 @@ impl<'a> OfflineCompiler<'a> {
                         let sim = simulate_kernel(self.arch, &kernel, policy, &mut cache);
                         let measured = sim.seconds * groups as f64;
                         let (_, t) = tuned_layer_time(self.arch, shape, &tuned, groups);
+                        pcnn_telemetry::counter("offline.candidates.profiled", 1);
+                        pcnn_telemetry::event!(
+                            "offline.candidate",
+                            layer = name.as_str(),
+                            tlp = tlp,
+                            sm = sm,
+                            score = tuned.score,
+                            predicted_cycles = sim.cycles,
+                            measured_seconds = measured,
+                            predicted_seconds = t
+                        );
                         let plan = LayerPlan {
                             name: name.clone(),
                             kernel: kernel.clone(),
@@ -258,6 +279,7 @@ impl<'a> OfflineCompiler<'a> {
     /// from the task's initial batch, then shrink via eq. 13 until the
     /// predicted response time meets `T_user`.
     pub fn compile(&self, app: &AppSpec, req: &UserRequirements) -> Schedule {
+        let _span = pcnn_telemetry::span!("offline.compile", app = app.name.as_str());
         let mut batch = self.initial_batch(app, req);
         let mut schedule = self.compile_batch(batch);
         let Some(t_user) = req.t_user() else {
@@ -289,8 +311,7 @@ pub fn library_schedule(
         .map(|(_, name, groups, shape)| {
             let config = library.config_for(arch, shape);
             let kernel = build_kernel(shape, &config, &name);
-            let occ =
-                pcnn_gpu::occupancy::Occupancy::of(arch, &config.resources()).ctas_per_sm();
+            let occ = pcnn_gpu::occupancy::Occupancy::of(arch, &config.resources()).ctas_per_sm();
             let tlp = occ.max(1);
             let sm = opt_sm(kernel.grid.max(1), tlp, arch.n_sms);
             LayerPlan {

@@ -29,6 +29,12 @@ pub struct NetworkCost {
 /// Simulates every layer of `schedule` once and sums time and energy.
 /// Grouped-convolution groups run back-to-back (cost multiplied).
 pub fn simulate_schedule(arch: &GpuArch, schedule: &Schedule) -> NetworkCost {
+    let _span = pcnn_telemetry::span!(
+        "runtime.simulate_schedule",
+        batch = schedule.batch,
+        layers = schedule.layers.len(),
+        power_gated = schedule.power_gated
+    );
     let mut seconds = 0.0;
     let mut energy = EnergyBreakdown::default();
     for layer in &schedule.layers {
@@ -41,12 +47,7 @@ pub fn simulate_schedule(arch: &GpuArch, schedule: &Schedule) -> NetworkCost {
         let r = simulate_kernel(arch, &layer.kernel, policy, &mut cache);
         let g = layer.groups as f64;
         seconds += r.seconds * g;
-        energy = energy.plus(&EnergyBreakdown {
-            dynamic_j: r.energy.dynamic_j * g,
-            leakage_j: r.energy.leakage_j * g,
-            dram_j: r.energy.dram_j * g,
-            constant_j: r.energy.constant_j * g,
-        });
+        energy = energy.plus(&r.energy.scaled(g));
     }
     NetworkCost { seconds, energy }
 }
@@ -120,6 +121,12 @@ pub fn execute_trace(
         }
     }
     assert!(!images.is_empty(), "empty trace");
+    let _span = pcnn_telemetry::span!(
+        "runtime.execute_trace",
+        batch = batch,
+        requests = trace.requests().len(),
+        images = images.len()
+    );
 
     let mut costs: HashMap<usize, NetworkCost> = HashMap::new();
     let mut cost_of = |size: usize| -> NetworkCost {
@@ -128,6 +135,13 @@ pub fn execute_trace(
         }
         let schedule = build(size);
         assert_eq!(schedule.batch, size, "builder returned wrong batch");
+        pcnn_telemetry::event!(
+            "runtime.schedule",
+            batch = size,
+            power_gated = schedule.power_gated,
+            mean_perforation =
+                schedule.perforation.iter().sum::<f64>() / schedule.perforation.len().max(1) as f64
+        );
         let c = simulate_schedule(arch, &schedule);
         costs.insert(size, c);
         c
@@ -144,6 +158,8 @@ pub fn execute_trace(
         let chunk = &images[idx..idx + size];
         let ready = chunk.last().expect("non-empty chunk").0;
         let cost = cost_of(size);
+        // Batch occupancy: how full each dispatched chunk actually was.
+        pcnn_telemetry::histogram("runtime.batch_occupancy", size as f64 / batch as f64);
         let start = gpu_free.max(ready);
         let finish = start + cost.seconds;
         for &(_, ri) in chunk {
@@ -158,12 +174,17 @@ pub fn execute_trace(
     // Idle periods burn the constant platform power only (deep idle).
     let idle_energy_j = (makespan - busy).max(0.0) * arch.energy.constant_w;
 
-    let latencies = trace
+    let latencies: Vec<f64> = trace
         .requests()
         .iter()
         .zip(&request_done)
         .map(|(&(at, _), &done)| done - at)
         .collect();
+    if pcnn_telemetry::enabled() {
+        for &l in &latencies {
+            pcnn_telemetry::histogram("runtime.request_latency_s", l);
+        }
+    }
     ExecutionReport {
         latencies,
         makespan,
@@ -211,7 +232,10 @@ mod tests {
         // 3 chunks (4+4+2), one request.
         assert_eq!(report.latencies.len(), 1);
         assert!(report.makespan > 0.0);
-        assert_eq!(report.response_time(WorkloadKind::Background), report.makespan);
+        assert_eq!(
+            report.response_time(WorkloadKind::Background),
+            report.makespan
+        );
     }
 
     #[test]

@@ -227,9 +227,11 @@ fn run_decision(
     decision: &Decision,
 ) -> Evaluation {
     let compiler = OfflineCompiler::new(ctx.arch, ctx.spec);
-    let report = execute_trace(ctx.arch, trace, decision.batch, |size| match decision.library {
-        Some(lib) => library_schedule(ctx.arch, ctx.spec, lib, size),
-        None => compiler.compile_perforated(size, &decision.rates, decision.power_gated),
+    let report = execute_trace(ctx.arch, trace, decision.batch, |size| {
+        match decision.library {
+            Some(lib) => library_schedule(ctx.arch, ctx.spec, lib, size),
+            None => compiler.compile_perforated(size, &decision.rates, decision.power_gated),
+        }
     });
     let response = report.response_time(ctx.app.kind);
     let s = soc(
@@ -363,7 +365,10 @@ mod tests {
         let spec = alexnet();
         let app = AppSpec::age_detection();
         let path = fake_path(5);
-        let d = decide(SchedulerKind::PerformancePreferred, &ctx(&spec, &app, &path));
+        let d = decide(
+            SchedulerKind::PerformancePreferred,
+            &ctx(&spec, &app, &path),
+        );
         assert_eq!(d.batch, 1);
         assert!(!d.power_gated);
         assert!(d.rates.iter().all(|&r| r == 0.0));
@@ -422,8 +427,16 @@ mod tests {
         let perf = evaluate(SchedulerKind::PerformancePreferred, &c, &trace);
         let pcnn = evaluate(SchedulerKind::PCnn, &c, &trace);
         // Both meet the 100 ms imperceptible bound on a K20.
-        assert_eq!(perf.soc.time, 1.0, "perf latency {:?}", perf.report.latencies);
-        assert_eq!(pcnn.soc.time, 1.0, "pcnn latency {:?}", pcnn.report.latencies);
+        assert_eq!(
+            perf.soc.time, 1.0,
+            "perf latency {:?}",
+            perf.report.latencies
+        );
+        assert_eq!(
+            pcnn.soc.time, 1.0,
+            "pcnn latency {:?}",
+            pcnn.report.latencies
+        );
         // P-CNN saves energy (gating + perforation) -> higher SoC.
         assert!(
             pcnn.report.energy.total_j() < perf.report.energy.total_j(),

@@ -32,13 +32,7 @@ pub fn opt_sm(grid_size: usize, opt_tlp: usize, n_sms: usize) -> usize {
 /// # Panics
 ///
 /// Panics if any factor is non-positive.
-pub fn layer_time(
-    arch: &GpuArch,
-    flops: u64,
-    opt_sm: usize,
-    rec: f64,
-    ffma_fraction: f64,
-) -> f64 {
+pub fn layer_time(arch: &GpuArch, flops: u64, opt_sm: usize, rec: f64, ffma_fraction: f64) -> f64 {
     assert!(opt_sm > 0, "optSM must be positive");
     assert!(rec > 0.0 && rec <= 1.0, "rEC out of range: {rec}");
     assert!(

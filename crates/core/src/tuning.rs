@@ -144,9 +144,7 @@ impl<'a> AccuracyTuner<'a> {
             .forward(self.inputs, plan)
             .expect("calibration forward cannot fail on a consistent plan");
         let entropy = mean_entropy(&logits);
-        let accuracy = self
-            .labels
-            .map(|l| pcnn_nn::entropy::accuracy(&logits, l));
+        let accuracy = self.labels.map(|l| pcnn_nn::entropy::accuracy(&logits, l));
         (entropy, accuracy)
     }
 
@@ -300,7 +298,11 @@ mod tests {
         // Paper Fig. 16: "the speedup increases monotonically".
         let (net, inputs, _) = trained_net_and_data();
         let path = AccuracyTuner::new(&net, &inputs).tune(10.0, 6);
-        assert!(path.entries.len() >= 4, "path too short: {}", path.entries.len());
+        assert!(
+            path.entries.len() >= 4,
+            "path too short: {}",
+            path.entries.len()
+        );
         for w in path.entries.windows(2) {
             assert!(w[1].speedup > w[0].speedup);
             assert!(w[1].retained_flops < w[0].retained_flops);
@@ -364,8 +366,16 @@ mod tests {
         assert!((path.entropy_at_retained(1.0) - first.entropy).abs() < 1e-9);
         // Interpolation stays within the envelope of measured entropies
         // (entropy along the greedy path need not be monotone).
-        let lo = path.entries.iter().map(|e| e.entropy).fold(f64::MAX, f64::min);
-        let hi = path.entries.iter().map(|e| e.entropy).fold(f64::MIN, f64::max);
+        let lo = path
+            .entries
+            .iter()
+            .map(|e| e.entropy)
+            .fold(f64::MAX, f64::min);
+        let hi = path
+            .entries
+            .iter()
+            .map(|e| e.entropy)
+            .fold(f64::MIN, f64::max);
         let mid = (first.retained_flops + last.retained_flops) / 2.0;
         let e = path.entropy_at_retained(mid);
         assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "{e} outside [{lo}, {hi}]");

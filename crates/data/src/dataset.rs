@@ -279,7 +279,10 @@ mod tests {
             .zip(class_mean(&test, 1))
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(d_same < d_diff, "split does not share prototypes: {d_same} vs {d_diff}");
+        assert!(
+            d_same < d_diff,
+            "split does not share prototypes: {d_same} vs {d_diff}"
+        );
     }
 
     #[test]

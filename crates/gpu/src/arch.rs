@@ -170,7 +170,10 @@ impl GpuArch {
     ///
     /// Panics if `factor` is not in `(0, 1.5]`.
     pub fn with_frequency_scale(&self, factor: f64) -> GpuArch {
-        assert!(factor > 0.0 && factor <= 1.5, "factor {factor} out of range");
+        assert!(
+            factor > 0.0 && factor <= 1.5,
+            "factor {factor} out of range"
+        );
         let mut scaled = self.clone();
         scaled.freq_mhz = ((self.freq_mhz as f64 * factor).round() as u32).max(1);
         let e = &mut scaled.energy;

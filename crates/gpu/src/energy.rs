@@ -32,6 +32,17 @@ impl EnergyBreakdown {
             constant_j: self.constant_j + other.constant_j,
         }
     }
+
+    /// Component-wise scaling, e.g. a grouped convolution running its
+    /// per-group kernel `groups` times back-to-back.
+    pub fn scaled(&self, factor: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            dynamic_j: self.dynamic_j * factor,
+            leakage_j: self.leakage_j * factor,
+            dram_j: self.dram_j * factor,
+            constant_j: self.constant_j * factor,
+        }
+    }
 }
 
 /// Computes energy from instruction counts and the execution window.
@@ -69,8 +80,8 @@ impl EnergyModel {
                 + (instr.lds + instr.sts) as f64 * e.shmem_pj
                 + (instr.ldg + instr.stg) as f64 * e.global_pj);
         let dram_j = instr.dram_bytes() as f64 * e.dram_pj_per_byte * pj;
-        let leakage_j = seconds
-            * (powered_sms as f64 * e.sm_leakage_w + gated_sms as f64 * e.gated_sm_w);
+        let leakage_j =
+            seconds * (powered_sms as f64 * e.sm_leakage_w + gated_sms as f64 * e.gated_sm_w);
         let constant_j = seconds * e.constant_w;
         EnergyBreakdown {
             dynamic_j,
@@ -111,7 +122,9 @@ mod tests {
         assert!(e.leakage_j > 0.0);
         assert!(e.dram_j > 0.0);
         assert!(e.constant_j > 0.0);
-        assert!((e.total_j() - (e.dynamic_j + e.leakage_j + e.dram_j + e.constant_j)).abs() < 1e-15);
+        assert!(
+            (e.total_j() - (e.dynamic_j + e.leakage_j + e.dram_j + e.constant_j)).abs() < 1e-15
+        );
     }
 
     #[test]
@@ -145,5 +158,18 @@ mod tests {
         let a = EnergyModel.idle(&K20C, 1.0, 0);
         let b = a.plus(&a);
         assert!((b.total_j() - 2.0 * a.total_j()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_multiplies_every_component() {
+        let e = EnergyModel.compute(&K20C, &some_instrs(), 0.01, 13, 0);
+        let s = e.scaled(3.0);
+        assert_eq!(s.dynamic_j, e.dynamic_j * 3.0);
+        assert_eq!(s.leakage_j, e.leakage_j * 3.0);
+        assert_eq!(s.dram_j, e.dram_j * 3.0);
+        assert_eq!(s.constant_j, e.constant_j * 3.0);
+        assert!((s.total_j() - 3.0 * e.total_j()).abs() < 1e-12);
+        // Scaling by the group count matches summing the groups.
+        assert_eq!(e.scaled(2.0), e.plus(&e));
     }
 }

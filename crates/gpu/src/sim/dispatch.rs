@@ -86,6 +86,7 @@ pub fn simulate_kernel(
     assert!(kernel.grid > 0, "empty grid");
     let occ = Occupancy::of(arch, &kernel.resources);
     let occ_tlp = occ.ctas_per_sm().max(1);
+    let telem = pcnn_telemetry::enabled();
     let (sms, tlp, gated) = match policy {
         DispatchPolicy::RoundRobin => (arch.n_sms, occ_tlp, 0),
         DispatchPolicy::PrioritySm {
@@ -100,33 +101,42 @@ pub fn simulate_kernel(
         }
     };
 
+    let _span = pcnn_telemetry::span!(
+        "sim.kernel",
+        name = kernel.name.as_str(),
+        grid = kernel.grid,
+        sms = sms,
+        tlp = tlp,
+        gated = gated
+    );
+
     // Per-SM resident counts and a finish-event heap.
     let mut resident = vec![0usize; sms];
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
     let mut remaining = kernel.grid;
     let mut sms_touched = vec![false; sms];
+    // Last CTA completion per SM, for the simulated-time busy timeline.
+    let mut sm_end = vec![0u64; sms];
 
     // Initial fill. RR deals one CTA per SM in turn; PSM fills an SM to
     // `tlp` before moving on (paper Fig. 7).
     match policy {
-        DispatchPolicy::RoundRobin => {
-            'fill: loop {
-                let mut assigned = false;
-                for r in resident.iter_mut() {
-                    if remaining == 0 {
-                        break 'fill;
-                    }
-                    if *r < tlp {
-                        *r += 1;
-                        remaining -= 1;
-                        assigned = true;
-                    }
+        DispatchPolicy::RoundRobin => 'fill: loop {
+            let mut assigned = false;
+            for r in resident.iter_mut() {
+                if remaining == 0 {
+                    break 'fill;
                 }
-                if !assigned {
-                    break;
+                if *r < tlp {
+                    *r += 1;
+                    remaining -= 1;
+                    assigned = true;
                 }
             }
-        }
+            if !assigned {
+                break;
+            }
+        },
         DispatchPolicy::PrioritySm { .. } => {
             for r in resident.iter_mut() {
                 while *r < tlp && remaining > 0 {
@@ -151,6 +161,7 @@ pub fn simulate_kernel(
     let mut end = 0u64;
     while let Some(Reverse((t, sm))) = heap.pop() {
         end = end.max(t);
+        sm_end[sm] = sm_end[sm].max(t);
         resident[sm] -= 1;
         if remaining > 0 {
             remaining -= 1;
@@ -166,6 +177,25 @@ pub fn simulate_kernel(
     let sms_used = sms_touched.iter().filter(|&&b| b).count();
     let powered = arch.n_sms - gated;
     let energy = EnergyModel.compute(arch, &instr, seconds, powered, gated);
+    if telem {
+        let mut m = pcnn_telemetry::Metrics::default();
+        m.add("sim.kernel.launches", 1);
+        m.add("sim.kernel.ctas", kernel.grid as u64);
+        m.add("sim.kernel.gated_sms", gated as u64);
+        m.observe("sim.kernel.sms_used", sms_used as f64);
+        m.observe("sim.kernel.seconds", seconds);
+        pcnn_telemetry::merge_metrics(&m);
+        // One busy slice per touched SM on the shared simulated-time axis:
+        // this launch reserves [base, base + end) and each SM shows busy
+        // from the launch start to its last CTA completion.
+        let to_us = 1e6 / arch.freq_hz();
+        let base = pcnn_telemetry::sim_window(end as f64 * to_us);
+        for (sm, &e) in sm_end.iter().enumerate() {
+            if sms_touched[sm] {
+                pcnn_telemetry::sim_slice(&kernel.name, sm as u64, base, e as f64 * to_us);
+            }
+        }
+    }
     KernelResult {
         cycles: end,
         seconds,

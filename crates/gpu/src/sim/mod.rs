@@ -42,6 +42,8 @@ impl KernelDesc {
 #[derive(Debug, Default)]
 pub struct SimCache {
     waves: HashMap<(usize, usize), u64>,
+    hits: u64,
+    misses: u64,
 }
 
 impl SimCache {
@@ -49,6 +51,16 @@ impl SimCache {
     /// `(arch, kernel)` pair — create a fresh one per kernel.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Lookups served from the memo without re-simulating.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that ran a detailed wave simulation.
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 
     /// Cycles for `tlp` CTAs of `kernel` to run to completion on one SM
@@ -66,8 +78,12 @@ impl SimCache {
     ) -> u64 {
         let key = (tlp, active_sms);
         if let Some(&c) = self.waves.get(&key) {
+            self.hits += 1;
+            pcnn_telemetry::counter("sim.cache.hits", 1);
             return c;
         }
+        self.misses += 1;
+        pcnn_telemetry::counter("sim.cache.misses", 1);
         let cycles = simulate_wave(arch, kernel, tlp, active_sms);
         self.waves.insert(key, cycles);
         cycles
@@ -79,11 +95,23 @@ fn simulate_wave(arch: &GpuArch, kernel: &KernelDesc, tlp: usize, active_sms: us
     let iters = kernel.trace.body_iters;
     if iters <= 2 * SAMPLE_ITERS {
         // Short loop: simulate exactly.
+        pcnn_telemetry::counter("sim.wave.exact", 1);
         let ops = kernel.trace.sampled(iters);
         return warp::simulate_sm(arch, &ops, warps, tlp, active_sms);
     }
+    pcnn_telemetry::counter("sim.wave.extrapolated", 1);
+    pcnn_telemetry::counter(
+        "sim.wave.iters_extrapolated",
+        u64::from(iters - 2 * SAMPLE_ITERS),
+    );
     // Two detailed runs give the steady-state cycles-per-iteration.
-    let c1 = warp::simulate_sm(arch, &kernel.trace.sampled(SAMPLE_ITERS), warps, tlp, active_sms);
+    let c1 = warp::simulate_sm(
+        arch,
+        &kernel.trace.sampled(SAMPLE_ITERS),
+        warps,
+        tlp,
+        active_sms,
+    );
     let c2 = warp::simulate_sm(
         arch,
         &kernel.trace.sampled(2 * SAMPLE_ITERS),
@@ -153,6 +181,22 @@ mod tests {
         let b = cache.wave_cycles(&K20C, &k, 3, 13);
         assert_eq!(a, b);
         assert_eq!(cache.waves.len(), 1);
+    }
+
+    #[test]
+    fn repeated_wave_cycles_do_not_resimulate() {
+        let k = toy_kernel(40);
+        let mut cache = SimCache::new();
+        let a = cache.wave_cycles(&K20C, &k, 3, 13);
+        for _ in 0..5 {
+            assert_eq!(cache.wave_cycles(&K20C, &k, 3, 13), a);
+        }
+        assert_eq!(cache.misses(), 1, "same (tlp, active_sms) key re-simulated");
+        assert_eq!(cache.hits(), 5);
+        // A different key is a genuine miss.
+        cache.wave_cycles(&K20C, &k, 4, 13);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 5);
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub fn simulate_concurrent(
     for p in partitions {
         // Run the partition exactly like a PSM launch restricted to its
         // SMs, but with the DRAM share of the full co-running set.
-        let occ = Occupancy::of(arch, &p.kernel.resources).ctas_per_sm().max(1);
+        let occ = Occupancy::of(arch, &p.kernel.resources)
+            .ctas_per_sm()
+            .max(1);
         let tlp = p.tlp.clamp(1, occ);
         let mut cache = SimCache::new();
         let result = simulate_partition(arch, p.kernel, p.sms, tlp, total_sms, &mut cache);
@@ -207,13 +209,24 @@ mod tests {
         let r = simulate_concurrent(
             &K20C,
             &[
-                Partition { kernel: &ka, sms: 6, tlp: 2 },
-                Partition { kernel: &kb, sms: 7, tlp: 2 },
+                Partition {
+                    kernel: &ka,
+                    sms: 6,
+                    tlp: 2,
+                },
+                Partition {
+                    kernel: &kb,
+                    sms: 7,
+                    tlp: 2,
+                },
             ],
             false,
         );
         assert_eq!(r.kernels.len(), 2);
-        let pa = ka.trace.warp_instr_counts().scaled((ka.warps_per_cta() * ka.grid) as u64);
+        let pa = ka
+            .trace
+            .warp_instr_counts()
+            .scaled((ka.warps_per_cta() * ka.grid) as u64);
         assert_eq!(r.kernels[0].instr, pa);
         assert!(r.seconds >= r.kernels[0].seconds.max(r.kernels[1].seconds) - 1e-12);
     }
@@ -228,8 +241,16 @@ mod tests {
         let r = simulate_concurrent(
             &K20C,
             &[
-                Partition { kernel: &k, sms: 6, tlp: 4 },
-                Partition { kernel: &k, sms: 7, tlp: 4 },
+                Partition {
+                    kernel: &k,
+                    sms: 6,
+                    tlp: 4,
+                },
+                Partition {
+                    kernel: &k,
+                    sms: 7,
+                    tlp: 4,
+                },
             ],
             false,
         );
@@ -237,7 +258,12 @@ mod tests {
         assert!(r.seconds >= solo.seconds * 0.9);
         // ...but both finish within a reasonable factor (spatial sharing
         // works).
-        assert!(r.seconds < solo.seconds * 4.0, "{} vs {}", r.seconds, solo.seconds);
+        assert!(
+            r.seconds < solo.seconds * 4.0,
+            "{} vs {}",
+            r.seconds,
+            solo.seconds
+        );
     }
 
     #[test]
@@ -245,12 +271,20 @@ mod tests {
         let k = kernel(4, "small");
         let gated = simulate_concurrent(
             &K20C,
-            &[Partition { kernel: &k, sms: 2, tlp: 2 }],
+            &[Partition {
+                kernel: &k,
+                sms: 2,
+                tlp: 2,
+            }],
             true,
         );
         let ungated = simulate_concurrent(
             &K20C,
-            &[Partition { kernel: &k, sms: 2, tlp: 2 }],
+            &[Partition {
+                kernel: &k,
+                sms: 2,
+                tlp: 2,
+            }],
             false,
         );
         assert!(gated.energy.leakage_j < ungated.energy.leakage_j);
@@ -264,8 +298,16 @@ mod tests {
         simulate_concurrent(
             &K20C,
             &[
-                Partition { kernel: &k, sms: 10, tlp: 2 },
-                Partition { kernel: &k, sms: 10, tlp: 2 },
+                Partition {
+                    kernel: &k,
+                    sms: 10,
+                    tlp: 2,
+                },
+                Partition {
+                    kernel: &k,
+                    sms: 10,
+                    tlp: 2,
+                },
             ],
             false,
         );
@@ -279,14 +321,26 @@ mod tests {
         let k = kernel(6, "mem");
         let alone = simulate_concurrent(
             &K20C,
-            &[Partition { kernel: &k, sms: 3, tlp: 2 }],
+            &[Partition {
+                kernel: &k,
+                sms: 3,
+                tlp: 2,
+            }],
             true,
         );
         let shared = simulate_concurrent(
             &K20C,
             &[
-                Partition { kernel: &k, sms: 3, tlp: 2 },
-                Partition { kernel: &k, sms: 10, tlp: 2 },
+                Partition {
+                    kernel: &k,
+                    sms: 3,
+                    tlp: 2,
+                },
+                Partition {
+                    kernel: &k,
+                    sms: 10,
+                    tlp: 2,
+                },
             ],
             true,
         );

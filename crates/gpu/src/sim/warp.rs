@@ -6,6 +6,25 @@ use crate::sim::trace::{Op, GLOBAL_ACCESS_BYTES};
 /// Hard ceiling to catch livelocks; a real wave never gets near this.
 const MAX_CYCLES: u64 = 50_000_000_000;
 
+/// Stall-cause classes for telemetry: cycles where the SM issued nothing
+/// are attributed to whatever the limiting warp was waiting on.
+const STALL_FFMA: usize = 0;
+const STALL_LDS: usize = 1;
+const STALL_LDG: usize = 2;
+const STALL_BARRIER: usize = 3;
+const STALL_OTHER: usize = 4;
+const N_STALL: usize = 5;
+
+fn stall_class(op: Op) -> usize {
+    match op {
+        Op::Ffma => STALL_FFMA,
+        Op::Lds | Op::Sts => STALL_LDS,
+        Op::Ldg | Op::Stg | Op::WaitMem => STALL_LDG,
+        Op::Bar => STALL_BARRIER,
+        Op::Ialu => STALL_OTHER,
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Warp {
     cta: usize,
@@ -20,6 +39,8 @@ struct Warp {
     /// Waiting at a barrier.
     at_barrier: bool,
     done: bool,
+    /// What set `ready` last (a `STALL_*` class), for stall attribution.
+    wait_cause: usize,
 }
 
 /// Fractional per-cycle issue budgets for throughput-limited classes.
@@ -68,8 +89,8 @@ pub fn simulate_sm(
     let t = &arch.timing;
     // DRAM-bandwidth share of this SM, in global warp-accesses per cycle,
     // additionally capped by the LSU (1 access/cycle).
-    let global_rate = (arch.bytes_per_cycle() / active_sms as f64 / GLOBAL_ACCESS_BYTES as f64)
-        .clamp(1e-4, 1.0);
+    let global_rate =
+        (arch.bytes_per_cycle() / active_sms as f64 / GLOBAL_ACCESS_BYTES as f64).clamp(1e-4, 1.0);
     let rates = Budgets {
         ffma: t.ffma_per_cycle,
         lds: t.lds_per_cycle,
@@ -88,6 +109,7 @@ pub fn simulate_sm(
             outstanding: 0,
             at_barrier: false,
             done: false,
+            wait_cause: STALL_OTHER,
         })
         .collect();
     let mut bar_counts = vec![0usize; n_ctas];
@@ -95,6 +117,10 @@ pub fn simulate_sm(
     let mut cycle: u64 = 0;
     // GTO: the most recently issued warp keeps priority.
     let mut last_issued: usize = 0;
+    // Telemetry accumulators, flushed to the global sink once at the end.
+    let telem = pcnn_telemetry::enabled();
+    let mut stalls = [0u64; N_STALL];
+    let mut issued_total: u64 = 0;
 
     while remaining > 0 {
         assert!(cycle < MAX_CYCLES, "simulation livelock");
@@ -113,6 +139,7 @@ pub fn simulate_sm(
                         if warps[wi].outstanding > cycle {
                             let out = warps[wi].outstanding;
                             warps[wi].ready = out;
+                            warps[wi].wait_cause = STALL_LDG;
                             break;
                         }
                         advance(&mut warps[wi], ops, &mut remaining);
@@ -127,6 +154,7 @@ pub fn simulate_sm(
                                 if other.cta == cta && other.at_barrier {
                                     other.at_barrier = false;
                                     other.ready = cycle + 1;
+                                    other.wait_cause = STALL_BARRIER;
                                     advance_noremaining(other, ops);
                                     if other.seg >= ops.len() {
                                         other.done = true;
@@ -153,7 +181,11 @@ pub fn simulate_sm(
                 // LRR: rotate to the warp after the last issued one.
                 let wi = match t.warp_scheduler {
                     WarpScheduler::Gto => {
-                        if k == 0 { last_issued } else { k - 1 }
+                        if k == 0 {
+                            last_issued
+                        } else {
+                            k - 1
+                        }
                     }
                     WarpScheduler::Lrr => (last_issued + 1 + k) % n_warps,
                 };
@@ -207,25 +239,57 @@ pub fn simulate_sm(
                 }
                 Op::WaitMem | Op::Bar => unreachable!(),
             }
+            warps[wi].wait_cause = stall_class(op);
             advance(&mut warps[wi], ops, &mut remaining);
             last_issued = wi;
+            issued_total += 1;
             issued_any = true;
         }
 
         if issued_any {
             cycle += 1;
         } else {
-            // Fast-forward to the next event.
-            let next = warps
-                .iter()
-                .filter(|w| !w.done && !w.at_barrier)
-                .map(|w| w.ready.max(cycle + 1))
-                .min()
-                .unwrap_or(cycle + 1);
+            // Fast-forward to the next event, attributing the skipped
+            // cycles to the limiting warp's stall cause: a warp that is
+            // ready but issue-blocked means a throughput stall on its
+            // pending op class; otherwise the earliest-ready warp's
+            // in-flight latency is the bottleneck.
+            let mut next = u64::MAX;
+            let mut cause = STALL_OTHER;
+            let mut cause_ready = u64::MAX;
+            for w in warps.iter().filter(|w| !w.done && !w.at_barrier) {
+                next = next.min(w.ready.max(cycle + 1));
+                if telem {
+                    if w.ready <= cycle {
+                        if cause_ready > cycle {
+                            cause_ready = cycle;
+                            cause = stall_class(ops[w.seg].0);
+                        }
+                    } else if w.ready < cause_ready {
+                        cause_ready = w.ready;
+                        cause = w.wait_cause;
+                    }
+                }
+            }
+            let next = if next == u64::MAX { cycle + 1 } else { next };
             let dt = next - cycle;
+            stalls[cause] += dt;
             budgets.refill(&rates, dt as f64);
             cycle = next;
         }
+    }
+    if telem {
+        let mut m = pcnn_telemetry::Metrics::default();
+        m.add("sim.sm.runs", 1);
+        m.add("sim.sm.cycles", cycle);
+        m.add("sim.sm.instrs_issued", issued_total);
+        m.add("sim.sm.issue_slots", cycle * u64::from(t.issue_slots));
+        m.add("sim.stall_cycles.ffma", stalls[STALL_FFMA]);
+        m.add("sim.stall_cycles.lds", stalls[STALL_LDS]);
+        m.add("sim.stall_cycles.ldg", stalls[STALL_LDG]);
+        m.add("sim.stall_cycles.barrier", stalls[STALL_BARRIER]);
+        m.add("sim.stall_cycles.other", stalls[STALL_OTHER]);
+        pcnn_telemetry::merge_metrics(&m);
     }
     cycle
 }
@@ -280,10 +344,7 @@ mod tests {
     fn waitmem_charges_global_latency() {
         let ops = vec![(Op::Ldg, 1), (Op::WaitMem, 1), (Op::Ialu, 1)];
         let cycles = simulate_sm(&K20C, &ops, 1, 1, 13);
-        assert!(
-            cycles >= K20C.timing.global_latency,
-            "{cycles} < latency"
-        );
+        assert!(cycles >= K20C.timing.global_latency, "{cycles} < latency");
     }
 
     #[test]

@@ -125,9 +125,7 @@ impl Library {
                 cap_bytes: 8 * 1024 * 1024,
             },
             // Nervana pads and double-buffers aggressively on mobile.
-            (Library::Nervana, Platform::Mobile) => {
-                WorkspacePolicy::FullBatchSum { factor: 0.75 }
-            }
+            (Library::Nervana, Platform::Mobile) => WorkspacePolicy::FullBatchSum { factor: 0.75 },
             (Library::Nervana, _) => WorkspacePolicy::SingleImageMax,
         }
     }
@@ -136,9 +134,7 @@ impl Library {
     /// desktop-class Maxwell GPUs).
     pub fn activation_precision(&self, platform: Platform) -> ActivationPrecision {
         match (self, platform) {
-            (Library::Nervana, Platform::Desktop | Platform::Notebook) => {
-                ActivationPrecision::Fp16
-            }
+            (Library::Nervana, Platform::Desktop | Platform::Notebook) => ActivationPrecision::Fp16,
             _ => ActivationPrecision::Fp32,
         }
     }
@@ -177,7 +173,11 @@ mod tests {
     use pcnn_nn::spec::{alexnet, googlenet, vggnet};
 
     fn conv2_shape() -> SgemmShape {
-        SgemmShape { m: 128, n: 729, k: 1200 }
+        SgemmShape {
+            m: 128,
+            n: 729,
+            k: 1200,
+        }
     }
 
     #[test]

@@ -300,10 +300,18 @@ mod tests {
     #[test]
     fn table4_grid_sizes() {
         // CONV2: 128 x 729, cuBLAS tile m=64 n=128 -> 2 * 6 = 12.
-        let conv2 = SgemmShape { m: 128, n: 729, k: 1200 };
+        let conv2 = SgemmShape {
+            m: 128,
+            n: 729,
+            k: 1200,
+        };
         assert_eq!(grid_size(conv2, &TILE_64X128), 12);
         // CONV5: 128 x 169 -> 2 * 2 = 4.
-        let conv5 = SgemmShape { m: 128, n: 169, k: 1728 };
+        let conv5 = SgemmShape {
+            m: 128,
+            n: 169,
+            k: 1728,
+        };
         assert_eq!(grid_size(conv5, &TILE_64X128), 4);
         // cuDNN 32x32: CONV2 -> 4 * 23 = 92; CONV5 -> 4 * 6 = 24.
         assert_eq!(grid_size(conv2, &TILE_32X32), 92);
@@ -315,9 +323,17 @@ mod tests {
 
     #[test]
     fn rec_exact_and_padded() {
-        let exact = SgemmShape { m: 128, n: 128, k: 64 };
+        let exact = SgemmShape {
+            m: 128,
+            n: 128,
+            k: 64,
+        };
         assert_eq!(effective_computation(exact, &TILE_128X128), 1.0);
-        let padded = SgemmShape { m: 129, n: 128, k: 64 };
+        let padded = SgemmShape {
+            m: 129,
+            n: 128,
+            k: 64,
+        };
         assert!((effective_computation(padded, &TILE_128X128) - 129.0 / 256.0).abs() < 1e-12);
     }
 
@@ -353,7 +369,11 @@ mod tests {
     fn trace_ffma_covers_tile_work() {
         // Whole-CTA FFMA thread-ops across the k-loop must equal
         // tile_m * tile_n * K (one MAC per output element per k).
-        let shape = SgemmShape { m: 64, n: 128, k: 1728 };
+        let shape = SgemmShape {
+            m: 64,
+            n: 128,
+            k: 1728,
+        };
         let cfg = SgemmConfig::natural(TILE_64X128);
         let k = build_kernel(shape, &cfg, "t");
         let per_warp = k.trace.warp_instr_counts();
@@ -365,7 +385,11 @@ mod tests {
 
     #[test]
     fn spilled_kernel_adds_memory_ops() {
-        let shape = SgemmShape { m: 128, n: 729, k: 1200 };
+        let shape = SgemmShape {
+            m: 128,
+            n: 729,
+            k: 1200,
+        };
         let natural = build_kernel(shape, &SgemmConfig::natural(TILE_64X128), "n");
         let spilled_cfg = SgemmConfig {
             variant: TILE_64X128,

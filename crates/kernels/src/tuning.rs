@@ -44,10 +44,7 @@ pub fn tlp_stairs(arch: &GpuArch, variant: &SgemmVariant) -> Vec<StairPoint> {
         res.regs_per_thread = regs;
         res.shmem_per_block = 0; // register-driven staircase (eq. 5)
         let occ = Occupancy::of(arch, &res);
-        let tlp = occ
-            .by_registers
-            .min(occ.by_threads)
-            .min(occ.by_cta_slots);
+        let tlp = occ.by_registers.min(occ.by_threads).min(occ.by_cta_slots);
         if tlp == 0 {
             continue;
         }
@@ -141,16 +138,20 @@ pub fn tune_kernel(arch: &GpuArch, shape: SgemmShape) -> TunedKernel {
 /// # Panics
 ///
 /// Panics if `shape` has a zero dimension or `top_k == 0`.
-pub fn tune_kernel_candidates(
-    arch: &GpuArch,
-    shape: SgemmShape,
-    top_k: usize,
-) -> Vec<TunedKernel> {
+pub fn tune_kernel_candidates(arch: &GpuArch, shape: SgemmShape, top_k: usize) -> Vec<TunedKernel> {
     assert!(
         shape.m > 0 && shape.n > 0 && shape.k > 0,
         "degenerate GEMM shape {shape:?}"
     );
     assert!(top_k > 0, "top_k must be positive");
+    let _span = pcnn_telemetry::span!(
+        "tuner.tune_kernel",
+        m = shape.m,
+        n = shape.n,
+        k = shape.k,
+        top_k = top_k
+    );
+    let mut skipped: u64 = 0;
     let mut candidates: Vec<TunedKernel> = Vec::new();
     let mut seen_tlp = std::collections::HashSet::new();
     for variant in &ALL_TILES {
@@ -162,6 +163,7 @@ pub fn tune_kernel_candidates(
                 Occupancy::of(arch, &SgemmConfig::natural(*variant).resources()).ctas_per_sm();
             let tlp = point.tlp.min(natural_occ.max(1));
             if !seen_tlp.insert(tlp) {
+                skipped += 1;
                 continue;
             }
             let spill = SpillPlan::plan(arch, variant, point.regs, tlp);
@@ -174,6 +176,7 @@ pub fn tune_kernel_candidates(
             // intended TLP still fits.
             let occ = Occupancy::of(arch, &config.resources()).ctas_per_sm();
             if occ < tlp {
+                skipped += 1;
                 continue;
             }
             let score = s_kernel_effective(arch, shape, &config, tlp);
@@ -190,7 +193,18 @@ pub fn tune_kernel_candidates(
         }
     }
     candidates.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+    let explored = candidates.len() as u64;
     candidates.truncate(top_k);
+    if pcnn_telemetry::enabled() {
+        let mut m = pcnn_telemetry::Metrics::default();
+        m.add("tuner.candidates.explored", explored);
+        m.add("tuner.candidates.kept", candidates.len() as u64);
+        m.add(
+            "tuner.candidates.pruned",
+            skipped + explored - candidates.len() as u64,
+        );
+        pcnn_telemetry::merge_metrics(&m);
+    }
     candidates
 }
 
@@ -237,7 +251,11 @@ mod tests {
         // AlexNet CONV5 non-batched on TX1: M=128, N=169. A 128x128 tile
         // wastes most of the padded work; the tuner must pick something
         // smaller.
-        let shape = SgemmShape { m: 128, n: 169, k: 1728 };
+        let shape = SgemmShape {
+            m: 128,
+            n: 169,
+            k: 1728,
+        };
         let tuned = tune_kernel(&JETSON_TX1, shape);
         assert!(
             tuned.config.variant.tile_m * tuned.config.variant.tile_n
@@ -251,7 +269,11 @@ mod tests {
     #[test]
     fn tuner_picks_large_tile_for_large_gemm() {
         // A big batched GEMM: padding is negligible, compute density wins.
-        let shape = SgemmShape { m: 256, n: 93184, k: 1200 };
+        let shape = SgemmShape {
+            m: 256,
+            n: 93184,
+            k: 1200,
+        };
         let tuned = tune_kernel(&K20C, shape);
         assert!(
             tuned.config.variant.tile_n >= 64,
@@ -262,7 +284,11 @@ mod tests {
 
     #[test]
     fn tuned_tlp_within_occupancy() {
-        let shape = SgemmShape { m: 128, n: 729, k: 1200 };
+        let shape = SgemmShape {
+            m: 128,
+            n: 729,
+            k: 1200,
+        };
         let tuned = tune_kernel(&K20C, shape);
         let occ = Occupancy::of(&K20C, &tuned.config.resources()).ctas_per_sm();
         assert!(tuned.opt_tlp <= occ);
@@ -280,7 +306,11 @@ mod tests {
 
     #[test]
     fn effective_score_penalizes_spilling_to_global() {
-        let shape = SgemmShape { m: 128, n: 4096, k: 1200 };
+        let shape = SgemmShape {
+            m: 128,
+            n: 4096,
+            k: 1200,
+        };
         let natural = SgemmConfig::natural(TILE_128X128);
         let heavy_spill = SgemmConfig {
             variant: TILE_128X128,

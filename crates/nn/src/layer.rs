@@ -7,8 +7,8 @@
 //! subset of output positions and interpolates the rest.
 
 use pcnn_tensor::{
-    col2im_accumulate, gemm, gemm_bias, gemm_nt, gemm_tn, im2col, im2col_positions,
-    Conv2dGeometry, Tensor,
+    col2im_accumulate, gemm, gemm_bias, gemm_nt, gemm_tn, im2col, im2col_positions, Conv2dGeometry,
+    Tensor,
 };
 use rand::Rng;
 
@@ -230,20 +230,20 @@ impl Conv2d {
             im2col(g, input.batch_item(b), &mut cols);
             let go = grad_out.batch_item(b);
             // dW += dOut x cols^T
-            gemm_nt(
-                self.out_channels,
-                k,
-                n_pos,
-                go,
-                &cols,
-                d_weight.data_mut(),
-            );
+            gemm_nt(self.out_channels, k, n_pos, go, &cols, d_weight.data_mut());
             for c in 0..self.out_channels {
                 d_bias[c] += go[c * n_pos..(c + 1) * n_pos].iter().sum::<f32>();
             }
             // dCols = W^T x dOut
             d_cols.fill(0.0);
-            gemm_tn(k, n_pos, self.out_channels, self.weight.data(), go, &mut d_cols);
+            gemm_tn(
+                k,
+                n_pos,
+                self.out_channels,
+                self.weight.data(),
+                go,
+                &mut d_cols,
+            );
             col2im_accumulate(g, &d_cols, d_input.batch_item_mut(b));
         }
         (d_input, ParamGrads { d_weight, d_bias })
@@ -276,7 +276,10 @@ impl MaxPool2d {
     ///
     /// Panics if `kernel == 0` or `stride == 0`.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         Self { kernel, stride }
     }
 
@@ -342,12 +345,7 @@ impl MaxPool2d {
     /// # Panics
     ///
     /// Panics if `cache` is not [`LayerCache::PoolIndices`] of matching size.
-    pub fn backward(
-        &self,
-        input_shape: &[usize],
-        cache: &LayerCache,
-        grad_out: &Tensor,
-    ) -> Tensor {
+    pub fn backward(&self, input_shape: &[usize], cache: &LayerCache, grad_out: &Tensor) -> Tensor {
         let LayerCache::PoolIndices(indices) = cache else {
             panic!("MaxPool2d::backward requires PoolIndices cache");
         };
@@ -568,10 +566,7 @@ impl Layer {
             Layer::Flatten => {
                 let n = input.shape()[0];
                 let rest: usize = input.shape()[1..].iter().product();
-                Ok((
-                    input.clone().reshape(vec![n, rest])?,
-                    LayerCache::None,
-                ))
+                Ok((input.clone().reshape(vec![n, rest])?, LayerCache::None))
             }
             Layer::Linear(l) => Ok((l.forward(input)?, LayerCache::None)),
             Layer::Dropout(p) => match train_seed {
@@ -837,9 +832,21 @@ mod tests {
         for wi in 0..6 {
             let orig = lin.weight.data()[wi];
             lin.weight.data_mut()[wi] = orig + eps;
-            let lp: f32 = lin.forward(&input).unwrap().data().iter().map(|x| x * x / 2.0).sum();
+            let lp: f32 = lin
+                .forward(&input)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|x| x * x / 2.0)
+                .sum();
             lin.weight.data_mut()[wi] = orig - eps;
-            let lm: f32 = lin.forward(&input).unwrap().data().iter().map(|x| x * x / 2.0).sum();
+            let lm: f32 = lin
+                .forward(&input)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|x| x * x / 2.0)
+                .sum();
             lin.weight.data_mut()[wi] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(

@@ -172,7 +172,10 @@ mod tests {
         // 6.8M params vs VGG's 138M), with more conv FLOPs per weight.
         let nets = tiny_trio(10);
         let w: Vec<usize> = nets.iter().map(|n| n.spec().total_weights()).collect();
-        assert!(w[0] < w[1] && w[0] < w[2], "AlexNet analogue not smallest: {w:?}");
+        assert!(
+            w[0] < w[1] && w[0] < w[2],
+            "AlexNet analogue not smallest: {w:?}"
+        );
         let f: Vec<u64> = nets.iter().map(|n| n.spec().total_flops()).collect();
         assert!(f[0] < f[1], "FLOPs not increasing AlexNet->VGG: {f:?}");
     }

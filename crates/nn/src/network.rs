@@ -52,11 +52,7 @@ impl Network {
     /// # Panics
     ///
     /// Panics if `layers` is empty or does not end in a linear layer.
-    pub fn new(
-        name: &str,
-        input_shape: [usize; 3],
-        layers: Vec<Layer>,
-    ) -> Self {
+    pub fn new(name: &str, input_shape: [usize; 3], layers: Vec<Layer>) -> Self {
         assert!(!layers.is_empty(), "network needs at least one layer");
         let num_classes = match layers.last() {
             Some(Layer::Linear(l)) => l.out_features(),
@@ -170,7 +166,10 @@ impl Network {
             let (out, cache) = layer.forward_mode(
                 activations.last().expect("nonempty"),
                 None,
-                Some(seed.wrapping_add(li as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+                Some(
+                    seed.wrapping_add(li as u64)
+                        .wrapping_mul(0x9E3779B97F4A7C15),
+                ),
             )?;
             activations.push(out);
             caches.push(cache);
@@ -260,7 +259,9 @@ mod tests {
     fn forward_rejects_wrong_plan_length() {
         let net = tiny_alexnet(5);
         let input = Tensor::zeros(vec![1, 1, 32, 32]);
-        let err = net.forward(&input, &PerforationPlan::identity(99)).unwrap_err();
+        let err = net
+            .forward(&input, &PerforationPlan::identity(99))
+            .unwrap_err();
         assert!(matches!(err, NnError::Perforation(_)));
     }
 

@@ -118,7 +118,10 @@ impl LayerPerforation {
 /// Panics if `n_keep` is zero or exceeds the number of positions.
 pub fn kept_positions(out_h: usize, out_w: usize, n_keep: usize) -> Vec<usize> {
     let n_pos = out_h * out_w;
-    assert!(n_keep >= 1 && n_keep <= n_pos, "n_keep {n_keep} out of range");
+    assert!(
+        n_keep >= 1 && n_keep <= n_pos,
+        "n_keep {n_keep} out of range"
+    );
     if n_keep == n_pos {
         return (0..n_pos).collect();
     }

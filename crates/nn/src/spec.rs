@@ -240,7 +240,12 @@ impl NetworkSpec {
 
     /// Sum of all per-image activation element counts (plus the input).
     pub fn total_activations(&self) -> usize {
-        self.input_elems + self.layers.iter().map(|l| l.activation_count()).sum::<usize>()
+        self.input_elems
+            + self
+                .layers
+                .iter()
+                .map(|l| l.activation_count())
+                .sum::<usize>()
     }
 
     /// Largest per-image im2col workspace over all conv layers.
@@ -417,7 +422,17 @@ pub fn googlenet() -> NetworkSpec {
             w_o: 56,
             h_o: 56,
         }),
-        LayerSpec::Conv(ConvSpec::new("conv2/3x3_reduce", 64, 1, 64, 56, 56, 1, 0, 1)),
+        LayerSpec::Conv(ConvSpec::new(
+            "conv2/3x3_reduce",
+            64,
+            1,
+            64,
+            56,
+            56,
+            1,
+            0,
+            1,
+        )),
         LayerSpec::Conv(ConvSpec::new("conv2/3x3", 192, 3, 64, 56, 56, 1, 1, 1)),
         LayerSpec::Pool(PoolSpec {
             name: "pool2".into(),
@@ -427,15 +442,105 @@ pub fn googlenet() -> NetworkSpec {
         }),
     ];
     let incepts = [
-        Inception { name: "3a", in_c: 192, side: 28, n1x1: 64, n3x3_red: 96, n3x3: 128, n5x5_red: 16, n5x5: 32, pool_proj: 32 },
-        Inception { name: "3b", in_c: 256, side: 28, n1x1: 128, n3x3_red: 128, n3x3: 192, n5x5_red: 32, n5x5: 96, pool_proj: 64 },
-        Inception { name: "4a", in_c: 480, side: 14, n1x1: 192, n3x3_red: 96, n3x3: 208, n5x5_red: 16, n5x5: 48, pool_proj: 64 },
-        Inception { name: "4b", in_c: 512, side: 14, n1x1: 160, n3x3_red: 112, n3x3: 224, n5x5_red: 24, n5x5: 64, pool_proj: 64 },
-        Inception { name: "4c", in_c: 512, side: 14, n1x1: 128, n3x3_red: 128, n3x3: 256, n5x5_red: 24, n5x5: 64, pool_proj: 64 },
-        Inception { name: "4d", in_c: 512, side: 14, n1x1: 112, n3x3_red: 144, n3x3: 288, n5x5_red: 32, n5x5: 64, pool_proj: 64 },
-        Inception { name: "4e", in_c: 528, side: 14, n1x1: 256, n3x3_red: 160, n3x3: 320, n5x5_red: 32, n5x5: 128, pool_proj: 128 },
-        Inception { name: "5a", in_c: 832, side: 7, n1x1: 256, n3x3_red: 160, n3x3: 320, n5x5_red: 32, n5x5: 128, pool_proj: 128 },
-        Inception { name: "5b", in_c: 832, side: 7, n1x1: 384, n3x3_red: 192, n3x3: 384, n5x5_red: 48, n5x5: 128, pool_proj: 128 },
+        Inception {
+            name: "3a",
+            in_c: 192,
+            side: 28,
+            n1x1: 64,
+            n3x3_red: 96,
+            n3x3: 128,
+            n5x5_red: 16,
+            n5x5: 32,
+            pool_proj: 32,
+        },
+        Inception {
+            name: "3b",
+            in_c: 256,
+            side: 28,
+            n1x1: 128,
+            n3x3_red: 128,
+            n3x3: 192,
+            n5x5_red: 32,
+            n5x5: 96,
+            pool_proj: 64,
+        },
+        Inception {
+            name: "4a",
+            in_c: 480,
+            side: 14,
+            n1x1: 192,
+            n3x3_red: 96,
+            n3x3: 208,
+            n5x5_red: 16,
+            n5x5: 48,
+            pool_proj: 64,
+        },
+        Inception {
+            name: "4b",
+            in_c: 512,
+            side: 14,
+            n1x1: 160,
+            n3x3_red: 112,
+            n3x3: 224,
+            n5x5_red: 24,
+            n5x5: 64,
+            pool_proj: 64,
+        },
+        Inception {
+            name: "4c",
+            in_c: 512,
+            side: 14,
+            n1x1: 128,
+            n3x3_red: 128,
+            n3x3: 256,
+            n5x5_red: 24,
+            n5x5: 64,
+            pool_proj: 64,
+        },
+        Inception {
+            name: "4d",
+            in_c: 512,
+            side: 14,
+            n1x1: 112,
+            n3x3_red: 144,
+            n3x3: 288,
+            n5x5_red: 32,
+            n5x5: 64,
+            pool_proj: 64,
+        },
+        Inception {
+            name: "4e",
+            in_c: 528,
+            side: 14,
+            n1x1: 256,
+            n3x3_red: 160,
+            n3x3: 320,
+            n5x5_red: 32,
+            n5x5: 128,
+            pool_proj: 128,
+        },
+        Inception {
+            name: "5a",
+            in_c: 832,
+            side: 7,
+            n1x1: 256,
+            n3x3_red: 160,
+            n3x3: 320,
+            n5x5_red: 32,
+            n5x5: 128,
+            pool_proj: 128,
+        },
+        Inception {
+            name: "5b",
+            in_c: 832,
+            side: 7,
+            n1x1: 384,
+            n3x3_red: 192,
+            n3x3: 384,
+            n5x5_red: 48,
+            n5x5: 128,
+            pool_proj: 128,
+        },
     ];
     let mut prev_side = 28;
     for inc in &incepts {

@@ -86,7 +86,9 @@ impl Sgd {
     }
 
     fn clip(&self, g: &mut ParamGrads) {
-        let Some(max_norm) = self.grad_clip else { return };
+        let Some(max_norm) = self.grad_clip else {
+            return;
+        };
         let norm: f32 = g
             .d_weight
             .data()
@@ -118,8 +120,7 @@ impl Sgd {
     ) -> Result<f64, NnError> {
         self.step_count += 1;
         let trace = net.forward_train(input, self.step_count)?;
-        let (loss, mut grad) =
-            cross_entropy_smoothed(trace.logits(), labels, self.label_smoothing);
+        let (loss, mut grad) = cross_entropy_smoothed(trace.logits(), labels, self.label_smoothing);
         // Backward through the layers in reverse.
         let n_layers = net.layers().len();
         let mut param_grads: Vec<Option<ParamGrads>> = vec![None; n_layers];
@@ -207,10 +208,7 @@ pub fn train(
             let nb = end - start;
             let mut shape = inputs.shape().to_vec();
             shape[0] = nb;
-            let mb = Tensor::from_vec(
-                shape,
-                inputs.data()[start * item..end * item].to_vec(),
-            )?;
+            let mb = Tensor::from_vec(shape, inputs.data()[start * item..end * item].to_vec())?;
             epoch_loss += opt.step(net, &mb, &labels[start..end])?;
             n_batches += 1;
             start = end;

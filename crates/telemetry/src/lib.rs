@@ -1,0 +1,774 @@
+//! `pcnn-telemetry` — spans, counters and trace export for the P-CNN
+//! reproduction.
+//!
+//! The paper's argument rests on *measured* microarchitectural behaviour
+//! (warp stall composition, occupancy, per-layer time/energy); this crate
+//! is the measurement substrate the simulator, offline compiler, runtime
+//! and bench harness all report into. It provides:
+//!
+//! * **Spans** — hierarchical wall-clock regions via [`span!`]:
+//!   `let _s = span!("offline.tune_layer", layer = name);` times the
+//!   enclosing scope; spans nest per thread and export as Chrome
+//!   trace-event "X" (complete) events.
+//! * **Counters and histograms** — named monotonic counters
+//!   ([`counter`]) and log2-bucketed histograms ([`histogram`]) in a
+//!   global registry.
+//! * **Instant events** — point-in-time records with arguments via
+//!   [`event!`] (calibration backtracks, tuning candidates, …).
+//! * **Simulated-time slices** — [`sim_slice`] places events on a
+//!   separate "simulated time" process so per-SM busy timelines from the
+//!   dispatch simulator can be inspected alongside wall-clock spans.
+//! * **Exporters** — [`export_chrome_trace`] writes a Perfetto /
+//!   `chrome://tracing`-loadable JSON file; [`export_manifest`] writes a
+//!   JSON-Lines run manifest (one record per counter, histogram,
+//!   span aggregate and instant event).
+//!
+//! # Cost when disabled
+//!
+//! Telemetry is **disabled by default**. Every entry point first performs
+//! a single relaxed atomic load and returns immediately when disabled; the
+//! [`span!`]/[`event!`] macros build their argument vectors inside a
+//! closure that is never called in that case. No allocation, locking or
+//! formatting happens on any hot path until [`set_enabled`]`(true)`.
+//!
+//! # Example
+//!
+//! ```
+//! use pcnn_telemetry as telemetry;
+//!
+//! telemetry::set_enabled(true);
+//! {
+//!     let _span = telemetry::span!("demo.work", size = 42u64);
+//!     telemetry::counter("demo.items", 3);
+//!     telemetry::histogram("demo.latency_ms", 1.5);
+//! }
+//! let snapshot = telemetry::snapshot();
+//! assert_eq!(snapshot.counter_value("demo.items"), 3);
+//! telemetry::set_enabled(false);
+//! telemetry::reset();
+//! ```
+
+pub mod json;
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of log2 histogram buckets. Bucket `i` covers values in
+/// `[2^(i-BUCKET_BIAS), 2^(i+1-BUCKET_BIAS))`; with a bias of 32 the range
+/// spans 2^-32 … 2^31, comfortably covering nanoseconds-to-hours in any
+/// sane unit.
+pub const N_BUCKETS: usize = 64;
+const BUCKET_BIAS: i32 = 32;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD: std::cell::RefCell<ThreadState> = std::cell::RefCell::new(ThreadState {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        depth: 0,
+    });
+}
+
+struct ThreadState {
+    tid: u64,
+    depth: u32,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn collector() -> &'static Mutex<Collector> {
+    static COLLECTOR: OnceLock<Mutex<Collector>> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Mutex::new(Collector::default()))
+}
+
+fn now_us() -> f64 {
+    epoch().elapsed().as_secs_f64() * 1e6
+}
+
+/// Whether telemetry is currently recording.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off. Enabling pins the wall-clock epoch.
+pub fn set_enabled(on: bool) {
+    if on {
+        epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Discards all recorded data (counters, histograms, spans, events).
+pub fn reset() {
+    *collector().lock().expect("telemetry lock") = Collector::default();
+}
+
+/// A typed argument value attached to spans and events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Text.
+    Str(String),
+    /// Float.
+    F64(f64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => json::write_escaped(out, s),
+            Value::F64(v) => json::write_number(out, *v),
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($($t:ty => $variant:ident via $conv:expr),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                #[allow(clippy::redundant_closure_call)]
+                Value::$variant(($conv)(v))
+            }
+        }
+    )*};
+}
+
+value_from! {
+    String => Str via |v| v,
+    &str => Str via |v: &str| v.to_string(),
+    &String => Str via |v: &String| v.clone(),
+    f64 => F64 via |v| v,
+    f32 => F64 via |v: f32| v as f64,
+    u64 => U64 via |v| v,
+    u32 => U64 via |v: u32| v as u64,
+    usize => U64 via |v: usize| v as u64,
+    i64 => I64 via |v| v,
+    i32 => I64 via |v: i32| v as i64,
+    bool => Bool via |v| v,
+}
+
+/// A log2-bucketed histogram with count/sum/min/max sidecars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; N_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// The bucket index a value falls into.
+pub fn bucket_index(value: f64) -> usize {
+    if value <= 0.0 || !value.is_finite() {
+        return 0;
+    }
+    (value.log2().floor() as i32 + BUCKET_BIAS).clamp(0, N_BUCKETS as i32 - 1) as usize
+}
+
+/// The lower bound of bucket `i` (inverse of [`bucket_index`]).
+pub fn bucket_low(i: usize) -> f64 {
+    2f64.powi(i as i32 - BUCKET_BIAS)
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Folds another histogram in. Merging is commutative and associative
+    /// (up to float summation order in `sum`).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum EventKind {
+    /// A span: wall-clock complete event ("X").
+    Complete { dur_us: f64 },
+    /// A point-in-time record ("i").
+    Instant,
+    /// A slice on the simulated-time process.
+    SimSlice { dur_us: f64 },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct TraceEvent {
+    name: String,
+    ts_us: f64,
+    tid: u64,
+    depth: u32,
+    kind: EventKind,
+    args: Vec<(&'static str, Value)>,
+}
+
+/// Counter/histogram registries, detachable from the global sink for
+/// merging and testing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Named monotonic counters.
+    pub counters: HashMap<String, u64>,
+    /// Named histograms.
+    pub histograms: HashMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Adds `delta` to counter `name`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// The current value of a counter (0 when absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram under `name`, if any value was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Folds `other` in. Counter-wise addition and histogram merge, so the
+    /// result is independent of merge order (see the property tests).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Collector {
+    metrics: Metrics,
+    events: Vec<TraceEvent>,
+}
+
+/// Adds `delta` to the global counter `name`. No-op while disabled.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    collector()
+        .lock()
+        .expect("telemetry lock")
+        .metrics
+        .add(name, delta);
+}
+
+/// Records `value` into the global histogram `name`. No-op while disabled.
+#[inline]
+pub fn histogram(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    collector()
+        .lock()
+        .expect("telemetry lock")
+        .metrics
+        .observe(name, value);
+}
+
+/// Folds a locally accumulated [`Metrics`] into the global sink in one
+/// lock acquisition — the cheap way for hot loops to batch updates.
+pub fn merge_metrics(local: &Metrics) {
+    if !enabled() {
+        return;
+    }
+    collector()
+        .lock()
+        .expect("telemetry lock")
+        .metrics
+        .merge(local);
+}
+
+/// An RAII guard recording a span from construction to drop.
+#[must_use = "a span guard records its duration when dropped"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: String,
+    args: Vec<(&'static str, Value)>,
+    start_us: f64,
+    tid: u64,
+    depth: u32,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else {
+            return;
+        };
+        THREAD.with(|t| t.borrow_mut().depth = span.depth);
+        let dur_us = now_us() - span.start_us;
+        let mut c = collector().lock().expect("telemetry lock");
+        c.events.push(TraceEvent {
+            name: span.name,
+            ts_us: span.start_us,
+            tid: span.tid,
+            depth: span.depth,
+            kind: EventKind::Complete { dur_us },
+            args: span.args,
+        });
+    }
+}
+
+/// Opens a span; prefer the [`span!`] macro. `args` is only invoked when
+/// telemetry is enabled.
+pub fn enter_span(name: &str, args: impl FnOnce() -> Vec<(&'static str, Value)>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    let (tid, depth) = THREAD.with(|t| {
+        let mut t = t.borrow_mut();
+        let d = t.depth;
+        t.depth += 1;
+        (t.tid, d)
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name: name.to_string(),
+            args: args(),
+            start_us: now_us(),
+            tid,
+            depth,
+        }),
+    }
+}
+
+/// Records an instant event; prefer the [`event!`] macro. `args` is only
+/// invoked when telemetry is enabled.
+pub fn record_event(name: &str, args: impl FnOnce() -> Vec<(&'static str, Value)>) {
+    if !enabled() {
+        return;
+    }
+    let tid = THREAD.with(|t| t.borrow().tid);
+    let ev = TraceEvent {
+        name: name.to_string(),
+        ts_us: now_us(),
+        tid,
+        depth: 0,
+        kind: EventKind::Instant,
+        args: args(),
+    };
+    collector().lock().expect("telemetry lock").events.push(ev);
+}
+
+/// Reserves `dur_us` simulated microseconds on the shared simulated-time
+/// axis and returns the window's start offset. Consecutive kernel launches
+/// reserve their windows up front so their [`sim_slice`] timelines lay out
+/// end-to-end instead of all overlapping at zero.
+pub fn sim_window(dur_us: f64) -> f64 {
+    // Integer nanoseconds so the reservation is a single atomic add.
+    static SIM_CLOCK_NS: AtomicU64 = AtomicU64::new(0);
+    let ns = (dur_us.max(0.0) * 1e3).ceil() as u64;
+    SIM_CLOCK_NS.fetch_add(ns, Ordering::Relaxed) as f64 / 1e3
+}
+
+/// Places a slice on the simulated-time process (pid 2): `track` becomes
+/// the tid (e.g. one per SM), `ts_us`/`dur_us` are in *simulated*
+/// microseconds. No-op while disabled.
+pub fn sim_slice(name: &str, track: u64, ts_us: f64, dur_us: f64) {
+    if !enabled() {
+        return;
+    }
+    let ev = TraceEvent {
+        name: name.to_string(),
+        ts_us,
+        tid: track,
+        depth: 0,
+        kind: EventKind::SimSlice { dur_us },
+        args: Vec::new(),
+    };
+    collector().lock().expect("telemetry lock").events.push(ev);
+}
+
+/// Opens a timed span guard: `span!("name")` or
+/// `span!("name", key = value, ...)`. Argument expressions are not
+/// evaluated while telemetry is disabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::enter_span($name, ::std::vec::Vec::new)
+    };
+    ($name:expr, $($k:ident = $v:expr),+ $(,)?) => {
+        $crate::enter_span($name, || ::std::vec![
+            $((::std::stringify!($k), $crate::Value::from($v))),+
+        ])
+    };
+}
+
+/// Records an instant event: `event!("name", key = value, ...)`. Argument
+/// expressions are not evaluated while telemetry is disabled.
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        $crate::record_event($name, ::std::vec::Vec::new)
+    };
+    ($name:expr, $($k:ident = $v:expr),+ $(,)?) => {
+        $crate::record_event($name, || ::std::vec![
+            $((::std::stringify!($k), $crate::Value::from($v))),+
+        ])
+    };
+}
+
+/// A copy of the current counter/histogram registries.
+pub fn snapshot() -> Metrics {
+    collector().lock().expect("telemetry lock").metrics.clone()
+}
+
+fn write_args(out: &mut String, args: &[(&'static str, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_escaped(out, k);
+        out.push(':');
+        v.write_json(out);
+    }
+    out.push('}');
+}
+
+/// Renders the Chrome trace-event document (what [`export_chrome_trace`]
+/// writes) as a string.
+pub fn render_chrome_trace() -> String {
+    let c = collector().lock().expect("telemetry lock");
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut push_event = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+    // Process-name metadata so Perfetto labels the two tracks.
+    for (pid, label) in [(1, "wall clock"), (2, "simulated time")] {
+        push_event(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+    for ev in &c.events {
+        let mut line = String::from("{\"name\":");
+        json::write_escaped(&mut line, &ev.name);
+        let (ph, pid, dur) = match ev.kind {
+            EventKind::Complete { dur_us } => ("X", 1, Some(dur_us)),
+            EventKind::Instant => ("i", 1, None),
+            EventKind::SimSlice { dur_us } => ("X", 2, Some(dur_us)),
+        };
+        line.push_str(&format!(
+            ",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{}",
+            ev.tid
+        ));
+        line.push_str(",\"ts\":");
+        json::write_number(&mut line, ev.ts_us);
+        if let Some(d) = dur {
+            line.push_str(",\"dur\":");
+            json::write_number(&mut line, d.max(0.0));
+        }
+        if matches!(ev.kind, EventKind::Instant) {
+            line.push_str(",\"s\":\"t\"");
+        }
+        line.push_str(",\"args\":");
+        write_args(&mut line, &ev.args);
+        line.push('}');
+        push_event(line, &mut out);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders the JSON-Lines manifest (what [`export_manifest`] writes) as a
+/// string: a `meta` record, one record per counter, histogram and span
+/// aggregate, and one per instant event.
+pub fn render_manifest() -> String {
+    let c = collector().lock().expect("telemetry lock");
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"type\":\"meta\",\"format\":\"pcnn-telemetry/1\",\"events\":{},\"counters\":{},\
+         \"histograms\":{}}}\n",
+        c.events.len(),
+        c.metrics.counters.len(),
+        c.metrics.histograms.len()
+    ));
+    let mut counters: Vec<_> = c.metrics.counters.iter().collect();
+    counters.sort();
+    for (name, value) in counters {
+        let mut line = String::from("{\"type\":\"counter\",\"name\":");
+        json::write_escaped(&mut line, name);
+        line.push_str(&format!(",\"value\":{value}}}\n"));
+        out.push_str(&line);
+    }
+    let mut histograms: Vec<_> = c.metrics.histograms.iter().collect();
+    histograms.sort_by_key(|(k, _)| k.as_str());
+    for (name, h) in histograms {
+        let mut line = String::from("{\"type\":\"histogram\",\"name\":");
+        json::write_escaped(&mut line, name);
+        line.push_str(&format!(",\"count\":{},\"sum\":", h.count));
+        json::write_number(&mut line, h.sum);
+        line.push_str(",\"mean\":");
+        json::write_number(&mut line, h.mean());
+        line.push_str(",\"min\":");
+        json::write_number(&mut line, if h.count == 0 { 0.0 } else { h.min });
+        line.push_str(",\"max\":");
+        json::write_number(&mut line, if h.count == 0 { 0.0 } else { h.max });
+        line.push_str(",\"buckets\":{");
+        let mut first = true;
+        for (i, &n) in h.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            line.push_str(&format!("\"{:.3e}\":{n}", bucket_low(i)));
+        }
+        line.push_str("}}\n");
+        out.push_str(&line);
+    }
+    // Span aggregates: count and total wall time per name.
+    let mut spans: HashMap<&str, (u64, f64)> = HashMap::new();
+    for ev in &c.events {
+        if let EventKind::Complete { dur_us } = ev.kind {
+            let e = spans.entry(&ev.name).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += dur_us;
+        }
+    }
+    let mut spans: Vec<_> = spans.into_iter().collect();
+    spans.sort_by_key(|(k, _)| *k);
+    for (name, (count, total_us)) in spans {
+        let mut line = String::from("{\"type\":\"span\",\"name\":");
+        json::write_escaped(&mut line, name);
+        line.push_str(&format!(",\"count\":{count},\"total_us\":"));
+        json::write_number(&mut line, total_us);
+        line.push_str("}\n");
+        out.push_str(&line);
+    }
+    for ev in &c.events {
+        if !matches!(ev.kind, EventKind::Instant) {
+            continue;
+        }
+        let mut line = String::from("{\"type\":\"event\",\"name\":");
+        json::write_escaped(&mut line, &ev.name);
+        line.push_str(",\"ts_us\":");
+        json::write_number(&mut line, ev.ts_us);
+        line.push_str(",\"args\":");
+        write_args(&mut line, &ev.args);
+        line.push_str("}\n");
+        out.push_str(&line);
+    }
+    out
+}
+
+/// Writes the Chrome trace-event file (open in Perfetto or
+/// `chrome://tracing`).
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn export_chrome_trace(path: &std::path::Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_chrome_trace().as_bytes())
+}
+
+/// Writes the JSON-Lines run manifest.
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn export_manifest(path: &std::path::Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_manifest().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global sink is process-wide; tests that enable it serialise on
+    // this lock so they do not see each other's data.
+    pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = test_guard();
+        set_enabled(false);
+        reset();
+        counter("x", 5);
+        histogram("h", 1.0);
+        let _s = span!("s", a = 1u64);
+        drop(_s);
+        event!("e", b = 2u64);
+        assert_eq!(snapshot(), Metrics::default());
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let _g = test_guard();
+        set_enabled(true);
+        reset();
+        counter("c", 2);
+        counter("c", 3);
+        histogram("h", 0.5);
+        histogram("h", 8.0);
+        let m = snapshot();
+        set_enabled(false);
+        assert_eq!(m.counter_value("c"), 5);
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 8.0);
+        assert!((h.mean() - 4.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let _g = test_guard();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span!("outer");
+            let _inner = span!("inner", layer = "CONV2");
+        }
+        let manifest = render_manifest();
+        let trace = render_chrome_trace();
+        set_enabled(false);
+        assert!(manifest.contains("\"type\":\"span\",\"name\":\"outer\""));
+        assert!(manifest.contains("\"inner\""));
+        let doc = json::parse(&trace).expect("valid chrome trace");
+        let events = doc.as_array().unwrap();
+        let inner = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("inner"))
+            .unwrap();
+        assert_eq!(inner.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(
+            inner.get("args").unwrap().get("layer").unwrap().as_str(),
+            Some("CONV2")
+        );
+    }
+
+    #[test]
+    fn bucket_index_roundtrips_bounds() {
+        for i in 1..N_BUCKETS - 1 {
+            let lo = bucket_low(i);
+            assert_eq!(bucket_index(lo), i, "low edge of bucket {i}");
+            assert_eq!(bucket_index(lo * 1.999), i, "inside bucket {i}");
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::INFINITY), 0);
+        assert_eq!(bucket_index(1e300), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn sim_slices_land_on_pid_2() {
+        let _g = test_guard();
+        set_enabled(true);
+        reset();
+        sim_slice("SM0 wave", 0, 10.0, 25.0);
+        let trace = render_chrome_trace();
+        set_enabled(false);
+        let doc = json::parse(&trace).unwrap();
+        let slice = doc
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("SM0 wave"))
+            .unwrap();
+        assert_eq!(slice.get("pid").unwrap().as_f64(), Some(2.0));
+        assert_eq!(slice.get("dur").unwrap().as_f64(), Some(25.0));
+    }
+
+    #[test]
+    fn merge_metrics_batches_into_global() {
+        let _g = test_guard();
+        set_enabled(true);
+        reset();
+        let mut local = Metrics::default();
+        local.add("batched", 7);
+        local.observe("lat", 2.0);
+        merge_metrics(&local);
+        merge_metrics(&local);
+        let m = snapshot();
+        set_enabled(false);
+        assert_eq!(m.counter_value("batched"), 14);
+        assert_eq!(m.histogram("lat").unwrap().count, 2);
+    }
+}

@@ -313,7 +313,10 @@ mod tests {
         im2col_positions(&g, &input, &positions, &mut sub);
         for r in 0..g.patch_len() {
             for (ci, &p) in positions.iter().enumerate() {
-                assert_eq!(sub[r * positions.len() + ci], full[r * g.out_positions() + p]);
+                assert_eq!(
+                    sub[r * positions.len() + ci],
+                    full[r * g.out_positions() + p]
+                );
             }
         }
     }

@@ -43,7 +43,10 @@ fn main() {
     let spec = alexnet();
     let trace = scenario_trace(&app, 3, 11);
 
-    println!("\n{:<10} {:>14} {:>12} {:>10}", "platform", "response (ms)", "energy (J)", "SoC");
+    println!(
+        "\n{:<10} {:>14} {:>12} {:>10}",
+        "platform", "response (ms)", "energy (J)", "SoC"
+    );
     for arch in all_platforms() {
         let ctx = SchedulerContext {
             arch,

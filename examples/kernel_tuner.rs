@@ -33,10 +33,7 @@ fn main() {
         let tuned = tune_kernel(arch, shape);
         let lib = Library::CuBlas.variant_for(arch, shape);
         let v = tuned.config.variant;
-        println!(
-            "{}: GEMM {}x{}x{}",
-            conv.name, shape.m, shape.n, shape.k
-        );
+        println!("{}: GEMM {}x{}x{}", conv.name, shape.m, shape.n, shape.k);
         println!(
             "  tuned : tile {}x{}, {} regs (spill {} shared / {} global), optTLP {}, rEC {:.2}, waves {}",
             v.tile_m,

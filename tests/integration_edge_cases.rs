@@ -29,7 +29,10 @@ fn single_image_background_burst() {
     let trace = RequestTrace::background(1);
     let report = execute_trace(&JETSON_TX1, &trace, 8, |size| compiler.compile_batch(size));
     assert_eq!(report.latencies.len(), 1);
-    assert!(report.idle_energy_j.abs() < 1e-9, "no idle in a single burst");
+    assert!(
+        report.idle_energy_j.abs() < 1e-9,
+        "no idle in a single burst"
+    );
 }
 
 #[test]

@@ -65,8 +65,14 @@ fn perforation_reduces_time_and_energy() {
     let spec = alexnet();
     let compiler = OfflineCompiler::new(&JETSON_TX1, &spec);
     let n = spec.conv_layers().len();
-    let base = simulate_schedule(&JETSON_TX1, &compiler.compile_perforated(1, &vec![0.0; n], true));
-    let perf = simulate_schedule(&JETSON_TX1, &compiler.compile_perforated(1, &vec![0.5; n], true));
+    let base = simulate_schedule(
+        &JETSON_TX1,
+        &compiler.compile_perforated(1, &vec![0.0; n], true),
+    );
+    let perf = simulate_schedule(
+        &JETSON_TX1,
+        &compiler.compile_perforated(1, &vec![0.5; n], true),
+    );
     assert!(perf.seconds < base.seconds);
     assert!(perf.energy.total_j() < base.energy.total_j());
 }
@@ -98,6 +104,11 @@ fn compilation_works_for_all_three_networks() {
         let schedule = OfflineCompiler::new(&K20C, &spec).compile_batch(1);
         assert!(!schedule.layers.is_empty(), "{}", spec.name);
         let cost = simulate_schedule(&K20C, &schedule);
-        assert!(cost.seconds > 0.0 && cost.seconds < 1.0, "{}: {}", spec.name, cost.seconds);
+        assert!(
+            cost.seconds > 0.0 && cost.seconds < 1.0,
+            "{}: {}",
+            spec.name,
+            cost.seconds
+        );
     }
 }

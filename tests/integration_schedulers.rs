@@ -1,9 +1,7 @@
 //! Cross-crate scheduler invariants — the qualitative claims of the
 //! paper's Figs. 13–15 as assertions.
 
-use pcnn_core::scheduler::{
-    decide, evaluate, scenario_trace, SchedulerContext, SchedulerKind,
-};
+use pcnn_core::scheduler::{decide, evaluate, scenario_trace, SchedulerContext, SchedulerKind};
 use pcnn_core::task::{AppSpec, UserRequirements};
 use pcnn_core::tuning::{TuningEntry, TuningPath};
 use pcnn_gpu::arch::K20C;

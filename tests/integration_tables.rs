@@ -80,7 +80,12 @@ fn table3_oom_pattern_matches_paper() {
     for arch in [&TITAN_X, &GTX_970M] {
         for (spec, batch) in [(&alex, 128), (&goog, 64), (&vgg, 32)] {
             for lib in Library::all() {
-                assert!(lib.fits(arch, spec, batch), "{} on {}", spec.name, arch.name);
+                assert!(
+                    lib.fits(arch, spec, batch),
+                    "{} on {}",
+                    spec.name,
+                    arch.name
+                );
             }
         }
     }

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the benchmarking subset the workspace uses: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Methodology: each benchmark warms up for ~100 ms to estimate the
+//! per-iteration cost, then takes [`SAMPLES`] timed samples of a batch
+//! sized to ~[`SAMPLE_TARGET`] and reports `[min median max]` per
+//! iteration — the same shape as criterion's `time: [lo mid hi]` line, so
+//! log-scraping comparisons keep working. Set `PCNN_BENCH_FAST=1` to cut
+//! sample counts for smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// Timed samples taken per benchmark.
+pub const SAMPLES: usize = 11;
+
+/// Target wall-clock duration of one sample batch.
+pub const SAMPLE_TARGET: Duration = Duration::from_millis(150);
+
+const WARMUP: Duration = Duration::from_millis(100);
+
+/// Opaque value barrier preventing the optimiser from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs one benchmark's iterations and records the timing.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    fast: bool,
+}
+
+impl Bencher {
+    fn new(fast: bool) -> Self {
+        Bencher {
+            samples_ns: Vec::new(),
+            fast,
+        }
+    }
+
+    /// Measures `f`, called repeatedly in timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: estimate per-iteration time.
+        let warmup = if self.fast { WARMUP / 10 } else { WARMUP };
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target = if self.fast {
+            SAMPLE_TARGET.as_secs_f64() / 10.0
+        } else {
+            SAMPLE_TARGET.as_secs_f64()
+        };
+        let batch = ((target / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+        let samples = if self.fast { 3 } else { SAMPLES };
+        self.samples_ns.clear();
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+
+    fn report(&self) -> Option<(f64, f64, f64)> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        Some((s[0], s[s.len() / 2], s[s.len() - 1]))
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+fn run_bench(id: &str, mut f: impl FnMut(&mut Bencher)) {
+    let fast = std::env::var("PCNN_BENCH_FAST").is_ok_and(|v| v != "0");
+    let mut b = Bencher::new(fast);
+    f(&mut b);
+    match b.report() {
+        Some((lo, mid, hi)) => println!(
+            "{id:<50} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(mid),
+            fmt_ns(hi)
+        ),
+        None => println!("{id:<50} (no measurement)"),
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark immediately.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_bench(id.as_ref(), f);
+        self
+    }
+
+    /// Opens a named group; member benchmarks print as `group/name`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.as_ref()), f);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("PCNN_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(1.2e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the (small) subset of the `rand 0.8` API the workspace
+//! actually uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and
+//! [`Rng::gen_range`] over integer and float ranges. The generator is
+//! SplitMix64 — statistically solid for synthetic datasets and weight
+//! initialisation, deterministic for a given seed, but *not* the same
+//! stream as upstream `StdRng` (ChaCha12); seeds produce different but
+//! equally valid data.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level 64-bit generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seeding interface; only the `u64` convenience constructor is provided.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that knows how to sample itself uniformly.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+macro_rules! impl_float_range {
+    ($t:ty, $unit:ident) => {
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let v = self.start + $unit(rng) * (self.end - self.start);
+                // Guard against rounding up to the excluded endpoint.
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                lo + $unit(rng) * (hi - lo)
+            }
+        }
+    };
+}
+
+impl_float_range!(f64, unit_f64);
+impl_float_range!(f32, unit_f32);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64-backed replacement for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood) — full 2^64 period.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    /// Alias: the "small" generator is the same SplitMix64 core here.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(1e-7f32..1.0);
+            assert!((1e-7..1.0).contains(&f));
+            let g = rng.gen_range(-0.2f32..0.2);
+            assert!((-0.2..0.2).contains(&g));
+            let u = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let i = rng.gen_range(0.5f64..=2.5);
+            assert!((0.5..=2.5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[rng.gen_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "bucket {b}");
+        }
+    }
+}
