@@ -12,6 +12,9 @@ fn bench_gemm(c: &mut Criterion) {
         (64usize, 64usize, 64usize),
         (128, 729, 300),
         (256, 256, 256),
+        // AlexNet CONV2 as an im2col GEMM — the headline shape for the
+        // packed-microkernel/multicore speedup (see BENCH_gemm.json).
+        (256, 729, 1200),
     ] {
         let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32).collect();
         let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32).collect();
@@ -20,6 +23,28 @@ fn bench_gemm(c: &mut Criterion) {
                 let mut cbuf = vec![0.0f32; m * n];
                 gemm(m, n, k, black_box(&a), black_box(&b), &mut cbuf);
                 black_box(cbuf);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One thread versus the machine's full pool on the CONV2 shape: the
+/// ratio of these two entries is the multicore scaling headline.
+fn bench_gemm_threads(c: &mut Criterion) {
+    let (m, n, k) = (256, 729, 1200);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32).collect();
+    let mut group = c.benchmark_group("gemm-threads");
+    let full = pcnn_parallel::current_threads();
+    for threads in [1, full] {
+        group.bench_function(format!("{m}x{n}x{k} t{threads}"), |bch| {
+            pcnn_parallel::with_threads(threads, || {
+                bch.iter(|| {
+                    let mut cbuf = vec![0.0f32; m * n];
+                    gemm(m, n, k, black_box(&a), black_box(&b), &mut cbuf);
+                    black_box(cbuf);
+                })
             })
         });
     }
@@ -51,5 +76,11 @@ fn bench_forward(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_gemm, bench_im2col, bench_forward);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_gemm_threads,
+    bench_im2col,
+    bench_forward
+);
 criterion_main!(benches);

@@ -10,6 +10,7 @@ use pcnn_nn::PerforationPlan;
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     for noise in [2.0f32, 2.6, 3.2] {
         let (train_set, test) = DatasetBuilder::new(10, 32)
             .samples(1000)

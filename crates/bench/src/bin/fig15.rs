@@ -11,6 +11,7 @@ use pcnn_core::scheduler::SchedulerKind;
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     let scenarios = scheduler_matrix(4);
     let mut t = TableWriter::new(vec!["GPU", "task", "scheduler", "SoC", "norm SoC"]);
     for s in &scenarios {

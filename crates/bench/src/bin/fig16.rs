@@ -35,6 +35,7 @@ fn print_path(title: &str, path: &TuningPath) {
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     let model = trained_alexnet();
     let calib = model.test.take(96);
     let tuner = AccuracyTuner::new(&model.net, &calib.images).with_labels(&calib.labels);

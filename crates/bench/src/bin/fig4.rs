@@ -25,6 +25,7 @@ fn throughput(arch: &GpuArch, spec: &NetworkSpec, lib: Library, batch: usize) ->
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     let nets = [(alexnet(), 128usize), (googlenet(), 64), (vggnet(), 32)];
     let gpus = [&TITAN_X, &GTX_970M, &JETSON_TX1];
     let mut t = TableWriter::new(vec!["CNN", "GPU", "cuBLAS", "cuDNN", "Nervana"]);

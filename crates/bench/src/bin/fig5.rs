@@ -32,6 +32,7 @@ fn layer_cpes(arch: &GpuArch, lib: Library) -> Vec<f64> {
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     let mut t = TableWriter::new(vec![
         "GPU", "Library", "CONV1", "CONV2", "CONV3", "CONV4", "CONV5",
     ]);

@@ -11,6 +11,7 @@ use pcnn_kernels::sgemm::{build_kernel, SgemmConfig, SgemmShape, ALL_TILES};
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     // AlexNet CONV2's per-group GEMM as the workload.
     let shape = SgemmShape {
         m: 128,

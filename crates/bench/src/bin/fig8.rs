@@ -13,6 +13,7 @@ use pcnn_nn::spec::alexnet;
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     let spec = alexnet();
     let batches = [1usize, 2, 4, 8, 16, 32, 64, 128];
     let mut t = TableWriter::new(vec![

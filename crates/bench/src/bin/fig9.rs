@@ -10,6 +10,7 @@ use pcnn_kernels::tuning::{min_regs, tlp_stairs};
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     println!(
         "curReg = {}, minReg = {}",
         TILE_128X128.natural_regs,

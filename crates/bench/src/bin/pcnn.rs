@@ -6,6 +6,7 @@
 //!               --task <interactive|realtime|background> [--rate <imgs/s>]
 //! pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]
 //! pcnn tune     --gpu <...> --m <M> --n <N> --k <K>
+//! pcnn bench-gemm [--reps N] [--json <path>]
 //! ```
 
 use std::collections::HashMap;
@@ -23,7 +24,7 @@ use pcnn_nn::spec::{alexnet, googlenet, vggnet, NetworkSpec};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest"
+        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\n  pcnn bench-gemm [--reps N] [--json <path>]\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest,\nand --threads <N> (or PCNN_THREADS=<N>) to pin the CPU worker pool"
     );
     ExitCode::from(2)
 }
@@ -222,10 +223,108 @@ fn cmd_tune(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The AlexNet convolution layers as im2col GEMMs (`M` = output
+/// channels, `N` = output positions, `K` = patch length) — the shapes the
+/// paper's kernel tuner targets, reused here to benchmark the CPU GEMM.
+const BENCH_GEMM_SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("CONV1", 96, 3025, 363),
+    ("CONV2", 256, 729, 1200),
+    ("CONV3", 384, 169, 2304),
+    ("CONV5", 256, 169, 3456),
+];
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn cmd_bench_gemm(flags: &HashMap<String, String>) -> ExitCode {
+    let reps: usize = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(3);
+    let threads = pcnn_parallel::current_threads();
+    let nt_header = format!("packed {threads}T GF/s");
+    let mut t = TableWriter::new(vec![
+        "layer",
+        "MxNxK",
+        "naive GF/s",
+        "packed 1T GF/s",
+        nt_header.as_str(),
+        "speedup",
+    ]);
+    let mut json_rows = Vec::new();
+    for &(layer, m, n, k) in BENCH_GEMM_SHAPES {
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i % 2017) as f32 - 1000.0) / 512.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i % 1013) as f32 - 500.0) / 256.0)
+            .collect();
+        let mut c = vec![0.0f32; m * n];
+        let gflop = 2.0 * (m * n * k) as f64 / 1e9;
+        let naive = best_secs(reps, || {
+            c.fill(0.0);
+            pcnn_tensor::gemm_naive(m, n, k, &a, &b, &mut c);
+        });
+        let serial = pcnn_parallel::with_threads(1, || {
+            best_secs(reps, || {
+                c.fill(0.0);
+                pcnn_tensor::gemm(m, n, k, &a, &b, &mut c);
+            })
+        });
+        let parallel = best_secs(reps, || {
+            c.fill(0.0);
+            pcnn_tensor::gemm(m, n, k, &a, &b, &mut c);
+        });
+        let (gn, gs, gp) = (gflop / naive, gflop / serial, gflop / parallel);
+        t.row(vec![
+            layer.to_string(),
+            format!("{m}x{n}x{k}"),
+            format!("{gn:.2}"),
+            format!("{gs:.2}"),
+            format!("{gp:.2}"),
+            format!("{:.2}x", gp / gn),
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"layer\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, ",
+                "\"naive_gflops\": {:.3}, \"packed_1t_gflops\": {:.3}, ",
+                "\"packed_nt_gflops\": {:.3}, \"speedup_vs_naive\": {:.3}}}"
+            ),
+            layer,
+            m,
+            n,
+            k,
+            gn,
+            gs,
+            gp,
+            gp / gn
+        ));
+    }
+    t.print(&format!("CPU GEMM baseline ({threads} worker threads)"));
+    if let Some(path) = flags.get("json") {
+        let doc = format!(
+            "{{\n  \"bench\": \"gemm\",\n  \"threads\": {threads},\n  \"reps\": {reps},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     // Any subcommand accepts `--trace <path>` (or PCNN_TRACE) and writes
     // telemetry files on exit.
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
@@ -238,6 +337,7 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(&flags),
         "simulate" => cmd_simulate(&flags),
         "tune" => cmd_tune(&flags),
+        "bench-gemm" => cmd_bench_gemm(&flags),
         _ => usage(),
     }
 }

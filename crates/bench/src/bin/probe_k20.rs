@@ -11,6 +11,7 @@ use pcnn_nn::spec::alexnet;
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     let spec = alexnet();
     let tuned = OfflineCompiler::new(&K20C, &spec).compile_batch(1);
     let lib = library_schedule(&K20C, &spec, Library::CuBlas, 1);

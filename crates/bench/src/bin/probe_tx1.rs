@@ -9,6 +9,7 @@ use pcnn_nn::spec::alexnet;
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     let spec = alexnet();
     let compiler = OfflineCompiler::new(&JETSON_TX1, &spec);
     for rate in [0.0, 0.4, 0.8] {

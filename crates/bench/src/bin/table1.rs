@@ -9,6 +9,7 @@ use pcnn_bench::TableWriter;
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     let models = [
         ("AlexNet (tiny)", trained_alexnet()),
         ("VGGNet (tiny)", trained_vggnet()),

@@ -6,6 +6,7 @@ use pcnn_gpu::arch::all_platforms;
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     let mut t = TableWriter::new(vec![
         "GPU",
         "platform",

@@ -13,6 +13,7 @@ use pcnn_nn::spec::alexnet;
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     let spec = alexnet();
     let convs = spec.conv_layers();
     let layers = [("CONV2", convs[1].clone()), ("CONV5", convs[4].clone())];

@@ -15,6 +15,7 @@ use pcnn_nn::spec::alexnet;
 
 fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
+    pcnn_bench::threads::init_from_env();
     let spec = alexnet();
     let gpus = [&K20C, &GTX_970M, &JETSON_TX1];
     let paper: [&[f64]; 3] = [

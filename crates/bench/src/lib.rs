@@ -4,6 +4,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod threads;
 pub mod trace;
 pub mod trained;
 

@@ -14,7 +14,7 @@ use pcnn_gpu::sim::dispatch::simulate_kernel;
 use pcnn_gpu::sim::SimCache;
 use pcnn_gpu::{DispatchPolicy, GpuArch, KernelDesc};
 use pcnn_kernels::sgemm::{build_kernel, SgemmShape};
-use pcnn_kernels::{tune_kernel, tune_kernel_candidates, Library};
+use pcnn_kernels::{tune_kernel, tune_kernel_candidates, Library, TunedKernel};
 use pcnn_nn::spec::{LayerSpec, NetworkSpec};
 
 use crate::task::{AppSpec, UserRequirements};
@@ -219,49 +219,59 @@ impl<'a> OfflineCompiler<'a> {
                 // The analytic S_kernel score prunes the design space to a
                 // handful of candidates; a short simulator run on each
                 // decides (the "explore the performance of the candidate
-                // points" step of §IV.B.2).
-                let mut best: Option<(f64, LayerPlan)> = None;
+                // points" step of §IV.B.2). Packing CTAs at the staircase
+                // TLP is not always optimal for compute-bound tiles; also
+                // profile lower TLPs, which eq. 11 spreads across more SMs.
+                let mut points: Vec<(TunedKernel, usize)> = Vec::new();
                 for tuned in tune_kernel_candidates(self.arch, shape, 4) {
-                    let kernel = build_kernel(shape, &tuned.config, &name);
-                    // Packing CTAs at the staircase TLP is not always
-                    // optimal for compute-bound tiles; also profile lower
-                    // TLPs, which eq. 11 spreads across more SMs.
                     let mut tlps = vec![tuned.opt_tlp, tuned.opt_tlp.div_ceil(2), 1];
                     tlps.sort_unstable();
                     tlps.dedup();
-                    for tlp in tlps {
-                        let sm = crate::timemodel::opt_sm(kernel.grid.max(1), tlp, self.arch.n_sms);
-                        let policy = DispatchPolicy::PrioritySm {
-                            sms: sm,
-                            tlp,
-                            power_gate: true,
-                        };
-                        let mut cache = SimCache::new();
-                        let sim = simulate_kernel(self.arch, &kernel, policy, &mut cache);
-                        let measured = sim.seconds * groups as f64;
-                        let (_, t) = tuned_layer_time(self.arch, shape, &tuned, groups);
-                        pcnn_telemetry::counter("offline.candidates.profiled", 1);
-                        pcnn_telemetry::event!(
-                            "offline.candidate",
-                            layer = name.as_str(),
-                            tlp = tlp,
-                            sm = sm,
-                            score = tuned.score,
-                            predicted_cycles = sim.cycles,
-                            measured_seconds = measured,
-                            predicted_seconds = t
-                        );
-                        let plan = LayerPlan {
-                            name: name.clone(),
-                            kernel: kernel.clone(),
-                            groups,
-                            opt_sm: sm,
-                            opt_tlp: tlp,
-                            predicted_seconds: t,
-                        };
-                        if best.as_ref().map(|(b, _)| measured < *b).unwrap_or(true) {
-                            best = Some((measured, plan));
-                        }
+                    points.extend(tlps.into_iter().map(|tlp| (tuned.clone(), tlp)));
+                }
+                // Every candidate simulation is independent: profile them
+                // across the worker pool. The selection below walks the
+                // results in candidate order with a strict `<`, so the
+                // winner is identical to the serial scan at any thread
+                // count.
+                let profiled = pcnn_parallel::par_map(points.len(), |idx| {
+                    let (tuned, tlp) = &points[idx];
+                    let kernel = build_kernel(shape, &tuned.config, &name);
+                    let sm = crate::timemodel::opt_sm(kernel.grid.max(1), *tlp, self.arch.n_sms);
+                    let policy = DispatchPolicy::PrioritySm {
+                        sms: sm,
+                        tlp: *tlp,
+                        power_gate: true,
+                    };
+                    let mut cache = SimCache::new();
+                    let sim = simulate_kernel(self.arch, &kernel, policy, &mut cache);
+                    let measured = sim.seconds * groups as f64;
+                    let (_, t) = tuned_layer_time(self.arch, shape, tuned, groups);
+                    pcnn_telemetry::counter("offline.candidates.profiled", 1);
+                    pcnn_telemetry::event!(
+                        "offline.candidate",
+                        layer = name.as_str(),
+                        tlp = *tlp,
+                        sm = sm,
+                        score = tuned.score,
+                        predicted_cycles = sim.cycles,
+                        measured_seconds = measured,
+                        predicted_seconds = t
+                    );
+                    let plan = LayerPlan {
+                        name: name.clone(),
+                        kernel,
+                        groups,
+                        opt_sm: sm,
+                        opt_tlp: *tlp,
+                        predicted_seconds: t,
+                    };
+                    (measured, plan)
+                });
+                let mut best: Option<(f64, LayerPlan)> = None;
+                for (measured, plan) in profiled {
+                    if best.as_ref().map(|(b, _)| measured < *b).unwrap_or(true) {
+                        best = Some((measured, plan));
                     }
                 }
                 best.expect("at least one candidate").1

@@ -156,11 +156,14 @@ pub fn tune_kernel_candidates(arch: &GpuArch, shape: SgemmShape, top_k: usize) -
     let mut seen_tlp = std::collections::HashSet::new();
     for variant in &ALL_TILES {
         seen_tlp.clear();
+        // The natural-config occupancy depends only on the tile variant,
+        // not the staircase point — compute it once per variant instead of
+        // once per (variant, point).
+        let natural_occ =
+            Occupancy::of(arch, &SgemmConfig::natural(*variant).resources()).ctas_per_sm();
         for point in tlp_stairs(arch, variant) {
             // Clamp the register-driven staircase to the full occupancy
             // (shared memory included) and dedupe by effective TLP.
-            let natural_occ =
-                Occupancy::of(arch, &SgemmConfig::natural(*variant).resources()).ctas_per_sm();
             let tlp = point.tlp.min(natural_occ.max(1));
             if !seen_tlp.insert(tlp) {
                 skipped += 1;

@@ -139,13 +139,61 @@ impl Network {
     /// Inference forward pass under a perforation plan. Returns logits
     /// `[N, classes]`.
     ///
+    /// Batches are data-parallel (Cappuccino-style): images are split
+    /// into contiguous groups, one per worker, and each group runs the
+    /// whole layer pipeline independently. Every layer treats images
+    /// independently, so the logits are bitwise identical at any thread
+    /// count (including 1).
+    ///
     /// # Errors
     ///
     /// Returns an error on shape mismatch or an inconsistent plan.
     pub fn forward(&self, input: &Tensor, plan: &PerforationPlan) -> Result<Tensor, NnError> {
         let perfs = self.layer_perforations(plan, 1)?;
+        let batch = if input.ndim() == 4 {
+            input.shape()[0]
+        } else {
+            1
+        };
+        let threads = pcnn_parallel::current_threads();
+        if batch < 2 || threads < 2 || pcnn_parallel::in_parallel_region() {
+            return self.forward_group(input, &perfs);
+        }
+        // Contiguous image groups; group boundaries depend only on the
+        // batch and thread count, and per-image results are independent
+        // of grouping, so outputs match the serial path bitwise.
+        let group = batch.div_ceil(threads);
+        let classes = self.num_classes;
+        let mut out = Tensor::zeros(vec![batch, classes]);
+        let first_err: std::sync::Mutex<Option<NnError>> = std::sync::Mutex::new(None);
+        pcnn_parallel::par_chunks_mut(out.data_mut(), group * classes, |gi, out_chunk| {
+            let start = gi * group;
+            let count = out_chunk.len() / classes;
+            let sub = input.batch_range(start, count);
+            match self.forward_group(&sub, &perfs) {
+                Ok(logits) => out_chunk.copy_from_slice(logits.data()),
+                Err(e) => {
+                    first_err
+                        .lock()
+                        .expect("forward error slot")
+                        .get_or_insert(e);
+                }
+            }
+        });
+        match first_err.into_inner().expect("forward error slot") {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Runs the layer pipeline on one image group.
+    fn forward_group(
+        &self,
+        input: &Tensor,
+        perfs: &[Option<LayerPerforation>],
+    ) -> Result<Tensor, NnError> {
         let mut x = input.clone();
-        for (layer, perf) in self.layers.iter().zip(&perfs) {
+        for (layer, perf) in self.layers.iter().zip(perfs) {
             let (out, _) = layer.forward(&x, perf.as_ref())?;
             x = out;
         }

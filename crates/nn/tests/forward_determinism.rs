@@ -1,0 +1,47 @@
+//! The batched inference forward pass splits images across workers; each
+//! image's arithmetic is untouched by the split, so logits must be
+//! **bitwise** identical at any thread count.
+
+use pcnn_nn::models::tiny_alexnet;
+use pcnn_nn::PerforationPlan;
+use pcnn_tensor::Tensor;
+
+fn logits_at(threads: usize, batch: usize, plan: &PerforationPlan) -> Vec<f32> {
+    let net = tiny_alexnet(6);
+    let input = Tensor::from_fn(vec![batch, 1, 32, 32], |i| {
+        ((i * 37 % 101) as f32 - 50.0) / 25.0
+    });
+    pcnn_parallel::with_threads(threads, || {
+        net.forward(&input, plan)
+            .expect("forward succeeds")
+            .into_vec()
+    })
+}
+
+#[test]
+fn forward_bitwise_equal_across_thread_counts() {
+    // 5 images over 8 workers exercises ragged grouping (some workers
+    // idle); 8 over 3 exercises uneven multi-image groups.
+    let plan = PerforationPlan::identity(2);
+    for batch in [2, 5, 8] {
+        let one = logits_at(1, batch, &plan);
+        let many = logits_at(8, batch, &plan);
+        assert_eq!(
+            one, many,
+            "batch {batch} logits differ between 1 and 8 threads"
+        );
+        let three = logits_at(3, batch, &plan);
+        assert_eq!(
+            one, three,
+            "batch {batch} logits differ between 1 and 3 threads"
+        );
+    }
+}
+
+#[test]
+fn perforated_forward_bitwise_equal_across_thread_counts() {
+    let plan = PerforationPlan::from_rates(vec![0.5, 0.25]);
+    let one = logits_at(1, 6, &plan);
+    let many = logits_at(8, 6, &plan);
+    assert_eq!(one, many, "perforated logits differ across thread counts");
+}

@@ -1,0 +1,403 @@
+//! `pcnn-parallel` — a zero-dependency scoped worker pool for the CPU
+//! execution layer of the P-CNN reproduction.
+//!
+//! Every FLOP of the reproduction flows through `pcnn-tensor`'s GEMM and
+//! `pcnn-nn`'s layer loops; this crate supplies the multicore substrate
+//! they run on: chunked index-range parallelism ([`par_for`]), ordered
+//! parallel mapping ([`par_map`]) and disjoint `&mut` slice-chunk
+//! parallelism ([`par_chunks_mut`]), all built on [`std::thread::scope`]
+//! so borrowed data needs no `'static` bound and no `unsafe`.
+//!
+//! # Determinism
+//!
+//! The helpers only decide *which worker* runs a chunk, never what a chunk
+//! computes or in what order a chunk's own arithmetic happens. Callers
+//! that split work along dimensions whose per-element accumulation order
+//! is fixed (row panels of a GEMM, images of a batch, independent tuning
+//! candidates) therefore produce **bitwise-identical** results at any
+//! thread count — the property the repo's parallel-determinism tests
+//! assert.
+//!
+//! # Thread-count resolution
+//!
+//! In precedence order:
+//!
+//! 1. a thread-local override installed by [`with_threads`] (used by
+//!    tests and benches to compare thread counts in-process),
+//! 2. the process-wide override set by [`set_threads`] (wired to the
+//!    `--threads` flag of the `pcnn-bench` binaries),
+//! 3. the `PCNN_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! Nested parallel regions run serially on the worker they land on: a
+//! parallel `Network::forward` that reaches a parallel `gemm` does not
+//! multiply its worker count.
+//!
+//! # Telemetry
+//!
+//! When `pcnn-telemetry` recording is on, every parallel region counts
+//! `parallel.regions` and `parallel.tasks` (chunks executed) and each
+//! worker records its busy time in the `parallel.worker_busy_ns`
+//! histogram, so pool utilisation shows up in trace manifests next to the
+//! simulator and tuner metrics.
+//!
+//! # Example
+//!
+//! ```
+//! let mut data = vec![0u64; 1000];
+//! pcnn_parallel::par_chunks_mut(&mut data, 100, |chunk_idx, chunk| {
+//!     for (i, v) in chunk.iter_mut().enumerate() {
+//!         *v = (chunk_idx * 100 + i) as u64;
+//!     }
+//! });
+//! assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+//! ```
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Hard cap on worker threads, guarding against absurd `PCNN_THREADS`.
+pub const MAX_THREADS: usize = 256;
+
+/// Process-wide thread-count override; 0 means "not set".
+static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Thread-local override installed by [`with_threads`]; 0 = unset.
+    static LOCAL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// True while this thread is executing inside a pool worker, so
+    /// nested parallel regions degrade to serial execution.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The thread count parallel regions started from this thread will use,
+/// after applying the overrides described in the crate docs.
+pub fn current_threads() -> usize {
+    let local = LOCAL_OVERRIDE.with(Cell::get);
+    if local > 0 {
+        return local.min(MAX_THREADS);
+    }
+    let global = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
+    if global > 0 {
+        return global.min(MAX_THREADS);
+    }
+    if let Ok(v) = std::env::var("PCNN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Sets the process-wide thread-count override (`0` resets to automatic
+/// resolution). The `--threads` flag of the `pcnn-bench` binaries calls
+/// this.
+pub fn set_threads(n: usize) {
+    GLOBAL_OVERRIDE.store(n.min(MAX_THREADS), Ordering::Relaxed);
+}
+
+/// Runs `f` with a thread-local thread-count override, restoring the
+/// previous override afterwards (also on panic). This is how tests compare
+/// 1-thread and N-thread runs in the same process without racing on global
+/// state.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(LOCAL_OVERRIDE.with(|c| {
+        let prev = c.get();
+        c.set(n.clamp(1, MAX_THREADS));
+        prev
+    }));
+    f()
+}
+
+/// True while the current thread is inside a pool worker (nested parallel
+/// regions run serially).
+pub fn in_parallel_region() -> bool {
+    IN_POOL.with(Cell::get)
+}
+
+/// Worker count for a region of `n_tasks` independent tasks.
+fn effective_threads(n_tasks: usize) -> usize {
+    if n_tasks <= 1 || in_parallel_region() {
+        1
+    } else {
+        current_threads().min(n_tasks).max(1)
+    }
+}
+
+/// Runs `f` as a pool worker: marks the thread as in-pool and records
+/// busy time when telemetry is recording.
+fn as_worker<R>(f: impl FnOnce() -> R) -> R {
+    struct Unmark;
+    impl Drop for Unmark {
+        fn drop(&mut self) {
+            IN_POOL.with(|c| c.set(false));
+        }
+    }
+    IN_POOL.with(|c| c.set(true));
+    let _unmark = Unmark;
+    if pcnn_telemetry::enabled() {
+        let start = Instant::now();
+        let out = f();
+        pcnn_telemetry::histogram("parallel.worker_busy_ns", start.elapsed().as_nanos() as f64);
+        out
+    } else {
+        f()
+    }
+}
+
+fn count_region(tasks: usize) {
+    if pcnn_telemetry::enabled() {
+        pcnn_telemetry::counter("parallel.regions", 1);
+        pcnn_telemetry::counter("parallel.tasks", tasks as u64);
+    }
+}
+
+/// Splits `0..len` into one contiguous range per worker (at most
+/// `threads`, each at least `min_chunk` long except possibly the last)
+/// and runs `f` on each range in parallel.
+///
+/// `f` sees every index exactly once; ranges are contiguous and ascending
+/// per worker, so callers that only read shared data (or write through
+/// interior mutability at disjoint indices) get deterministic results.
+pub fn par_for<F>(len: usize, min_chunk: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let min_chunk = min_chunk.max(1);
+    let max_workers = len.div_ceil(min_chunk);
+    let threads = effective_threads(max_workers);
+    if threads <= 1 {
+        as_worker(|| f(0..len));
+        return;
+    }
+    count_region(threads);
+    // Balanced contiguous split: the first `rem` workers get one extra.
+    let per = len / threads;
+    let rem = len % threads;
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut start = 0;
+        for w in 0..threads {
+            let take = per + usize::from(w < rem);
+            let range = start..start + take;
+            start += take;
+            if w + 1 == threads {
+                as_worker(|| f(range));
+            } else {
+                s.spawn(move || as_worker(|| f(range)));
+            }
+        }
+    });
+}
+
+/// Splits `data` into `chunk_len`-long chunks (the last may be shorter)
+/// and runs `f(chunk_index, chunk)` on every chunk, distributing
+/// contiguous runs of chunks across workers.
+///
+/// Chunk boundaries depend only on `chunk_len`, never on the thread
+/// count, so a caller whose chunks are computed independently produces
+/// bitwise-identical data at any thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = effective_threads(n_chunks);
+    if threads <= 1 {
+        as_worker(|| {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+        });
+        return;
+    }
+    count_region(n_chunks);
+    let per = n_chunks / threads;
+    let rem = n_chunks % threads;
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut rest = data;
+        let mut first_chunk = 0;
+        for w in 0..threads {
+            let take_chunks = per + usize::from(w < rem);
+            let take = (take_chunks * chunk_len).min(rest.len());
+            let (part, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = first_chunk;
+            first_chunk += take_chunks;
+            let mut run = move || {
+                as_worker(|| {
+                    for (i, chunk) in part.chunks_mut(chunk_len).enumerate() {
+                        f(base + i, chunk);
+                    }
+                })
+            };
+            if w + 1 == threads {
+                run();
+            } else {
+                s.spawn(run);
+            }
+        }
+    });
+}
+
+/// Computes `f(i)` for every `i in 0..len` in parallel and returns the
+/// results **in index order**.
+///
+/// Tasks are claimed dynamically (one index at a time), so workloads with
+/// very uneven per-task cost — e.g. simulating tuning candidates of
+/// different grid sizes — balance well; the output order is nevertheless
+/// always `0..len`.
+pub fn par_map<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = effective_threads(len);
+    if threads <= 1 {
+        return as_worker(|| (0..len).map(f).collect());
+    }
+    count_region(len);
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|s| {
+        let (f, next, results) = (&f, &next, &results);
+        let work = move || {
+            as_worker(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                results.lock().expect("par_map results").extend(local);
+            })
+        };
+        for _ in 0..threads - 1 {
+            s.spawn(work);
+        }
+        work();
+    });
+    let mut collected = results.into_inner().expect("par_map results");
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(collected.len(), len);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_for_covers_every_index_once() {
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        with_threads(4, || {
+            par_for(1000, 10, |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_empty_is_noop() {
+        par_for(0, 1, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn par_chunks_mut_chunk_indices_match_offsets() {
+        for threads in [1, 2, 3, 8] {
+            let mut data = vec![usize::MAX; 103];
+            with_threads(threads, || {
+                par_chunks_mut(&mut data, 10, |ci, chunk| {
+                    for (i, v) in chunk.iter_mut().enumerate() {
+                        *v = ci * 10 + i;
+                    }
+                });
+            });
+            assert!(
+                data.iter().enumerate().all(|(i, &v)| v == i),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_handles_ragged_tail() {
+        let mut data = vec![0u8; 7];
+        with_threads(8, || {
+            par_chunks_mut(&mut data, 2, |_, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1;
+                }
+            });
+        });
+        assert_eq!(data, vec![1; 7]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 3, 7] {
+            let out = with_threads(threads, || par_map(100, |i| i * i));
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn nested_regions_run_serially() {
+        with_threads(4, || {
+            par_for(4, 1, |_| {
+                assert!(in_parallel_region());
+                // A nested region must not spawn: it runs inline on this
+                // worker, so the flag stays set throughout.
+                par_for(8, 1, |_| assert!(in_parallel_region()));
+            });
+        });
+        assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn with_threads_restores_previous_override() {
+        with_threads(2, || {
+            assert_eq!(current_threads(), 2);
+            with_threads(5, || assert_eq!(current_threads(), 5));
+            assert_eq!(current_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn set_threads_is_overridden_by_with_threads() {
+        set_threads(3);
+        assert_eq!(current_threads(), 3);
+        with_threads(1, || assert_eq!(current_threads(), 1));
+        set_threads(0);
+    }
+}

@@ -1,21 +1,65 @@
-//! Blocked row-major single-precision matrix multiplication.
+//! Packed, register-blocked, multicore single-precision matrix
+//! multiplication.
 //!
 //! The GPU kernels in the paper are SGEMMs (§III.C, Table IV); this module
 //! is the CPU implementation that actually performs the arithmetic in the
 //! reproduction, while `pcnn-kernels`/`pcnn-gpu` model how the same SGEMM
 //! would behave on each GPU microarchitecture.
+//!
+//! # Algorithm
+//!
+//! [`gemm`] follows the classic packed-GEMM structure (the same
+//! register-blocking discipline the paper's GPU kernels use, Fig. 6/7,
+//! transplanted to CPU SIMD):
+//!
+//! 1. `B` is packed once into `NR`-column micropanels, zero-padded to a
+//!    multiple of [`NR`], one [`KC`]-deep block at a time;
+//! 2. row panels of `C` (up to [`MC`] rows) are processed in parallel —
+//!    each worker packs its own `MR`-row micropanels of `A`;
+//! 3. a branch-free [`MR`]`x`[`NR`] register-blocked microkernel
+//!    accumulates each tile over one `KC` block and adds it to `C`.
+//!
+//! The microkernel is plain indexed arithmetic with constant bounds, which
+//! LLVM autovectorizes on any SIMD width without `-ffast-math`-style
+//! reassociation — so results are reproducible across machines and
+//! optimisation levels. On x86-64 the same body is also instantiated under
+//! `#[target_feature(enable = "avx2")]` and selected by a cached runtime
+//! probe; widening the vectors never changes per-element rounding, so both
+//! instantiations are bitwise-equivalent.
+//!
+//! # Determinism
+//!
+//! Each `C` element accumulates strictly in ascending-`k` order inside a
+//! `KC` block, and blocks are applied in ascending order; the parallel
+//! split is over row panels whose boundaries depend only on [`MC`], never
+//! on the thread count. `PCNN_THREADS=1` and `PCNN_THREADS=N` therefore
+//! produce **bitwise-identical** outputs (asserted by
+//! `tests/parallel_determinism.rs`).
 
-/// Cache-blocking tile sizes. 64x64x64 f32 tiles fit comfortably in L1/L2 on
-/// any host this runs on; the exact value only affects speed, not results.
+/// Microkernel rows: `MR x NR` accumulators live in registers.
+pub const MR: usize = 4;
+/// Microkernel columns. 4x8 f32 accumulators fit the 16 x 128-bit
+/// registers of baseline x86-64 with room for the `A`/`B` operands.
+pub const NR: usize = 8;
+
+/// Rows per parallel panel (multiple of `MR`): one panel's packed `A`
+/// block (`MC x KC` f32) stays L2-resident.
 const MC: usize = 64;
-const NC: usize = 64;
-const KC: usize = 64;
+/// Depth of one packed block: a `KC x NR` `B` micropanel (8 KiB) stays
+/// L1-resident while every row tile of a panel streams over it.
+const KC: usize = 256;
+
+/// Work (in multiply-adds) below which [`gemm`] stays on one thread: the
+/// cost of a scoped spawn round is ~tens of microseconds, which a GEMM
+/// this small finishes on its own.
+const PAR_MAC_THRESHOLD: usize = 64 * 64 * 64;
 
 /// `C += A * B` for row-major matrices.
 ///
 /// `A` is `m x k`, `B` is `k x n`, `C` is `m x n`. Accumulates into `C`
 /// (callers wanting `C = A * B` should zero `C` first — [`crate::Tensor::zeros`]
-/// does).
+/// does). Runs on multiple cores for large shapes (see the module docs for
+/// the determinism guarantee); [`gemm_naive`] is the serial oracle.
 ///
 /// # Panics
 ///
@@ -24,30 +68,173 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert!(a.len() >= m * k, "A too short: {} < {}", a.len(), m * k);
     assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
     assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
 
-    for i0 in (0..m).step_by(MC) {
-        let i_max = (i0 + MC).min(m);
-        for p0 in (0..k).step_by(KC) {
-            let p_max = (p0 + KC).min(k);
-            for j0 in (0..n).step_by(NC) {
-                let j_max = (j0 + NC).min(n);
-                for i in i0..i_max {
-                    let a_row = &a[i * k..i * k + k];
-                    let c_row = &mut c[i * n..i * n + n];
-                    for p in p0..p_max {
-                        let aval = a_row[p];
-                        if aval == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b[p * n..p * n + n];
-                        for j in j0..j_max {
-                            c_row[j] += aval * b_row[j];
-                        }
+    let b_pack = pack_b(n, k, b);
+    let serial = m * n * k < PAR_MAC_THRESHOLD;
+    let run_panel = |panel: usize, c_panel: &mut [f32]| {
+        let rows = c_panel.len() / n;
+        gemm_panel(panel * MC, rows, n, k, a, &b_pack, c_panel);
+    };
+    if serial {
+        for (panel, c_panel) in c[..m * n].chunks_mut(MC * n).enumerate() {
+            run_panel(panel, c_panel);
+        }
+    } else {
+        pcnn_parallel::par_chunks_mut(&mut c[..m * n], MC * n, run_panel);
+    }
+}
+
+/// `B` packed into `NR`-wide micropanels, one `KC` block after another.
+///
+/// Block `pc` starts at `p0 * n_panels * NR` (`p0 = pc * KC`) and holds
+/// `n_panels` micropanels of `kc * NR` elements each; element `(p, j)` of
+/// a micropanel is at `p * NR + j`. Ragged column edges are zero-filled,
+/// so the microkernel never branches on bounds; the depth direction is
+/// packed tight (the final block is simply shorter).
+fn pack_b(n: usize, k: usize, b: &[f32]) -> Vec<f32> {
+    let n_panels = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; k * n_panels * NR];
+    pcnn_parallel::par_chunks_mut(&mut packed, n_panels * KC * NR, |pc, block| {
+        let p0 = pc * KC;
+        let kc = block.len() / (n_panels * NR);
+        for (jp, panel) in block.chunks_mut(kc * NR).enumerate() {
+            let j0 = jp * NR;
+            let nr = NR.min(n - j0);
+            for p in 0..kc {
+                let src = &b[(p0 + p) * n + j0..(p0 + p) * n + j0 + nr];
+                panel[p * NR..p * NR + nr].copy_from_slice(src);
+            }
+        }
+    });
+    packed
+}
+
+/// Packs `rows x kc` of `A` (starting at `(m0, p0)`) into `MR`-row
+/// micropanels: tile `ir` starts at `ir * kc * MR`, element `(p, i)` at
+/// `p * MR + i`. Short bottom tiles are zero-padded.
+fn pack_a(m0: usize, rows: usize, p0: usize, kc: usize, k: usize, a: &[f32], packed: &mut [f32]) {
+    for (ir, tile) in packed[..rows.div_ceil(MR) * kc * MR]
+        .chunks_mut(kc * MR)
+        .enumerate()
+    {
+        let i0 = ir * MR;
+        let mr = MR.min(rows - i0);
+        if mr < MR {
+            tile.fill(0.0);
+        }
+        for i in 0..mr {
+            let row = &a[(m0 + i0 + i) * k + p0..(m0 + i0 + i) * k + p0 + kc];
+            for (p, &v) in row.iter().enumerate() {
+                tile[p * MR + i] = v;
+            }
+        }
+    }
+}
+
+/// One row panel of the packed GEMM: `C[m0..m0+rows, :] += A * B`.
+///
+/// Dispatches once (cached feature probe) to an AVX2 instantiation of the
+/// same body on x86-64 that supports it. Both instantiations perform the
+/// identical sequence of IEEE mul/add per accumulator — vector width never
+/// changes per-element rounding — so the result is bitwise-equal whichever
+/// path runs.
+fn gemm_panel(
+    m0: usize,
+    rows: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b_pack: &[f32],
+    c: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the AVX2 requirement is established by the runtime
+        // feature probe on the line above.
+        return unsafe { gemm_panel_avx2(m0, rows, n, k, a, b_pack, c) };
+    }
+    gemm_panel_body(m0, rows, n, k, a, b_pack, c)
+}
+
+/// AVX2 instantiation of [`gemm_panel_body`]: same source, wider
+/// autovectorization (one 8-lane register per accumulator row).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn gemm_panel_avx2(
+    m0: usize,
+    rows: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b_pack: &[f32],
+    c: &mut [f32],
+) {
+    gemm_panel_body(m0, rows, n, k, a, b_pack, c)
+}
+
+#[inline(always)]
+fn gemm_panel_body(
+    m0: usize,
+    rows: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b_pack: &[f32],
+    c: &mut [f32],
+) {
+    let n_panels = n.div_ceil(NR);
+    let mr_tiles = rows.div_ceil(MR);
+    let mut a_pack = vec![0.0f32; mr_tiles * KC * MR];
+    for pc in 0..k.div_ceil(KC) {
+        let p0 = pc * KC;
+        let kc = KC.min(k - p0);
+        pack_a(m0, rows, p0, kc, k, a, &mut a_pack);
+        let b_block = &b_pack[p0 * n_panels * NR..];
+        for jp in 0..n_panels {
+            let b_micro = &b_block[jp * kc * NR..(jp + 1) * kc * NR];
+            let j0 = jp * NR;
+            let nr = NR.min(n - j0);
+            for ir in 0..mr_tiles {
+                let a_micro = &a_pack[ir * kc * MR..(ir + 1) * kc * MR];
+                let acc = microkernel(kc, a_micro, b_micro);
+                let i0 = ir * MR;
+                let mr = MR.min(rows - i0);
+                for (i, acc_row) in acc.iter().enumerate().take(mr) {
+                    let c_row = &mut c[(i0 + i) * n + j0..(i0 + i) * n + j0 + nr];
+                    for (cv, &av) in c_row.iter_mut().zip(acc_row) {
+                        *cv += av;
                     }
                 }
             }
         }
     }
+}
+
+/// The branch-free `MR x NR` register-blocked microkernel: returns the
+/// product of an `MR x kc` packed `A` micropanel and a `kc x NR` packed
+/// `B` micropanel. Constant loop bounds let LLVM keep `acc` in vector
+/// registers and autovectorize without reassociating any float sum.
+///
+/// Always inlined into [`gemm_panel_body`], so it picks up whatever
+/// target features its instantiation was compiled with.
+#[inline(always)]
+fn microkernel(kc: usize, a: &[f32], b: &[f32]) -> [[f32; NR]; MR] {
+    debug_assert!(a.len() >= kc * MR && b.len() >= kc * NR);
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let av: &[f32; MR] = a[p * MR..p * MR + MR].try_into().expect("packed A tile");
+        let bv: &[f32; NR] = b[p * NR..p * NR + NR].try_into().expect("packed B tile");
+        for i in 0..MR {
+            let ai = av[i];
+            for j in 0..NR {
+                acc[i][j] += ai * bv[j];
+            }
+        }
+    }
+    acc
 }
 
 /// `C = A * B + bias` where `bias` is broadcast along rows: `C[i][j] += bias[i]`.
@@ -71,10 +258,19 @@ pub fn gemm_bias(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], bias: &[f32
     gemm(m, n, k, a, b, c);
 }
 
+/// Lanes of the split-accumulator dot product in [`gemm_nt`]. The lane
+/// structure (and the final combining tree) is fixed in source, so the
+/// reduction order never depends on the compiler's vector width.
+const DOT_LANES: usize = 8;
+
 /// `C += A * B^T` for row-major matrices: `A` is `m x k`, `B` is `n x k`,
 /// `C` is `m x n`.
 ///
-/// Used by the convolution/linear backward passes (`dW = dOut * cols^T`).
+/// Used by the convolution/linear backward passes (`dW = dOut * cols^T`)
+/// and the linear forward pass. Rows of `C` are computed in parallel;
+/// each dot product accumulates in [`DOT_LANES`] independent lanes
+/// (vectorizable) combined by a fixed tree, so results are deterministic
+/// at any thread count.
 ///
 /// # Panics
 ///
@@ -83,24 +279,52 @@ pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert!(a.len() >= m * k, "A too short");
     assert!(b.len() >= n * k, "B too short");
     assert!(c.len() >= m * n, "C too short");
-    for i in 0..m {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let row_job = |i: usize, c_row: &mut [f32]| {
         let a_row = &a[i * k..i * k + k];
-        let c_row = &mut c[i * n..i * n + n];
         for (j, cv) in c_row.iter_mut().enumerate() {
             let b_row = &b[j * k..j * k + k];
-            let mut acc = 0.0;
-            for p in 0..k {
-                acc += a_row[p] * b_row[p];
-            }
-            *cv += acc;
+            *cv += dot_lanes(a_row, b_row);
+        }
+    };
+    if m * n * k < PAR_MAC_THRESHOLD {
+        for (i, c_row) in c[..m * n].chunks_mut(n).enumerate() {
+            row_job(i, c_row);
+        }
+    } else {
+        pcnn_parallel::par_chunks_mut(&mut c[..m * n], n, row_job);
+    }
+}
+
+/// Dot product over [`DOT_LANES`] source-fixed accumulator lanes.
+#[inline(always)]
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; DOT_LANES];
+    let chunks = a.len() / DOT_LANES;
+    for p in 0..chunks {
+        let av = &a[p * DOT_LANES..(p + 1) * DOT_LANES];
+        let bv = &b[p * DOT_LANES..(p + 1) * DOT_LANES];
+        for l in 0..DOT_LANES {
+            lanes[l] += av[l] * bv[l];
         }
     }
+    for p in chunks * DOT_LANES..a.len() {
+        lanes[p % DOT_LANES] += a[p] * b[p];
+    }
+    ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5]))
+        + ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]))
 }
 
 /// `C += A^T * B` for row-major matrices: `A` is `k x m`, `B` is `k x n`,
 /// `C` is `m x n`.
 ///
 /// Used by the convolution/linear backward passes (`dCols = W^T * dOut`).
+/// Rows of `C` are computed in parallel; per element the accumulation
+/// runs in ascending `k` order exactly as the serial loop does, so
+/// results are deterministic at any thread count.
 ///
 /// # Panics
 ///
@@ -109,19 +333,30 @@ pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert!(a.len() >= k * m, "A too short");
     assert!(b.len() >= k * n, "B too short");
     assert!(c.len() >= m * n, "C too short");
-    for p in 0..k {
-        let a_row = &a[p * m..p * m + m];
-        let b_row = &b[p * n..p * n + n];
-        for i in 0..m {
-            let aval = a_row[i];
+    if m == 0 || n == 0 {
+        return;
+    }
+    let row_job = |i: usize, c_row: &mut [f32]| {
+        for p in 0..k {
+            let aval = a[p * m + i];
+            // Whole-row skip: backward passes feed ReLU-masked gradients
+            // where entire `dOut` rows are zero. (The *inner* loop stays
+            // branch-free.)
             if aval == 0.0 {
                 continue;
             }
-            let c_row = &mut c[i * n..i * n + n];
-            for j in 0..n {
-                c_row[j] += aval * b_row[j];
+            let b_row = &b[p * n..p * n + n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aval * bv;
             }
         }
+    };
+    if m * n * k < PAR_MAC_THRESHOLD {
+        for (i, c_row) in c[..m * n].chunks_mut(n).enumerate() {
+            row_job(i, c_row);
+        }
+    } else {
+        pcnn_parallel::par_chunks_mut(&mut c[..m * n], n, row_job);
     }
 }
 
@@ -166,7 +401,7 @@ mod tests {
 
     #[test]
     fn gemm_matches_naive_blocked_boundary() {
-        // Sizes that straddle the 64-blocking boundaries.
+        // Sizes that straddle the microkernel and panel boundaries.
         let (m, n, k) = (65, 67, 129);
         let a = seq(m * k);
         let b = seq(k * n);
@@ -209,6 +444,22 @@ mod tests {
     fn gemm_panics_on_short_a() {
         let mut c = vec![0.0; 4];
         gemm(2, 2, 2, &[1.0; 3], &[1.0; 4], &mut c);
+    }
+
+    #[test]
+    fn microkernel_matches_naive_exactly_on_integers() {
+        // Small-integer values make every f32 operation exact, so packed
+        // and naive accumulation orders must agree to the bit.
+        let kc = 19;
+        let a: Vec<f32> = (0..kc * MR).map(|i| (i % 5) as f32 - 2.0).collect();
+        let b: Vec<f32> = (0..kc * NR).map(|i| (i % 9) as f32 - 4.0).collect();
+        let acc = microkernel(kc, &a, &b);
+        for i in 0..MR {
+            for j in 0..NR {
+                let want: f32 = (0..kc).map(|p| a[p * MR + i] * b[p * NR + j]).sum();
+                assert_eq!(acc[i][j], want, "tile ({i},{j})");
+            }
+        }
     }
 
     fn transpose(rows: usize, cols: usize, x: &[f32]) -> Vec<f32> {

@@ -99,6 +99,10 @@ pub fn conv_output_dim(input: usize, kernel: usize, stride: usize, pad: usize) -
 /// row `r` holds patch element `r` for every output position. Out-of-bounds
 /// (padding) reads produce `0.0`.
 ///
+/// Rows of `cols` are filled in parallel for large lowerings; each row is
+/// a pure function of `input`, so the output is bitwise identical at any
+/// thread count.
+///
 /// # Panics
 ///
 /// Panics if `input` or `cols` have the wrong length.
@@ -107,33 +111,39 @@ pub fn im2col(geom: &Conv2dGeometry, input: &[f32], cols: &mut [f32]) {
     assert_eq!(input.len(), chw, "input length mismatch");
     let n_pos = geom.out_positions();
     assert_eq!(cols.len(), geom.patch_len() * n_pos, "cols length mismatch");
+    if n_pos == 0 {
+        return;
+    }
 
     let k = geom.kernel;
-    for c in 0..geom.in_channels {
+    let fill_row = |row: usize, out_row: &mut [f32]| {
+        let c = row / (k * k);
+        let ky = row / k % k;
+        let kx = row % k;
         let chan = &input[c * geom.in_h * geom.in_w..(c + 1) * geom.in_h * geom.in_w];
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (c * k + ky) * k + kx;
-                let out_row = &mut cols[row * n_pos..(row + 1) * n_pos];
-                let mut idx = 0;
-                for oy in 0..geom.out_h {
-                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
-                    for ox in 0..geom.out_w {
-                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
-                        out_row[idx] = if iy >= 0
-                            && (iy as usize) < geom.in_h
-                            && ix >= 0
-                            && (ix as usize) < geom.in_w
-                        {
-                            chan[iy as usize * geom.in_w + ix as usize]
-                        } else {
-                            0.0
-                        };
-                        idx += 1;
-                    }
-                }
+        let mut idx = 0;
+        for oy in 0..geom.out_h {
+            let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+            for ox in 0..geom.out_w {
+                let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                out_row[idx] =
+                    if iy >= 0 && (iy as usize) < geom.in_h && ix >= 0 && (ix as usize) < geom.in_w
+                    {
+                        chan[iy as usize * geom.in_w + ix as usize]
+                    } else {
+                        0.0
+                    };
+                idx += 1;
             }
         }
+    };
+    // One task per patch row; tiny lowerings stay on this thread.
+    if cols.len() < 1 << 14 {
+        for (row, out_row) in cols.chunks_mut(n_pos).enumerate() {
+            fill_row(row, out_row);
+        }
+    } else {
+        pcnn_parallel::par_chunks_mut(cols, n_pos, fill_row);
     }
 }
 

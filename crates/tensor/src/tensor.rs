@@ -211,6 +211,31 @@ impl Tensor {
         let stride: usize = self.shape[1..].iter().product();
         &mut self.data[n * stride..(n + 1) * stride]
     }
+
+    /// Copies batch items `start..start + count` into a new tensor with
+    /// the same trailing shape — the sub-batch view the data-parallel
+    /// forward pass hands each worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is 0-dimensional or the range exceeds the
+    /// leading dimension.
+    pub fn batch_range(&self, start: usize, count: usize) -> Tensor {
+        assert!(self.ndim() >= 1, "batch_range requires a leading axis");
+        assert!(
+            start + count <= self.shape[0],
+            "batch range {start}..{} out of range ({})",
+            start + count,
+            self.shape[0]
+        );
+        let stride: usize = self.shape[1..].iter().product();
+        let mut shape = self.shape.clone();
+        shape[0] = count;
+        Tensor {
+            shape,
+            data: self.data[start * stride..(start + count) * stride].to_vec(),
+        }
+    }
 }
 
 impl fmt::Debug for Tensor {

@@ -1,0 +1,128 @@
+//! Bitwise determinism of the parallel tensor kernels across thread
+//! counts.
+//!
+//! `pcnn_parallel::with_threads` installs a thread-local override, so a
+//! 1-thread and an 8-thread run of the same computation can be compared
+//! in-process. The split dimensions (row panels of `C`, rows of the
+//! im2col matrix) never change any element's accumulation order, so the
+//! outputs must be **bitwise** equal — `assert_eq!` on the raw `f32`
+//! buffers, no tolerance.
+
+use pcnn_tensor::{gemm, gemm_naive, gemm_nt, gemm_tn, im2col, Conv2dGeometry};
+use proptest::prelude::*;
+
+fn pseudo(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as i32 % 1000) as f32 / 64.0
+        })
+        .collect()
+}
+
+fn gemm_at(threads: usize, m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    pcnn_parallel::with_threads(threads, || {
+        let mut c = vec![0.0; m * n];
+        gemm(m, n, k, a, b, &mut c);
+        c
+    })
+}
+
+/// Shapes that straddle every blocking boundary of the packed GEMM:
+/// the 4-row (`MR`) and 8-column (`NR`) microkernel tiles, the 64-row
+/// parallel panel (`MC`) and the 256-deep pack block (`KC`) — each at
+/// the boundary, one below and one above — plus shapes large enough to
+/// cross the serial/parallel work threshold.
+const ODD_SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (3, 7, 5),
+    (4, 8, 16),
+    (5, 9, 17),
+    (63, 65, 129),
+    (64, 8, 256),
+    (65, 9, 257),
+    (97, 130, 300),
+    (130, 17, 513),
+];
+
+#[test]
+fn gemm_bitwise_equal_across_thread_counts_on_blocking_boundaries() {
+    for &(m, n, k) in ODD_SHAPES {
+        let a = pseudo(2017, m * k);
+        let b = pseudo(4034, k * n);
+        let c1 = gemm_at(1, m, n, k, &a, &b);
+        let c8 = gemm_at(8, m, n, k, &a, &b);
+        assert_eq!(c1, c8, "gemm {m}x{n}x{k} differs between 1 and 8 threads");
+    }
+}
+
+#[test]
+fn gemm_nt_and_tn_bitwise_equal_across_thread_counts() {
+    // Shapes big enough (> 64^3 multiply-adds) that the 8-thread run
+    // really splits; B is n x k for NT, A is k x m for TN.
+    let (m, n, k) = (80, 70, 65);
+    let a = pseudo(7, m * k);
+    let bt = pseudo(11, n * k);
+    let run_nt = |threads| {
+        pcnn_parallel::with_threads(threads, || {
+            let mut c = vec![0.0; m * n];
+            gemm_nt(m, n, k, &a, &bt, &mut c);
+            c
+        })
+    };
+    assert_eq!(run_nt(1), run_nt(8), "gemm_nt differs across thread counts");
+
+    let at = pseudo(13, k * m);
+    let b = pseudo(17, k * n);
+    let run_tn = |threads| {
+        pcnn_parallel::with_threads(threads, || {
+            let mut c = vec![0.0; m * n];
+            gemm_tn(m, n, k, &at, &b, &mut c);
+            c
+        })
+    };
+    assert_eq!(run_tn(1), run_tn(8), "gemm_tn differs across thread counts");
+}
+
+#[test]
+fn im2col_bitwise_equal_across_thread_counts() {
+    // 8 channels x 3x3 kernel over 32x32 -> 72 rows x 900 positions =
+    // 64800 elements, above the kernel's serial cutoff.
+    let geom = Conv2dGeometry::new(8, 32, 32, 3, 1, 1);
+    let input = pseudo(23, 8 * 32 * 32);
+    let run = |threads: usize| {
+        pcnn_parallel::with_threads(threads, || {
+            let mut cols = vec![0.0; geom.patch_len() * geom.out_positions()];
+            im2col(&geom, &input, &mut cols);
+            cols
+        })
+    };
+    assert_eq!(run(1), run(8), "im2col differs across thread counts");
+}
+
+proptest! {
+    /// Any shape — especially ragged ones around pack/panel boundaries —
+    /// yields bitwise-identical gemm output at 1 and 8 threads, and stays
+    /// numerically close to the serial triple-loop oracle.
+    #[test]
+    fn gemm_threads_agree_on_random_shapes(
+        m in 1usize..100,
+        n in 1usize..80,
+        k in 1usize..140,
+        seed in any::<u64>(),
+    ) {
+        let a = pseudo(seed, m * k);
+        let b = pseudo(seed ^ 0xABCD, k * n);
+        let c1 = gemm_at(1, m, n, k, &a, &b);
+        let c8 = gemm_at(8, m, n, k, &a, &b);
+        prop_assert_eq!(&c1, &c8);
+        let mut oracle = vec![0.0; m * n];
+        gemm_naive(m, n, k, &a, &b, &mut oracle);
+        for (x, y) in c1.iter().zip(&oracle) {
+            prop_assert!((x - y).abs() <= 1e-2 * (1.0 + y.abs()), "{} vs {}", x, y);
+        }
+    }
+}
