@@ -28,7 +28,7 @@ fn bench_compile(c: &mut Criterion) {
     c.bench_function("offline compile AlexNet batch 1 on K20", |b| {
         b.iter(|| {
             let compiler = OfflineCompiler::new(&K20C, &spec);
-            black_box(compiler.compile_batch(1))
+            black_box(compiler.try_compile_batch(1).expect("valid batch"))
         })
     });
 }

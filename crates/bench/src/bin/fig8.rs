@@ -33,7 +33,7 @@ fn main() {
         let mut row = vec![arch.name.to_string()];
         let mut tps = Vec::new();
         for &b in &batches {
-            let schedule = compiler.compile_batch(b);
+            let schedule = compiler.try_compile_batch(b).expect("valid batch");
             let c = simulate_schedule(arch, &schedule);
             let tp = b as f64 / c.seconds;
             tps.push(tp);

@@ -6,6 +6,9 @@
 //!               --task <interactive|realtime|background> [--rate <imgs/s>]
 //! pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]
 //! pcnn tune     --gpu <...> --m <M> --n <N> --k <K>
+//! pcnn serve    [--gpu <a,b,...>] [--net <...>] [--seed N] [--requests N] [--rate R]
+//!               [--fps F] [--frames N] [--bg-images N] [--max-batch N]
+//!               [--no-degrade] [--smoke] [--json <path>]
 //! pcnn bench-gemm [--reps N] [--json <path>]
 //! ```
 
@@ -24,19 +27,24 @@ use pcnn_nn::spec::{alexnet, googlenet, vggnet, NetworkSpec};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\n  pcnn bench-gemm [--reps N] [--json <path>]\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest,\nand --threads <N> (or PCNN_THREADS=<N>) to pin the CPU worker pool"
+        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\n  pcnn serve    [--gpu <a,b,...>] [--net <...>] [--seed N] [--requests N] [--rate R] [--fps F] [--frames N] [--bg-images N] [--max-batch N] [--no-degrade] [--smoke] [--json <path>]\n  pcnn bench-gemm [--reps N] [--json <path>]\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest,\nand --threads <N> (or PCNN_THREADS=<N>) to pin the CPU worker pool"
     );
     ExitCode::from(2)
 }
 
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut flags = HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(key) = it.next() {
         let name = key.strip_prefix("--")?;
         let (name, value) = match name.split_once('=') {
             Some((n, v)) => (n, v.to_string()),
-            None => (name, it.next()?.clone()),
+            // A flag followed by another flag (or nothing) is a bare
+            // boolean, e.g. `--smoke`.
+            None => match it.peek() {
+                Some(next) if !next.starts_with("--") => (name, it.next()?.clone()),
+                _ => (name, "true".to_string()),
+            },
         };
         flags.insert(name.to_string(), value);
     }
@@ -109,7 +117,13 @@ fn cmd_compile(flags: &HashMap<String, String>) -> ExitCode {
     };
     let req = UserRequirements::infer(&app);
     let compiler = OfflineCompiler::new(gpu, &net);
-    let schedule = compiler.compile(&app, &req);
+    let schedule = match compiler.try_compile(&app, &req) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("compile failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "compiled {} for {} ({:?} task): batch {}",
         net.name, gpu.name, app.kind, schedule.batch
@@ -174,7 +188,13 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> ExitCode {
             }
             library_schedule(gpu, &net, lib, batch)
         }
-        None => OfflineCompiler::new(gpu, &net).compile_batch(batch),
+        None => match OfflineCompiler::new(gpu, &net).try_compile_batch(batch) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("compile failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     let cost = simulate_schedule(gpu, &schedule);
     println!(
@@ -320,6 +340,126 @@ fn cmd_bench_gemm(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `pcnn serve` — run the online serving simulator on a canonical mixed
+/// scenario (a real-time camera, an open-loop interactive tenant, and a
+/// background batch job) and report per-workload outcomes.
+///
+/// The scenario is a pure function of the flags, so the JSON report is
+/// byte-identical across runs with the same arguments; the committed
+/// `BENCH_serve.json` baseline is the default (seed 42) run.
+fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
+    use pcnn_data::RequestTrace;
+    use pcnn_serve::{DegradationLadder, ServeWorkload, Server, ServerConfig};
+
+    let gpu_names = flags.get("gpu").map(String::as_str).unwrap_or("k20");
+    let mut gpus = Vec::new();
+    for name in gpu_names.split(',') {
+        let Some(gpu) = pick_gpu(name.trim()) else {
+            return usage();
+        };
+        gpus.push(gpu);
+    }
+    let Some(net) = pick_net(flags.get("net").map(String::as_str).unwrap_or("alexnet")) else {
+        return usage();
+    };
+    let smoke = flags.contains_key("smoke");
+    let parse = |key: &str, default: f64| {
+        flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let seed = parse("seed", 42.0) as u64;
+    let fps = parse("fps", 30.0);
+    let frames = parse("frames", if smoke { 30.0 } else { 90.0 }) as usize;
+    let requests = parse("requests", if smoke { 40.0 } else { 150.0 }) as usize;
+    // The default interactive rate overloads a K20 (~630 img/s AlexNet
+    // capacity), so the committed baseline exercises the degradation
+    // ladder.
+    let rate = parse("rate", if smoke { 150.0 } else { 900.0 });
+    let bg_images = parse("bg-images", if smoke { 64.0 } else { 256.0 }) as usize;
+    let config = ServerConfig {
+        max_batch: parse("max-batch", 16.0) as usize,
+        degradation: !flags.contains_key("no-degrade"),
+        ..ServerConfig::default()
+    };
+
+    let ladder = DegradationLadder::default_ladder(net.conv_layers().len());
+    let mut server = match Server::new(gpus, &net, ladder, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve setup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    server.add_workload(ServeWorkload::new(
+        AppSpec::video_surveillance(fps),
+        RequestTrace::real_time(frames, fps),
+        64,
+    ));
+    server.add_workload(ServeWorkload::new(
+        AppSpec::age_detection(),
+        RequestTrace::poisson(WorkloadKind::Interactive, requests, rate, seed),
+        128,
+    ));
+    server.add_workload(ServeWorkload::new(
+        AppSpec::image_tagging(),
+        RequestTrace::background(bg_images),
+        bg_images,
+    ));
+
+    let report = match server.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut t = TableWriter::new(vec![
+        "workload",
+        "kind",
+        "served",
+        "rejected",
+        "deadlines",
+        "p99 (ms)",
+        "entropy",
+        "level",
+        "SoC",
+    ]);
+    for w in &report.workloads {
+        t.row(vec![
+            w.name.clone(),
+            format!("{:?}", w.kind),
+            format!("{}/{}", w.served_images, w.images),
+            w.rejected_images.to_string(),
+            match w.deadline_s {
+                Some(_) => format!("{}/{}", w.deadlines_met, w.deadline_total),
+                None => "-".to_string(),
+            },
+            format!("{:.2}", w.latency.p99 * 1e3),
+            format!("{:.3}", w.mean_entropy),
+            format!("{}↑{}↓{}", w.final_level, w.degrade_up, w.degrade_down),
+            match &w.soc {
+                Some(s) => format!("{:.3}", s.score),
+                None => "-".to_string(),
+            },
+        ]);
+    }
+    t.print(&format!(
+        "serving {} on {} (seed {seed}, makespan {:.2} s, {:.1} J compute + {:.1} J idle)",
+        net.name, gpu_names, report.makespan_s, report.total_energy_j, report.total_idle_energy_j
+    ));
+    if let Some(path) = flags.get("json") {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     // Any subcommand accepts `--trace <path>` (or PCNN_TRACE) and writes
     // telemetry files on exit.
@@ -337,6 +477,7 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(&flags),
         "simulate" => cmd_simulate(&flags),
         "tune" => cmd_tune(&flags),
+        "serve" => cmd_serve(&flags),
         "bench-gemm" => cmd_bench_gemm(&flags),
         _ => usage(),
     }

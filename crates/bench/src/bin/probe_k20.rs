@@ -13,7 +13,9 @@ fn main() {
     let _trace = pcnn_bench::trace::init_from_env();
     pcnn_bench::threads::init_from_env();
     let spec = alexnet();
-    let tuned = OfflineCompiler::new(&K20C, &spec).compile_batch(1);
+    let tuned = OfflineCompiler::new(&K20C, &spec)
+        .try_compile_batch(1)
+        .expect("valid batch");
     let lib = library_schedule(&K20C, &spec, Library::CuBlas, 1);
     println!("layer      tuned(PSM)            cuBLAS(RR)");
     for (t, l) in tuned.layers.iter().zip(&lib.layers) {

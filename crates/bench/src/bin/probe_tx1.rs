@@ -14,7 +14,9 @@ fn main() {
     let compiler = OfflineCompiler::new(&JETSON_TX1, &spec);
     for rate in [0.0, 0.4, 0.8] {
         let rates = vec![rate; spec.conv_layers().len()];
-        let s = compiler.compile_perforated(1, &rates, true);
+        let s = compiler
+            .try_compile_perforated(1, &rates, true)
+            .expect("valid batch and rates");
         println!("rate {rate}:");
         for l in &s.layers {
             println!(

@@ -76,7 +76,10 @@ fn run_scenario(
     let trace = scenario_trace(app, n, 2017);
     let results = SchedulerKind::all()
         .into_iter()
-        .map(|kind| (kind, evaluate(kind, &ctx, &trace)))
+        .map(|kind| {
+            let ev = evaluate(kind, &ctx, &trace).expect("scheduler evaluation");
+            (kind, ev)
+        })
         .collect();
     Scenario {
         arch_name: arch.name,

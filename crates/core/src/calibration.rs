@@ -10,6 +10,7 @@ use pcnn_nn::entropy::mean_entropy;
 use pcnn_nn::network::Network;
 use pcnn_tensor::Tensor;
 
+use crate::error::{Error, Result};
 use crate::tuning::TuningPath;
 
 /// Outcome of processing one batch through the calibrated pipeline.
@@ -45,7 +46,7 @@ impl CalibratedStep {
 /// let net = tiny_alexnet(10);
 /// let calib = Tensor::zeros(vec![8, 1, 32, 32]);
 /// let path = AccuracyTuner::new(&net, &calib).tune(1.2, 8);
-/// let mut pipeline = CalibratedPipeline::new(&net, &path, 1.2);
+/// let mut pipeline = CalibratedPipeline::new(&net, &path, 1.2).unwrap();
 /// let step = pipeline.process(&calib).unwrap();
 /// println!("table {} entropy {:.2}", step.table_used, step.entropy);
 /// ```
@@ -60,13 +61,26 @@ pub struct CalibratedPipeline<'a> {
 impl<'a> CalibratedPipeline<'a> {
     /// Starts at the deepest (fastest) table whose calibration-time
     /// entropy respects the threshold.
-    pub fn new(net: &'a Network, path: &'a TuningPath, threshold: f64) -> Self {
-        Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyTuningPath`] if `path` has no entries and
+    /// [`Error::InvalidInput`] if `threshold` is not finite.
+    pub fn new(net: &'a Network, path: &'a TuningPath, threshold: f64) -> Result<Self> {
+        if path.entries.is_empty() {
+            return Err(Error::EmptyTuningPath);
+        }
+        if !threshold.is_finite() {
+            return Err(Error::InvalidInput {
+                what: "entropy threshold must be finite",
+            });
+        }
+        Ok(Self {
             net,
             path,
             threshold,
             current: path.deepest_index_within(threshold),
-        }
+        })
     }
 
     /// The tuning-table index currently in force.
@@ -87,8 +101,8 @@ impl<'a> CalibratedPipeline<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates forward-pass shape errors.
-    pub fn process(&mut self, batch: &Tensor) -> Result<CalibratedStep, pcnn_nn::NnError> {
+    /// Propagates forward-pass shape errors as [`Error::Forward`].
+    pub fn process(&mut self, batch: &Tensor) -> Result<CalibratedStep> {
         let table_used = self.current;
         let plan = &self.path.entries[table_used].plan;
         let logits = self.net.forward(batch, plan)?;
@@ -151,7 +165,7 @@ mod tests {
     fn starts_at_deepest_table_within_threshold() {
         let (net, path, _, _) = setup();
         let threshold = path.entries[2].entropy + 1e-6;
-        let p = CalibratedPipeline::new(&net, &path, threshold);
+        let p = CalibratedPipeline::new(&net, &path, threshold).unwrap();
         assert_eq!(p.current_table(), path.deepest_index_within(threshold));
     }
 
@@ -160,7 +174,7 @@ mod tests {
         let (net, path, easy, _) = setup();
         // Threshold comfortably above the deepest calibration entropy.
         let threshold = path.entries.last().unwrap().entropy + 0.5;
-        let mut p = CalibratedPipeline::new(&net, &path, threshold);
+        let mut p = CalibratedPipeline::new(&net, &path, threshold).unwrap();
         let start = p.current_table();
         for _ in 0..3 {
             let step = p.process(&easy).unwrap();
@@ -173,7 +187,7 @@ mod tests {
     fn hard_inputs_trigger_backoff() {
         let (net, path, _, hard) = setup();
         let threshold = path.entries.last().unwrap().entropy + 0.02;
-        let mut p = CalibratedPipeline::new(&net, &path, threshold);
+        let mut p = CalibratedPipeline::new(&net, &path, threshold).unwrap();
         let start = p.current_table();
         assert!(start > 0, "need a perforated start for this test");
         // Feed hard data until the pipeline reacts (one step suffices when
@@ -191,12 +205,30 @@ mod tests {
     #[test]
     fn delivers_logits_for_every_batch() {
         let (net, path, easy, hard) = setup();
-        let mut p = CalibratedPipeline::new(&net, &path, 1.0);
+        let mut p = CalibratedPipeline::new(&net, &path, 1.0).unwrap();
         for batch in [&easy, &hard, &easy] {
             let step = p.process(batch).unwrap();
             assert_eq!(step.logits.shape()[0], batch.shape()[0]);
             assert!(step.entropy.is_finite());
             assert!(step.table_used < path.entries.len());
         }
+    }
+
+    #[test]
+    fn empty_path_is_a_typed_error() {
+        let net = tiny_alexnet(6);
+        let empty = TuningPath { entries: vec![] };
+        assert_eq!(
+            CalibratedPipeline::new(&net, &empty, 1.0).unwrap_err(),
+            Error::EmptyTuningPath
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_forward_error() {
+        let (net, path, _, _) = setup();
+        let mut p = CalibratedPipeline::new(&net, &path, 1.0).unwrap();
+        let wrong = Tensor::zeros(vec![1, 1, 8, 8]);
+        assert!(matches!(p.process(&wrong), Err(Error::Forward(_))));
     }
 }

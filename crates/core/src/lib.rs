@@ -21,7 +21,9 @@
 //! evaluated by the [`runtime`] executor on the `pcnn-gpu` simulator.
 
 pub mod calibration;
+pub mod error;
 pub mod offline;
+pub mod prelude;
 pub mod runtime;
 pub mod scheduler;
 pub mod soc;
@@ -29,7 +31,7 @@ pub mod task;
 pub mod timemodel;
 pub mod tuning;
 
-pub use offline::{OfflineCompiler, Schedule};
-pub use scheduler::SchedulerKind;
-pub use soc::{Soc, SocInputs};
-pub use task::{AppSpec, UserRequirements};
+// The only root-level re-export: the crate-wide error type. Every other
+// item lives at exactly one canonical module path, with
+// [`prelude`] as the single bulk-import surface.
+pub use error::{Error, Result};

@@ -9,6 +9,8 @@
 //! 3. derives `optSM` per layer (eq. 11) and predicts the response time
 //!    (eq. 12), shrinking the batch until the requirement holds (eq. 13).
 
+use std::collections::HashMap;
+
 use pcnn_data::WorkloadKind;
 use pcnn_gpu::sim::dispatch::simulate_kernel;
 use pcnn_gpu::sim::SimCache;
@@ -17,6 +19,7 @@ use pcnn_kernels::sgemm::{build_kernel, SgemmShape};
 use pcnn_kernels::{tune_kernel, tune_kernel_candidates, Library, TunedKernel};
 use pcnn_nn::spec::{LayerSpec, NetworkSpec};
 
+use crate::error::{Error, Result};
 use crate::task::{AppSpec, UserRequirements};
 use crate::timemodel::{adjust_batch, opt_sm, tuned_layer_time};
 
@@ -99,16 +102,22 @@ pub fn gemm_layers(spec: &NetworkSpec, batch: usize) -> Vec<(usize, String, usiz
 /// each perforated convolution evaluates only `ceil((1 - rate) x W_o H_o)`
 /// output positions per image (paper Fig. 11), shrinking the GEMM's N.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `rates.len()` differs from the spec's conv-layer count.
+/// Returns [`Error::RateLenMismatch`] if `rates.len()` differs from the
+/// spec's conv-layer count.
 pub fn gemm_layers_perforated(
     spec: &NetworkSpec,
     batch: usize,
     rates: &[f64],
-) -> Vec<(usize, String, usize, SgemmShape)> {
+) -> Result<Vec<(usize, String, usize, SgemmShape)>> {
     let n_convs = spec.conv_layers().len();
-    assert_eq!(rates.len(), n_convs, "rate vector length mismatch");
+    if rates.len() != n_convs {
+        return Err(Error::RateLenMismatch {
+            expected: n_convs,
+            got: rates.len(),
+        });
+    }
     let mut out = Vec::new();
     let mut ci = 0;
     for (i, layer) in spec.layers.iter().enumerate() {
@@ -134,7 +143,86 @@ pub fn gemm_layers_perforated(
             LayerSpec::Pool(_) => {}
         }
     }
-    out
+    Ok(out)
+}
+
+/// A source of compiled [`Schedule`]s, keyed by batch size.
+///
+/// This is the one schedule-lookup abstraction shared by the trace
+/// executor ([`crate::runtime::execute_trace`]), the serving loop
+/// (`pcnn-serve`) and the benchmark harness, replacing the ad-hoc
+/// `FnMut(usize) -> Schedule` closures each of them used to take.
+/// [`OfflineCompiler`] implements it directly; wrap any provider in a
+/// [`ScheduleCache`] to memoize compilations, or lift a closure with
+/// [`FnProvider`].
+pub trait ScheduleProvider {
+    /// Returns a schedule whose `batch` field equals `batch`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`Error::ZeroBatch`] for `batch == 0` and
+    /// may surface any other compilation failure.
+    fn schedule(&mut self, batch: usize) -> Result<Schedule>;
+}
+
+/// Lifts a closure into a [`ScheduleProvider`].
+///
+/// ```no_run
+/// # use pcnn_core::offline::{FnProvider, OfflineCompiler, ScheduleProvider};
+/// # use pcnn_gpu::arch::K20C;
+/// # use pcnn_nn::spec::alexnet;
+/// let spec = alexnet();
+/// let compiler = OfflineCompiler::new(&K20C, &spec);
+/// let mut provider = FnProvider(|b| compiler.try_compile_batch(b));
+/// let schedule = provider.schedule(4).unwrap();
+/// assert_eq!(schedule.batch, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FnProvider<F>(pub F);
+
+impl<F: FnMut(usize) -> Result<Schedule>> ScheduleProvider for FnProvider<F> {
+    fn schedule(&mut self, batch: usize) -> Result<Schedule> {
+        (self.0)(batch)
+    }
+}
+
+/// A memoizing [`ScheduleProvider`] wrapper: each distinct batch size is
+/// compiled once and cloned on every subsequent lookup.
+#[derive(Debug, Clone)]
+pub struct ScheduleCache<P> {
+    inner: P,
+    cache: HashMap<usize, Schedule>,
+}
+
+impl<P: ScheduleProvider> ScheduleCache<P> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: P) -> Self {
+        Self {
+            inner,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct batch sizes compiled so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether no schedule has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+impl<P: ScheduleProvider> ScheduleProvider for ScheduleCache<P> {
+    fn schedule(&mut self, batch: usize) -> Result<Schedule> {
+        if let Some(s) = self.cache.get(&batch) {
+            return Ok(s.clone());
+        }
+        let s = self.inner.schedule(batch)?;
+        self.cache.insert(batch, s.clone());
+        Ok(s)
+    }
 }
 
 /// The cross-platform offline compiler.
@@ -189,24 +277,45 @@ impl<'a> OfflineCompiler<'a> {
 
     /// Compiles a schedule for a batch size: per-layer coordinated kernel
     /// tuning, `optSM`, and time prediction.
-    pub fn compile_batch(&self, batch: usize) -> Schedule {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroBatch`] for `batch == 0`.
+    pub fn try_compile_batch(&self, batch: usize) -> Result<Schedule> {
         let rates = vec![0.0; self.spec.conv_layers().len()];
-        self.compile_perforated(batch, &rates, true)
+        self.try_compile_perforated(batch, &rates, true)
+    }
+
+    /// Panicking convenience wrapper around [`Self::try_compile_batch`].
+    #[deprecated(note = "use `try_compile_batch`, which returns a typed error")]
+    pub fn compile_batch(&self, batch: usize) -> Schedule {
+        self.try_compile_batch(batch)
+            .expect("compile_batch: invalid batch")
     }
 
     /// Compiles a schedule with perforation rates and an explicit
     /// power-gating choice.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `rates.len()` differs from the spec's conv-layer count.
-    pub fn compile_perforated(&self, batch: usize, rates: &[f64], power_gated: bool) -> Schedule {
+    /// Returns [`Error::ZeroBatch`] for `batch == 0` and
+    /// [`Error::RateLenMismatch`] if `rates.len()` differs from the spec's
+    /// conv-layer count.
+    pub fn try_compile_perforated(
+        &self,
+        batch: usize,
+        rates: &[f64],
+        power_gated: bool,
+    ) -> Result<Schedule> {
+        if batch == 0 {
+            return Err(Error::ZeroBatch);
+        }
         let _span = pcnn_telemetry::span!(
             "offline.compile_batch",
             batch = batch,
             power_gated = power_gated
         );
-        let layers = gemm_layers_perforated(self.spec, batch, rates)
+        let layers = gemm_layers_perforated(self.spec, batch, rates)?
             .into_iter()
             .map(|(_, name, groups, shape)| {
                 let _layer_span = pcnn_telemetry::span!(
@@ -277,23 +386,36 @@ impl<'a> OfflineCompiler<'a> {
                 best.expect("at least one candidate").1
             })
             .collect();
-        Schedule {
+        Ok(Schedule {
             batch,
             layers,
             power_gated,
             perforation: rates.to_vec(),
-        }
+        })
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`Self::try_compile_perforated`].
+    #[deprecated(note = "use `try_compile_perforated`, which returns a typed error")]
+    pub fn compile_perforated(&self, batch: usize, rates: &[f64], power_gated: bool) -> Schedule {
+        self.try_compile_perforated(batch, rates, power_gated)
+            .expect("compile_perforated: invalid batch or rate vector")
     }
 
     /// The full offline compilation (§IV.B.3 "Global decision"): start
     /// from the task's initial batch, then shrink via eq. 13 until the
     /// predicted response time meets `T_user`.
-    pub fn compile(&self, app: &AppSpec, req: &UserRequirements) -> Schedule {
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors (the initial batch is always at
+    /// least 1, so this only fails if a sub-compilation does).
+    pub fn try_compile(&self, app: &AppSpec, req: &UserRequirements) -> Result<Schedule> {
         let _span = pcnn_telemetry::span!("offline.compile", app = app.name.as_str());
         let mut batch = self.initial_batch(app, req);
-        let mut schedule = self.compile_batch(batch);
+        let mut schedule = self.try_compile_batch(batch)?;
         let Some(t_user) = req.t_user() else {
-            return schedule; // background: done after kernel optimization
+            return Ok(schedule); // background: done after kernel optimization
         };
         for _ in 0..8 {
             let predicted = schedule.predicted_seconds();
@@ -302,9 +424,27 @@ impl<'a> OfflineCompiler<'a> {
                 break;
             }
             batch = new_batch;
-            schedule = self.compile_batch(batch);
+            schedule = self.try_compile_batch(batch)?;
         }
-        schedule
+        Ok(schedule)
+    }
+
+    /// Panicking convenience wrapper around [`Self::try_compile`].
+    #[deprecated(note = "use `try_compile`, which returns a typed error")]
+    pub fn compile(&self, app: &AppSpec, req: &UserRequirements) -> Schedule {
+        self.try_compile(app, req).expect("compile failed")
+    }
+}
+
+impl ScheduleProvider for OfflineCompiler<'_> {
+    fn schedule(&mut self, batch: usize) -> Result<Schedule> {
+        self.try_compile_batch(batch)
+    }
+}
+
+impl ScheduleProvider for &OfflineCompiler<'_> {
+    fn schedule(&mut self, batch: usize) -> Result<Schedule> {
+        self.try_compile_batch(batch)
     }
 }
 
@@ -364,7 +504,7 @@ mod tests {
     fn compile_batch_produces_plans() {
         let spec = alexnet();
         let c = OfflineCompiler::new(&K20C, &spec);
-        let s = c.compile_batch(1);
+        let s = c.try_compile_batch(1).unwrap();
         assert_eq!(s.layers.len(), 8);
         for l in &s.layers {
             assert!(l.opt_sm >= 1 && l.opt_sm <= K20C.n_sms, "{}", l.name);
@@ -378,7 +518,9 @@ mod tests {
         // §III.C: at batch 1, AlexNet underutilizes the K20 — optSM must be
         // below 13 for at least the late layers.
         let spec = alexnet();
-        let s = OfflineCompiler::new(&K20C, &spec).compile_batch(1);
+        let s = OfflineCompiler::new(&K20C, &spec)
+            .try_compile_batch(1)
+            .unwrap();
         let conv5 = s.layers.iter().find(|l| l.name == "CONV5").unwrap();
         assert!(conv5.opt_sm < K20C.n_sms, "optSM {}", conv5.opt_sm);
     }
@@ -388,7 +530,9 @@ mod tests {
         let spec = alexnet();
         let app = AppSpec::age_detection();
         let req = UserRequirements::infer(&app);
-        let s = OfflineCompiler::new(&K20C, &spec).compile(&app, &req);
+        let s = OfflineCompiler::new(&K20C, &spec)
+            .try_compile(&app, &req)
+            .unwrap();
         assert!(s.predicted_seconds() <= req.t_user().unwrap() * 1.05);
         assert!(s.batch >= 1);
     }

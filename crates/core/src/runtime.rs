@@ -14,7 +14,8 @@ use pcnn_gpu::sim::dispatch::simulate_kernel;
 use pcnn_gpu::sim::SimCache;
 use pcnn_gpu::{DispatchPolicy, EnergyBreakdown, GpuArch};
 
-use crate::offline::Schedule;
+use crate::error::{Error, Result};
+use crate::offline::{Schedule, ScheduleProvider};
 
 /// Simulated cost of one forward pass of the whole network at the
 /// schedule's batch size.
@@ -95,24 +96,36 @@ impl ExecutionReport {
     }
 }
 
-/// Executes `trace` under schedules built by `build` (one per needed chunk
-/// size — the schedule's batch for full chunks, smaller for the tail).
+/// Executes `trace` under schedules looked up from `provider` (one per
+/// needed chunk size — the schedule's batch for full chunks, smaller for
+/// the tail).
 ///
 /// Images queue FIFO; a chunk of `batch` images starts when all its images
 /// have arrived and the GPU is free. The final partial chunk runs at its
 /// own size.
 ///
-/// # Panics
+/// Any [`ScheduleProvider`] works: an
+/// [`OfflineCompiler`](crate::offline::OfflineCompiler) directly, a
+/// [`ScheduleCache`](crate::offline::ScheduleCache) shared with other
+/// executions, or a closure wrapped in
+/// [`FnProvider`](crate::offline::FnProvider). Costs are memoized per
+/// chunk size for the duration of the call.
 ///
-/// Panics if the trace is empty or `build` returns a schedule whose batch
-/// differs from the requested size.
+/// # Errors
+///
+/// Returns [`Error::ZeroBatch`] if `batch == 0`, [`Error::EmptyTrace`] if
+/// the trace contains no images, [`Error::BatchMismatch`] if the provider
+/// returns a schedule whose batch differs from the requested size, and
+/// propagates provider errors.
 pub fn execute_trace(
     arch: &GpuArch,
     trace: &RequestTrace,
     batch: usize,
-    mut build: impl FnMut(usize) -> Schedule,
-) -> ExecutionReport {
-    assert!(batch > 0, "batch must be positive");
+    provider: &mut dyn ScheduleProvider,
+) -> Result<ExecutionReport> {
+    if batch == 0 {
+        return Err(Error::ZeroBatch);
+    }
     // Flatten images: (arrival, request index).
     let mut images: Vec<(f64, usize)> = Vec::new();
     for (ri, &(at, n)) in trace.requests().iter().enumerate() {
@@ -120,7 +133,9 @@ pub fn execute_trace(
             images.push((at, ri));
         }
     }
-    assert!(!images.is_empty(), "empty trace");
+    if images.is_empty() {
+        return Err(Error::EmptyTrace);
+    }
     let _span = pcnn_telemetry::span!(
         "runtime.execute_trace",
         batch = batch,
@@ -129,12 +144,17 @@ pub fn execute_trace(
     );
 
     let mut costs: HashMap<usize, NetworkCost> = HashMap::new();
-    let mut cost_of = |size: usize| -> NetworkCost {
+    let mut cost_of = |size: usize| -> Result<NetworkCost> {
         if let Some(c) = costs.get(&size) {
-            return *c;
+            return Ok(*c);
         }
-        let schedule = build(size);
-        assert_eq!(schedule.batch, size, "builder returned wrong batch");
+        let schedule = provider.schedule(size)?;
+        if schedule.batch != size {
+            return Err(Error::BatchMismatch {
+                requested: size,
+                got: schedule.batch,
+            });
+        }
         pcnn_telemetry::event!(
             "runtime.schedule",
             batch = size,
@@ -144,7 +164,7 @@ pub fn execute_trace(
         );
         let c = simulate_schedule(arch, &schedule);
         costs.insert(size, c);
-        c
+        Ok(c)
     };
 
     let n_requests = trace.requests().len();
@@ -157,7 +177,7 @@ pub fn execute_trace(
         let size = batch.min(images.len() - idx);
         let chunk = &images[idx..idx + size];
         let ready = chunk.last().expect("non-empty chunk").0;
-        let cost = cost_of(size);
+        let cost = cost_of(size)?;
         // Batch occupancy: how full each dispatched chunk actually was.
         pcnn_telemetry::histogram("runtime.batch_occupancy", size as f64 / batch as f64);
         let start = gpu_free.max(ready);
@@ -185,24 +205,45 @@ pub fn execute_trace(
             pcnn_telemetry::histogram("runtime.request_latency_s", l);
         }
     }
-    ExecutionReport {
+    Ok(ExecutionReport {
         latencies,
         makespan,
         energy,
         idle_energy_j,
-    }
+    })
+}
+
+/// Panicking shim with the pre-redesign closure signature, kept so
+/// out-of-tree callers of the original `execute_trace` migrate at their
+/// own pace.
+#[deprecated(note = "use `execute_trace` with a `ScheduleProvider`")]
+pub fn execute_trace_with(
+    arch: &GpuArch,
+    trace: &RequestTrace,
+    batch: usize,
+    mut build: impl FnMut(usize) -> Schedule,
+) -> ExecutionReport {
+    let mut provider = crate::offline::FnProvider(|size| Ok(build(size)));
+    execute_trace(arch, trace, batch, &mut provider).expect("execute_trace failed")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::offline::OfflineCompiler;
+    use crate::offline::{FnProvider, OfflineCompiler, ScheduleCache};
     use pcnn_gpu::arch::K20C;
     use pcnn_nn::spec::alexnet;
 
     fn schedule_builder(batch: usize) -> Schedule {
         let spec = alexnet();
-        OfflineCompiler::new(&K20C, &spec).compile_batch(batch)
+        OfflineCompiler::new(&K20C, &spec)
+            .try_compile_batch(batch)
+            .unwrap()
+    }
+
+    fn run(trace: &RequestTrace, batch: usize) -> ExecutionReport {
+        let mut provider = FnProvider(|size| Ok(schedule_builder(size)));
+        execute_trace(&K20C, trace, batch, &mut provider).unwrap()
     }
 
     #[test]
@@ -216,7 +257,7 @@ mod tests {
     #[test]
     fn interactive_trace_latencies() {
         let trace = RequestTrace::interactive(4, 0.5, 1.0, 7);
-        let report = execute_trace(&K20C, &trace, 1, schedule_builder);
+        let report = run(&trace, 1);
         assert_eq!(report.latencies.len(), 4);
         // Requests are well separated; each latency equals one batch-1 pass.
         let c = simulate_schedule(&K20C, &schedule_builder(1));
@@ -228,7 +269,7 @@ mod tests {
     #[test]
     fn background_burst_batches() {
         let trace = RequestTrace::background(10);
-        let report = execute_trace(&K20C, &trace, 4, schedule_builder);
+        let report = run(&trace, 4);
         // 3 chunks (4+4+2), one request.
         assert_eq!(report.latencies.len(), 1);
         assert!(report.makespan > 0.0);
@@ -239,12 +280,47 @@ mod tests {
     }
 
     #[test]
+    fn tail_batch_runs_at_its_own_size() {
+        // 10 images at t = 0, batch 4: chunks of 4, 4 and 2 run
+        // back-to-back, so the makespan is exactly 2 x cost(4) + cost(2)
+        // and the energy is the sum of the three chunk energies.
+        let trace = RequestTrace::background(10);
+        let report = run(&trace, 4);
+        let c4 = simulate_schedule(&K20C, &schedule_builder(4));
+        let c2 = simulate_schedule(&K20C, &schedule_builder(2));
+        let expected = 2.0 * c4.seconds + c2.seconds;
+        assert!(
+            (report.makespan - expected).abs() < 1e-9 * expected,
+            "makespan {} vs {}",
+            report.makespan,
+            expected
+        );
+        let expected_j = 2.0 * c4.energy.total_j() + c2.energy.total_j();
+        assert!((report.energy.total_j() - expected_j).abs() < 1e-9 * expected_j);
+    }
+
+    #[test]
+    fn tail_smaller_than_batch_is_not_padded() {
+        // 3 images, batch 8: a single chunk of 3 — never an 8-image pass.
+        let trace = RequestTrace::background(3);
+        let mut sizes = Vec::new();
+        let mut provider = FnProvider(|size| {
+            sizes.push(size);
+            Ok(schedule_builder(size))
+        });
+        let report = execute_trace(&K20C, &trace, 8, &mut provider).unwrap();
+        assert_eq!(sizes, vec![3]);
+        let c3 = simulate_schedule(&K20C, &schedule_builder(3));
+        assert!((report.makespan - c3.seconds).abs() < 1e-12);
+    }
+
+    #[test]
     fn batching_delays_first_request() {
         // Real-time 30 fps frames, batch 8: the first frame waits for 7
         // more frames before processing starts.
         let trace = RequestTrace::real_time(8, 30.0);
-        let batched = execute_trace(&K20C, &trace, 8, schedule_builder);
-        let single = execute_trace(&K20C, &trace, 1, schedule_builder);
+        let batched = run(&trace, 8);
+        let single = run(&trace, 1);
         assert!(
             batched.latencies[0] > single.latencies[0] + 7.0 / 30.0 - 1e-6,
             "batched {} vs single {}",
@@ -258,7 +334,7 @@ mod tests {
         // Two requests 10 s apart: idle energy is ~10 s x constant power,
         // and the compute energy is exactly two batch-1 passes.
         let trace = RequestTrace::interactive(2, 10.0, 10.0, 1);
-        let report = execute_trace(&K20C, &trace, 1, schedule_builder);
+        let report = run(&trace, 1);
         let compute = simulate_schedule(&K20C, &schedule_builder(1));
         assert!(
             (report.idle_energy_j - 10.0 * K20C.energy.constant_w).abs() / report.idle_energy_j
@@ -271,5 +347,58 @@ mod tests {
                 < 1e-9 * report.energy.total_j(),
             "compute energy mismatch"
         );
+    }
+
+    #[test]
+    fn zero_batch_is_an_error() {
+        let trace = RequestTrace::background(4);
+        let spec = alexnet();
+        let mut compiler = OfflineCompiler::new(&K20C, &spec);
+        let err = execute_trace(&K20C, &trace, 0, &mut compiler).unwrap_err();
+        assert_eq!(err, Error::ZeroBatch);
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        let trace = RequestTrace::from_requests(WorkloadKind::Interactive, vec![]);
+        let spec = alexnet();
+        let mut compiler = OfflineCompiler::new(&K20C, &spec);
+        let err = execute_trace(&K20C, &trace, 1, &mut compiler).unwrap_err();
+        assert_eq!(err, Error::EmptyTrace);
+        // A trace of requests that all carry zero images is also empty.
+        let trace = RequestTrace::from_requests(WorkloadKind::Interactive, vec![(0.0, 0)]);
+        let err = execute_trace(&K20C, &trace, 1, &mut compiler).unwrap_err();
+        assert_eq!(err, Error::EmptyTrace);
+    }
+
+    #[test]
+    fn batch_mismatch_is_an_error() {
+        let trace = RequestTrace::background(4);
+        // A provider that always compiles batch 1 regardless of the ask.
+        let mut wrong = FnProvider(|_| Ok(schedule_builder(1)));
+        let err = execute_trace(&K20C, &trace, 2, &mut wrong).unwrap_err();
+        assert_eq!(
+            err,
+            Error::BatchMismatch {
+                requested: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_cache_compiles_each_size_once() {
+        let mut compiles = 0usize;
+        let mut cache = ScheduleCache::new(FnProvider(|size| {
+            compiles += 1;
+            Ok(schedule_builder(size))
+        }));
+        let trace = RequestTrace::background(10);
+        let a = execute_trace(&K20C, &trace, 4, &mut cache).unwrap();
+        let b = execute_trace(&K20C, &trace, 4, &mut cache).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 2); // sizes 4 and 2
+        drop(cache);
+        assert_eq!(compiles, 2);
     }
 }

@@ -9,9 +9,10 @@ use pcnn_nn::spec::NetworkSpec;
 
 use pcnn_kernels::Library;
 
-use crate::offline::{library_schedule, OfflineCompiler};
+use crate::error::{Error, Result};
+use crate::offline::{library_schedule, FnProvider, OfflineCompiler};
 use crate::runtime::{execute_trace, ExecutionReport};
-use crate::soc::{soc, Soc, SocInputs};
+use crate::soc::{score, Soc, SocInputs};
 use crate::task::{AppSpec, UserRequirements};
 use crate::tuning::TuningPath;
 
@@ -102,9 +103,12 @@ pub struct Decision {
 }
 
 /// Maps a tuning-path plan measured on the small counterpart network onto
-/// the target network's conv layers by normalised depth.
+/// the target network's conv layers by normalised depth. A network with
+/// no conv layers maps to an empty rate vector.
 pub fn map_rates(plan: &PerforationPlan, target_convs: usize) -> Vec<f64> {
-    assert!(target_convs > 0, "target network has no conv layers");
+    if target_convs == 0 {
+        return Vec::new();
+    }
     let k = plan.len();
     if k == 0 {
         return vec![0.0; target_convs];
@@ -123,12 +127,20 @@ pub fn map_rates(plan: &PerforationPlan, target_convs: usize) -> Vec<f64> {
 
 /// Produces a scheduler's decision (everything except the Ideal oracle,
 /// which needs the trace — see [`evaluate`]).
-pub fn decide(kind: SchedulerKind, ctx: &SchedulerContext<'_>) -> Decision {
+///
+/// # Errors
+///
+/// Returns [`Error::EmptyTuningPath`] if the context's tuning path has no
+/// entries and propagates offline-compilation errors.
+pub fn decide(kind: SchedulerKind, ctx: &SchedulerContext<'_>) -> Result<Decision> {
+    if ctx.tuning_path.entries.is_empty() {
+        return Err(Error::EmptyTuningPath);
+    }
     let compiler = OfflineCompiler::new(ctx.arch, ctx.spec);
     let n_convs = ctx.spec.conv_layers().len();
     let base_entropy = ctx.tuning_path.entries[0].entropy;
     let no_rates = vec![0.0; n_convs];
-    match kind {
+    Ok(match kind {
         SchedulerKind::PerformancePreferred => Decision {
             batch: 1,
             power_gated: false,
@@ -146,7 +158,7 @@ pub fn decide(kind: SchedulerKind, ctx: &SchedulerContext<'_>) -> Decision {
             library: Some(Library::CuBlas),
         },
         SchedulerKind::Qpe => {
-            let s = compiler.compile(ctx.app, &ctx.req);
+            let s = compiler.try_compile(ctx.app, &ctx.req)?;
             Decision {
                 batch: s.batch,
                 power_gated: false,
@@ -157,7 +169,7 @@ pub fn decide(kind: SchedulerKind, ctx: &SchedulerContext<'_>) -> Decision {
             }
         }
         SchedulerKind::QpePlus => {
-            let s = compiler.compile(ctx.app, &ctx.req);
+            let s = compiler.try_compile(ctx.app, &ctx.req)?;
             Decision {
                 batch: s.batch,
                 power_gated: true,
@@ -168,7 +180,7 @@ pub fn decide(kind: SchedulerKind, ctx: &SchedulerContext<'_>) -> Decision {
             }
         }
         SchedulerKind::PCnn => {
-            let s = compiler.compile(ctx.app, &ctx.req);
+            let s = compiler.try_compile(ctx.app, &ctx.req)?;
             let mut idx = ctx
                 .tuning_path
                 .deepest_index_within(ctx.req.entropy_threshold);
@@ -183,7 +195,7 @@ pub fn decide(kind: SchedulerKind, ctx: &SchedulerContext<'_>) -> Decision {
                 if let Some(deadline) = ctx.req.t_user() {
                     while idx + 1 < ctx.tuning_path.entries.len() {
                         let rates = map_rates(&ctx.tuning_path.entries[idx].plan, n_convs);
-                        let sched = compiler.compile_perforated(s.batch, &rates, true);
+                        let sched = compiler.try_compile_perforated(s.batch, &rates, true)?;
                         let cost = crate::runtime::simulate_schedule(ctx.arch, &sched);
                         if cost.seconds <= deadline {
                             break;
@@ -205,9 +217,9 @@ pub fn decide(kind: SchedulerKind, ctx: &SchedulerContext<'_>) -> Decision {
         SchedulerKind::Ideal => {
             // Without the trace the oracle defaults to P-CNN's decision;
             // `evaluate` performs the profiling search.
-            decide(SchedulerKind::PCnn, ctx)
+            decide(SchedulerKind::PCnn, ctx)?
         }
-    }
+    })
 }
 
 /// A scheduler's evaluated outcome.
@@ -225,44 +237,48 @@ fn run_decision(
     ctx: &SchedulerContext<'_>,
     trace: &RequestTrace,
     decision: &Decision,
-) -> Evaluation {
+) -> Result<Evaluation> {
     let compiler = OfflineCompiler::new(ctx.arch, ctx.spec);
-    let report = execute_trace(ctx.arch, trace, decision.batch, |size| {
-        match decision.library {
-            Some(lib) => library_schedule(ctx.arch, ctx.spec, lib, size),
-            None => compiler.compile_perforated(size, &decision.rates, decision.power_gated),
-        }
+    let mut provider = FnProvider(|size| match decision.library {
+        Some(lib) => Ok(library_schedule(ctx.arch, ctx.spec, lib, size)),
+        None => compiler.try_compile_perforated(size, &decision.rates, decision.power_gated),
     });
+    let report = execute_trace(ctx.arch, trace, decision.batch, &mut provider)?;
     let response = report.response_time(ctx.app.kind);
-    let s = soc(
+    let s = score(
         &ctx.req,
         &SocInputs {
             response_time: response,
             entropy: decision.entropy,
             energy_j: report.energy.total_j(),
         },
-    );
-    Evaluation {
+    )?;
+    Ok(Evaluation {
         decision: decision.clone(),
         report,
         soc: s,
-    }
+    })
 }
 
 /// Executes `kind` on `trace` and scores it. The Ideal oracle profiles
 /// every tuning table crossed with a small set of batch candidates and
 /// keeps the best actual SoC (paper §V.B.5).
+///
+/// # Errors
+///
+/// Propagates [`decide`], execution and scoring errors (an empty trace or
+/// tuning path, a zero training batch, a failed compilation).
 pub fn evaluate(
     kind: SchedulerKind,
     ctx: &SchedulerContext<'_>,
     trace: &RequestTrace,
-) -> Evaluation {
+) -> Result<Evaluation> {
     if kind != SchedulerKind::Ideal {
-        let decision = decide(kind, ctx);
+        let decision = decide(kind, ctx)?;
         return run_decision(ctx, trace, &decision);
     }
     // Oracle search.
-    let base = decide(SchedulerKind::QpePlus, ctx);
+    let base = decide(SchedulerKind::QpePlus, ctx)?;
     let n_convs = ctx.spec.conv_layers().len();
     let mut batches = vec![base.batch, 1, ctx.training_batch];
     batches.sort_unstable();
@@ -279,7 +295,7 @@ pub fn evaluate(
                     table_index: idx,
                     library: None,
                 };
-                let ev = run_decision(ctx, trace, &decision);
+                let ev = run_decision(ctx, trace, &decision)?;
                 if best
                     .as_ref()
                     .map(|b| ev.soc.score > b.soc.score)
@@ -290,7 +306,7 @@ pub fn evaluate(
             }
         }
     }
-    best.expect("oracle evaluated at least one candidate")
+    Ok(best.expect("oracle evaluated at least one candidate"))
 }
 
 /// Builds the request trace the paper's three scenarios use (§V.C).
@@ -368,7 +384,8 @@ mod tests {
         let d = decide(
             SchedulerKind::PerformancePreferred,
             &ctx(&spec, &app, &path),
-        );
+        )
+        .unwrap();
         assert_eq!(d.batch, 1);
         assert!(!d.power_gated);
         assert!(d.rates.iter().all(|&r| r == 0.0));
@@ -379,7 +396,7 @@ mod tests {
         let spec = alexnet();
         let app = AppSpec::image_tagging();
         let path = fake_path(5);
-        let d = decide(SchedulerKind::EnergyEfficient, &ctx(&spec, &app, &path));
+        let d = decide(SchedulerKind::EnergyEfficient, &ctx(&spec, &app, &path)).unwrap();
         assert_eq!(d.batch, 128);
     }
 
@@ -389,11 +406,11 @@ mod tests {
         let app = AppSpec::age_detection();
         let path = fake_path(5);
         let c = ctx(&spec, &app, &path);
-        assert!(!decide(SchedulerKind::Qpe, &c).power_gated);
-        assert!(decide(SchedulerKind::QpePlus, &c).power_gated);
+        assert!(!decide(SchedulerKind::Qpe, &c).unwrap().power_gated);
+        assert!(decide(SchedulerKind::QpePlus, &c).unwrap().power_gated);
         assert_eq!(
-            decide(SchedulerKind::Qpe, &c).batch,
-            decide(SchedulerKind::QpePlus, &c).batch
+            decide(SchedulerKind::Qpe, &c).unwrap().batch,
+            decide(SchedulerKind::QpePlus, &c).unwrap().batch
         );
     }
 
@@ -402,7 +419,7 @@ mod tests {
         let spec = alexnet();
         let app = AppSpec::age_detection(); // threshold 1.20
         let path = fake_path(5);
-        let d = decide(SchedulerKind::PCnn, &ctx(&spec, &app, &path));
+        let d = decide(SchedulerKind::PCnn, &ctx(&spec, &app, &path)).unwrap();
         assert_eq!(d.table_index, 1); // deepest entry with entropy <= 1.20
         assert!(d.rates.iter().any(|&r| r > 0.0));
         assert!(d.entropy <= 1.20);
@@ -413,7 +430,7 @@ mod tests {
         let spec = alexnet();
         let app = AppSpec::video_surveillance(30.0); // threshold 1.10
         let path = fake_path(5);
-        let d = decide(SchedulerKind::PCnn, &ctx(&spec, &app, &path));
+        let d = decide(SchedulerKind::PCnn, &ctx(&spec, &app, &path)).unwrap();
         assert!(d.table_index <= 1, "picked {}", d.table_index);
     }
 
@@ -424,8 +441,8 @@ mod tests {
         let path = fake_path(5);
         let c = ctx(&spec, &app, &path);
         let trace = scenario_trace(&app, 3, 42);
-        let perf = evaluate(SchedulerKind::PerformancePreferred, &c, &trace);
-        let pcnn = evaluate(SchedulerKind::PCnn, &c, &trace);
+        let perf = evaluate(SchedulerKind::PerformancePreferred, &c, &trace).unwrap();
+        let pcnn = evaluate(SchedulerKind::PCnn, &c, &trace).unwrap();
         // Both meet the 100 ms imperceptible bound on a K20.
         assert_eq!(
             perf.soc.time, 1.0,
@@ -454,8 +471,25 @@ mod tests {
         let path = fake_path(5);
         let c = ctx(&spec, &app, &path);
         let trace = scenario_trace(&app, 2, 7);
-        let pcnn = evaluate(SchedulerKind::PCnn, &c, &trace);
-        let ideal = evaluate(SchedulerKind::Ideal, &c, &trace);
+        let pcnn = evaluate(SchedulerKind::PCnn, &c, &trace).unwrap();
+        let ideal = evaluate(SchedulerKind::Ideal, &c, &trace).unwrap();
         assert!(ideal.soc.score >= pcnn.soc.score * 0.999);
+    }
+
+    #[test]
+    fn empty_tuning_path_is_a_typed_error() {
+        let spec = alexnet();
+        let app = AppSpec::age_detection();
+        let path = TuningPath { entries: vec![] };
+        let c = ctx(&spec, &app, &path);
+        assert_eq!(
+            decide(SchedulerKind::PerformancePreferred, &c).unwrap_err(),
+            Error::EmptyTuningPath
+        );
+        let trace = scenario_trace(&app, 2, 1);
+        assert_eq!(
+            evaluate(SchedulerKind::PCnn, &c, &trace).unwrap_err(),
+            Error::EmptyTuningPath
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! The Satisfaction-of-CNN metric (paper §V.A, eq. 15):
 //! `SoC = SoC_time x SoC_accuracy / Energy`.
 
+use crate::error::{Error, Result};
 use crate::task::UserRequirements;
 
 /// Everything needed to score one executed task.
@@ -35,11 +36,10 @@ pub struct Soc {
 /// region (`T_i == T_t`), so they drop straight from 1 to 0 at the
 /// deadline.
 ///
-/// # Panics
-///
-/// Panics if `response_time < 0`.
+/// Total over all inputs: a (physically impossible) negative response
+/// time is clamped to zero, i.e. scores 1.
 pub fn soc_time(req: &UserRequirements, response_time: f64) -> f64 {
-    assert!(response_time >= 0.0, "negative response time");
+    let response_time = response_time.max(0.0);
     let (Some(ti), Some(tt)) = (req.t_imperceptible, req.t_unusable) else {
         return 1.0;
     };
@@ -56,11 +56,10 @@ pub fn soc_time(req: &UserRequirements, response_time: f64) -> f64 {
 /// `SoC_accuracy` (paper §V.A): 1 while `CNN_entropy` is within the
 /// threshold, `threshold / entropy` beyond it.
 ///
-/// # Panics
-///
-/// Panics if `entropy < 0`.
+/// Total over all inputs: a negative entropy is clamped to zero, i.e.
+/// scores 1.
 pub fn soc_accuracy(req: &UserRequirements, entropy: f64) -> f64 {
-    assert!(entropy >= 0.0, "negative entropy");
+    let entropy = entropy.max(0.0);
     if entropy <= req.entropy_threshold {
         1.0
     } else {
@@ -70,19 +69,40 @@ pub fn soc_accuracy(req: &UserRequirements, entropy: f64) -> f64 {
 
 /// Scores a task execution (eq. 15).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `energy_j <= 0`.
-pub fn soc(req: &UserRequirements, inputs: &SocInputs) -> Soc {
-    assert!(inputs.energy_j > 0.0, "energy must be positive");
+/// Returns [`Error::InvalidInput`] if the energy is not a positive finite
+/// number, or if the response time or entropy is not finite.
+pub fn score(req: &UserRequirements, inputs: &SocInputs) -> Result<Soc> {
+    if !(inputs.energy_j > 0.0 && inputs.energy_j.is_finite()) {
+        return Err(Error::InvalidInput {
+            what: "energy must be positive and finite",
+        });
+    }
+    if !inputs.response_time.is_finite() {
+        return Err(Error::InvalidInput {
+            what: "response time must be finite",
+        });
+    }
+    if !inputs.entropy.is_finite() {
+        return Err(Error::InvalidInput {
+            what: "entropy must be finite",
+        });
+    }
     let time = soc_time(req, inputs.response_time);
     let accuracy = soc_accuracy(req, inputs.entropy);
-    Soc {
+    Ok(Soc {
         time,
         accuracy,
         energy_j: inputs.energy_j,
         score: time * accuracy / inputs.energy_j,
-    }
+    })
+}
+
+/// Panicking convenience wrapper around [`score`].
+#[deprecated(note = "use `score`, which returns a typed error")]
+pub fn soc(req: &UserRequirements, inputs: &SocInputs) -> Soc {
+    score(req, inputs).expect("soc: invalid inputs")
 }
 
 #[cfg(test)]
@@ -140,22 +160,24 @@ mod tests {
     #[test]
     fn soc_divides_by_energy() {
         let r = interactive();
-        let a = soc(
+        let a = score(
             &r,
             &SocInputs {
                 response_time: 0.05,
                 entropy: 0.5,
                 energy_j: 2.0,
             },
-        );
-        let b = soc(
+        )
+        .unwrap();
+        let b = score(
             &r,
             &SocInputs {
                 response_time: 0.05,
                 entropy: 0.5,
                 energy_j: 4.0,
             },
-        );
+        )
+        .unwrap();
         assert!((a.score / b.score - 2.0).abs() < 1e-9);
         assert_eq!(a.time, 1.0);
         assert_eq!(a.accuracy, 1.0);
@@ -164,14 +186,54 @@ mod tests {
     #[test]
     fn missed_deadline_zeroes_score() {
         let r = Req::infer(&AppSpec::video_surveillance(60.0));
-        let s = soc(
+        let s = score(
             &r,
             &SocInputs {
                 response_time: 1.0,
                 entropy: 0.5,
                 energy_j: 1.0,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(s.score, 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_typed_errors() {
+        let r = interactive();
+        for inputs in [
+            SocInputs {
+                response_time: 0.1,
+                entropy: 0.5,
+                energy_j: 0.0,
+            },
+            SocInputs {
+                response_time: 0.1,
+                entropy: 0.5,
+                energy_j: -1.0,
+            },
+            SocInputs {
+                response_time: f64::NAN,
+                entropy: 0.5,
+                energy_j: 1.0,
+            },
+            SocInputs {
+                response_time: 0.1,
+                entropy: f64::INFINITY,
+                energy_j: 1.0,
+            },
+        ] {
+            assert!(
+                matches!(score(&r, &inputs), Err(Error::InvalidInput { .. })),
+                "{inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_factors_clamp_instead_of_panicking() {
+        let r = interactive();
+        assert_eq!(soc_time(&r, -1.0), 1.0);
+        assert_eq!(soc_accuracy(&r, -1.0), 1.0);
     }
 }

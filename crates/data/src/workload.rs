@@ -81,6 +81,82 @@ impl RequestTrace {
         }
     }
 
+    /// Builds a trace from explicit `(arrival seconds, image count)`
+    /// pairs. Unlike the shaped constructors this accepts any request
+    /// list, including an empty one — downstream executors report an
+    /// image-free trace as a typed error instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are not monotonically non-decreasing.
+    pub fn from_requests(kind: WorkloadKind, requests: Vec<(f64, usize)>) -> Self {
+        assert!(
+            requests.windows(2).all(|w| w[0].0 <= w[1].0),
+            "arrivals must be sorted"
+        );
+        Self { kind, requests }
+    }
+
+    /// Open-loop Poisson workload: `n_requests` single-image requests
+    /// whose inter-arrival gaps are exponentially distributed with mean
+    /// `1 / rate` seconds — the classic model of independent users hitting
+    /// an online service. Deterministic for a given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_requests == 0` or `rate <= 0`.
+    pub fn poisson(kind: WorkloadKind, n_requests: usize, rate: f64, seed: u64) -> Self {
+        assert!(n_requests > 0, "need at least one request");
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        let requests = (0..n_requests)
+            .map(|_| {
+                let at = t;
+                // Inverse-CDF exponential sample; 1 - u stays in (0, 1].
+                let u: f64 = rng.gen_range(0.0..1.0);
+                t += -(1.0 - u).ln() / rate;
+                (at, 1)
+            })
+            .collect();
+        Self { kind, requests }
+    }
+
+    /// Open-loop bursty workload: `n_bursts` burst events at Poisson
+    /// arrivals of rate `burst_rate` per second, each delivering
+    /// `burst_size` single-image requests at the same instant (a fan-out
+    /// of simultaneous users, or a device uploading a backlog).
+    /// Deterministic for a given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bursts == 0`, `burst_size == 0` or `burst_rate <= 0`.
+    pub fn bursty(
+        kind: WorkloadKind,
+        n_bursts: usize,
+        burst_size: usize,
+        burst_rate: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n_bursts > 0, "need at least one burst");
+        assert!(burst_size > 0, "bursts must carry images");
+        assert!(
+            burst_rate > 0.0 && burst_rate.is_finite(),
+            "burst rate must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        let mut requests = Vec::with_capacity(n_bursts * burst_size);
+        for _ in 0..n_bursts {
+            for _ in 0..burst_size {
+                requests.push((t, 1));
+            }
+            let u: f64 = rng.gen_range(0.0..1.0);
+            t += -(1.0 - u).ln() / burst_rate;
+        }
+        Self { kind, requests }
+    }
+
     /// The workload class.
     pub fn kind(&self) -> WorkloadKind {
         self.kind
@@ -155,5 +231,53 @@ mod tests {
         let t = RequestTrace::real_time(61, 60.0);
         // 61 frames over exactly 1 second span.
         assert!((t.arrival_rate() - 61.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_near_rate() {
+        let a = RequestTrace::poisson(WorkloadKind::Interactive, 500, 20.0, 11);
+        let b = RequestTrace::poisson(WorkloadKind::Interactive, 500, 20.0, 11);
+        assert_eq!(a, b);
+        let mut prev = -1.0;
+        for &(at, n) in a.requests() {
+            assert!(at >= prev);
+            assert_eq!(n, 1);
+            prev = at;
+        }
+        // Sample mean of 500 exponential gaps is within ~20 % of the rate.
+        let rate = a.arrival_rate();
+        assert!((rate - 20.0).abs() / 20.0 < 0.2, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_seeds_differ() {
+        assert_ne!(
+            RequestTrace::poisson(WorkloadKind::Interactive, 50, 5.0, 1),
+            RequestTrace::poisson(WorkloadKind::Interactive, 50, 5.0, 2)
+        );
+    }
+
+    #[test]
+    fn bursty_groups_simultaneous_requests() {
+        let t = RequestTrace::bursty(WorkloadKind::Interactive, 10, 4, 2.0, 3);
+        assert_eq!(t.requests().len(), 40);
+        assert_eq!(t.total_images(), 40);
+        // Each burst's 4 requests share an arrival instant.
+        for chunk in t.requests().chunks(4) {
+            assert!(chunk.iter().all(|&(at, _)| at == chunk[0].0));
+        }
+        assert_eq!(
+            t,
+            RequestTrace::bursty(WorkloadKind::Interactive, 10, 4, 2.0, 3)
+        );
+    }
+
+    #[test]
+    fn from_requests_accepts_empty_and_keeps_order() {
+        let empty = RequestTrace::from_requests(WorkloadKind::Background, vec![]);
+        assert_eq!(empty.total_images(), 0);
+        let t = RequestTrace::from_requests(WorkloadKind::Interactive, vec![(0.0, 2), (0.5, 1)]);
+        assert_eq!(t.total_images(), 3);
+        assert_eq!(t.kind(), WorkloadKind::Interactive);
     }
 }

@@ -1,0 +1,43 @@
+//! `pcnn-serve` — an online serving runtime on top of the P-CNN
+//! simulator.
+//!
+//! The paper optimises one workload at a time: the offline compiler picks
+//! a batch and kernel plan, the runtime replays a trace. A deployed
+//! inference service faces the harder, *online* version of the same
+//! problem — a mix of real-time, interactive and background tenants
+//! arriving open-loop against one or more GPUs. This crate closes that
+//! gap with a deterministic event-driven serving simulator:
+//!
+//! * **Priority queues** ([`Server`]) — real-time ahead of interactive
+//!   ahead of background, with a slack-fit rule so background batches
+//!   only start when they cannot make a deadline queue late.
+//! * **Deadline-aware dynamic batching** — each workload has a target
+//!   batch (the largest whose unperforated pass fits `T_user`); a partial
+//!   batch is force-dispatched at the latest moment the head request can
+//!   still meet its deadline, using the offline time model
+//!   ([`pcnn_core::runtime::simulate_schedule`]) as the latency oracle.
+//! * **Admission control** ([`ServeWorkload::queue_capacity`]) — bounded
+//!   per-workload queues; arrivals beyond capacity are *counted
+//!   rejections*, never unbounded queueing, and a workload whose deadline
+//!   is unmeetable even at batch 1 on the deepest ladder level is refused
+//!   outright with [`pcnn_core::Error::InfeasibleSchedule`].
+//! * **Graceful degradation** ([`DegradationLadder`]) — under overload
+//!   the dispatcher walks the offline tuning path (higher perforation,
+//!   hence smaller GEMMs and effectively fewer SMs needed), trading
+//!   entropy for throughput, and walks back up with hysteresis once load
+//!   drops.
+//!
+//! Everything is virtual-time simulation: a run is a pure function of
+//! its inputs, so reports ([`ServeReport::to_json`]) are byte-identical
+//! across runs and thread counts. [`fifo_baseline`] replays the same
+//! trace without any of the above for comparison.
+
+pub mod baseline;
+pub mod config;
+pub mod report;
+pub mod server;
+
+pub use baseline::{fifo_baseline, BaselineReport};
+pub use config::{DegradationLadder, DegradationLevel, ServeWorkload, ServerConfig};
+pub use report::{GpuReport, LatencyStats, ServeReport, WorkloadReport};
+pub use server::Server;

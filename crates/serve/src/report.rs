@@ -1,0 +1,236 @@
+//! Serving reports: per-workload latency percentiles, SoC, rejection and
+//! degradation counts, and a deterministic JSON rendering.
+
+use pcnn_core::prelude::Soc;
+use pcnn_data::WorkloadKind;
+
+/// Nearest-rank latency percentiles over one workload's completed
+/// requests.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Mean latency (s).
+    pub mean: f64,
+    /// Median (s).
+    pub p50: f64,
+    /// 95th percentile (s).
+    pub p95: f64,
+    /// 99th percentile (s).
+    pub p99: f64,
+    /// Worst request (s).
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Computes nearest-rank percentiles. Returns the zero stats for an
+    /// empty sample.
+    pub fn of(latencies: &[f64]) -> Self {
+        if latencies.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let rank = |q: f64| sorted[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        Self {
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Per-workload serving outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadReport {
+    /// Application name.
+    pub name: String,
+    /// Task class.
+    pub kind: WorkloadKind,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Images in the trace.
+    pub images: usize,
+    /// Images that completed inference.
+    pub served_images: usize,
+    /// Images refused at admission (bounded queue full).
+    pub rejected_images: usize,
+    /// Requests with at least one rejected image.
+    pub rejected_requests: usize,
+    /// The batch size the dispatcher aims for.
+    pub target_batch: usize,
+    /// `T_user` in seconds (`None` for background work).
+    pub deadline_s: Option<f64>,
+    /// Fully-served requests that met `T_user`.
+    pub deadlines_met: usize,
+    /// Fully-served requests with a deadline.
+    pub deadline_total: usize,
+    /// Latency percentiles over fully-served requests.
+    pub latency: LatencyStats,
+    /// Image-weighted mean output entropy across the ladder levels used.
+    pub mean_entropy: f64,
+    /// Ladder escalations (level +1) while serving this workload.
+    pub degrade_up: usize,
+    /// Ladder restorations (level −1).
+    pub degrade_down: usize,
+    /// Ladder level in force when the trace drained.
+    pub final_level: usize,
+    /// Compute energy attributed to this workload (J).
+    pub energy_j: f64,
+    /// Satisfaction-of-CNN over the characteristic response time, or
+    /// `None` when nothing was served.
+    pub soc: Option<Soc>,
+}
+
+/// Per-GPU serving outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuReport {
+    /// Architecture name.
+    pub name: String,
+    /// Batches dispatched to this GPU.
+    pub dispatches: usize,
+    /// Seconds spent computing.
+    pub busy_s: f64,
+    /// Compute energy (J).
+    pub energy_j: f64,
+    /// Idle energy over the non-busy span (J).
+    pub idle_energy_j: f64,
+}
+
+/// The full serving-run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// One entry per workload, in submission order.
+    pub workloads: Vec<WorkloadReport>,
+    /// One entry per GPU, in configuration order.
+    pub gpus: Vec<GpuReport>,
+    /// First arrival to last completion (s).
+    pub makespan_s: f64,
+    /// Total compute energy (J).
+    pub total_energy_j: f64,
+    /// Total idle energy (J).
+    pub total_idle_energy_j: f64,
+    /// Whether degradation was enabled.
+    pub degradation: bool,
+    /// The dispatcher's global batch cap.
+    pub max_batch: usize,
+}
+
+impl ServeReport {
+    /// Total rejected images across workloads.
+    pub fn total_rejected(&self) -> usize {
+        self.workloads.iter().map(|w| w.rejected_images).sum()
+    }
+
+    /// Deterministic JSON rendering: fixed key order, no wall-clock
+    /// values, shortest-roundtrip float formatting. Byte-identical for
+    /// identical runs.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n  \"degradation\": ");
+        s.push_str(if self.degradation { "true" } else { "false" });
+        s.push_str(&format!(",\n  \"max_batch\": {}", self.max_batch));
+        s.push_str(&format!(",\n  \"makespan_s\": {}", self.makespan_s));
+        s.push_str(&format!(",\n  \"total_energy_j\": {}", self.total_energy_j));
+        s.push_str(&format!(
+            ",\n  \"total_idle_energy_j\": {}",
+            self.total_idle_energy_j
+        ));
+        s.push_str(",\n  \"gpus\": [");
+        for (i, g) in self.gpus.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"dispatches\": {}, \"busy_s\": {}, \"energy_j\": {}, \"idle_energy_j\": {}}}",
+                g.name, g.dispatches, g.busy_s, g.energy_j, g.idle_energy_j
+            ));
+        }
+        s.push_str("\n  ],\n  \"workloads\": [");
+        for (i, w) in self.workloads.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\n      \"name\": \"{}\",\n      \"kind\": \"{}\"",
+                w.name,
+                kind_str(w.kind)
+            ));
+            s.push_str(&format!(
+                ",\n      \"requests\": {}, \"images\": {}, \"served_images\": {}",
+                w.requests, w.images, w.served_images
+            ));
+            s.push_str(&format!(
+                ",\n      \"rejected_images\": {}, \"rejected_requests\": {}",
+                w.rejected_images, w.rejected_requests
+            ));
+            s.push_str(&format!(",\n      \"target_batch\": {}", w.target_batch));
+            match w.deadline_s {
+                Some(d) => s.push_str(&format!(",\n      \"deadline_s\": {d}")),
+                None => s.push_str(",\n      \"deadline_s\": null"),
+            }
+            s.push_str(&format!(
+                ",\n      \"deadlines_met\": {}, \"deadline_total\": {}",
+                w.deadlines_met, w.deadline_total
+            ));
+            s.push_str(&format!(
+                ",\n      \"latency_s\": {{\"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+                w.latency.mean, w.latency.p50, w.latency.p95, w.latency.p99, w.latency.max
+            ));
+            s.push_str(&format!(",\n      \"mean_entropy\": {}", w.mean_entropy));
+            s.push_str(&format!(
+                ",\n      \"degrade_up\": {}, \"degrade_down\": {}, \"final_level\": {}",
+                w.degrade_up, w.degrade_down, w.final_level
+            ));
+            s.push_str(&format!(",\n      \"energy_j\": {}", w.energy_j));
+            match &w.soc {
+                Some(soc) => s.push_str(&format!(
+                    ",\n      \"soc\": {{\"time\": {}, \"accuracy\": {}, \"score\": {}}}",
+                    soc.time, soc.accuracy, soc.score
+                )),
+                None => s.push_str(",\n      \"soc\": null"),
+            }
+            s.push_str("\n    }");
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+fn kind_str(kind: WorkloadKind) -> &'static str {
+    match kind {
+        WorkloadKind::RealTime => "real_time",
+        WorkloadKind::Interactive => "interactive",
+        WorkloadKind::Background => "background",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let lats: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencyStats::of(&lats);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_is_zero() {
+        assert_eq!(LatencyStats::of(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn single_sample_is_its_own_percentiles() {
+        let s = LatencyStats::of(&[0.25]);
+        assert_eq!(s.p50, 0.25);
+        assert_eq!(s.p99, 0.25);
+        assert_eq!(s.max, 0.25);
+    }
+}

@@ -1,0 +1,676 @@
+//! The event-driven serving loop: priority queues, deadline-aware dynamic
+//! batching, admission control and graceful degradation.
+//!
+//! Time is simulated, not measured: the loop advances a virtual clock
+//! from event to event (arrival, GPU completion, forced-dispatch timer),
+//! so a run is a pure function of its inputs — same traces, same
+//! architectures, same config ⇒ byte-identical report.
+
+use std::collections::{HashMap, VecDeque};
+
+use pcnn_core::prelude::*;
+use pcnn_data::WorkloadKind;
+use pcnn_gpu::{EnergyBreakdown, GpuArch};
+use pcnn_nn::spec::NetworkSpec;
+
+use crate::config::{DegradationLadder, ServeWorkload, ServerConfig};
+use crate::report::{GpuReport, LatencyStats, ServeReport, WorkloadReport};
+
+const EPS: f64 = 1e-12;
+
+/// Memoized latency/energy predictor: one offline compilation + simulator
+/// run per distinct `(gpu, ladder level, batch size)` triple, reused for
+/// every dispatch decision thereafter. This is the paper's offline time
+/// model doing double duty as the server's batching cost oracle.
+struct CostModel<'a> {
+    gpus: &'a [&'a GpuArch],
+    spec: &'a NetworkSpec,
+    ladder: &'a DegradationLadder,
+    cache: HashMap<(usize, usize, usize), NetworkCost>,
+}
+
+impl<'a> CostModel<'a> {
+    fn new(gpus: &'a [&'a GpuArch], spec: &'a NetworkSpec, ladder: &'a DegradationLadder) -> Self {
+        Self {
+            gpus,
+            spec,
+            ladder,
+            cache: HashMap::new(),
+        }
+    }
+
+    fn cost(&mut self, gpu: usize, level: usize, size: usize) -> Result<NetworkCost> {
+        let key = (gpu, level, size);
+        if let Some(c) = self.cache.get(&key) {
+            return Ok(*c);
+        }
+        let schedule = OfflineCompiler::new(self.gpus[gpu], self.spec).try_compile_perforated(
+            size,
+            &self.ladder.levels[level].rates,
+            true,
+        )?;
+        let c = simulate_schedule(self.gpus[gpu], &schedule);
+        self.cache.insert(key, c);
+        Ok(c)
+    }
+}
+
+/// Per-request bookkeeping.
+#[derive(Debug, Clone)]
+struct ReqState {
+    arrival: f64,
+    admitted: usize,
+    remaining: usize,
+    done: f64,
+    rejected: bool,
+}
+
+/// One queued image.
+#[derive(Debug, Clone, Copy)]
+struct QItem {
+    arrival: f64,
+    req: usize,
+}
+
+/// Per-workload serving state.
+struct WState {
+    queue: VecDeque<QItem>,
+    reqs: Vec<ReqState>,
+    arrivals_left: usize,
+    level: usize,
+    calm: usize,
+    target_batch: usize,
+    t_user: Option<f64>,
+    rejected_images: usize,
+    served_images: usize,
+    images_at_level: Vec<usize>,
+    energy: EnergyBreakdown,
+    degrade_up: usize,
+    degrade_down: usize,
+    last_finish: f64,
+    first_arrival: f64,
+}
+
+/// Per-GPU serving state.
+struct GState {
+    free_at: f64,
+    busy: f64,
+    energy: EnergyBreakdown,
+    dispatches: usize,
+}
+
+fn kind_rank(kind: WorkloadKind) -> u8 {
+    match kind {
+        WorkloadKind::RealTime => 0,
+        WorkloadKind::Interactive => 1,
+        WorkloadKind::Background => 2,
+    }
+}
+
+/// The serving simulator: a set of simulated GPUs running one network for
+/// a mix of workloads.
+///
+/// ```no_run
+/// use pcnn_gpu::arch::K20C;
+/// use pcnn_nn::spec::alexnet;
+/// use pcnn_data::{RequestTrace, WorkloadKind};
+/// use pcnn_core::prelude::AppSpec;
+/// use pcnn_serve::{DegradationLadder, Server, ServerConfig, ServeWorkload};
+///
+/// let spec = alexnet();
+/// let ladder = DegradationLadder::default_ladder(spec.conv_layers().len());
+/// let mut server = Server::new(vec![&K20C], &spec, ladder, ServerConfig::default()).unwrap();
+/// server.add_workload(ServeWorkload::new(
+///     AppSpec::age_detection(),
+///     RequestTrace::poisson(WorkloadKind::Interactive, 100, 20.0, 7),
+///     64,
+/// ));
+/// let report = server.run().unwrap();
+/// println!("{}", report.to_json());
+/// ```
+pub struct Server<'a> {
+    gpus: Vec<&'a GpuArch>,
+    spec: &'a NetworkSpec,
+    ladder: DegradationLadder,
+    config: ServerConfig,
+    workloads: Vec<ServeWorkload>,
+}
+
+impl<'a> Server<'a> {
+    /// Builds a server over one or more GPUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if `gpus` is empty, the ladder has
+    /// no levels, or `config.max_batch == 0`, and
+    /// [`Error::RateLenMismatch`] if any ladder level's rate vector does
+    /// not match the network's conv-layer count.
+    pub fn new(
+        gpus: Vec<&'a GpuArch>,
+        spec: &'a NetworkSpec,
+        ladder: DegradationLadder,
+        config: ServerConfig,
+    ) -> Result<Self> {
+        if gpus.is_empty() {
+            return Err(Error::InvalidInput {
+                what: "server needs at least one GPU",
+            });
+        }
+        if ladder.levels.is_empty() {
+            return Err(Error::InvalidInput {
+                what: "degradation ladder needs at least one level",
+            });
+        }
+        if config.max_batch == 0 {
+            return Err(Error::InvalidInput {
+                what: "max_batch must be at least 1",
+            });
+        }
+        let n_convs = spec.conv_layers().len();
+        for level in &ladder.levels {
+            if level.rates.len() != n_convs {
+                return Err(Error::RateLenMismatch {
+                    expected: n_convs,
+                    got: level.rates.len(),
+                });
+            }
+        }
+        Ok(Self {
+            gpus,
+            spec,
+            ladder,
+            config,
+            workloads: Vec::new(),
+        })
+    }
+
+    /// Registers a workload. Submission order breaks priority ties.
+    pub fn add_workload(&mut self, workload: ServeWorkload) -> &mut Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// The registered workloads.
+    pub fn workloads(&self) -> &[ServeWorkload] {
+        &self.workloads
+    }
+
+    /// Largest power-of-two batch (≤ `max_batch`) whose unperforated
+    /// forward pass on the reference GPU fits `t_user`; background
+    /// workloads get the offline background batch, capped.
+    fn target_batch(&self, workload: &ServeWorkload, costs: &mut CostModel) -> Result<usize> {
+        match workload.t_user() {
+            None => Ok(OfflineCompiler::new(self.gpus[0], self.spec)
+                .background_batch()
+                .clamp(1, self.config.max_batch)),
+            Some(t_user) => {
+                let mut best = 1;
+                let mut b = 1;
+                while b <= self.config.max_batch {
+                    let c = costs.cost(0, 0, b)?;
+                    if c.seconds <= t_user {
+                        best = b;
+                    } else {
+                        break;
+                    }
+                    b *= 2;
+                }
+                Ok(best)
+            }
+        }
+    }
+
+    /// Latest virtual time at which the head of `w`'s queue can still be
+    /// dispatched (at the current ladder level, on the reference GPU)
+    /// without missing `T_user`. `None` for background workloads.
+    fn forced_time(&self, ws: &WState, costs: &mut CostModel) -> Result<Option<f64>> {
+        let (Some(t_user), Some(head)) = (ws.t_user, ws.queue.front()) else {
+            return Ok(None);
+        };
+        let size = ws.queue.len().min(ws.target_batch);
+        let c = costs.cost(0, ws.level, size)?;
+        // Relative safety margin so the predicted finish lands strictly
+        // inside the deadline despite float rounding — real-time SoC has
+        // a satisfaction cliff exactly at `T_user`.
+        Ok(Some(head.arrival + t_user * (1.0 - 1e-9) - c.seconds))
+    }
+
+    /// Whether `w`'s queue can dispatch right now: a full target batch is
+    /// waiting, the head's deadline forces a partial dispatch, or (for
+    /// background work) the trace has drained.
+    fn dispatchable(&self, ws: &WState, now: f64, costs: &mut CostModel) -> Result<bool> {
+        if ws.queue.is_empty() {
+            return Ok(false);
+        }
+        if ws.queue.len() >= ws.target_batch {
+            return Ok(true);
+        }
+        match self.forced_time(ws, costs)? {
+            Some(forced) => Ok(now >= forced - EPS),
+            None => Ok(ws.arrivals_left == 0),
+        }
+    }
+
+    /// Runs the whole simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if no workload was registered and
+    /// [`Error::InfeasibleSchedule`] if some deadline workload cannot
+    /// meet `T_user` even at batch 1 on the deepest usable ladder level —
+    /// admission control rejects the whole workload up front rather than
+    /// accepting requests it can never serve in time.
+    pub fn run(&self) -> Result<ServeReport> {
+        if self.workloads.is_empty() {
+            return Err(Error::InvalidInput {
+                what: "server has no workloads",
+            });
+        }
+        let _span = pcnn_telemetry::span!(
+            "serve.run",
+            gpus = self.gpus.len(),
+            workloads = self.workloads.len()
+        );
+        let mut costs = CostModel::new(&self.gpus, self.spec, &self.ladder);
+        let deepest = if self.config.degradation {
+            self.ladder.max_level()
+        } else {
+            0
+        };
+
+        // Feasibility gate: batch 1 at the deepest level must fit T_user.
+        for w in &self.workloads {
+            if let Some(t_user) = w.t_user() {
+                let c = costs.cost(0, deepest, 1)?;
+                if c.seconds > t_user {
+                    return Err(Error::InfeasibleSchedule {
+                        t_user,
+                        predicted: c.seconds,
+                    });
+                }
+            }
+        }
+
+        // Per-workload and per-GPU state.
+        let mut wstates: Vec<WState> = Vec::with_capacity(self.workloads.len());
+        for w in &self.workloads {
+            let reqs = w
+                .trace
+                .requests()
+                .iter()
+                .map(|&(at, _)| ReqState {
+                    arrival: at,
+                    admitted: 0,
+                    remaining: 0,
+                    done: at,
+                    rejected: false,
+                })
+                .collect();
+            wstates.push(WState {
+                queue: VecDeque::new(),
+                reqs,
+                arrivals_left: w.trace.requests().len(),
+                level: 0,
+                calm: 0,
+                target_batch: 0,
+                t_user: w.t_user(),
+                rejected_images: 0,
+                served_images: 0,
+                images_at_level: vec![0; self.ladder.levels.len()],
+                energy: EnergyBreakdown::default(),
+                degrade_up: 0,
+                degrade_down: 0,
+                last_finish: 0.0,
+                first_arrival: w.trace.requests().first().map(|&(t, _)| t).unwrap_or(0.0),
+            });
+        }
+        for (w, ws) in self.workloads.iter().zip(wstates.iter_mut()) {
+            ws.target_batch = self.target_batch(w, &mut costs)?;
+        }
+        let mut gstates: Vec<GState> = self
+            .gpus
+            .iter()
+            .map(|_| GState {
+                free_at: 0.0,
+                busy: 0.0,
+                energy: EnergyBreakdown::default(),
+                dispatches: 0,
+            })
+            .collect();
+
+        // Merged arrival stream, sorted by (time, workload, request).
+        let mut arrivals: Vec<(f64, usize, usize, usize)> = Vec::new();
+        for (w, workload) in self.workloads.iter().enumerate() {
+            for (ri, &(t, n)) in workload.trace.requests().iter().enumerate() {
+                arrivals.push((t, w, ri, n));
+            }
+        }
+        arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+        let mut now = arrivals.first().map(|&(t, ..)| t).unwrap_or(0.0);
+        let mut next_arr = 0usize;
+        loop {
+            // 1. Admit every arrival due by `now` into its bounded queue.
+            while next_arr < arrivals.len() && arrivals[next_arr].0 <= now + EPS {
+                let (t, w, ri, n) = arrivals[next_arr];
+                next_arr += 1;
+                let cap = self.workloads[w].queue_capacity;
+                let ws = &mut wstates[w];
+                ws.arrivals_left -= 1;
+                for _ in 0..n {
+                    if ws.queue.len() < cap {
+                        ws.queue.push_back(QItem {
+                            arrival: t,
+                            req: ri,
+                        });
+                        ws.reqs[ri].admitted += 1;
+                        ws.reqs[ri].remaining += 1;
+                    } else {
+                        ws.reqs[ri].rejected = true;
+                        ws.rejected_images += 1;
+                        pcnn_telemetry::counter("serve.rejected", 1);
+                    }
+                }
+                pcnn_telemetry::histogram("serve.queue_depth", ws.queue.len() as f64);
+            }
+
+            // 2. Dispatch onto idle GPUs until nothing more can start.
+            'dispatch: loop {
+                let n_idle = gstates.iter().filter(|g| g.free_at <= now + EPS).count();
+                let Some(g) = gstates.iter().position(|g| g.free_at <= now + EPS) else {
+                    break;
+                };
+                // Priority order: real-time, interactive, background;
+                // earliest waiting head first; submission order last.
+                let mut order: Vec<usize> = (0..wstates.len())
+                    .filter(|&w| !wstates[w].queue.is_empty())
+                    .collect();
+                order.sort_by(|&a, &b| {
+                    kind_rank(self.workloads[a].app.kind)
+                        .cmp(&kind_rank(self.workloads[b].app.kind))
+                        .then(
+                            wstates[a]
+                                .queue
+                                .front()
+                                .map(|q| q.arrival)
+                                .unwrap_or(f64::INFINITY)
+                                .total_cmp(
+                                    &wstates[b]
+                                        .queue
+                                        .front()
+                                        .map(|q| q.arrival)
+                                        .unwrap_or(f64::INFINITY),
+                                ),
+                        )
+                        .then(a.cmp(&b))
+                });
+                for (pos, &w) in order.iter().enumerate() {
+                    if !self.dispatchable(&wstates[w], now, &mut costs)? {
+                        continue;
+                    }
+                    // Slack fit: on the last idle GPU, don't start work
+                    // that would make a higher-priority waiting queue
+                    // miss its forced-dispatch time.
+                    if n_idle == 1 {
+                        let size = wstates[w].queue.len().min(wstates[w].target_batch);
+                        let my_cost = costs.cost(g, wstates[w].level, size)?.seconds;
+                        let mut starves = false;
+                        for &hp in &order[..pos] {
+                            if let Some(forced) = self.forced_time(&wstates[hp], &mut costs)? {
+                                if now + my_cost > forced + EPS {
+                                    starves = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if starves {
+                            continue;
+                        }
+                    }
+                    self.dispatch(w, g, now, &mut wstates, &mut gstates, &mut costs)?;
+                    continue 'dispatch;
+                }
+                break;
+            }
+
+            // 3. Advance the clock to the next event.
+            let mut next = f64::INFINITY;
+            if next_arr < arrivals.len() {
+                next = next.min(arrivals[next_arr].0);
+            }
+            for g in &gstates {
+                if g.free_at > now + EPS {
+                    next = next.min(g.free_at);
+                }
+            }
+            for ws in &wstates {
+                if !ws.queue.is_empty() {
+                    if let Some(forced) = self.forced_time(ws, &mut costs)? {
+                        if forced > now + EPS {
+                            next = next.min(forced);
+                        }
+                    }
+                }
+            }
+            if !next.is_finite() {
+                break;
+            }
+            now = next;
+        }
+
+        self.build_report(wstates, gstates)
+    }
+
+    /// Dispatches one batch from workload `w` onto GPU `g` at time `now`,
+    /// walking the degradation ladder first if the head deadline or queue
+    /// pressure demands it, and back up when things have been calm.
+    fn dispatch(
+        &self,
+        w: usize,
+        g: usize,
+        now: f64,
+        wstates: &mut [WState],
+        gstates: &mut [GState],
+        costs: &mut CostModel,
+    ) -> Result<()> {
+        let cap = self.workloads[w].queue_capacity;
+        let max_level = self.ladder.max_level();
+        let ws = &mut wstates[w];
+        let q = ws.queue.len();
+        let mut size = q.min(ws.target_batch);
+        if let Some(t_user) = ws.t_user {
+            // Escalate on queue pressure before it turns into misses.
+            if self.config.degradation
+                && q as f64 >= self.config.queue_high_watermark * cap as f64
+                && ws.level < max_level
+            {
+                ws.level += 1;
+                ws.degrade_up += 1;
+                ws.calm = 0;
+                pcnn_telemetry::counter("serve.degrade.up", 1);
+            }
+            let head_deadline = ws.queue.front().expect("non-empty queue").arrival + t_user;
+            let mut meets = |level: usize, s: usize| -> Result<bool> {
+                Ok(now + costs.cost(g, level, s)?.seconds <= head_deadline + EPS)
+            };
+            if !meets(ws.level, size)? {
+                // A late arrival can inflate the batch past what the head's
+                // deadline allows: first try a smaller (faster) batch at
+                // the current level, leaving the newer images for the next
+                // dispatch.
+                let shrink = |meets: &mut dyn FnMut(usize, usize) -> Result<bool>,
+                              level: usize,
+                              from: usize|
+                 -> Result<Option<usize>> {
+                    for s in (1..from).rev() {
+                        if meets(level, s)? {
+                            return Ok(Some(s));
+                        }
+                    }
+                    Ok(None)
+                };
+                if let Some(s) = shrink(&mut |l, s| meets(l, s), ws.level, size)? {
+                    size = s;
+                } else if self.config.degradation {
+                    // Even batch 1 misses at this level: walk the ladder.
+                    while ws.level < max_level && !meets(ws.level, size)? {
+                        ws.level += 1;
+                        ws.degrade_up += 1;
+                        ws.calm = 0;
+                        pcnn_telemetry::counter("serve.degrade.up", 1);
+                    }
+                    if !meets(ws.level, size)? {
+                        if let Some(s) = shrink(&mut |l, s| meets(l, s), ws.level, size)? {
+                            size = s;
+                        }
+                        // Otherwise the head is lost regardless; keep the
+                        // full batch for throughput.
+                    }
+                }
+            }
+        }
+        let cost = costs.cost(g, ws.level, size)?;
+        let finish = now + cost.seconds;
+        let mut earliest_arrival = f64::INFINITY;
+        for _ in 0..size {
+            let item = ws.queue.pop_front().expect("sized pop");
+            earliest_arrival = earliest_arrival.min(item.arrival);
+            let r = &mut ws.reqs[item.req];
+            r.remaining -= 1;
+            r.done = r.done.max(finish);
+            ws.served_images += 1;
+            ws.images_at_level[ws.level] += 1;
+        }
+        ws.energy = ws.energy.plus(&cost.energy);
+        ws.last_finish = ws.last_finish.max(finish);
+        let gs = &mut gstates[g];
+        gs.free_at = finish;
+        gs.busy += cost.seconds;
+        gs.energy = gs.energy.plus(&cost.energy);
+        gs.dispatches += 1;
+        pcnn_telemetry::histogram(
+            "serve.batch_occupancy",
+            size as f64 / ws.target_batch as f64,
+        );
+        pcnn_telemetry::event!(
+            "serve.dispatch",
+            workload = self.workloads[w].app.name.as_str(),
+            gpu = g,
+            size = size,
+            level = ws.level,
+            finish_s = finish
+        );
+
+        // Restore path: enough consecutive calm dispatches (short queue,
+        // comfortable slack) walk the ladder back up.
+        if self.config.degradation && ws.level > 0 {
+            if let Some(t_user) = ws.t_user {
+                let calm = ws.queue.len() as f64 <= self.config.queue_low_watermark * cap as f64
+                    && finish <= earliest_arrival + t_user * (1.0 - self.config.slack_margin);
+                if calm {
+                    ws.calm += 1;
+                    if ws.calm >= self.config.restore_patience {
+                        ws.level -= 1;
+                        ws.degrade_down += 1;
+                        ws.calm = 0;
+                        pcnn_telemetry::counter("serve.degrade.down", 1);
+                    }
+                } else {
+                    ws.calm = 0;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn build_report(&self, wstates: Vec<WState>, gstates: Vec<GState>) -> Result<ServeReport> {
+        let makespan = wstates.iter().map(|w| w.last_finish).fold(0.0, f64::max);
+        let mut workloads = Vec::with_capacity(wstates.len());
+        for (w, ws) in self.workloads.iter().zip(wstates) {
+            let latencies: Vec<f64> = ws
+                .reqs
+                .iter()
+                .filter(|r| r.admitted > 0 && !r.rejected && r.remaining == 0)
+                .map(|r| r.done - r.arrival)
+                .collect();
+            let (met, total) = match ws.t_user {
+                Some(t_user) => (
+                    latencies.iter().filter(|&&l| l <= t_user + EPS).count(),
+                    latencies.len(),
+                ),
+                None => (0, 0),
+            };
+            let mean_entropy = if ws.served_images == 0 {
+                self.ladder.levels[0].entropy
+            } else {
+                ws.images_at_level
+                    .iter()
+                    .zip(&self.ladder.levels)
+                    .map(|(&n, l)| n as f64 * l.entropy)
+                    .sum::<f64>()
+                    / ws.served_images as f64
+            };
+            let latency = LatencyStats::of(&latencies);
+            let soc = if ws.served_images == 0 {
+                None
+            } else {
+                let response = match w.app.kind {
+                    WorkloadKind::RealTime => latency.max,
+                    WorkloadKind::Interactive => latency.mean,
+                    WorkloadKind::Background => ws.last_finish - ws.first_arrival,
+                };
+                Some(pcnn_core::soc::score(
+                    &w.req,
+                    &pcnn_core::soc::SocInputs {
+                        response_time: response,
+                        entropy: mean_entropy,
+                        energy_j: ws.energy.total_j(),
+                    },
+                )?)
+            };
+            workloads.push(WorkloadReport {
+                name: w.app.name.clone(),
+                kind: w.app.kind,
+                requests: w.trace.requests().len(),
+                images: w.trace.total_images(),
+                served_images: ws.served_images,
+                rejected_images: ws.rejected_images,
+                rejected_requests: ws.reqs.iter().filter(|r| r.rejected).count(),
+                target_batch: ws.target_batch,
+                deadline_s: ws.t_user,
+                deadlines_met: met,
+                deadline_total: total,
+                latency,
+                mean_entropy,
+                degrade_up: ws.degrade_up,
+                degrade_down: ws.degrade_down,
+                final_level: ws.level,
+                energy_j: ws.energy.total_j(),
+                soc,
+            });
+        }
+        let gpus = self
+            .gpus
+            .iter()
+            .zip(gstates)
+            .map(|(arch, gs)| GpuReport {
+                name: arch.name.to_string(),
+                dispatches: gs.dispatches,
+                busy_s: gs.busy,
+                energy_j: gs.energy.total_j(),
+                idle_energy_j: (makespan - gs.busy).max(0.0) * arch.energy.constant_w,
+            })
+            .collect::<Vec<_>>();
+        let total_energy_j = gpus.iter().map(|g| g.energy_j).sum();
+        let total_idle_energy_j = gpus.iter().map(|g| g.idle_energy_j).sum();
+        Ok(ServeReport {
+            workloads,
+            gpus,
+            makespan_s: makespan,
+            total_energy_j,
+            total_idle_energy_j,
+            degradation: self.config.degradation,
+            max_batch: self.config.max_batch,
+        })
+    }
+}

@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release -p pcnn-core --example age_detection`
 
-use pcnn_core::scheduler::{evaluate, scenario_trace, SchedulerContext, SchedulerKind};
-use pcnn_core::task::{AppSpec, UserRequirements};
-use pcnn_core::tuning::AccuracyTuner;
+use pcnn_core::prelude::*;
 use pcnn_data::DatasetBuilder;
 use pcnn_gpu::arch::all_platforms;
 use pcnn_nn::models::tiny_alexnet;
@@ -56,7 +54,7 @@ fn main() {
             training_batch: 128,
             tuning_path: &path,
         };
-        let ev = evaluate(SchedulerKind::PCnn, &ctx, &trace);
+        let ev = evaluate(SchedulerKind::PCnn, &ctx, &trace).expect("evaluation");
         println!(
             "{:<10} {:>14.2} {:>12.4} {:>10.4}",
             arch.name,

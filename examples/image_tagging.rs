@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release -p pcnn-core --example image_tagging`
 
-use pcnn_core::offline::OfflineCompiler;
-use pcnn_core::runtime::execute_trace;
-use pcnn_core::task::{AppSpec, UserRequirements};
+use pcnn_core::prelude::*;
 use pcnn_data::RequestTrace;
 use pcnn_gpu::arch::all_platforms;
 use pcnn_nn::spec::alexnet;
@@ -26,10 +24,11 @@ fn main() {
     );
     for arch in all_platforms() {
         let compiler = OfflineCompiler::new(arch, &spec);
-        let schedule = compiler.compile(&app, &req);
-        let report = execute_trace(arch, &trace, schedule.batch, |size| {
-            compiler.compile_batch(size)
-        });
+        let schedule = compiler
+            .try_compile(&app, &req)
+            .expect("compilation failed");
+        let report =
+            execute_trace(arch, &trace, schedule.batch, &mut &compiler).expect("trace execution");
         println!(
             "{:<10} {:>10} {:>14.1} {:>13.0} {:>13.3}",
             arch.name,

@@ -6,10 +6,7 @@
 //!
 //! Run with: `cargo run --release -p pcnn-core --example quickstart`
 
-use pcnn_core::offline::OfflineCompiler;
-use pcnn_core::runtime::{execute_trace, simulate_schedule};
-use pcnn_core::soc::{soc, SocInputs};
-use pcnn_core::task::{AppSpec, UserRequirements};
+use pcnn_core::prelude::*;
 use pcnn_data::RequestTrace;
 use pcnn_gpu::arch::K20C;
 use pcnn_nn::spec::alexnet;
@@ -27,7 +24,9 @@ fn main() {
     // 2. Cross-platform offline compilation on the server GPU (§IV.B).
     let spec = alexnet();
     let compiler = OfflineCompiler::new(&K20C, &spec);
-    let schedule = compiler.compile(&app, &req);
+    let schedule = compiler
+        .try_compile(&app, &req)
+        .expect("compilation failed");
     println!(
         "\ncompiled for {}: batch {}, {} GEMM layers, power gating {}",
         K20C.name,
@@ -54,17 +53,17 @@ fn main() {
 
     // 3. Execute a short interactive trace and score it (§V.A).
     let trace = RequestTrace::interactive(5, 0.8, 2.0, 42);
-    let report = execute_trace(&K20C, &trace, schedule.batch, |size| {
-        compiler.compile_batch(size)
-    });
-    let score = soc(
+    let report =
+        execute_trace(&K20C, &trace, schedule.batch, &mut &compiler).expect("trace execution");
+    let score = score(
         &req,
         &SocInputs {
             response_time: report.mean_latency(),
             entropy: 0.95, // measured baseline entropy of the model family
             energy_j: report.energy.total_j(),
         },
-    );
+    )
+    .expect("scoring");
     println!(
         "\ntrace: mean latency {:.2} ms, energy {:.3} J (+ idle {:.2} J)",
         report.mean_latency() * 1e3,

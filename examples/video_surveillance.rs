@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release -p pcnn-core --example video_surveillance`
 
-use pcnn_core::scheduler::{evaluate, scenario_trace, SchedulerContext, SchedulerKind};
-use pcnn_core::task::{AppSpec, UserRequirements};
-use pcnn_core::tuning::AccuracyTuner;
+use pcnn_core::prelude::*;
 use pcnn_data::DatasetBuilder;
 use pcnn_gpu::arch::JETSON_TX1;
 use pcnn_nn::models::tiny_alexnet;
@@ -51,7 +49,7 @@ fn main() {
             training_batch: 128,
             tuning_path: &path,
         };
-        let ev = evaluate(kind, &ctx, &trace);
+        let ev = evaluate(kind, &ctx, &trace).expect("evaluation");
         println!(
             "{:<22} {:>15.2} {:>9} {:>14}",
             kind.name(),

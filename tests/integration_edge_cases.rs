@@ -1,7 +1,6 @@
 //! Edge-case integration tests across crates.
 
-use pcnn_core::offline::{library_schedule, OfflineCompiler};
-use pcnn_core::runtime::execute_trace;
+use pcnn_core::prelude::*;
 use pcnn_data::RequestTrace;
 use pcnn_gpu::arch::{JETSON_TX1, K20C};
 use pcnn_gpu::sim::dispatch::simulate_kernel;
@@ -17,7 +16,7 @@ fn batch_larger_than_trace_still_processes_everything() {
     let spec = alexnet();
     let compiler = OfflineCompiler::new(&K20C, &spec);
     let trace = RequestTrace::interactive(3, 0.1, 0.2, 9);
-    let report = execute_trace(&K20C, &trace, 16, |size| compiler.compile_batch(size));
+    let report = execute_trace(&K20C, &trace, 16, &mut &compiler).unwrap();
     assert_eq!(report.latencies.len(), 3);
     assert!(report.latencies.iter().all(|&l| l > 0.0));
 }
@@ -27,7 +26,7 @@ fn single_image_background_burst() {
     let spec = alexnet();
     let compiler = OfflineCompiler::new(&JETSON_TX1, &spec);
     let trace = RequestTrace::background(1);
-    let report = execute_trace(&JETSON_TX1, &trace, 8, |size| compiler.compile_batch(size));
+    let report = execute_trace(&JETSON_TX1, &trace, 8, &mut &compiler).unwrap();
     assert_eq!(report.latencies.len(), 1);
     assert!(
         report.idle_energy_j.abs() < 1e-9,
@@ -65,7 +64,9 @@ fn multitask_hosts_cnn_layer_next_to_background_tenant() {
     // The P-CNN story for released SMs (§III.D.2): CONV5 on its optSM
     // partition, a co-tenant on the freed SMs; both complete.
     let spec = alexnet();
-    let tuned = OfflineCompiler::new(&K20C, &spec).compile_batch(1);
+    let tuned = OfflineCompiler::new(&K20C, &spec)
+        .try_compile_batch(1)
+        .unwrap();
     let conv5 = tuned
         .layers
         .iter()
@@ -141,16 +142,15 @@ fn saved_model_survives_cross_module_use() {
 
 #[test]
 fn dvfs_scaled_platform_trades_time_for_energy() {
-    use pcnn_core::runtime::simulate_schedule;
     let spec = alexnet();
     let slow = K20C.with_frequency_scale(0.5);
     let fast_cost = {
         let c = OfflineCompiler::new(&K20C, &spec);
-        simulate_schedule(&K20C, &c.compile_batch(4))
+        simulate_schedule(&K20C, &c.try_compile_batch(4).unwrap())
     };
     let slow_cost = {
         let c = OfflineCompiler::new(&slow, &spec);
-        simulate_schedule(&slow, &c.compile_batch(4))
+        simulate_schedule(&slow, &c.try_compile_batch(4).unwrap())
     };
     // Half the clock: slower...
     assert!(slow_cost.seconds > fast_cost.seconds * 1.4);

@@ -1,10 +1,7 @@
 //! End-to-end pipeline integration: requirement inference -> offline
 //! compilation -> simulated execution -> SoC scoring, across crates.
 
-use pcnn_core::offline::OfflineCompiler;
-use pcnn_core::runtime::{execute_trace, simulate_schedule};
-use pcnn_core::soc::{soc, SocInputs};
-use pcnn_core::task::{AppSpec, UserRequirements};
+use pcnn_core::prelude::*;
 use pcnn_data::RequestTrace;
 use pcnn_gpu::arch::{all_platforms, JETSON_TX1, K20C};
 use pcnn_nn::spec::{alexnet, googlenet, vggnet};
@@ -15,7 +12,9 @@ fn offline_compilation_meets_interactive_budget_everywhere() {
     let req = UserRequirements::infer(&app);
     let spec = alexnet();
     for arch in all_platforms() {
-        let schedule = OfflineCompiler::new(arch, &spec).compile(&app, &req);
+        let schedule = OfflineCompiler::new(arch, &spec)
+            .try_compile(&app, &req)
+            .unwrap();
         let cost = simulate_schedule(arch, &schedule);
         // 100 ms imperceptible budget holds on every platform for AlexNet.
         assert!(
@@ -33,7 +32,9 @@ fn bigger_gpus_run_inference_faster() {
     let times: Vec<f64> = all_platforms()
         .iter()
         .map(|arch| {
-            let s = OfflineCompiler::new(arch, &spec).compile_batch(1);
+            let s = OfflineCompiler::new(arch, &spec)
+                .try_compile_batch(1)
+                .unwrap();
             simulate_schedule(arch, &s).seconds
         })
         .collect();
@@ -48,8 +49,8 @@ fn batching_improves_throughput_on_every_platform() {
     let spec = alexnet();
     for arch in all_platforms() {
         let compiler = OfflineCompiler::new(arch, &spec);
-        let t1 = simulate_schedule(arch, &compiler.compile_batch(1)).seconds;
-        let t32 = simulate_schedule(arch, &compiler.compile_batch(32)).seconds;
+        let t1 = simulate_schedule(arch, &compiler.try_compile_batch(1).unwrap()).seconds;
+        let t32 = simulate_schedule(arch, &compiler.try_compile_batch(32).unwrap()).seconds;
         let tp1 = 1.0 / t1;
         let tp32 = 32.0 / t32;
         assert!(
@@ -67,11 +68,15 @@ fn perforation_reduces_time_and_energy() {
     let n = spec.conv_layers().len();
     let base = simulate_schedule(
         &JETSON_TX1,
-        &compiler.compile_perforated(1, &vec![0.0; n], true),
+        &compiler
+            .try_compile_perforated(1, &vec![0.0; n], true)
+            .unwrap(),
     );
     let perf = simulate_schedule(
         &JETSON_TX1,
-        &compiler.compile_perforated(1, &vec![0.5; n], true),
+        &compiler
+            .try_compile_perforated(1, &vec![0.5; n], true)
+            .unwrap(),
     );
     assert!(perf.seconds < base.seconds);
     assert!(perf.energy.total_j() < base.energy.total_j());
@@ -83,17 +88,18 @@ fn trace_execution_scores_finite_soc() {
     let req = UserRequirements::infer(&app);
     let spec = alexnet();
     let compiler = OfflineCompiler::new(&K20C, &spec);
-    let schedule = compiler.compile(&app, &req);
+    let schedule = compiler.try_compile(&app, &req).unwrap();
     let trace = RequestTrace::real_time(5, 30.0);
-    let report = execute_trace(&K20C, &trace, schedule.batch, |b| compiler.compile_batch(b));
-    let s = soc(
+    let report = execute_trace(&K20C, &trace, schedule.batch, &mut &compiler).unwrap();
+    let s = score(
         &req,
         &SocInputs {
             response_time: report.max_latency(),
             entropy: 0.9,
             energy_j: report.energy.total_j(),
         },
-    );
+    )
+    .unwrap();
     assert!(s.score.is_finite());
     assert!(s.score > 0.0, "K20 must meet a 30 FPS deadline");
 }
@@ -101,7 +107,9 @@ fn trace_execution_scores_finite_soc() {
 #[test]
 fn compilation_works_for_all_three_networks() {
     for spec in [alexnet(), googlenet(), vggnet()] {
-        let schedule = OfflineCompiler::new(&K20C, &spec).compile_batch(1);
+        let schedule = OfflineCompiler::new(&K20C, &spec)
+            .try_compile_batch(1)
+            .unwrap();
         assert!(!schedule.layers.is_empty(), "{}", spec.name);
         let cost = simulate_schedule(&K20C, &schedule);
         assert!(

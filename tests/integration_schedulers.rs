@@ -1,9 +1,7 @@
 //! Cross-crate scheduler invariants — the qualitative claims of the
 //! paper's Figs. 13–15 as assertions.
 
-use pcnn_core::scheduler::{decide, evaluate, scenario_trace, SchedulerContext, SchedulerKind};
-use pcnn_core::task::{AppSpec, UserRequirements};
-use pcnn_core::tuning::{TuningEntry, TuningPath};
+use pcnn_core::prelude::*;
 use pcnn_gpu::arch::K20C;
 use pcnn_nn::perforation::PerforationPlan;
 use pcnn_nn::spec::{alexnet, NetworkSpec};
@@ -41,14 +39,14 @@ fn pcnn_beats_every_baseline_on_interactive_soc() {
     let p = path(5);
     let c = ctx(&spec, &app, &p);
     let trace = scenario_trace(&app, 3, 99);
-    let pcnn = evaluate(SchedulerKind::PCnn, &c, &trace).soc.score;
+    let pcnn = evaluate(SchedulerKind::PCnn, &c, &trace).unwrap().soc.score;
     for kind in [
         SchedulerKind::PerformancePreferred,
         SchedulerKind::EnergyEfficient,
         SchedulerKind::Qpe,
         SchedulerKind::QpePlus,
     ] {
-        let s = evaluate(kind, &c, &trace).soc.score;
+        let s = evaluate(kind, &c, &trace).unwrap().soc.score;
         assert!(
             pcnn >= s * 0.999,
             "{} ({s:.5}) beat P-CNN ({pcnn:.5})",
@@ -64,9 +62,12 @@ fn ideal_is_an_upper_bound() {
     for app in [AppSpec::age_detection(), AppSpec::image_tagging()] {
         let c = ctx(&spec, &app, &p);
         let trace = scenario_trace(&app, 2, 5);
-        let ideal = evaluate(SchedulerKind::Ideal, &c, &trace).soc.score;
+        let ideal = evaluate(SchedulerKind::Ideal, &c, &trace)
+            .unwrap()
+            .soc
+            .score;
         for kind in SchedulerKind::all() {
-            let s = evaluate(kind, &c, &trace).soc.score;
+            let s = evaluate(kind, &c, &trace).unwrap().soc.score;
             assert!(
                 ideal >= s * 0.999,
                 "{}: {} ({s:.5}) beat Ideal ({ideal:.5})",
@@ -84,7 +85,7 @@ fn energy_efficient_violates_interactive_satisfaction() {
     let p = path(5);
     let c = ctx(&spec, &app, &p);
     let trace = scenario_trace(&app, 3, 42);
-    let ev = evaluate(SchedulerKind::EnergyEfficient, &c, &trace);
+    let ev = evaluate(SchedulerKind::EnergyEfficient, &c, &trace).unwrap();
     // Waiting to fill a 128-image batch blows the 100 ms imperceptible
     // bound (paper Fig. 13).
     assert!(ev.soc.time < 1.0, "SoC_time {}", ev.soc.time);
@@ -97,7 +98,7 @@ fn energy_efficient_misses_realtime_deadline() {
     let p = path(5);
     let c = ctx(&spec, &app, &p);
     let trace = scenario_trace(&app, 4, 1);
-    let ev = evaluate(SchedulerKind::EnergyEfficient, &c, &trace);
+    let ev = evaluate(SchedulerKind::EnergyEfficient, &c, &trace).unwrap();
     assert_eq!(ev.soc.time, 0.0);
     assert_eq!(ev.soc.score, 0.0);
 }
@@ -109,8 +110,8 @@ fn gating_saves_energy_at_same_batch() {
     let p = path(5);
     let c = ctx(&spec, &app, &p);
     let trace = scenario_trace(&app, 3, 4);
-    let qpe_plus = evaluate(SchedulerKind::QpePlus, &c, &trace);
-    let perf = evaluate(SchedulerKind::PerformancePreferred, &c, &trace);
+    let qpe_plus = evaluate(SchedulerKind::QpePlus, &c, &trace).unwrap();
+    let perf = evaluate(SchedulerKind::PerformancePreferred, &c, &trace).unwrap();
     // QPE+ gates idle SMs; the performance-preferred baseline does not.
     assert!(
         qpe_plus.report.energy.leakage_j < perf.report.energy.leakage_j,
@@ -126,7 +127,7 @@ fn pcnn_respects_the_entropy_threshold_off_realtime() {
     let p = path(5);
     for app in [AppSpec::age_detection(), AppSpec::image_tagging()] {
         let c = ctx(&spec, &app, &p);
-        let d = decide(SchedulerKind::PCnn, &c);
+        let d = decide(SchedulerKind::PCnn, &c).unwrap();
         assert!(
             d.entropy <= c.req.entropy_threshold + 1e-9,
             "{}: entropy {} above threshold {}",
