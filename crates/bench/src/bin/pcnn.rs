@@ -10,11 +10,16 @@
 //!               [--fps F] [--frames N] [--bg-images N] [--max-batch N]
 //!               [--no-degrade] [--smoke] [--json <path>]
 //! pcnn bench-gemm [--reps N] [--json <path>]
+//! pcnn obs <trace.json>
+//! pcnn obs check [--baseline-serve P] [--baseline-gemm P]
+//!                [--candidate-serve P] [--candidate-gemm P] [--reps N]
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use pcnn_bench::baselines::{self, ServeScenario};
+use pcnn_bench::obs::{analyze_trace, compare_gemm, compare_serve, Violation};
 use pcnn_bench::TableWriter;
 use pcnn_core::offline::{library_schedule, OfflineCompiler};
 use pcnn_core::runtime::simulate_schedule;
@@ -27,7 +32,7 @@ use pcnn_nn::spec::{alexnet, googlenet, vggnet, NetworkSpec};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\n  pcnn serve    [--gpu <a,b,...>] [--net <...>] [--seed N] [--requests N] [--rate R] [--fps F] [--frames N] [--bg-images N] [--max-batch N] [--no-degrade] [--smoke] [--json <path>]\n  pcnn bench-gemm [--reps N] [--json <path>]\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest,\nand --threads <N> (or PCNN_THREADS=<N>) to pin the CPU worker pool"
+        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\n  pcnn serve    [--gpu <a,b,...>] [--net <...>] [--seed N] [--requests N] [--rate R] [--fps F] [--frames N] [--bg-images N] [--max-batch N] [--no-degrade] [--smoke] [--json <path>]\n  pcnn bench-gemm [--reps N] [--json <path>]\n  pcnn obs <trace.json>                      analyze an exported serve trace\n  pcnn obs check [--baseline-serve P] [--baseline-gemm P] [--candidate-serve P] [--candidate-gemm P] [--reps N]\n                                             gate fresh runs against the committed baselines\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest + Prometheus metrics,\nand --threads <N> (or PCNN_THREADS=<N>) to pin the CPU worker pool"
     );
     ExitCode::from(2)
 }
@@ -243,30 +248,10 @@ fn cmd_tune(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// The AlexNet convolution layers as im2col GEMMs (`M` = output
-/// channels, `N` = output positions, `K` = patch length) — the shapes the
-/// paper's kernel tuner targets, reused here to benchmark the CPU GEMM.
-const BENCH_GEMM_SHAPES: &[(&str, usize, usize, usize)] = &[
-    ("CONV1", 96, 3025, 363),
-    ("CONV2", 256, 729, 1200),
-    ("CONV3", 384, 169, 2304),
-    ("CONV5", 256, 169, 3456),
-];
-
-/// Best-of-`reps` wall time of `f`, in seconds.
-fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps.max(1) {
-        let t0 = std::time::Instant::now();
-        f();
-        best = best.min(t0.elapsed().as_secs_f64());
-    }
-    best
-}
-
 fn cmd_bench_gemm(flags: &HashMap<String, String>) -> ExitCode {
     let reps: usize = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(3);
     let threads = pcnn_parallel::current_threads();
+    let rows = baselines::run_gemm_bench(reps);
     let nt_header = format!("packed {threads}T GF/s");
     let mut t = TableWriter::new(vec![
         "layer",
@@ -276,62 +261,19 @@ fn cmd_bench_gemm(flags: &HashMap<String, String>) -> ExitCode {
         nt_header.as_str(),
         "speedup",
     ]);
-    let mut json_rows = Vec::new();
-    for &(layer, m, n, k) in BENCH_GEMM_SHAPES {
-        let a: Vec<f32> = (0..m * k)
-            .map(|i| ((i % 2017) as f32 - 1000.0) / 512.0)
-            .collect();
-        let b: Vec<f32> = (0..k * n)
-            .map(|i| ((i % 1013) as f32 - 500.0) / 256.0)
-            .collect();
-        let mut c = vec![0.0f32; m * n];
-        let gflop = 2.0 * (m * n * k) as f64 / 1e9;
-        let naive = best_secs(reps, || {
-            c.fill(0.0);
-            pcnn_tensor::gemm_naive(m, n, k, &a, &b, &mut c);
-        });
-        let serial = pcnn_parallel::with_threads(1, || {
-            best_secs(reps, || {
-                c.fill(0.0);
-                pcnn_tensor::gemm(m, n, k, &a, &b, &mut c);
-            })
-        });
-        let parallel = best_secs(reps, || {
-            c.fill(0.0);
-            pcnn_tensor::gemm(m, n, k, &a, &b, &mut c);
-        });
-        let (gn, gs, gp) = (gflop / naive, gflop / serial, gflop / parallel);
+    for r in &rows {
         t.row(vec![
-            layer.to_string(),
-            format!("{m}x{n}x{k}"),
-            format!("{gn:.2}"),
-            format!("{gs:.2}"),
-            format!("{gp:.2}"),
-            format!("{:.2}x", gp / gn),
+            r.layer.to_string(),
+            format!("{}x{}x{}", r.m, r.n, r.k),
+            format!("{:.2}", r.naive_gflops),
+            format!("{:.2}", r.packed_1t_gflops),
+            format!("{:.2}", r.packed_nt_gflops),
+            format!("{:.2}x", r.speedup_vs_naive),
         ]);
-        json_rows.push(format!(
-            concat!(
-                "    {{\"layer\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, ",
-                "\"naive_gflops\": {:.3}, \"packed_1t_gflops\": {:.3}, ",
-                "\"packed_nt_gflops\": {:.3}, \"speedup_vs_naive\": {:.3}}}"
-            ),
-            layer,
-            m,
-            n,
-            k,
-            gn,
-            gs,
-            gp,
-            gp / gn
-        ));
     }
     t.print(&format!("CPU GEMM baseline ({threads} worker threads)"));
     if let Some(path) = flags.get("json") {
-        let doc = format!(
-            "{{\n  \"bench\": \"gemm\",\n  \"threads\": {threads},\n  \"reps\": {reps},\n  \"shapes\": [\n{}\n  ]\n}}\n",
-            json_rows.join(",\n")
-        );
-        if let Err(e) = std::fs::write(path, doc) {
+        if let Err(e) = std::fs::write(path, baselines::gemm_json(&rows, threads, reps)) {
             eprintln!("error: could not write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -346,11 +288,8 @@ fn cmd_bench_gemm(flags: &HashMap<String, String>) -> ExitCode {
 ///
 /// The scenario is a pure function of the flags, so the JSON report is
 /// byte-identical across runs with the same arguments; the committed
-/// `BENCH_serve.json` baseline is the default (seed 42) run.
+/// `BENCH_serve.json` baseline is [`ServeScenario::canonical`].
 fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
-    use pcnn_data::RequestTrace;
-    use pcnn_serve::{DegradationLadder, ServeWorkload, Server, ServerConfig};
-
     let gpu_names = flags.get("gpu").map(String::as_str).unwrap_or("k20");
     let mut gpus = Vec::new();
     for name in gpu_names.split(',') {
@@ -362,53 +301,37 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
     let Some(net) = pick_net(flags.get("net").map(String::as_str).unwrap_or("alexnet")) else {
         return usage();
     };
-    let smoke = flags.contains_key("smoke");
+    let base = if flags.contains_key("smoke") {
+        ServeScenario::smoke()
+    } else {
+        ServeScenario::canonical()
+    };
     let parse = |key: &str, default: f64| {
         flags
             .get(key)
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     };
-    let seed = parse("seed", 42.0) as u64;
-    let fps = parse("fps", 30.0);
-    let frames = parse("frames", if smoke { 30.0 } else { 90.0 }) as usize;
-    let requests = parse("requests", if smoke { 40.0 } else { 150.0 }) as usize;
-    // The default interactive rate overloads a K20 (~630 img/s AlexNet
-    // capacity), so the committed baseline exercises the degradation
-    // ladder.
-    let rate = parse("rate", if smoke { 150.0 } else { 900.0 });
-    let bg_images = parse("bg-images", if smoke { 64.0 } else { 256.0 }) as usize;
-    let config = ServerConfig {
-        max_batch: parse("max-batch", 16.0) as usize,
+    let scenario = ServeScenario {
+        gpus,
+        net,
+        seed: parse("seed", base.seed as f64) as u64,
+        fps: parse("fps", base.fps),
+        frames: parse("frames", base.frames as f64) as usize,
+        requests: parse("requests", base.requests as f64) as usize,
+        rate: parse("rate", base.rate),
+        bg_images: parse("bg-images", base.bg_images as f64) as usize,
+        max_batch: parse("max-batch", base.max_batch as f64) as usize,
         degradation: !flags.contains_key("no-degrade"),
-        ..ServerConfig::default()
     };
+    let seed = scenario.seed;
+    // Seeded serve traces should be byte-identical: keep only the
+    // virtual-time observability data unless the user forced a mode.
+    if pcnn_telemetry::enabled() && std::env::var("PCNN_TRACE_MODE").is_err() {
+        pcnn_telemetry::set_export_mode(pcnn_telemetry::ExportMode::Deterministic);
+    }
 
-    let ladder = DegradationLadder::default_ladder(net.conv_layers().len());
-    let mut server = match Server::new(gpus, &net, ladder, config) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("serve setup failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    server.add_workload(ServeWorkload::new(
-        AppSpec::video_surveillance(fps),
-        RequestTrace::real_time(frames, fps),
-        64,
-    ));
-    server.add_workload(ServeWorkload::new(
-        AppSpec::age_detection(),
-        RequestTrace::poisson(WorkloadKind::Interactive, requests, rate, seed),
-        128,
-    ));
-    server.add_workload(ServeWorkload::new(
-        AppSpec::image_tagging(),
-        RequestTrace::background(bg_images),
-        bg_images,
-    ));
-
-    let report = match server.run() {
+    let report = match scenario.run() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("serve failed: {e}");
@@ -448,7 +371,11 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
     }
     t.print(&format!(
         "serving {} on {} (seed {seed}, makespan {:.2} s, {:.1} J compute + {:.1} J idle)",
-        net.name, gpu_names, report.makespan_s, report.total_energy_j, report.total_idle_energy_j
+        scenario.net.name,
+        gpu_names,
+        report.makespan_s,
+        report.total_energy_j,
+        report.total_idle_energy_j
     ));
     if let Some(path) = flags.get("json") {
         if let Err(e) = std::fs::write(path, report.to_json()) {
@@ -460,6 +387,230 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `pcnn obs <trace.json>` — per-workload queueing-vs-service breakdown,
+/// per-request critical path, and the SLO alert log of an exported serve
+/// trace.
+fn cmd_obs_analyze(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: could not read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match pcnn_telemetry::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = match analyze_trace(&doc) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if analysis.workloads.is_empty() {
+        println!("no per-request observability events in {path} (was the trace exported by `pcnn serve` with PCNN_TRACE set?)");
+        return ExitCode::FAILURE;
+    }
+    let mut t = TableWriter::new(vec![
+        "workload",
+        "requests",
+        "queue (ms)",
+        "execute (ms)",
+        "queue share",
+        "critical path",
+    ]);
+    for (name, w) in &analysis.workloads {
+        let total = w.queue_us + w.exec_us;
+        let crit = w
+            .critical
+            .as_ref()
+            .map(|c| {
+                format!(
+                    "#{} {:.1}+{:.1} ms (batch {} gpu {})",
+                    c.req,
+                    c.queue_us / 1e3,
+                    c.exec_us / 1e3,
+                    c.batch,
+                    c.gpu
+                )
+            })
+            .unwrap_or_else(|| "-".to_string());
+        t.row(vec![
+            name.clone(),
+            w.requests.to_string(),
+            format!("{:.1}", w.queue_us / 1e3),
+            format!("{:.1}", w.exec_us / 1e3),
+            format!(
+                "{:.0}%",
+                if total > 0.0 {
+                    100.0 * w.queue_us / total
+                } else {
+                    0.0
+                }
+            ),
+            crit,
+        ]);
+    }
+    t.print(&format!(
+        "queueing vs service per workload ({} dispatched batches)",
+        analysis.batches
+    ));
+    if analysis.alerts.is_empty() {
+        println!("no SLO alerts");
+    } else {
+        let mut t = TableWriter::new(vec![
+            "t (s)",
+            "workload",
+            "metric",
+            "observed",
+            "objective",
+            "burn",
+        ]);
+        for a in &analysis.alerts {
+            t.row(vec![
+                format!("{:.2}", a.t_s),
+                a.workload.clone(),
+                a.metric.clone(),
+                format!("{:.4}", a.observed),
+                format!("{:.4}", a.objective),
+                format!("{:.2}x", a.burn_rate),
+            ]);
+        }
+        t.print(&format!("SLO alerts ({})", analysis.alerts.len()));
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_json(path: &str) -> Option<pcnn_telemetry::json::JsonValue> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: could not read {path}: {e}");
+            return None;
+        }
+    };
+    match pcnn_telemetry::json::parse(&text) {
+        Ok(d) => Some(d),
+        Err(e) => {
+            eprintln!("error: {path} is not valid JSON: {e}");
+            None
+        }
+    }
+}
+
+fn report_violations(what: &str, violations: &[Violation]) {
+    if violations.is_empty() {
+        println!("{what}: ok");
+        return;
+    }
+    println!("{what}: {} regression(s)", violations.len());
+    for v in violations {
+        println!("  REGRESSION {v}");
+    }
+}
+
+/// `pcnn obs check` — diff fresh runs (or `--candidate-*` files) against
+/// the committed baselines with per-metric tolerance bands; exits nonzero
+/// on any regression.
+fn cmd_obs_check(flags: &HashMap<String, String>) -> ExitCode {
+    let serve_baseline = flags
+        .get("baseline-serve")
+        .map(String::as_str)
+        .unwrap_or("BENCH_serve.json");
+    let gemm_baseline = flags
+        .get("baseline-gemm")
+        .map(String::as_str)
+        .unwrap_or("BENCH_gemm.json");
+    // With an explicit candidate file, only the provided sides are
+    // checked (fast file-vs-file mode); otherwise both are re-run.
+    let file_mode = flags.contains_key("candidate-serve") || flags.contains_key("candidate-gemm");
+    let mut violations = 0usize;
+
+    if !file_mode || flags.contains_key("candidate-serve") {
+        let Some(base) = load_json(serve_baseline) else {
+            return ExitCode::FAILURE;
+        };
+        let cand = match flags.get("candidate-serve") {
+            Some(p) => {
+                let Some(c) = load_json(p) else {
+                    return ExitCode::FAILURE;
+                };
+                c
+            }
+            None => {
+                let report = match ServeScenario::canonical().run() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("serve failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let Ok(c) = pcnn_telemetry::json::parse(&report.to_json()) else {
+                    eprintln!("error: serve report did not parse as JSON");
+                    return ExitCode::FAILURE;
+                };
+                c
+            }
+        };
+        let v = compare_serve(&base, &cand);
+        report_violations(&format!("serve vs {serve_baseline}"), &v);
+        violations += v.len();
+    }
+
+    if !file_mode || flags.contains_key("candidate-gemm") {
+        let Some(base) = load_json(gemm_baseline) else {
+            return ExitCode::FAILURE;
+        };
+        let cand = match flags.get("candidate-gemm") {
+            Some(p) => {
+                let Some(c) = load_json(p) else {
+                    return ExitCode::FAILURE;
+                };
+                c
+            }
+            None => {
+                let reps: usize = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(3);
+                let rows = baselines::run_gemm_bench(reps);
+                let threads = pcnn_parallel::current_threads();
+                let Ok(c) =
+                    pcnn_telemetry::json::parse(&baselines::gemm_json(&rows, threads, reps))
+                else {
+                    eprintln!("error: gemm report did not parse as JSON");
+                    return ExitCode::FAILURE;
+                };
+                c
+            }
+        };
+        let v = compare_gemm(&base, &cand);
+        report_violations(&format!("gemm vs {gemm_baseline}"), &v);
+        violations += v.len();
+    }
+
+    if violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_obs(rest: &[String]) -> ExitCode {
+    match rest.split_first() {
+        Some((sub, tail)) if sub == "check" => {
+            let Some(flags) = parse_flags(tail) else {
+                return usage();
+            };
+            cmd_obs_check(&flags)
+        }
+        Some((path, _)) if !path.starts_with("--") => cmd_obs_analyze(path),
+        _ => usage(),
+    }
+}
+
 fn main() -> ExitCode {
     // Any subcommand accepts `--trace <path>` (or PCNN_TRACE) and writes
     // telemetry files on exit.
@@ -469,6 +620,10 @@ fn main() -> ExitCode {
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
+    // `obs` takes a positional trace path / `check` subcommand.
+    if cmd == "obs" {
+        return cmd_obs(rest);
+    }
     let Some(flags) = parse_flags(rest) else {
         return usage();
     };

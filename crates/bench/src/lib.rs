@@ -2,8 +2,10 @@
 //! regenerate every table and figure of the paper (see `DESIGN.md` §4 for
 //! the experiment index and `EXPERIMENTS.md` for recorded results).
 
+pub mod baselines;
 pub mod experiments;
 pub mod harness;
+pub mod obs;
 pub mod threads;
 pub mod trace;
 pub mod trained;

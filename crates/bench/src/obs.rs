@@ -1,0 +1,503 @@
+//! `pcnn obs` — trace analysis and tolerance-band regression gating.
+//!
+//! Two halves:
+//!
+//! * [`analyze_trace`] reads an exported Chrome trace (the pid-3
+//!   virtual-time observability events written by `pcnn serve` under
+//!   `PCNN_TRACE`) and computes per-workload queueing-vs-service
+//!   breakdowns, the per-request critical path, and the SLO alert log.
+//! * [`compare_serve`] / [`compare_gemm`] diff a fresh benchmark run
+//!   against the committed `BENCH_serve.json` / `BENCH_gemm.json`
+//!   baselines with per-metric tolerance bands, returning the violations
+//!   (`pcnn obs check` exits nonzero on any). Serve metrics are
+//!   deterministic so their bands are tight; GEMM gates on
+//!   machine-normalised speedup ratios, never absolute GFLOP/s.
+
+use std::collections::BTreeMap;
+
+use pcnn_telemetry::json::JsonValue;
+
+/// Which direction of change is a regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger candidate values regress (latency, energy, rejections).
+    HigherWorse,
+    /// Smaller candidate values regress (hit rates, throughput, SoC).
+    LowerWorse,
+}
+
+/// A one-sided tolerance band around a baseline value.
+#[derive(Debug, Clone, Copy)]
+pub struct Band {
+    /// Relative slack, as a fraction of `|baseline|`.
+    pub rel: f64,
+    /// Absolute slack floor (wins when the baseline is near zero).
+    pub abs: f64,
+    /// Which side of the band is open.
+    pub dir: Direction,
+}
+
+impl Band {
+    /// A band allowing `rel` relative / `abs` absolute worsening upward.
+    pub fn higher_worse(rel: f64, abs: f64) -> Self {
+        Self {
+            rel,
+            abs,
+            dir: Direction::HigherWorse,
+        }
+    }
+
+    /// A band allowing `rel` relative / `abs` absolute worsening downward.
+    pub fn lower_worse(rel: f64, abs: f64) -> Self {
+        Self {
+            rel,
+            abs,
+            dir: Direction::LowerWorse,
+        }
+    }
+
+    /// The worst candidate value still inside the band.
+    pub fn limit(&self, baseline: f64) -> f64 {
+        let slack = self.abs.max(self.rel * baseline.abs());
+        match self.dir {
+            Direction::HigherWorse => baseline + slack,
+            Direction::LowerWorse => baseline - slack,
+        }
+    }
+
+    /// Whether `candidate` regresses past the band.
+    pub fn violated(&self, baseline: f64, candidate: f64) -> bool {
+        match self.dir {
+            Direction::HigherWorse => candidate > self.limit(baseline),
+            Direction::LowerWorse => candidate < self.limit(baseline),
+        }
+    }
+}
+
+/// One metric that moved outside its tolerance band.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Dotted metric path, e.g. `age detection.latency_p99_s`.
+    pub metric: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Fresh-run value.
+    pub candidate: f64,
+    /// The worst value the band allowed.
+    pub limit: f64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.6} -> {:.6} (allowed {:.6})",
+            self.metric, self.baseline, self.candidate, self.limit
+        )
+    }
+}
+
+fn check(
+    out: &mut Vec<Violation>,
+    metric: String,
+    baseline: Option<f64>,
+    candidate: Option<f64>,
+    band: Band,
+) {
+    let (Some(b), Some(c)) = (baseline, candidate) else {
+        // A metric missing on either side is itself a regression signal.
+        out.push(Violation {
+            metric: format!("{metric} (missing)"),
+            baseline: baseline.unwrap_or(f64::NAN),
+            candidate: candidate.unwrap_or(f64::NAN),
+            limit: f64::NAN,
+        });
+        return;
+    };
+    if band.violated(b, c) {
+        out.push(Violation {
+            metric,
+            baseline: b,
+            candidate: c,
+            limit: band.limit(b),
+        });
+    }
+}
+
+fn workloads_by_name(report: &JsonValue) -> BTreeMap<String, &JsonValue> {
+    report
+        .get("workloads")
+        .and_then(|w| w.as_array())
+        .map(|ws| {
+            ws.iter()
+                .filter_map(|w| Some((w.get("name")?.as_str()?.to_string(), w)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn hit_rate(w: &JsonValue) -> Option<f64> {
+    let total = w.get("deadline_total")?.as_f64()?;
+    if total == 0.0 {
+        return None;
+    }
+    Some(w.get("deadlines_met")?.as_f64()? / total)
+}
+
+/// Diffs a fresh serve report against the committed baseline. The serve
+/// simulator is deterministic, so the bands are tight — they exist to
+/// absorb *intentional* small shifts, not noise.
+pub fn compare_serve(baseline: &JsonValue, candidate: &JsonValue) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let f = |doc: &JsonValue, key: &str| doc.get(key).and_then(JsonValue::as_f64);
+    check(
+        &mut v,
+        "makespan_s".into(),
+        f(baseline, "makespan_s"),
+        f(candidate, "makespan_s"),
+        Band::higher_worse(0.05, 1e-9),
+    );
+    check(
+        &mut v,
+        "total_energy_j".into(),
+        f(baseline, "total_energy_j"),
+        f(candidate, "total_energy_j"),
+        Band::higher_worse(0.05, 1e-9),
+    );
+    let base_w = workloads_by_name(baseline);
+    let cand_w = workloads_by_name(candidate);
+    for (name, bw) in &base_w {
+        let Some(cw) = cand_w.get(name) else {
+            v.push(Violation {
+                metric: format!("{name} (workload missing from candidate)"),
+                baseline: 0.0,
+                candidate: f64::NAN,
+                limit: f64::NAN,
+            });
+            continue;
+        };
+        let bl = bw.get("latency_s");
+        let cl = cw.get("latency_s");
+        if bw.get("deadline_total").and_then(JsonValue::as_f64) > Some(0.0) {
+            check(
+                &mut v,
+                format!("{name}.deadline_hit_rate"),
+                hit_rate(bw),
+                hit_rate(cw),
+                Band::lower_worse(0.0, 0.02),
+            );
+        }
+        check(
+            &mut v,
+            format!("{name}.latency_p99_s"),
+            bl.and_then(|l| f(l, "p99")),
+            cl.and_then(|l| f(l, "p99")),
+            Band::higher_worse(0.05, 1e-6),
+        );
+        check(
+            &mut v,
+            format!("{name}.mean_entropy"),
+            f(bw, "mean_entropy"),
+            f(cw, "mean_entropy"),
+            Band::higher_worse(0.0, 0.05),
+        );
+        check(
+            &mut v,
+            format!("{name}.rejected_images"),
+            f(bw, "rejected_images"),
+            f(cw, "rejected_images"),
+            Band::higher_worse(0.0, 0.5),
+        );
+        if let Some(bs) = bw.get("soc").and_then(|s| f(s, "score")) {
+            check(
+                &mut v,
+                format!("{name}.soc_score"),
+                Some(bs),
+                cw.get("soc").and_then(|s| f(s, "score")),
+                Band::lower_worse(0.05, 1e-9),
+            );
+        }
+    }
+    v
+}
+
+/// Diffs a fresh GEMM benchmark against the committed baseline. Only the
+/// machine-normalised `speedup_vs_naive` ratio is gated (generously —
+/// wall-clock noise and host differences are real), never absolute
+/// GFLOP/s.
+pub fn compare_gemm(baseline: &JsonValue, candidate: &JsonValue) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let rows = |doc: &JsonValue| -> BTreeMap<String, f64> {
+        doc.get("shapes")
+            .and_then(|s| s.as_array())
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| {
+                        Some((
+                            r.get("layer")?.as_str()?.to_string(),
+                            r.get("speedup_vs_naive")?.as_f64()?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base = rows(baseline);
+    let cand = rows(candidate);
+    for (layer, b) in &base {
+        check(
+            &mut v,
+            format!("{layer}.speedup_vs_naive"),
+            Some(*b),
+            cand.get(layer).copied(),
+            Band::lower_worse(0.40, 0.0),
+        );
+    }
+    v
+}
+
+/// Per-workload queueing-vs-service aggregate from the trace.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadBreakdown {
+    /// Distinct requests seen on this workload's track.
+    pub requests: usize,
+    /// Total queue-wait across requests, µs.
+    pub queue_us: f64,
+    /// Total execution time across requests, µs.
+    pub exec_us: f64,
+    /// The request with the longest queue+execute critical path.
+    pub critical: Option<CriticalPath>,
+}
+
+/// The longest per-request path through the server.
+#[derive(Debug, Clone)]
+pub struct CriticalPath {
+    /// Request id within the workload.
+    pub req: u64,
+    /// Queue wait, µs.
+    pub queue_us: f64,
+    /// Execution, µs.
+    pub exec_us: f64,
+    /// The batch the request finished in.
+    pub batch: u64,
+    /// GPU index of that batch.
+    pub gpu: u64,
+}
+
+/// One SLO alert from the trace.
+#[derive(Debug, Clone)]
+pub struct Alert {
+    /// Window start, virtual seconds.
+    pub t_s: f64,
+    /// Workload name.
+    pub workload: String,
+    /// Violated objective.
+    pub metric: String,
+    /// Observed value over the window.
+    pub observed: f64,
+    /// The objective it crossed.
+    pub objective: f64,
+    /// Error-budget burn rate.
+    pub burn_rate: f64,
+}
+
+/// Everything `pcnn obs` prints, extracted from one Chrome trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceAnalysis {
+    /// Per-workload breakdowns, keyed by workload name.
+    pub workloads: BTreeMap<String, WorkloadBreakdown>,
+    /// Dispatched batches seen on GPU tracks.
+    pub batches: usize,
+    /// SLO alerts in window order.
+    pub alerts: Vec<Alert>,
+}
+
+/// Splits `req {label}#{id}: {stage}` into its parts.
+fn parse_req_name(name: &str) -> Option<(&str, u64, &str)> {
+    let rest = name.strip_prefix("req ")?;
+    let (label_id, stage) = rest.rsplit_once(": ")?;
+    let (label, id) = label_id.rsplit_once('#')?;
+    Some((label, id.parse().ok()?, stage))
+}
+
+/// Analyzes an exported Chrome trace document.
+///
+/// # Errors
+///
+/// Returns a message when the document is not a trace-event array.
+pub fn analyze_trace(doc: &JsonValue) -> Result<TraceAnalysis, String> {
+    let events = doc
+        .as_array()
+        .ok_or_else(|| "trace is not a JSON array".to_string())?;
+    let mut out = TraceAnalysis::default();
+    // (label, req) -> accumulated path.
+    let mut paths: BTreeMap<(String, u64), CriticalPath> = BTreeMap::new();
+    for ev in events {
+        let name = ev.get("name").and_then(JsonValue::as_str).unwrap_or("");
+        let ph = ev.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+        let args = ev.get("args");
+        let arg_f = |key: &str| args.and_then(|a| a.get(key)).and_then(JsonValue::as_f64);
+        let arg_s = |key: &str| args.and_then(|a| a.get(key)).and_then(JsonValue::as_str);
+        match ph {
+            "X" => {
+                if name.starts_with("batch ") && arg_f("actual_s").is_some() {
+                    out.batches += 1;
+                    continue;
+                }
+                let Some((label, req, stage)) = parse_req_name(name) else {
+                    continue;
+                };
+                let dur = ev.get("dur").and_then(JsonValue::as_f64).unwrap_or(0.0);
+                let path = paths
+                    .entry((label.to_string(), req))
+                    .or_insert(CriticalPath {
+                        req,
+                        queue_us: 0.0,
+                        exec_us: 0.0,
+                        batch: 0,
+                        gpu: 0,
+                    });
+                match stage {
+                    "queue" => path.queue_us += dur,
+                    "execute" => {
+                        path.exec_us += dur;
+                        path.batch = arg_f("batch").unwrap_or(0.0) as u64;
+                        path.gpu = arg_f("gpu").unwrap_or(0.0) as u64;
+                    }
+                    _ => {}
+                }
+            }
+            "i" if name == "slo.alert" => {
+                out.alerts.push(Alert {
+                    t_s: ev.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0) / 1e6,
+                    workload: arg_s("workload").unwrap_or("?").to_string(),
+                    metric: arg_s("metric").unwrap_or("?").to_string(),
+                    observed: arg_f("observed").unwrap_or(f64::NAN),
+                    objective: arg_f("objective").unwrap_or(f64::NAN),
+                    burn_rate: arg_f("burn_rate").unwrap_or(f64::NAN),
+                });
+            }
+            _ => {}
+        }
+    }
+    for ((label, _req), path) in paths {
+        let w = out.workloads.entry(label).or_default();
+        w.requests += 1;
+        w.queue_us += path.queue_us;
+        w.exec_us += path.exec_us;
+        let total = path.queue_us + path.exec_us;
+        if w.critical
+            .as_ref()
+            .map(|c| total > c.queue_us + c.exec_us)
+            .unwrap_or(true)
+        {
+            w.critical = Some(path);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcnn_telemetry::json;
+
+    #[test]
+    fn bands_are_one_sided() {
+        let up = Band::higher_worse(0.10, 0.0);
+        assert!(!up.violated(1.0, 1.05));
+        assert!(up.violated(1.0, 1.2));
+        assert!(!up.violated(1.0, 0.5)); // improvements never violate
+        let down = Band::lower_worse(0.0, 0.02);
+        assert!(!down.violated(0.95, 0.94));
+        assert!(down.violated(0.95, 0.90));
+        assert!(!down.violated(0.95, 1.0));
+    }
+
+    #[test]
+    fn parse_req_names() {
+        assert_eq!(
+            parse_req_name("req age detection#37: queue"),
+            Some(("age detection", 37, "queue"))
+        );
+        assert_eq!(
+            parse_req_name("req a#b#9: execute"),
+            Some(("a#b", 9, "execute"))
+        );
+        assert_eq!(parse_req_name("batch 3: x"), None);
+    }
+
+    #[test]
+    fn analyze_picks_critical_path_and_alerts() {
+        let doc = json::parse(
+            r#"[
+            {"name":"req a#0: queue","ph":"X","pid":3,"tid":5,"ts":0,"dur":100,"args":{"batch":0}},
+            {"name":"req a#0: execute","ph":"X","pid":3,"tid":5,"ts":100,"dur":50,"args":{"batch":0,"gpu":0}},
+            {"name":"req a#1: queue","ph":"X","pid":3,"tid":5,"ts":10,"dur":400,"args":{"batch":1}},
+            {"name":"req a#1: execute","ph":"X","pid":3,"tid":5,"ts":410,"dur":60,"args":{"batch":1,"gpu":0}},
+            {"name":"batch 0: a x2 L0","ph":"X","pid":3,"tid":0,"ts":100,"dur":50,"args":{"actual_s":1.0,"planned_s":1.0}},
+            {"name":"slo.alert","ph":"i","pid":3,"tid":5,"ts":250000,"s":"t","args":{"workload":"a","metric":"entropy","observed":1.5,"objective":1.4,"burn_rate":1.07}}
+            ]"#,
+        )
+        .unwrap();
+        let a = analyze_trace(&doc).unwrap();
+        assert_eq!(a.batches, 1);
+        let w = &a.workloads["a"];
+        assert_eq!(w.requests, 2);
+        assert_eq!(w.queue_us, 500.0);
+        assert_eq!(w.exec_us, 110.0);
+        let crit = w.critical.as_ref().unwrap();
+        assert_eq!(crit.req, 1);
+        assert_eq!(crit.batch, 1);
+        assert_eq!(a.alerts.len(), 1);
+        assert_eq!(a.alerts[0].metric, "entropy");
+        assert!((a.alerts[0].t_s - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_serve_flags_injected_regression() {
+        let base = json::parse(
+            r#"{"makespan_s": 3.0, "total_energy_j": 60.0, "workloads": [
+                {"name":"w","deadlines_met":140,"deadline_total":150,
+                 "latency_s":{"p99":0.11},"mean_entropy":1.25,"rejected_images":0,
+                 "soc":{"score":0.085}}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(compare_serve(&base, &base).is_empty());
+        let worse = json::parse(
+            r#"{"makespan_s": 3.0, "total_energy_j": 60.0, "workloads": [
+                {"name":"w","deadlines_met":120,"deadline_total":150,
+                 "latency_s":{"p99":0.20},"mean_entropy":1.25,"rejected_images":4,
+                 "soc":{"score":0.085}}
+            ]}"#,
+        )
+        .unwrap();
+        let violations = compare_serve(&base, &worse);
+        let metrics: Vec<&str> = violations.iter().map(|v| v.metric.as_str()).collect();
+        assert!(metrics.contains(&"w.deadline_hit_rate"));
+        assert!(metrics.contains(&"w.latency_p99_s"));
+        assert!(metrics.contains(&"w.rejected_images"));
+    }
+
+    #[test]
+    fn compare_gemm_gates_ratios_not_gflops() {
+        let base = json::parse(
+            r#"{"shapes":[{"layer":"CONV1","speedup_vs_naive":10.0,"naive_gflops":1.7}]}"#,
+        )
+        .unwrap();
+        // Halved absolute GFLOP/s but a preserved ratio passes...
+        let slower_host = json::parse(
+            r#"{"shapes":[{"layer":"CONV1","speedup_vs_naive":9.0,"naive_gflops":0.9}]}"#,
+        )
+        .unwrap();
+        assert!(compare_gemm(&base, &slower_host).is_empty());
+        // ...a collapsed ratio does not.
+        let regressed =
+            json::parse(r#"{"shapes":[{"layer":"CONV1","speedup_vs_naive":4.0}]}"#).unwrap();
+        assert_eq!(compare_gemm(&base, &regressed).len(), 1);
+        // A vanished layer is flagged.
+        let missing = json::parse(r#"{"shapes":[]}"#).unwrap();
+        assert_eq!(compare_gemm(&base, &missing).len(), 1);
+    }
+}

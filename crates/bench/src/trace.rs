@@ -1,9 +1,17 @@
 //! Telemetry wiring for the harness binaries: every fig/table binary
 //! accepts `--trace <path>` (or the `PCNN_TRACE` environment variable) and
 //! writes a Chrome trace-event file there plus a JSON-Lines manifest to
-//! `<path>.manifest.jsonl` when it exits.
+//! `<path>.manifest.jsonl` and a Prometheus text exposition to
+//! `<path>.prom` when it exits.
+//!
+//! `PCNN_TRACE_MODE=full|deterministic` forces the export mode; without
+//! it, `pcnn serve` switches to the deterministic (virtual-time-only)
+//! export so seeded traces are byte-identical, while other commands keep
+//! the full wall-clock export.
 
 use std::path::PathBuf;
+
+use pcnn_telemetry::ExportMode;
 
 /// RAII handle returned by [`init_from_env`]; exports the trace files on
 /// drop (i.e. when `main` returns).
@@ -36,10 +44,16 @@ impl Drop for TraceSession {
             );
             return;
         }
+        let prom = prom_path(&path);
+        if let Err(e) = pcnn_telemetry::export_prometheus(&prom) {
+            eprintln!("warning: could not write metrics {}: {e}", prom.display());
+            return;
+        }
         eprintln!(
-            "telemetry: trace {} manifest {} (open the trace in https://ui.perfetto.dev)",
+            "telemetry: trace {} manifest {} metrics {} (open the trace in https://ui.perfetto.dev)",
             path.display(),
-            manifest.display()
+            manifest.display(),
+            prom.display()
         );
     }
 }
@@ -48,6 +62,13 @@ impl Drop for TraceSession {
 pub fn manifest_path(trace: &std::path::Path) -> PathBuf {
     let mut s = trace.as_os_str().to_os_string();
     s.push(".manifest.jsonl");
+    PathBuf::from(s)
+}
+
+/// The Prometheus text-exposition sidecar written next to a trace file.
+pub fn prom_path(trace: &std::path::Path) -> PathBuf {
+    let mut s = trace.as_os_str().to_os_string();
+    s.push(".prom");
     PathBuf::from(s)
 }
 
@@ -74,6 +95,11 @@ pub fn init_from_env() -> TraceSession {
     let path = trace_path(&args, std::env::var("PCNN_TRACE").ok());
     if path.is_some() {
         pcnn_telemetry::set_enabled(true);
+    }
+    match std::env::var("PCNN_TRACE_MODE").ok().as_deref() {
+        Some("deterministic") => pcnn_telemetry::set_export_mode(ExportMode::Deterministic),
+        Some("full") => pcnn_telemetry::set_export_mode(ExportMode::Full),
+        _ => {}
     }
     TraceSession { path }
 }

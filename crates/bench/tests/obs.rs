@@ -1,0 +1,112 @@
+//! End-to-end tests of the `pcnn obs` subcommand: the analyzer over a
+//! real exported trace, binary-level trace determinism, and the
+//! tolerance-band regression gate.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn pcnn() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pcnn"))
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pcnn-obs-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn obs_check_passes_clean_and_fails_injected_regression() {
+    let root = repo_root();
+    let serve_baseline = root.join("BENCH_serve.json");
+    let gemm_baseline = root.join("BENCH_gemm.json");
+
+    // Baseline vs itself is clean for both documents.
+    let out = pcnn()
+        .args(["obs", "check"])
+        .arg(format!("--baseline-serve={}", serve_baseline.display()))
+        .arg(format!("--baseline-gemm={}", gemm_baseline.display()))
+        .arg(format!("--candidate-serve={}", serve_baseline.display()))
+        .arg(format!("--candidate-gemm={}", gemm_baseline.display()))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "clean check failed: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A doctored candidate (dropped deadline hits) must gate.
+    let baseline = std::fs::read_to_string(&serve_baseline).unwrap();
+    let doctored = baseline.replace("\"deadlines_met\": 140", "\"deadlines_met\": 100");
+    assert_ne!(baseline, doctored, "baseline fixture changed shape");
+    let bad = tmp("doctored-serve.json");
+    std::fs::write(&bad, doctored).unwrap();
+    let out = pcnn()
+        .args(["obs", "check"])
+        .arg(format!("--baseline-serve={}", serve_baseline.display()))
+        .arg(format!("--candidate-serve={}", bad.display()))
+        .output()
+        .unwrap();
+    std::fs::remove_file(&bad).ok();
+    assert!(!out.status.success(), "regressed candidate passed the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("REGRESSION") && stdout.contains("deadline_hit_rate"),
+        "unexpected gate output: {stdout}"
+    );
+}
+
+#[test]
+fn traced_serve_runs_are_byte_identical_and_analyzable() {
+    let run = |trace: &Path| {
+        let out = pcnn()
+            .args(["serve", "--smoke"])
+            .env("PCNN_TRACE", trace)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "serve failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let trace_a = tmp("trace-a.json");
+    let trace_b = tmp("trace-b.json");
+    run(&trace_a);
+    run(&trace_b);
+    let a = std::fs::read(&trace_a).unwrap();
+    let b = std::fs::read(&trace_b).unwrap();
+    assert_eq!(a, b, "seeded smoke traces differ at the binary level");
+
+    let out = pcnn().arg("obs").arg(&trace_a).output().unwrap();
+    for p in [&trace_a, &trace_b] {
+        std::fs::remove_file(p).ok();
+        std::fs::remove_file(format!("{}.manifest.jsonl", p.display())).ok();
+        std::fs::remove_file(format!("{}.prom", p.display())).ok();
+    }
+    assert!(
+        out.status.success(),
+        "analyzer failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("queueing vs service per workload"));
+    assert!(stdout.contains("age detection"));
+    assert!(stdout.contains("critical path"));
+}
+
+#[test]
+fn analyzer_rejects_non_trace_input() {
+    let path = tmp("not-a-trace.json");
+    std::fs::write(&path, "{\"not\": \"a trace\"}").unwrap();
+    let out = pcnn().arg("obs").arg(&path).output().unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(!out.status.success());
+}

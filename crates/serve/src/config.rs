@@ -19,6 +19,11 @@ pub struct ServeWorkload {
     /// Bounded admission queue, in images. Arrivals beyond this are
     /// rejected (counted, never silently dropped).
     pub queue_capacity: usize,
+    /// Service-level objectives the SLO monitor evaluates per window.
+    /// `None` means the kind's default policy
+    /// ([`SloPolicy::for_kind`](crate::obs::SloPolicy::for_kind)); use
+    /// [`SloPolicy::none`](crate::obs::SloPolicy::none) to opt out.
+    pub slo: Option<crate::obs::SloPolicy>,
 }
 
 impl ServeWorkload {
@@ -30,7 +35,15 @@ impl ServeWorkload {
             req,
             trace,
             queue_capacity,
+            slo: None,
         }
+    }
+
+    /// Declares explicit service-level objectives for this workload.
+    #[must_use]
+    pub fn with_slo(mut self, slo: crate::obs::SloPolicy) -> Self {
+        self.slo = Some(slo);
+        self
     }
 
     /// The target response time (`T_user`) or `None` for background work.
@@ -144,6 +157,10 @@ pub struct ServerConfig {
     /// Fraction of `T_user` a dispatch must finish early by to count as
     /// calm.
     pub slack_margin: f64,
+    /// Width of the observability / SLO-evaluation windows, virtual
+    /// seconds. Only read when telemetry is enabled; it never changes the
+    /// serving decisions or the report.
+    pub obs_window_s: f64,
 }
 
 impl Default for ServerConfig {
@@ -155,6 +172,7 @@ impl Default for ServerConfig {
             queue_low_watermark: 0.25,
             restore_patience: 4,
             slack_margin: 0.25,
+            obs_window_s: 0.25,
         }
     }
 }

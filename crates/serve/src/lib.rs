@@ -26,6 +26,13 @@
 //!   hence smaller GEMMs and effectively fewer SMs needed), trading
 //!   entropy for throughput, and walks back up with hysteresis once load
 //!   drops.
+//! * **Observability** ([`obs`]) — when telemetry is enabled, every
+//!   request's admission → queue → dispatch → execute → complete
+//!   lifecycle is traced in virtual time on per-GPU and per-workload
+//!   tracks, windowed series (throughput, queue depth, deadline hit-rate,
+//!   ladder level, oracle error) are exported, and per-workload
+//!   [`SloPolicy`] objectives are evaluated per window with error-budget
+//!   burn-rate alerts.
 //!
 //! Everything is virtual-time simulation: a run is a pure function of
 //! its inputs, so reports ([`ServeReport::to_json`]) are byte-identical
@@ -34,10 +41,12 @@
 
 pub mod baseline;
 pub mod config;
+pub mod obs;
 pub mod report;
 pub mod server;
 
 pub use baseline::{fifo_baseline, BaselineReport};
 pub use config::{DegradationLadder, DegradationLevel, ServeWorkload, ServerConfig};
+pub use obs::SloPolicy;
 pub use report::{GpuReport, LatencyStats, ServeReport, WorkloadReport};
 pub use server::Server;

@@ -1,0 +1,454 @@
+//! Per-request observability and SLO monitoring for the serving loop.
+//!
+//! Everything here is stamped in *virtual* time — the simulator's clock,
+//! not the wall clock — so an enabled-telemetry run exports byte-identical
+//! traces for identical inputs, and a disabled-telemetry run is untouched
+//! (the recorder is never constructed; see [`Obs::maybe`]).
+//!
+//! Three export surfaces are fed:
+//!
+//! * **Per-request lifecycle slices** on the observability process (pid 3
+//!   in the Chrome trace): each request's queue wait and execution render
+//!   on its workload's track, each dispatched batch on its GPU's track,
+//!   causally linked through a `batch` argument. Admission rejections,
+//!   ladder moves and SLO alerts are instant events on the same tracks.
+//! * **Windowed series** ([`pcnn_telemetry::WindowedSeries`]): throughput,
+//!   queue depth, latency, deadline hits, ladder level, batch occupancy
+//!   and oracle error (predicted vs dispatched batch latency) per
+//!   fixed-width virtual-time window, exported as Chrome counter tracks,
+//!   manifest `window` records and Prometheus totals.
+//! * **SLO alerts**: per-workload objectives ([`SloPolicy`]) are evaluated
+//!   as each window closes; violations emit `slo.alert` instants carrying
+//!   the error-budget burn rate.
+
+use pcnn_data::WorkloadKind;
+use pcnn_gpu::GpuArch;
+use pcnn_telemetry::{self as telemetry, Value, WindowedSeries};
+
+use crate::config::{DegradationLadder, ServeWorkload, ServerConfig};
+
+/// Per-workload service-level objectives, evaluated once per virtual-time
+/// window (width [`ServerConfig::obs_window_s`]). Objectives left `None`
+/// are not monitored; a workload with every field `None` never alerts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloPolicy {
+    /// Deadline hit-rate floor for the window (`0.0 ..= 1.0`). The error
+    /// budget is `1 - min_hit_rate`; a window burns at
+    /// `miss_rate / budget`, and a burn rate above 1 alerts.
+    pub min_hit_rate: Option<f64>,
+    /// Ceiling on the window's p99 completion latency, seconds.
+    pub max_p99_s: Option<f64>,
+    /// Ceiling on the window's image-weighted mean output entropy (nats) —
+    /// alerts when degradation is trading away more accuracy than the
+    /// workload tolerates.
+    pub max_entropy: Option<f64>,
+}
+
+impl SloPolicy {
+    /// No objectives: never alerts.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The default policy a workload of `kind` gets when none is declared:
+    /// real-time demands a 95 % hit rate and p99 within its deadline,
+    /// interactive a 90 % hit rate and a 1.4-nat entropy ceiling (one rung
+    /// above the default ladder's deepest level), background nothing.
+    pub fn for_kind(kind: WorkloadKind, t_user: Option<f64>) -> Self {
+        match kind {
+            WorkloadKind::RealTime => Self {
+                min_hit_rate: Some(0.95),
+                max_p99_s: t_user,
+                max_entropy: None,
+            },
+            WorkloadKind::Interactive => Self {
+                min_hit_rate: Some(0.90),
+                max_p99_s: None,
+                max_entropy: Some(1.4),
+            },
+            WorkloadKind::Background => Self::none(),
+        }
+    }
+
+    /// Validates objective domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`pcnn_core::Error::InvalidInput`] when an objective is
+    /// outside its domain.
+    pub fn validate(&self) -> pcnn_core::Result<()> {
+        if let Some(r) = self.min_hit_rate {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(pcnn_core::Error::InvalidInput {
+                    what: "slo min_hit_rate must be within [0, 1]",
+                });
+            }
+        }
+        if let Some(p) = self.max_p99_s {
+            if !p.is_finite() || p <= 0.0 {
+                return Err(pcnn_core::Error::InvalidInput {
+                    what: "slo max_p99_s must be positive and finite",
+                });
+            }
+        }
+        if let Some(e) = self.max_entropy {
+            if !e.is_finite() || e <= 0.0 {
+                return Err(pcnn_core::Error::InvalidInput {
+                    what: "slo max_entropy must be positive and finite",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One request's worth of images inside a dispatched batch.
+pub(crate) struct BatchMember {
+    /// Request index within its workload.
+    pub req: usize,
+    /// The request's arrival time, virtual seconds.
+    pub arrival: f64,
+    /// Images of this request in this batch.
+    pub images: usize,
+}
+
+/// A request that completed (its last image finished) at this dispatch.
+pub(crate) struct Completion {
+    /// Request index within its workload.
+    pub req: usize,
+    /// End-to-end latency, seconds.
+    pub latency_s: f64,
+    /// Completion time, virtual seconds.
+    pub done: f64,
+    /// Whether the deadline was met (`true` for no-deadline workloads).
+    pub hit: bool,
+}
+
+struct SloTracker {
+    policy: SloPolicy,
+    /// First window index not yet evaluated.
+    next_window: u64,
+}
+
+/// The per-run observability recorder. Constructed only when telemetry is
+/// enabled, so the disabled path costs exactly one branch per call site.
+pub(crate) struct Obs {
+    windows: WindowedSeries,
+    labels: Vec<String>,
+    gpu_track: Vec<u64>,
+    wl_track: Vec<u64>,
+    level_entropy: Vec<f64>,
+    slo: Vec<SloTracker>,
+    next_batch: u64,
+}
+
+impl Obs {
+    /// Builds the recorder when telemetry is on, registering one pid-3
+    /// track per GPU and per workload; `None` otherwise.
+    pub(crate) fn maybe(
+        config: &ServerConfig,
+        gpus: &[&GpuArch],
+        workloads: &[ServeWorkload],
+        ladder: &DegradationLadder,
+    ) -> Option<Obs> {
+        if !telemetry::enabled() {
+            return None;
+        }
+        let gpu_track: Vec<u64> = (0..gpus.len() as u64).collect();
+        let wl_track: Vec<u64> = (0..workloads.len() as u64)
+            .map(|w| gpus.len() as u64 + w)
+            .collect();
+        for (g, arch) in gpus.iter().enumerate() {
+            telemetry::obs_track_name(gpu_track[g], &format!("gpu{g} ({})", arch.name));
+        }
+        let mut labels = Vec::with_capacity(workloads.len());
+        let mut slo = Vec::with_capacity(workloads.len());
+        for (w, workload) in workloads.iter().enumerate() {
+            telemetry::obs_track_name(wl_track[w], &format!("workload: {}", workload.app.name));
+            labels.push(workload.app.name.clone());
+            let policy = workload
+                .slo
+                .clone()
+                .unwrap_or_else(|| SloPolicy::for_kind(workload.app.kind, workload.t_user()));
+            slo.push(SloTracker {
+                policy,
+                next_window: 0,
+            });
+        }
+        Some(Obs {
+            windows: WindowedSeries::new(config.obs_window_s),
+            labels,
+            gpu_track,
+            wl_track,
+            level_entropy: ladder.levels.iter().map(|l| l.entropy).collect(),
+            slo,
+            next_batch: 0,
+        })
+    }
+
+    /// Records one arrival: admitted/rejected image counts and the queue
+    /// depth after admission.
+    pub(crate) fn on_arrival(
+        &mut self,
+        w: usize,
+        req: usize,
+        t: f64,
+        admitted: usize,
+        rejected: usize,
+        queue_len: usize,
+    ) {
+        self.advance(t);
+        let label = &self.labels[w];
+        if admitted > 0 {
+            self.windows
+                .add(t, "serve.admitted", label, admitted as u64);
+        }
+        if rejected > 0 {
+            self.windows
+                .add(t, "serve.rejected", label, rejected as u64);
+            telemetry::obs_instant("admission.reject", self.wl_track[w], t * 1e6, || {
+                vec![
+                    ("req", Value::U64(req as u64)),
+                    ("images", Value::U64(rejected as u64)),
+                ]
+            });
+        }
+        self.windows
+            .observe(t, "serve.queue_depth", label, queue_len as f64);
+    }
+
+    /// Records a ladder move (`up` = deeper / more perforation).
+    pub(crate) fn on_degrade(&mut self, w: usize, t: f64, level: usize, up: bool) {
+        self.advance(t);
+        let name = if up { "degrade.up" } else { "degrade.down" };
+        telemetry::obs_instant(name, self.wl_track[w], t * 1e6, || {
+            vec![("level", Value::U64(level as u64))]
+        });
+    }
+
+    /// Records one dispatched batch: the batch slice on the GPU track,
+    /// queue/execute slices per member request on the workload track
+    /// (causally linked via the batch id), windowed dispatch metrics, and
+    /// the completions this batch finishes.
+    ///
+    /// `planned_s` is the latency the batcher *planned* for (reference
+    /// GPU, pre-adjustment ladder level and size); `actual_s` is the
+    /// dispatched batch's simulated latency — their relative gap is the
+    /// oracle error.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_dispatch(
+        &mut self,
+        w: usize,
+        g: usize,
+        now: f64,
+        finish: f64,
+        level: usize,
+        size: usize,
+        target_batch: usize,
+        planned_s: f64,
+        actual_s: f64,
+        members: &[BatchMember],
+        completions: &[Completion],
+    ) {
+        self.advance(now);
+        let label = self.labels[w].clone();
+        let batch = self.next_batch;
+        self.next_batch += 1;
+        let batch_name = format!("batch {batch}: {label} x{size} L{level}");
+        telemetry::obs_slice(
+            &batch_name,
+            self.gpu_track[g],
+            now * 1e6,
+            (finish - now) * 1e6,
+            || {
+                vec![
+                    ("batch", Value::U64(batch)),
+                    ("workload", Value::Str(label.clone())),
+                    ("size", Value::U64(size as u64)),
+                    ("level", Value::U64(level as u64)),
+                    ("planned_s", Value::F64(planned_s)),
+                    ("actual_s", Value::F64(actual_s)),
+                ]
+            },
+        );
+        for m in members {
+            let queue_name = format!("req {label}#{}: queue", m.req);
+            let exec_name = format!("req {label}#{}: execute", m.req);
+            telemetry::obs_slice(
+                &queue_name,
+                self.wl_track[w],
+                m.arrival * 1e6,
+                (now - m.arrival).max(0.0) * 1e6,
+                || {
+                    vec![
+                        ("batch", Value::U64(batch)),
+                        ("images", Value::U64(m.images as u64)),
+                    ]
+                },
+            );
+            telemetry::obs_slice(
+                &exec_name,
+                self.wl_track[w],
+                now * 1e6,
+                (finish - now) * 1e6,
+                || {
+                    vec![
+                        ("batch", Value::U64(batch)),
+                        ("gpu", Value::U64(g as u64)),
+                        ("images", Value::U64(m.images as u64)),
+                    ]
+                },
+            );
+        }
+        // Windowed dispatch metrics: level/occupancy/oracle error at the
+        // dispatch instant, throughput and entropy at the finish instant.
+        self.windows
+            .observe(now, "serve.level", &label, level as f64);
+        self.windows.observe(
+            now,
+            "serve.batch_occupancy",
+            &label,
+            size as f64 / target_batch.max(1) as f64,
+        );
+        let oracle_err = (planned_s - actual_s).abs() / actual_s.max(1e-12);
+        self.windows
+            .observe(now, "serve.oracle_error", &label, oracle_err);
+        self.windows
+            .add(finish, "serve.throughput", &label, size as u64);
+        self.windows
+            .add(now, "serve.dispatches", &format!("gpu{g}"), 1);
+        let entropy = self.level_entropy[level];
+        for _ in 0..size {
+            self.windows
+                .observe(finish, "serve.entropy", &label, entropy);
+        }
+        for c in completions {
+            self.windows
+                .observe(c.done, "serve.latency_s", &label, c.latency_s);
+            self.windows.add(c.done, "serve.deadline_total", &label, 1);
+            if c.hit {
+                self.windows.add(c.done, "serve.deadline_hits", &label, 1);
+            }
+            telemetry::obs_instant("request.complete", self.wl_track[w], c.done * 1e6, || {
+                vec![
+                    ("req", Value::U64(c.req as u64)),
+                    ("latency_s", Value::F64(c.latency_s)),
+                    ("hit", Value::Bool(c.hit)),
+                ]
+            });
+        }
+    }
+
+    /// Finalizes every window strictly below the one containing `now`,
+    /// evaluating each workload's SLO over the closed windows. Safe to
+    /// call on every event: the simulator's clock is monotonic, so all
+    /// future records land in the window containing `now` or later.
+    pub(crate) fn advance(&mut self, now: f64) {
+        let upto = self.windows.index_of(now);
+        for w in 0..self.slo.len() {
+            while self.slo[w].next_window < upto {
+                let idx = self.slo[w].next_window;
+                self.slo[w].next_window += 1;
+                self.evaluate_window(w, idx);
+            }
+        }
+    }
+
+    /// Flushes every remaining window (through the last one holding data)
+    /// and merges the windowed series into the global telemetry sink.
+    pub(crate) fn finish(&mut self) {
+        let last = self.windows.last_index().unwrap_or(0);
+        for w in 0..self.slo.len() {
+            while self.slo[w].next_window <= last {
+                let idx = self.slo[w].next_window;
+                self.slo[w].next_window += 1;
+                self.evaluate_window(w, idx);
+            }
+        }
+        telemetry::merge_windowed(&self.windows);
+    }
+
+    /// Evaluates workload `w`'s SLO over closed window `idx`, emitting one
+    /// `slo.alert` instant per violated objective.
+    fn evaluate_window(&mut self, w: usize, idx: u64) {
+        let policy = self.slo[w].policy.clone();
+        let label = self.labels[w].clone();
+        let (start_s, _end_s) = self.windows.bounds(idx);
+        let mut violations: Vec<(&'static str, f64, f64, f64)> = Vec::new();
+        if let Some(min_hit) = policy.min_hit_rate {
+            let total = self.windows.counter_in(idx, "serve.deadline_total", &label);
+            if total > 0 {
+                let hits = self.windows.counter_in(idx, "serve.deadline_hits", &label);
+                let hit_rate = hits as f64 / total as f64;
+                let budget = (1.0 - min_hit).max(1e-9);
+                let burn = (1.0 - hit_rate) / budget;
+                if burn > 1.0 {
+                    violations.push(("deadline_hit_rate", hit_rate, min_hit, burn));
+                }
+            }
+        }
+        if let Some(max_p99) = policy.max_p99_s {
+            if let Some(h) = self.windows.histogram_in(idx, "serve.latency_s", &label) {
+                let p99 = h.quantile(0.99);
+                if p99 > max_p99 {
+                    violations.push(("p99_latency_s", p99, max_p99, p99 / max_p99));
+                }
+            }
+        }
+        if let Some(max_entropy) = policy.max_entropy {
+            if let Some(h) = self.windows.histogram_in(idx, "serve.entropy", &label) {
+                let mean = h.mean();
+                if mean > max_entropy {
+                    violations.push(("entropy", mean, max_entropy, mean / max_entropy));
+                }
+            }
+        }
+        for (metric, observed, objective, burn) in violations {
+            self.windows.add(start_s, "serve.slo_alerts", &label, 1);
+            telemetry::obs_instant("slo.alert", self.wl_track[w], start_s * 1e6, || {
+                vec![
+                    ("workload", Value::Str(label.clone())),
+                    ("window", Value::U64(idx)),
+                    ("metric", Value::Str(metric.to_string())),
+                    ("observed", Value::F64(observed)),
+                    ("objective", Value::F64(objective)),
+                    ("burn_rate", Value::F64(burn)),
+                ]
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policies_match_kinds() {
+        let rt = SloPolicy::for_kind(WorkloadKind::RealTime, Some(0.05));
+        assert_eq!(rt.min_hit_rate, Some(0.95));
+        assert_eq!(rt.max_p99_s, Some(0.05));
+        let bg = SloPolicy::for_kind(WorkloadKind::Background, None);
+        assert_eq!(bg, SloPolicy::none());
+    }
+
+    #[test]
+    fn policy_validation_rejects_bad_domains() {
+        assert!(SloPolicy::none().validate().is_ok());
+        let bad_rate = SloPolicy {
+            min_hit_rate: Some(1.5),
+            ..SloPolicy::none()
+        };
+        assert!(bad_rate.validate().is_err());
+        let bad_p99 = SloPolicy {
+            max_p99_s: Some(0.0),
+            ..SloPolicy::none()
+        };
+        assert!(bad_p99.validate().is_err());
+        let bad_entropy = SloPolicy {
+            max_entropy: Some(f64::NAN),
+            ..SloPolicy::none()
+        };
+        assert!(bad_entropy.validate().is_err());
+    }
+}

@@ -14,6 +14,7 @@ use pcnn_gpu::{EnergyBreakdown, GpuArch};
 use pcnn_nn::spec::NetworkSpec;
 
 use crate::config::{DegradationLadder, ServeWorkload, ServerConfig};
+use crate::obs::{BatchMember, Completion, Obs};
 use crate::report::{GpuReport, LatencyStats, ServeReport, WorkloadReport};
 
 const EPS: f64 = 1e-12;
@@ -117,16 +118,19 @@ fn kind_rank(kind: WorkloadKind) -> u8 {
 /// use pcnn_core::prelude::AppSpec;
 /// use pcnn_serve::{DegradationLadder, Server, ServerConfig, ServeWorkload};
 ///
+/// # fn main() -> pcnn_core::Result<()> {
 /// let spec = alexnet();
 /// let ladder = DegradationLadder::default_ladder(spec.conv_layers().len());
-/// let mut server = Server::new(vec![&K20C], &spec, ladder, ServerConfig::default()).unwrap();
+/// let mut server = Server::new(vec![&K20C], &spec, ladder, ServerConfig::default())?;
 /// server.add_workload(ServeWorkload::new(
 ///     AppSpec::age_detection(),
 ///     RequestTrace::poisson(WorkloadKind::Interactive, 100, 20.0, 7),
 ///     64,
 /// ));
-/// let report = server.run().unwrap();
+/// let report = server.run()?;
 /// println!("{}", report.to_json());
+/// # Ok(())
+/// # }
 /// ```
 pub struct Server<'a> {
     gpus: Vec<&'a GpuArch>,
@@ -142,9 +146,9 @@ impl<'a> Server<'a> {
     /// # Errors
     ///
     /// Returns [`Error::InvalidInput`] if `gpus` is empty, the ladder has
-    /// no levels, or `config.max_batch == 0`, and
-    /// [`Error::RateLenMismatch`] if any ladder level's rate vector does
-    /// not match the network's conv-layer count.
+    /// no levels, `config.max_batch == 0` or `config.obs_window_s` is not
+    /// positive and finite, and [`Error::RateLenMismatch`] if any ladder
+    /// level's rate vector does not match the network's conv-layer count.
     pub fn new(
         gpus: Vec<&'a GpuArch>,
         spec: &'a NetworkSpec,
@@ -164,6 +168,11 @@ impl<'a> Server<'a> {
         if config.max_batch == 0 {
             return Err(Error::InvalidInput {
                 what: "max_batch must be at least 1",
+            });
+        }
+        if !config.obs_window_s.is_finite() || config.obs_window_s <= 0.0 {
+            return Err(Error::InvalidInput {
+                what: "obs_window_s must be positive and finite",
             });
         }
         let n_convs = spec.conv_layers().len();
@@ -255,22 +264,32 @@ impl<'a> Server<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidInput`] if no workload was registered and
-    /// [`Error::InfeasibleSchedule`] if some deadline workload cannot
-    /// meet `T_user` even at batch 1 on the deepest usable ladder level —
-    /// admission control rejects the whole workload up front rather than
-    /// accepting requests it can never serve in time.
+    /// Returns [`Error::InvalidInput`] if no workload was registered or a
+    /// declared [`crate::obs::SloPolicy`] has an objective outside its
+    /// domain, and [`Error::InfeasibleSchedule`] if some deadline workload
+    /// cannot meet `T_user` even at batch 1 on the deepest usable ladder
+    /// level — admission control rejects the whole workload up front
+    /// rather than accepting requests it can never serve in time.
     pub fn run(&self) -> Result<ServeReport> {
         if self.workloads.is_empty() {
             return Err(Error::InvalidInput {
                 what: "server has no workloads",
             });
         }
+        for w in &self.workloads {
+            if let Some(slo) = &w.slo {
+                slo.validate()?;
+            }
+        }
         let _span = pcnn_telemetry::span!(
             "serve.run",
             gpus = self.gpus.len(),
             workloads = self.workloads.len()
         );
+        // The recorder exists only while telemetry is enabled; with it
+        // disabled the serving decisions and the report are bit-for-bit
+        // the code paths of the un-instrumented server.
+        let mut obs = Obs::maybe(&self.config, &self.gpus, &self.workloads, &self.ladder);
         let mut costs = CostModel::new(&self.gpus, self.spec, &self.ladder);
         let deepest = if self.config.degradation {
             self.ladder.max_level()
@@ -357,6 +376,8 @@ impl<'a> Server<'a> {
                 let cap = self.workloads[w].queue_capacity;
                 let ws = &mut wstates[w];
                 ws.arrivals_left -= 1;
+                let mut admitted = 0usize;
+                let mut rejected = 0usize;
                 for _ in 0..n {
                     if ws.queue.len() < cap {
                         ws.queue.push_back(QItem {
@@ -365,13 +386,18 @@ impl<'a> Server<'a> {
                         });
                         ws.reqs[ri].admitted += 1;
                         ws.reqs[ri].remaining += 1;
+                        admitted += 1;
                     } else {
                         ws.reqs[ri].rejected = true;
                         ws.rejected_images += 1;
+                        rejected += 1;
                         pcnn_telemetry::counter("serve.rejected", 1);
                     }
                 }
                 pcnn_telemetry::histogram("serve.queue_depth", ws.queue.len() as f64);
+                if let Some(o) = obs.as_mut() {
+                    o.on_arrival(w, ri, t, admitted, rejected, ws.queue.len());
+                }
             }
 
             // 2. Dispatch onto idle GPUs until nothing more can start.
@@ -427,7 +453,7 @@ impl<'a> Server<'a> {
                             continue;
                         }
                     }
-                    self.dispatch(w, g, now, &mut wstates, &mut gstates, &mut costs)?;
+                    self.dispatch(w, g, now, &mut wstates, &mut gstates, &mut costs, &mut obs)?;
                     continue 'dispatch;
                 }
                 break;
@@ -458,12 +484,16 @@ impl<'a> Server<'a> {
             now = next;
         }
 
+        if let Some(o) = obs.as_mut() {
+            o.finish();
+        }
         self.build_report(wstates, gstates)
     }
 
     /// Dispatches one batch from workload `w` onto GPU `g` at time `now`,
     /// walking the degradation ladder first if the head deadline or queue
     /// pressure demands it, and back up when things have been calm.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         w: usize,
@@ -472,12 +502,21 @@ impl<'a> Server<'a> {
         wstates: &mut [WState],
         gstates: &mut [GState],
         costs: &mut CostModel,
+        obs: &mut Option<Obs>,
     ) -> Result<()> {
         let cap = self.workloads[w].queue_capacity;
         let max_level = self.ladder.max_level();
         let ws = &mut wstates[w];
         let q = ws.queue.len();
         let mut size = q.min(ws.target_batch);
+        // What the batcher planned for before any escalation or shrink:
+        // the oracle-error metric compares this against the dispatched
+        // batch's latency. Only the recorder reads it.
+        let planned_s = if obs.is_some() {
+            costs.cost(0, ws.level, size)?.seconds
+        } else {
+            0.0
+        };
         if let Some(t_user) = ws.t_user {
             // Escalate on queue pressure before it turns into misses.
             if self.config.degradation
@@ -488,7 +527,13 @@ impl<'a> Server<'a> {
                 ws.degrade_up += 1;
                 ws.calm = 0;
                 pcnn_telemetry::counter("serve.degrade.up", 1);
+                if let Some(o) = obs.as_mut() {
+                    o.on_degrade(w, now, ws.level, true);
+                }
             }
+            // Invariant: `dispatchable` required a non-empty queue before
+            // this workload was selected, and nothing pops between there
+            // and here.
             let head_deadline = ws.queue.front().expect("non-empty queue").arrival + t_user;
             let mut meets = |level: usize, s: usize| -> Result<bool> {
                 Ok(now + costs.cost(g, level, s)?.seconds <= head_deadline + EPS)
@@ -518,6 +563,9 @@ impl<'a> Server<'a> {
                         ws.degrade_up += 1;
                         ws.calm = 0;
                         pcnn_telemetry::counter("serve.degrade.up", 1);
+                        if let Some(o) = obs.as_mut() {
+                            o.on_degrade(w, now, ws.level, true);
+                        }
                     }
                     if !meets(ws.level, size)? {
                         if let Some(s) = shrink(&mut |l, s| meets(l, s), ws.level, size)? {
@@ -532,7 +580,11 @@ impl<'a> Server<'a> {
         let cost = costs.cost(g, ws.level, size)?;
         let finish = now + cost.seconds;
         let mut earliest_arrival = f64::INFINITY;
+        let mut members: Vec<BatchMember> = Vec::new();
+        let mut completions: Vec<Completion> = Vec::new();
         for _ in 0..size {
+            // Invariant: `size` is clamped to the queue length above, so
+            // exactly `size` items are poppable.
             let item = ws.queue.pop_front().expect("sized pop");
             earliest_arrival = earliest_arrival.min(item.arrival);
             let r = &mut ws.reqs[item.req];
@@ -540,6 +592,27 @@ impl<'a> Server<'a> {
             r.done = r.done.max(finish);
             ws.served_images += 1;
             ws.images_at_level[ws.level] += 1;
+            if obs.is_some() {
+                // A request's images arrive together, so they sit
+                // contiguously in the queue: extend the last member.
+                match members.last_mut() {
+                    Some(m) if m.req == item.req => m.images += 1,
+                    _ => members.push(BatchMember {
+                        req: item.req,
+                        arrival: item.arrival,
+                        images: 1,
+                    }),
+                }
+                if r.remaining == 0 && r.admitted > 0 && !r.rejected {
+                    let latency_s = r.done - r.arrival;
+                    completions.push(Completion {
+                        req: item.req,
+                        latency_s,
+                        done: r.done,
+                        hit: ws.t_user.map(|t| latency_s <= t + EPS).unwrap_or(true),
+                    });
+                }
+            }
         }
         ws.energy = ws.energy.plus(&cost.energy);
         ws.last_finish = ws.last_finish.max(finish);
@@ -552,14 +625,21 @@ impl<'a> Server<'a> {
             "serve.batch_occupancy",
             size as f64 / ws.target_batch as f64,
         );
-        pcnn_telemetry::event!(
-            "serve.dispatch",
-            workload = self.workloads[w].app.name.as_str(),
-            gpu = g,
-            size = size,
-            level = ws.level,
-            finish_s = finish
-        );
+        if let Some(o) = obs.as_mut() {
+            o.on_dispatch(
+                w,
+                g,
+                now,
+                finish,
+                ws.level,
+                size,
+                ws.target_batch,
+                planned_s,
+                cost.seconds,
+                &members,
+                &completions,
+            );
+        }
 
         // Restore path: enough consecutive calm dispatches (short queue,
         // comfortable slack) walk the ladder back up.
@@ -574,6 +654,9 @@ impl<'a> Server<'a> {
                         ws.degrade_down += 1;
                         ws.calm = 0;
                         pcnn_telemetry::counter("serve.degrade.down", 1);
+                        if let Some(o) = obs.as_mut() {
+                            o.on_degrade(w, now, ws.level, false);
+                        }
                     }
                 } else {
                     ws.calm = 0;

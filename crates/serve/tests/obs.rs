@@ -1,0 +1,157 @@
+//! Observability acceptance tests: the recorder must never change the
+//! serving outcome, and seeded traces must be byte-identical.
+//!
+//! Telemetry state is process-global, so every test that touches it
+//! serializes on one lock and restores the disabled state before
+//! releasing it.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use pcnn_core::prelude::*;
+use pcnn_data::{RequestTrace, WorkloadKind};
+use pcnn_gpu::arch::K20C;
+use pcnn_nn::spec::{ConvSpec, FcSpec, LayerSpec, NetworkSpec};
+use pcnn_serve::{DegradationLadder, ServeWorkload, Server, ServerConfig, SloPolicy};
+
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn tiny_net() -> NetworkSpec {
+    NetworkSpec {
+        name: "TinyObs".into(),
+        input_elems: 16 * 32 * 32,
+        layers: vec![
+            LayerSpec::Conv(ConvSpec::new("CONV1", 64, 3, 16, 32, 32, 1, 1, 1)),
+            LayerSpec::Conv(ConvSpec::new("CONV2", 128, 3, 64, 16, 16, 1, 1, 1)),
+            LayerSpec::Fc(FcSpec {
+                name: "FC".into(),
+                in_features: 128 * 8 * 8,
+                out_features: 10,
+            }),
+        ],
+    }
+}
+
+const BATCH: usize = 8;
+
+fn batch_cost(spec: &NetworkSpec) -> f64 {
+    let schedule = OfflineCompiler::new(&K20C, spec)
+        .try_compile_batch(BATCH)
+        .unwrap();
+    simulate_schedule(&K20C, &schedule).seconds
+}
+
+/// A 1.5x-overloaded interactive workload (the canonical overload level),
+/// optionally with explicit SLO objectives.
+fn overload_workload(spec: &NetworkSpec, slo: Option<SloPolicy>) -> ServeWorkload {
+    let c = batch_cost(spec);
+    let throughput = BATCH as f64 / c;
+    let t_user = 5.0 * c;
+    let trace = RequestTrace::poisson(WorkloadKind::Interactive, 300, 1.5 * throughput, 42);
+    let app = AppSpec {
+        name: "obs overload".into(),
+        kind: WorkloadKind::Interactive,
+        data_rate: 1.5 * throughput,
+        accuracy_sensitive: false,
+    };
+    let mut w = ServeWorkload::new(app, trace, 256);
+    w.req.t_imperceptible = Some(t_user);
+    w.req.t_unusable = Some(20.0 * t_user);
+    if let Some(slo) = slo {
+        w = w.with_slo(slo);
+    }
+    w
+}
+
+fn run_report(spec: &NetworkSpec, slo: Option<SloPolicy>) -> String {
+    let c = batch_cost(spec);
+    let config = ServerConfig {
+        max_batch: BATCH,
+        // A window ~10 batch times wide, so the run spans many windows.
+        obs_window_s: 10.0 * c,
+        ..ServerConfig::default()
+    };
+    let ladder = DegradationLadder::default_ladder(spec.conv_layers().len());
+    let mut server = Server::new(vec![&K20C], spec, ladder, config).unwrap();
+    server.add_workload(overload_workload(spec, slo));
+    server.run().unwrap().to_json()
+}
+
+#[test]
+fn report_is_byte_identical_with_telemetry_on() {
+    let spec = tiny_net();
+    let _guard = telemetry_lock();
+    pcnn_telemetry::set_enabled(false);
+    let off = run_report(&spec, None);
+
+    pcnn_telemetry::set_enabled(true);
+    pcnn_telemetry::reset();
+    let on = run_report(&spec, None);
+    pcnn_telemetry::set_enabled(false);
+
+    assert_eq!(off, on, "observability changed the serving outcome");
+}
+
+#[test]
+fn seeded_traces_are_byte_identical() {
+    let spec = tiny_net();
+    let _guard = telemetry_lock();
+    let traced_run = || {
+        pcnn_telemetry::set_enabled(true);
+        pcnn_telemetry::reset();
+        pcnn_telemetry::set_export_mode(pcnn_telemetry::ExportMode::Deterministic);
+        run_report(&spec, None);
+        let trace = pcnn_telemetry::render_chrome_trace();
+        let manifest = pcnn_telemetry::render_manifest();
+        pcnn_telemetry::set_export_mode(pcnn_telemetry::ExportMode::Full);
+        pcnn_telemetry::set_enabled(false);
+        (trace, manifest)
+    };
+    let (trace_a, manifest_a) = traced_run();
+    let (trace_b, manifest_b) = traced_run();
+    assert_eq!(trace_a, trace_b, "seeded traces differ");
+    assert_eq!(manifest_a, manifest_b, "seeded manifests differ");
+
+    // The trace carries the full request lifecycle on named tracks.
+    assert!(trace_a.contains("\"gpu0 (K20c)\""));
+    assert!(trace_a.contains("\"workload: obs overload\""));
+    assert!(trace_a.contains(": queue\""));
+    assert!(trace_a.contains(": execute\""));
+    assert!(trace_a.contains("\"batch 0: obs overload"));
+    assert!(trace_a.contains("request.complete"));
+    // Windowed series ride along as counter events.
+    assert!(trace_a.contains("serve.throughput [obs overload]"));
+}
+
+#[test]
+fn overload_fires_slo_alerts_in_the_trace() {
+    let spec = tiny_net();
+    let _guard = telemetry_lock();
+    pcnn_telemetry::set_enabled(true);
+    pcnn_telemetry::reset();
+    pcnn_telemetry::set_export_mode(pcnn_telemetry::ExportMode::Deterministic);
+    // Objectives the 1.5x overload cannot hold: a near-perfect hit rate
+    // and an entropy ceiling below the first degradation rung.
+    let slo = SloPolicy {
+        min_hit_rate: Some(0.95),
+        max_p99_s: None,
+        max_entropy: Some(1.0),
+    };
+    run_report(&spec, Some(slo));
+    let trace = pcnn_telemetry::render_chrome_trace();
+    let manifest = pcnn_telemetry::render_manifest();
+    pcnn_telemetry::set_export_mode(pcnn_telemetry::ExportMode::Full);
+    pcnn_telemetry::set_enabled(false);
+
+    assert!(
+        trace.contains("\"slo.alert\""),
+        "no SLO alert fired under 1.5x overload"
+    );
+    assert!(trace.contains("serve.slo_alerts [obs overload]"));
+    // The manifest carries the same windows and alert counters.
+    assert!(manifest.contains("\"serve.slo_alerts\""));
+}

@@ -254,6 +254,41 @@ fn constructor_rejects_bad_inputs() {
 }
 
 #[test]
+fn observability_config_errors_are_typed() {
+    let spec = tiny_net();
+    let ladder = DegradationLadder::default_ladder(spec.conv_layers().len());
+
+    // A non-positive observability window is rejected at construction,
+    // even though it is only ever read when telemetry is enabled.
+    let bad_window = ServerConfig {
+        obs_window_s: 0.0,
+        ..config()
+    };
+    assert!(matches!(
+        Server::new(vec![&K20C], &spec, ladder.clone(), bad_window),
+        Err(Error::InvalidInput {
+            what: "obs_window_s must be positive and finite"
+        })
+    ));
+
+    // An out-of-domain SLO policy is a typed error from `run()`, not a
+    // silent misconfiguration of the monitor.
+    let (workload, _) = interactive_workload(&spec, 0.5, 10, 64, 1);
+    let bad_slo = pcnn_serve::SloPolicy {
+        min_hit_rate: Some(1.5),
+        ..pcnn_serve::SloPolicy::none()
+    };
+    let mut server = Server::new(vec![&K20C], &spec, ladder, config()).unwrap();
+    server.add_workload(workload.with_slo(bad_slo));
+    assert!(matches!(
+        server.run(),
+        Err(Error::InvalidInput {
+            what: "slo min_hit_rate must be within [0, 1]"
+        })
+    ));
+}
+
+#[test]
 fn two_gpus_serve_faster_than_one() {
     let spec = tiny_net();
     let ladder = DegradationLadder::none(spec.conv_layers().len(), 0.9);

@@ -49,6 +49,10 @@
 //! ```
 
 pub mod json;
+pub mod prom;
+pub mod windowed;
+
+pub use windowed::WindowedSeries;
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -222,6 +226,49 @@ impl Histogram {
         }
     }
 
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the observed distribution,
+    /// linearly interpolated inside the log2 bucket the quantile rank
+    /// falls into and clamped to the exact observed `[min, max]` range.
+    /// Returns 0 for an empty histogram.
+    ///
+    /// Because buckets are powers of two, the interpolation error is
+    /// bounded by the bucket width (a factor of 2); the min/max clamp
+    /// makes the extreme quantiles exact.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        if q == 0.0 {
+            return self.min;
+        }
+        // Nearest-rank target: the k-th smallest observation with
+        // k = ceil(q * count), clamped to [1, count].
+        let target = (q * self.count as f64).ceil().max(1.0);
+        let mut below = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let through = below + n;
+            if (through as f64) >= target {
+                let lo = bucket_low(i);
+                let hi = lo * 2.0;
+                // Fraction of this bucket's observations at or below the
+                // target rank, assuming a uniform spread inside the bucket.
+                let frac = ((target - below as f64) / n as f64).clamp(0.0, 1.0);
+                let v = lo + (hi - lo) * frac;
+                return v.clamp(self.min, self.max);
+            }
+            below = through;
+        }
+        self.max
+    }
+
     /// Folds another histogram in. Merging is commutative and associative
     /// (up to float summation order in `sum`).
     pub fn merge(&mut self, other: &Histogram) {
@@ -243,6 +290,32 @@ enum EventKind {
     Instant,
     /// A slice on the simulated-time process.
     SimSlice { dur_us: f64 },
+    /// A virtual-time slice on the observability process (pid 3) —
+    /// deterministic per run, unlike wall-clock spans.
+    ObsSlice { dur_us: f64 },
+    /// A virtual-time instant on the observability process.
+    ObsInstant,
+}
+
+impl EventKind {
+    /// Whether this event is stamped purely in virtual time (and thus
+    /// survives deterministic export).
+    fn is_virtual(&self) -> bool {
+        matches!(self, EventKind::ObsSlice { .. } | EventKind::ObsInstant)
+    }
+}
+
+/// What the exporters include.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExportMode {
+    /// Everything: wall-clock spans, instants, simulated-time slices,
+    /// observability events and windowed series.
+    #[default]
+    Full,
+    /// Only data stamped in *virtual* time — observability events, their
+    /// track names and windowed series. Byte-identical across runs with
+    /// identical inputs, which is what regression tests diff.
+    Deterministic,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -305,6 +378,33 @@ impl Metrics {
 struct Collector {
     metrics: Metrics,
     events: Vec<TraceEvent>,
+    /// Track-name metadata for the observability process, in
+    /// registration order: `(track id, name)`.
+    obs_tracks: Vec<(u64, String)>,
+    /// Windowed virtual-time series merged in at run end.
+    windowed: Vec<windowed::WindowedSeries>,
+}
+
+static EXPORT_MODE: AtomicU64 = AtomicU64::new(0);
+
+/// Selects what [`render_chrome_trace`] / [`render_manifest`] (and the
+/// file exporters) include. Defaults to [`ExportMode::Full`].
+pub fn set_export_mode(mode: ExportMode) {
+    EXPORT_MODE.store(
+        match mode {
+            ExportMode::Full => 0,
+            ExportMode::Deterministic => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The current export mode.
+pub fn export_mode() -> ExportMode {
+    match EXPORT_MODE.load(Ordering::Relaxed) {
+        1 => ExportMode::Deterministic,
+        _ => ExportMode::Full,
+    }
 }
 
 /// Adds `delta` to the global counter `name`. No-op while disabled.
@@ -449,6 +549,83 @@ pub fn sim_slice(name: &str, track: u64, ts_us: f64, dur_us: f64) {
     collector().lock().expect("telemetry lock").events.push(ev);
 }
 
+/// Names a track on the observability process (pid 3) — e.g. one track
+/// per GPU and one per workload. Registration order is preserved, so a
+/// deterministic caller yields a deterministic export. No-op while
+/// disabled; re-registering a track overwrites its name.
+pub fn obs_track_name(track: u64, name: &str) {
+    if !enabled() {
+        return;
+    }
+    let mut c = collector().lock().expect("telemetry lock");
+    if let Some(entry) = c.obs_tracks.iter_mut().find(|(t, _)| *t == track) {
+        entry.1 = name.to_string();
+    } else {
+        c.obs_tracks.push((track, name.to_string()));
+    }
+}
+
+/// Places a slice on the observability process (pid 3): `ts_us`/`dur_us`
+/// are in *virtual* microseconds, so the event is a pure function of the
+/// simulation inputs and survives [`ExportMode::Deterministic`] export.
+/// `args` is only invoked when telemetry is enabled.
+pub fn obs_slice(
+    name: &str,
+    track: u64,
+    ts_us: f64,
+    dur_us: f64,
+    args: impl FnOnce() -> Vec<(&'static str, Value)>,
+) {
+    if !enabled() {
+        return;
+    }
+    let ev = TraceEvent {
+        name: name.to_string(),
+        ts_us,
+        tid: track,
+        depth: 0,
+        kind: EventKind::ObsSlice { dur_us },
+        args: args(),
+    };
+    collector().lock().expect("telemetry lock").events.push(ev);
+}
+
+/// Records a virtual-time instant on the observability process (pid 3).
+/// `args` is only invoked when telemetry is enabled.
+pub fn obs_instant(
+    name: &str,
+    track: u64,
+    ts_us: f64,
+    args: impl FnOnce() -> Vec<(&'static str, Value)>,
+) {
+    if !enabled() {
+        return;
+    }
+    let ev = TraceEvent {
+        name: name.to_string(),
+        ts_us,
+        tid: track,
+        depth: 0,
+        kind: EventKind::ObsInstant,
+        args: args(),
+    };
+    collector().lock().expect("telemetry lock").events.push(ev);
+}
+
+/// Merges a windowed virtual-time series into the global sink for
+/// export (Chrome counter track, manifest `window` records, Prometheus
+/// totals). No-op while disabled.
+pub fn merge_windowed(series: &windowed::WindowedSeries) {
+    if !enabled() || series.is_empty() {
+        return;
+    }
+    collector()
+        .lock()
+        .expect("telemetry lock")
+        .windowed
+        .push(series.clone());
+}
+
 /// Opens a timed span guard: `span!("name")` or
 /// `span!("name", key = value, ...)`. Argument expressions are not
 /// evaluated while telemetry is disabled.
@@ -497,9 +674,13 @@ fn write_args(out: &mut String, args: &[(&'static str, Value)]) {
 }
 
 /// Renders the Chrome trace-event document (what [`export_chrome_trace`]
-/// writes) as a string.
+/// writes) as a string. Under [`ExportMode::Deterministic`] only
+/// virtual-time data is included (observability events, their track
+/// names, windowed counter tracks), so the document is byte-identical
+/// across runs with identical simulation inputs.
 pub fn render_chrome_trace() -> String {
     let c = collector().lock().expect("telemetry lock");
+    let mode = export_mode();
     let mut out = String::from("[\n");
     let mut first = true;
     let mut push_event = |line: String, out: &mut String| {
@@ -509,8 +690,16 @@ pub fn render_chrome_trace() -> String {
         first = false;
         out.push_str(&line);
     };
-    // Process-name metadata so Perfetto labels the two tracks.
-    for (pid, label) in [(1, "wall clock"), (2, "simulated time")] {
+    // Process-name metadata so Perfetto labels the tracks.
+    let processes: &[(u64, &str)] = match mode {
+        ExportMode::Full => &[
+            (1, "wall clock"),
+            (2, "simulated time"),
+            (3, "serving (virtual time)"),
+        ],
+        ExportMode::Deterministic => &[(3, "serving (virtual time)")],
+    };
+    for &(pid, label) in processes {
         push_event(
             format!(
                 "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
@@ -519,13 +708,26 @@ pub fn render_chrome_trace() -> String {
             &mut out,
         );
     }
+    for (tid, name) in &c.obs_tracks {
+        let mut line = format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":3,\"tid\":{tid},\"args\":{{\"name\":"
+        );
+        json::write_escaped(&mut line, name);
+        line.push_str("}}");
+        push_event(line, &mut out);
+    }
     for ev in &c.events {
+        if mode == ExportMode::Deterministic && !ev.kind.is_virtual() {
+            continue;
+        }
         let mut line = String::from("{\"name\":");
         json::write_escaped(&mut line, &ev.name);
         let (ph, pid, dur) = match ev.kind {
             EventKind::Complete { dur_us } => ("X", 1, Some(dur_us)),
             EventKind::Instant => ("i", 1, None),
             EventKind::SimSlice { dur_us } => ("X", 2, Some(dur_us)),
+            EventKind::ObsSlice { dur_us } => ("X", 3, Some(dur_us)),
+            EventKind::ObsInstant => ("i", 3, None),
         };
         line.push_str(&format!(
             ",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{}",
@@ -537,7 +739,7 @@ pub fn render_chrome_trace() -> String {
             line.push_str(",\"dur\":");
             json::write_number(&mut line, d.max(0.0));
         }
-        if matches!(ev.kind, EventKind::Instant) {
+        if matches!(ev.kind, EventKind::Instant | EventKind::ObsInstant) {
             line.push_str(",\"s\":\"t\"");
         }
         line.push_str(",\"args\":");
@@ -545,84 +747,172 @@ pub fn render_chrome_trace() -> String {
         line.push('}');
         push_event(line, &mut out);
     }
+    // Windowed series plot as counter tracks on the virtual-time process:
+    // one "C" sample per window at the window's start.
+    for series in &c.windowed {
+        for rec in series.records() {
+            let mut line = String::from("{\"name\":");
+            if rec.label.is_empty() {
+                json::write_escaped(&mut line, rec.name);
+            } else {
+                json::write_escaped(&mut line, &format!("{} [{}]", rec.name, rec.label));
+            }
+            line.push_str(",\"ph\":\"C\",\"pid\":3,\"tid\":0,\"ts\":");
+            json::write_number(&mut line, rec.start_s * 1e6);
+            line.push_str(",\"args\":{");
+            match rec.value {
+                windowed::WindowValue::Count(v) => {
+                    line.push_str(&format!("\"value\":{v}"));
+                }
+                windowed::WindowValue::Hist(h) => {
+                    line.push_str("\"mean\":");
+                    json::write_number(&mut line, h.mean());
+                    line.push_str(",\"p95\":");
+                    json::write_number(&mut line, h.quantile(0.95));
+                }
+            }
+            line.push_str("}}");
+            push_event(line, &mut out);
+        }
+    }
     out.push_str("\n]\n");
     out
 }
 
 /// Renders the JSON-Lines manifest (what [`export_manifest`] writes) as a
-/// string: a `meta` record, one record per counter, histogram and span
-/// aggregate, and one per instant event.
+/// string: a `meta` record, one record per counter, histogram, span
+/// aggregate, observability-span aggregate and window, and one per
+/// instant event. Under [`ExportMode::Deterministic`] only the
+/// virtual-time records remain (meta, windows, `obs_span` aggregates,
+/// `obs_event` instants).
 pub fn render_manifest() -> String {
     let c = collector().lock().expect("telemetry lock");
+    let mode = export_mode();
+    let full = mode == ExportMode::Full;
     let mut out = String::new();
+    let n_events = if full {
+        c.events.len()
+    } else {
+        c.events.iter().filter(|e| e.kind.is_virtual()).count()
+    };
+    let n_windows: usize = c.windowed.iter().map(|s| s.records().len()).sum();
     out.push_str(&format!(
         "{{\"type\":\"meta\",\"format\":\"pcnn-telemetry/1\",\"events\":{},\"counters\":{},\
-         \"histograms\":{}}}\n",
-        c.events.len(),
-        c.metrics.counters.len(),
-        c.metrics.histograms.len()
+         \"histograms\":{},\"windows\":{}}}\n",
+        n_events,
+        if full { c.metrics.counters.len() } else { 0 },
+        if full { c.metrics.histograms.len() } else { 0 },
+        n_windows,
     ));
-    let mut counters: Vec<_> = c.metrics.counters.iter().collect();
-    counters.sort();
-    for (name, value) in counters {
-        let mut line = String::from("{\"type\":\"counter\",\"name\":");
-        json::write_escaped(&mut line, name);
-        line.push_str(&format!(",\"value\":{value}}}\n"));
-        out.push_str(&line);
-    }
-    let mut histograms: Vec<_> = c.metrics.histograms.iter().collect();
-    histograms.sort_by_key(|(k, _)| k.as_str());
-    for (name, h) in histograms {
-        let mut line = String::from("{\"type\":\"histogram\",\"name\":");
-        json::write_escaped(&mut line, name);
-        line.push_str(&format!(",\"count\":{},\"sum\":", h.count));
-        json::write_number(&mut line, h.sum);
-        line.push_str(",\"mean\":");
-        json::write_number(&mut line, h.mean());
-        line.push_str(",\"min\":");
-        json::write_number(&mut line, if h.count == 0 { 0.0 } else { h.min });
-        line.push_str(",\"max\":");
-        json::write_number(&mut line, if h.count == 0 { 0.0 } else { h.max });
-        line.push_str(",\"buckets\":{");
-        let mut first = true;
-        for (i, &n) in h.buckets.iter().enumerate() {
-            if n == 0 {
-                continue;
-            }
-            if !first {
-                line.push(',');
-            }
-            first = false;
-            line.push_str(&format!("\"{:.3e}\":{n}", bucket_low(i)));
+    if full {
+        let mut counters: Vec<_> = c.metrics.counters.iter().collect();
+        counters.sort();
+        for (name, value) in counters {
+            let mut line = String::from("{\"type\":\"counter\",\"name\":");
+            json::write_escaped(&mut line, name);
+            line.push_str(&format!(",\"value\":{value}}}\n"));
+            out.push_str(&line);
         }
-        line.push_str("}}\n");
-        out.push_str(&line);
+        let mut histograms: Vec<_> = c.metrics.histograms.iter().collect();
+        histograms.sort_by_key(|(k, _)| k.as_str());
+        for (name, h) in histograms {
+            let mut line = String::from("{\"type\":\"histogram\",\"name\":");
+            json::write_escaped(&mut line, name);
+            write_histogram_fields(&mut line, h);
+            line.push_str(",\"buckets\":{");
+            let mut first = true;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    line.push(',');
+                }
+                first = false;
+                line.push_str(&format!("\"{:.3e}\":{n}", bucket_low(i)));
+            }
+            line.push_str("}}\n");
+            out.push_str(&line);
+        }
+        // Span aggregates: count and total wall time per name.
+        let mut spans: HashMap<&str, (u64, f64)> = HashMap::new();
+        for ev in &c.events {
+            if let EventKind::Complete { dur_us } = ev.kind {
+                let e = spans.entry(&ev.name).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += dur_us;
+            }
+        }
+        let mut spans: Vec<_> = spans.into_iter().collect();
+        spans.sort_by_key(|(k, _)| *k);
+        for (name, (count, total_us)) in spans {
+            let mut line = String::from("{\"type\":\"span\",\"name\":");
+            json::write_escaped(&mut line, name);
+            line.push_str(&format!(",\"count\":{count},\"total_us\":"));
+            json::write_number(&mut line, total_us);
+            line.push_str("}\n");
+            out.push_str(&line);
+        }
     }
-    // Span aggregates: count and total wall time per name.
-    let mut spans: HashMap<&str, (u64, f64)> = HashMap::new();
+    // Observability-span aggregates: count and total *virtual* time per
+    // name. Virtual-time data, so present in both modes.
+    let mut obs_spans: HashMap<&str, (u64, f64)> = HashMap::new();
     for ev in &c.events {
-        if let EventKind::Complete { dur_us } = ev.kind {
-            let e = spans.entry(&ev.name).or_insert((0, 0.0));
+        if let EventKind::ObsSlice { dur_us } = ev.kind {
+            let e = obs_spans.entry(&ev.name).or_insert((0, 0.0));
             e.0 += 1;
             e.1 += dur_us;
         }
     }
-    let mut spans: Vec<_> = spans.into_iter().collect();
-    spans.sort_by_key(|(k, _)| *k);
-    for (name, (count, total_us)) in spans {
-        let mut line = String::from("{\"type\":\"span\",\"name\":");
+    let mut obs_spans: Vec<_> = obs_spans.into_iter().collect();
+    obs_spans.sort_by_key(|(k, _)| *k);
+    for (name, (count, total_us)) in obs_spans {
+        let mut line = String::from("{\"type\":\"obs_span\",\"name\":");
         json::write_escaped(&mut line, name);
         line.push_str(&format!(",\"count\":{count},\"total_us\":"));
         json::write_number(&mut line, total_us);
         line.push_str("}\n");
         out.push_str(&line);
     }
-    for ev in &c.events {
-        if !matches!(ev.kind, EventKind::Instant) {
-            continue;
+    // Window records, with interpolated quantiles for histogram windows.
+    for series in &c.windowed {
+        for rec in series.records() {
+            let mut line = String::from("{\"type\":\"window\",\"name\":");
+            json::write_escaped(&mut line, rec.name);
+            line.push_str(",\"label\":");
+            json::write_escaped(&mut line, rec.label);
+            line.push_str(&format!(",\"index\":{},\"start_s\":", rec.index));
+            json::write_number(&mut line, rec.start_s);
+            line.push_str(",\"end_s\":");
+            json::write_number(&mut line, rec.end_s);
+            match rec.value {
+                windowed::WindowValue::Count(v) => {
+                    line.push_str(&format!(",\"kind\":\"count\",\"value\":{v}}}\n"));
+                }
+                windowed::WindowValue::Hist(h) => {
+                    line.push_str(",\"kind\":\"hist\"");
+                    write_histogram_fields(&mut line, h);
+                    for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                        line.push_str(&format!(",\"{suffix}\":"));
+                        json::write_number(&mut line, h.quantile(q));
+                    }
+                    line.push_str("}\n");
+                }
+            }
+            out.push_str(&line);
         }
-        let mut line = String::from("{\"type\":\"event\",\"name\":");
+    }
+    for ev in &c.events {
+        let ty = match ev.kind {
+            EventKind::Instant if full => "event",
+            EventKind::ObsInstant => "obs_event",
+            _ => continue,
+        };
+        let mut line = format!("{{\"type\":\"{ty}\",\"name\":");
         json::write_escaped(&mut line, &ev.name);
+        if matches!(ev.kind, EventKind::ObsInstant) {
+            line.push_str(&format!(",\"track\":{}", ev.tid));
+        }
         line.push_str(",\"ts_us\":");
         json::write_number(&mut line, ev.ts_us);
         line.push_str(",\"args\":");
@@ -631,6 +921,19 @@ pub fn render_manifest() -> String {
         out.push_str(&line);
     }
     out
+}
+
+/// Writes the shared `count/sum/mean/min/max` JSON fields of a histogram
+/// record (leading comma included).
+fn write_histogram_fields(line: &mut String, h: &Histogram) {
+    line.push_str(&format!(",\"count\":{},\"sum\":", h.count));
+    json::write_number(line, h.sum);
+    line.push_str(",\"mean\":");
+    json::write_number(line, h.mean());
+    line.push_str(",\"min\":");
+    json::write_number(line, if h.count == 0 { 0.0 } else { h.min });
+    line.push_str(",\"max\":");
+    json::write_number(line, if h.count == 0 { 0.0 } else { h.max });
 }
 
 /// Writes the Chrome trace-event file (open in Perfetto or
@@ -652,6 +955,28 @@ pub fn export_chrome_trace(path: &std::path::Path) -> std::io::Result<()> {
 pub fn export_manifest(path: &std::path::Path) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     f.write_all(render_manifest().as_bytes())
+}
+
+/// Renders the Prometheus text exposition (see [`prom`]). Under
+/// [`ExportMode::Deterministic`] only the windowed virtual-time series
+/// are exposed, since the wall-clock counters/histograms vary across
+/// runs.
+pub fn render_prometheus() -> String {
+    let c = collector().lock().expect("telemetry lock");
+    match export_mode() {
+        ExportMode::Full => prom::render(&c.metrics, &c.windowed),
+        ExportMode::Deterministic => prom::render(&Metrics::default(), &c.windowed),
+    }
+}
+
+/// Writes the Prometheus text exposition.
+///
+/// # Errors
+///
+/// Propagates file-system errors.
+pub fn export_prometheus(path: &std::path::Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_prometheus().as_bytes())
 }
 
 #[cfg(test)]
@@ -754,6 +1079,126 @@ mod tests {
             .unwrap();
         assert_eq!(slice.get("pid").unwrap().as_f64(), Some(2.0));
         assert_eq!(slice.get("dur").unwrap().as_f64(), Some(25.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0); // empty
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.observe(v);
+        }
+        // Extremes are exact thanks to the min/max clamp.
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+        // Interior quantiles stay within the bucket the rank falls into:
+        // rank 2 of 4 lands in bucket [2, 4).
+        let p50 = h.quantile(0.5);
+        assert!((2.0..4.0).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile(0.75) >= p50);
+        // Bad q clamps instead of panicking.
+        assert_eq!(h.quantile(f64::NAN), 4.0);
+        assert_eq!(h.quantile(-1.0), 1.0);
+        assert_eq!(h.quantile(2.0), 4.0);
+    }
+
+    #[test]
+    fn quantile_single_value_is_exact() {
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(3.0);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 3.0);
+        }
+    }
+
+    #[test]
+    fn quantile_bounded_by_bucket_width() {
+        let mut h = Histogram::default();
+        for i in 1..=1000 {
+            h.observe(i as f64 / 100.0); // 0.01 .. 10.0
+        }
+        // Exact p90 is 9.0; the log2-interpolated estimate must stay
+        // within the containing bucket [8, 16) ∩ [min, max].
+        let p90 = h.quantile(0.9);
+        assert!((8.0..=10.0).contains(&p90), "p90 = {p90}");
+    }
+
+    #[test]
+    fn obs_events_land_on_pid_3_and_survive_deterministic_export() {
+        let _g = test_guard();
+        set_enabled(true);
+        reset();
+        set_export_mode(ExportMode::Full);
+        obs_track_name(7, "gpu0 (K20)");
+        obs_slice("req 3: queue", 7, 100.0, 50.0, || {
+            vec![("batch", Value::U64(2))]
+        });
+        obs_instant("slo.alert", 7, 150.0, || vec![("budget", Value::F64(0.5))]);
+        let _wall = span!("wall.span");
+        drop(_wall);
+        event!("wall.event");
+        let mut w = WindowedSeries::new(0.001);
+        w.add(0.0001, "serve.throughput", "interactive", 4);
+        merge_windowed(&w);
+
+        let full = render_chrome_trace();
+        set_export_mode(ExportMode::Deterministic);
+        let det = render_chrome_trace();
+        let det_manifest = render_manifest();
+        set_export_mode(ExportMode::Full);
+        set_enabled(false);
+
+        let doc = json::parse(&full).unwrap();
+        let events = doc.as_array().unwrap();
+        let slice = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("req 3: queue"))
+            .unwrap();
+        assert_eq!(slice.get("pid").unwrap().as_f64(), Some(3.0));
+        assert_eq!(slice.get("tid").unwrap().as_f64(), Some(7.0));
+        assert_eq!(slice.get("dur").unwrap().as_f64(), Some(50.0));
+        assert!(full.contains("gpu0 (K20)"));
+        assert!(full.contains("wall.span"));
+        assert!(full.contains("serve.throughput [interactive]"));
+
+        // Deterministic export drops every wall-clock event but keeps the
+        // virtual-time ones.
+        assert!(!det.contains("wall.span"));
+        assert!(!det.contains("wall.event"));
+        assert!(det.contains("req 3: queue"));
+        assert!(det.contains("slo.alert"));
+        assert!(det.contains("gpu0 (K20)"));
+        assert!(det.contains("\"ph\":\"C\""));
+        assert!(det_manifest.contains("\"type\":\"obs_span\",\"name\":\"req 3: queue\""));
+        assert!(det_manifest.contains("\"type\":\"obs_event\",\"name\":\"slo.alert\""));
+        assert!(det_manifest.contains("\"type\":\"window\",\"name\":\"serve.throughput\""));
+        assert!(!det_manifest.contains("\"type\":\"span\""));
+    }
+
+    #[test]
+    fn windowed_series_render_in_manifest_and_prometheus() {
+        let _g = test_guard();
+        set_enabled(true);
+        reset();
+        set_export_mode(ExportMode::Full);
+        let mut w = WindowedSeries::new(0.25);
+        w.add(0.1, "serve.deadline_hits", "real_time", 3);
+        w.observe(0.1, "serve.latency_s", "real_time", 0.02);
+        w.observe(0.3, "serve.latency_s", "real_time", 0.04);
+        merge_windowed(&w);
+        let manifest = render_manifest();
+        let prom_doc = render_prometheus();
+        set_enabled(false);
+        assert!(manifest.contains(
+            "{\"type\":\"window\",\"name\":\"serve.deadline_hits\",\"label\":\"real_time\",\
+             \"index\":0,\"start_s\":0,\"end_s\":0.25,\"kind\":\"count\",\"value\":3}"
+        ));
+        assert!(manifest.contains("\"kind\":\"hist\""));
+        assert!(manifest.contains("\"p99\":"));
+        assert!(prom_doc.contains("serve_deadline_hits{label=\"real_time\"} 3"));
+        assert!(prom_doc.contains("serve_latency_s_count{label=\"real_time\"} 2"));
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Prometheus text-exposition rendering of the global sink.
+//!
+//! [`render_prometheus`](crate::render_prometheus) writes the counters,
+//! histograms and windowed series of the current snapshot in the
+//! [Prometheus text format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! counters as `<name> <value>` with a `# TYPE` header, log2 histograms
+//! as cumulative `_bucket{le="…"}` series plus `_sum`/`_count`, and
+//! p50/p95/p99 gauges interpolated with
+//! [`Histogram::quantile`](crate::Histogram::quantile). Windowed series
+//! are exposed cumulatively (totals across windows) with their label as
+//! a `label="…"` pair — per-window detail lives in the JSONL manifest
+//! and the Chrome trace counter track, which this exposition complements
+//! rather than duplicates.
+//!
+//! The exposition is deterministic for a deterministic metric set: all
+//! series render in sorted order and numbers use the same
+//! shortest-roundtrip formatting as the JSON exporters.
+
+use crate::json::write_number;
+use crate::windowed::WindowedSeries;
+use crate::{bucket_low, Histogram, Metrics, N_BUCKETS};
+
+/// Maps a metric name onto the Prometheus name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and
+/// a leading digit gains a `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_value(out: &mut String, v: f64) {
+    let mut s = String::new();
+    write_number(&mut s, v);
+    out.push_str(&s);
+}
+
+fn write_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for i in 0..N_BUCKETS {
+        if h.buckets[i] == 0 {
+            continue;
+        }
+        cumulative += h.buckets[i];
+        // Upper bound of bucket `i` is the lower bound of `i + 1`.
+        out.push_str(&format!("{name}_bucket{{{labels}{sep}le=\""));
+        push_value(out, bucket_low(i + 1));
+        out.push_str(&format!("\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}\n",
+        h.count
+    ));
+    out.push_str(&format!("{name}_sum{{{labels}}} ",));
+    push_value(out, h.sum);
+    out.push('\n');
+    out.push_str(&format!("{name}_count{{{labels}}} {}\n", h.count));
+    for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        out.push_str(&format!("# TYPE {name}_{suffix} gauge\n"));
+        out.push_str(&format!("{name}_{suffix}{{{labels}}} "));
+        push_value(out, h.quantile(q));
+        out.push('\n');
+    }
+}
+
+/// Renders `metrics` plus the `windowed` series as one Prometheus text
+/// exposition document.
+pub fn render(metrics: &Metrics, windowed: &[WindowedSeries]) -> String {
+    let mut out = String::with_capacity(4096);
+
+    let mut counters: Vec<_> = metrics.counters.iter().collect();
+    counters.sort();
+    for (name, value) in counters {
+        let name = sanitize_name(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+
+    let mut histograms: Vec<_> = metrics.histograms.iter().collect();
+    histograms.sort_by_key(|(k, _)| k.as_str());
+    for (name, h) in histograms {
+        write_histogram(&mut out, &sanitize_name(name), "", h);
+    }
+
+    // Windowed series: cumulative totals with the label attached, in
+    // deterministic (name, label) order across every merged series.
+    enum Total {
+        Count(u64),
+        Hist(Box<Histogram>),
+    }
+    let mut totals: Vec<(String, String, Total)> = Vec::new();
+    for series in windowed {
+        let mut seen: std::collections::BTreeSet<(&str, &str)> = std::collections::BTreeSet::new();
+        for rec in series.records() {
+            if !seen.insert((rec.name, rec.label)) {
+                continue;
+            }
+            let entry = match rec.value {
+                crate::windowed::WindowValue::Count(_) => {
+                    Total::Count(series.counter_total(rec.name, rec.label))
+                }
+                crate::windowed::WindowValue::Hist(_) => Total::Hist(Box::new(
+                    series
+                        .histogram_total(rec.name, rec.label)
+                        .unwrap_or_default(),
+                )),
+            };
+            totals.push((rec.name.to_string(), rec.label.to_string(), entry));
+        }
+    }
+    totals.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    for (name, label, value) in totals {
+        let name = sanitize_name(&name);
+        let labels = if label.is_empty() {
+            String::new()
+        } else {
+            format!("label=\"{}\"", escape_label(&label))
+        };
+        match value {
+            Total::Count(v) => {
+                out.push_str(&format!("# TYPE {name} counter\n"));
+                out.push_str(&format!("{name}{{{labels}}} {v}\n"));
+            }
+            Total::Hist(h) => write_histogram(&mut out, &name, &labels, &h),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("serve.queue_depth"), "serve_queue_depth");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a b-c"), "a_b_c");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn renders_counters_and_histograms() {
+        let mut m = Metrics::default();
+        m.add("serve.rejected", 3);
+        m.observe("lat.s", 0.5);
+        m.observe("lat.s", 0.5);
+        m.observe("lat.s", 2.0);
+        let doc = render(&m, &[]);
+        assert!(doc.contains("# TYPE serve_rejected counter\nserve_rejected 3\n"));
+        assert!(doc.contains("lat_s_count{} 3"));
+        assert!(doc.contains("lat_s_sum{} 3\n"));
+        assert!(doc.contains("le=\"+Inf\"} 3"));
+        // Cumulative buckets: two at 0.5 (bucket upper bound 1), one at 2.
+        assert!(doc.contains("le=\"1\"} 2"));
+        assert!(doc.contains("lat_s_p50{} "));
+    }
+
+    #[test]
+    fn renders_windowed_totals_with_labels() {
+        let mut w = WindowedSeries::new(1.0);
+        w.add(0.5, "serve_images", "age detection", 2);
+        w.add(1.5, "serve_images", "age detection", 3);
+        w.observe(0.2, "serve_latency", "age detection", 0.125);
+        let doc = render(&Metrics::default(), &[w]);
+        assert!(doc.contains("serve_images{label=\"age detection\"} 5"));
+        assert!(doc.contains("serve_latency_count{label=\"age detection\"} 1"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}
