@@ -251,8 +251,17 @@ fn cmd_tune(flags: &HashMap<String, String>) -> ExitCode {
 fn cmd_bench_gemm(flags: &HashMap<String, String>) -> ExitCode {
     let reps: usize = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(3);
     let threads = pcnn_parallel::current_threads();
+    let cores = baselines::machine_cores();
     let rows = baselines::run_gemm_bench(reps);
     let nt_header = format!("packed {threads}T GF/s");
+    let sweep_header = format!(
+        "GF/s @ {}T",
+        baselines::GEMM_THREAD_SWEEP
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join("/")
+    );
     let mut t = TableWriter::new(vec![
         "layer",
         "MxNxK",
@@ -260,6 +269,8 @@ fn cmd_bench_gemm(flags: &HashMap<String, String>) -> ExitCode {
         "packed 1T GF/s",
         nt_header.as_str(),
         "speedup",
+        sweep_header.as_str(),
+        "scal eff",
     ]);
     for r in &rows {
         t.row(vec![
@@ -269,11 +280,19 @@ fn cmd_bench_gemm(flags: &HashMap<String, String>) -> ExitCode {
             format!("{:.2}", r.packed_1t_gflops),
             format!("{:.2}", r.packed_nt_gflops),
             format!("{:.2}x", r.speedup_vs_naive),
+            r.scaling
+                .iter()
+                .map(|p| format!("{:.1}", p.gflops))
+                .collect::<Vec<_>>()
+                .join("/"),
+            format!("{:.2}", r.scaling_efficiency),
         ]);
     }
-    t.print(&format!("CPU GEMM baseline ({threads} worker threads)"));
+    t.print(&format!(
+        "CPU GEMM baseline ({threads} worker threads, {cores} cores)"
+    ));
     if let Some(path) = flags.get("json") {
-        if let Err(e) = std::fs::write(path, baselines::gemm_json(&rows, threads, reps)) {
+        if let Err(e) = std::fs::write(path, baselines::gemm_json(&rows, threads, cores, reps)) {
             eprintln!("error: could not write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -577,8 +596,9 @@ fn cmd_obs_check(flags: &HashMap<String, String>) -> ExitCode {
                 let reps: usize = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(3);
                 let rows = baselines::run_gemm_bench(reps);
                 let threads = pcnn_parallel::current_threads();
+                let cores = baselines::machine_cores();
                 let Ok(c) =
-                    pcnn_telemetry::json::parse(&baselines::gemm_json(&rows, threads, reps))
+                    pcnn_telemetry::json::parse(&baselines::gemm_json(&rows, threads, cores, reps))
                 else {
                     eprintln!("error: gemm report did not parse as JSON");
                     return ExitCode::FAILURE;

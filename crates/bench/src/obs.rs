@@ -221,29 +221,31 @@ pub fn compare_serve(baseline: &JsonValue, candidate: &JsonValue) -> Vec<Violati
     v
 }
 
-/// Diffs a fresh GEMM benchmark against the committed baseline. Only the
-/// machine-normalised `speedup_vs_naive` ratio is gated (generously —
-/// wall-clock noise and host differences are real), never absolute
-/// GFLOP/s.
+/// Diffs a fresh GEMM benchmark against the committed baseline. Only
+/// machine-normalised ratios are gated (generously — wall-clock noise
+/// and host differences are real), never absolute GFLOP/s:
+///
+/// * `speedup_vs_naive` — packed kernel vs the triple loop;
+/// * `scaling_efficiency` — widest-sweep speedup over usable cores, which
+///   catches a pool starved by construction (it collapses toward
+///   `1 / cores` on any multicore host) while staying insensitive to how
+///   many cores the measuring host happens to have.
 pub fn compare_gemm(baseline: &JsonValue, candidate: &JsonValue) -> Vec<Violation> {
     let mut v = Vec::new();
-    let rows = |doc: &JsonValue| -> BTreeMap<String, f64> {
+    let rows = |doc: &JsonValue, key: &str| -> BTreeMap<String, f64> {
         doc.get("shapes")
             .and_then(|s| s.as_array())
             .map(|rows| {
                 rows.iter()
                     .filter_map(|r| {
-                        Some((
-                            r.get("layer")?.as_str()?.to_string(),
-                            r.get("speedup_vs_naive")?.as_f64()?,
-                        ))
+                        Some((r.get("layer")?.as_str()?.to_string(), r.get(key)?.as_f64()?))
                     })
                     .collect()
             })
             .unwrap_or_default()
     };
-    let base = rows(baseline);
-    let cand = rows(candidate);
+    let base = rows(baseline, "speedup_vs_naive");
+    let cand = rows(candidate, "speedup_vs_naive");
     for (layer, b) in &base {
         check(
             &mut v,
@@ -251,6 +253,20 @@ pub fn compare_gemm(baseline: &JsonValue, candidate: &JsonValue) -> Vec<Violatio
             Some(*b),
             cand.get(layer).copied(),
             Band::lower_worse(0.40, 0.0),
+        );
+    }
+    let base_eff = rows(baseline, "scaling_efficiency");
+    let cand_eff = rows(candidate, "scaling_efficiency");
+    for (layer, b) in &base_eff {
+        // Hyperthreaded hosts legitimately land near 0.5 (8 "cores", ~4x
+        // real speedup), so the band is wide; a starved pool on a
+        // multicore host reads ~1/cores <= 0.25 and still trips it.
+        check(
+            &mut v,
+            format!("{layer}.scaling_efficiency"),
+            Some(*b),
+            cand_eff.get(layer).copied(),
+            Band::lower_worse(0.60, 0.0),
         );
     }
     v
@@ -499,5 +515,35 @@ mod tests {
         // A vanished layer is flagged.
         let missing = json::parse(r#"{"shapes":[]}"#).unwrap();
         assert_eq!(compare_gemm(&base, &missing).len(), 1);
+    }
+
+    #[test]
+    fn compare_gemm_gates_scaling_efficiency() {
+        let base = json::parse(
+            r#"{"shapes":[{"layer":"CONV2","speedup_vs_naive":10.0,"scaling_efficiency":1.0}]}"#,
+        )
+        .unwrap();
+        assert!(compare_gemm(&base, &base).is_empty());
+        // An honest multicore run (~0.8, or ~0.5 with hyperthreading)
+        // stays inside the band...
+        let multicore = json::parse(
+            r#"{"shapes":[{"layer":"CONV2","speedup_vs_naive":10.0,"scaling_efficiency":0.45}]}"#,
+        )
+        .unwrap();
+        assert!(compare_gemm(&base, &multicore).is_empty());
+        // ...a pool starved by construction (~1/cores) does not.
+        let starved = json::parse(
+            r#"{"shapes":[{"layer":"CONV2","speedup_vs_naive":10.0,"scaling_efficiency":0.125}]}"#,
+        )
+        .unwrap();
+        let v = compare_gemm(&base, &starved);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].metric, "CONV2.scaling_efficiency");
+        // A candidate that stopped recording the curve is itself flagged.
+        let dropped =
+            json::parse(r#"{"shapes":[{"layer":"CONV2","speedup_vs_naive":10.0}]}"#).unwrap();
+        assert!(compare_gemm(&base, &dropped)
+            .iter()
+            .any(|v| v.metric.contains("scaling_efficiency") && v.metric.contains("missing")));
     }
 }

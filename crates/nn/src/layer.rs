@@ -130,7 +130,9 @@ impl Conv2d {
         let batch = self.check_input(input)?;
         let g = &self.geom;
         let (k, n_pos) = (g.patch_len(), g.out_positions());
-        let mut cols = vec![0.0; k * n_pos];
+        // Pooled scratch: im2col writes every element, so the unspecified
+        // checkout contents never leak into the GEMM.
+        let mut cols = pcnn_parallel::scratch_f32(k * n_pos);
         let mut out = Tensor::zeros(self.output_shape(batch));
         for b in 0..batch {
             im2col(g, input.batch_item(b), &mut cols);
@@ -178,8 +180,11 @@ impl Conv2d {
         }
         let (k, n_pos) = (g.patch_len(), g.out_positions());
         let n_keep = kept.len();
-        let mut cols = vec![0.0; k * n_keep];
-        let mut sampled = vec![0.0; self.out_channels * n_keep];
+        // Pooled scratch: both buffers are fully overwritten each image
+        // (im2col_positions fills `cols`; `sampled` is bias-filled before
+        // the GEMM accumulates into it).
+        let mut cols = pcnn_parallel::scratch_f32(k * n_keep);
+        let mut sampled = pcnn_parallel::scratch_f32(self.out_channels * n_keep);
         let mut out = Tensor::zeros(self.output_shape(batch));
         for b in 0..batch {
             im2col_positions(g, input.batch_item(b), kept, &mut cols);

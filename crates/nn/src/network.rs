@@ -156,7 +156,11 @@ impl Network {
             1
         };
         let threads = pcnn_parallel::current_threads();
-        if batch < 2 || threads < 2 || pcnn_parallel::in_parallel_region() {
+        // Small batches (fewer images than workers) run the serial group
+        // path so the pool stays free for the 2-D GEMM split inside each
+        // layer — a starved batch split would pin every worker to at most
+        // one image and leave the kernels single-threaded.
+        if batch < 2 || threads < 2 || batch < threads || pcnn_parallel::in_parallel_region() {
             return self.forward_group(input, &perfs);
         }
         // Contiguous image groups; group boundaries depend only on the

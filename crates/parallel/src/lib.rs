@@ -4,16 +4,20 @@
 //! Every FLOP of the reproduction flows through `pcnn-tensor`'s GEMM and
 //! `pcnn-nn`'s layer loops; this crate supplies the multicore substrate
 //! they run on: chunked index-range parallelism ([`par_for`]), ordered
-//! parallel mapping ([`par_map`]) and disjoint `&mut` slice-chunk
-//! parallelism ([`par_chunks_mut`]), all built on [`std::thread::scope`]
-//! so borrowed data needs no `'static` bound and no `unsafe`.
+//! parallel mapping ([`par_map`]), disjoint `&mut` slice-chunk
+//! parallelism ([`par_chunks_mut`], plus the grain-splitting
+//! [`par_chunks_mut_fine`] for workloads whose natural chunk count is
+//! smaller than the pool), all built on [`std::thread::scope`] so
+//! borrowed data needs no `'static` bound and no `unsafe`. A process-wide
+//! [`scratch_f32`] buffer pool lets hot kernels reuse packing scratch
+//! instead of allocating on every call.
 //!
 //! # Determinism
 //!
 //! The helpers only decide *which worker* runs a chunk, never what a chunk
 //! computes or in what order a chunk's own arithmetic happens. Callers
 //! that split work along dimensions whose per-element accumulation order
-//! is fixed (row panels of a GEMM, images of a batch, independent tuning
+//! is fixed (micro-tiles of a GEMM, images of a batch, independent tuning
 //! candidates) therefore produce **bitwise-identical** results at any
 //! thread count — the property the repo's parallel-determinism tests
 //! assert.
@@ -36,10 +40,14 @@
 //! # Telemetry
 //!
 //! When `pcnn-telemetry` recording is on, every parallel region counts
-//! `parallel.regions` and `parallel.tasks` (chunks executed) and each
+//! `parallel.regions` and `parallel.tasks` (chunks executed), each
 //! worker records its busy time in the `parallel.worker_busy_ns`
-//! histogram, so pool utilisation shows up in trace manifests next to the
-//! simulator and tuner metrics.
+//! histogram, and the region emits `parallel.busy_ns` /
+//! `parallel.idle_ns` counters (summed worker busy time vs. the
+//! remainder of `workers x region wall time`) so pool starvation is
+//! visible in trace manifests: a starved region shows `idle_ns` dwarfing
+//! `busy_ns`. The scratch pool counts `parallel.scratch.reuse` /
+//! `parallel.scratch.alloc`.
 //!
 //! # Example
 //!
@@ -54,8 +62,8 @@
 //! ```
 
 use std::cell::Cell;
-use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::ops::{Deref, DerefMut, Range};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -139,8 +147,9 @@ fn effective_threads(n_tasks: usize) -> usize {
 }
 
 /// Runs `f` as a pool worker: marks the thread as in-pool and records
-/// busy time when telemetry is recording.
-fn as_worker<R>(f: impl FnOnce() -> R) -> R {
+/// busy time (per-worker histogram plus the region's busy total) when
+/// telemetry is recording.
+fn as_worker<R>(busy: Option<&AtomicU64>, f: impl FnOnce() -> R) -> R {
     struct Unmark;
     impl Drop for Unmark {
         fn drop(&mut self) {
@@ -152,17 +161,69 @@ fn as_worker<R>(f: impl FnOnce() -> R) -> R {
     if pcnn_telemetry::enabled() {
         let start = Instant::now();
         let out = f();
-        pcnn_telemetry::histogram("parallel.worker_busy_ns", start.elapsed().as_nanos() as f64);
+        let ns = start.elapsed().as_nanos() as u64;
+        pcnn_telemetry::histogram("parallel.worker_busy_ns", ns as f64);
+        if let Some(b) = busy {
+            b.fetch_add(ns, Ordering::Relaxed);
+        }
         out
     } else {
         f()
     }
 }
 
-fn count_region(tasks: usize) {
-    if pcnn_telemetry::enabled() {
+/// Per-region utilisation meter: measures the region's wall time on the
+/// caller and, combined with the summed worker busy time, emits the
+/// `parallel.busy_ns` / `parallel.idle_ns` counters that make pool
+/// starvation visible in traces. Only constructed (and only timing) when
+/// telemetry is recording.
+struct RegionMeter {
+    t0: Instant,
+    busy: AtomicU64,
+    workers: usize,
+}
+
+impl RegionMeter {
+    /// Starts metering a parallel region of `tasks` tasks on `workers`
+    /// workers; also bumps the `parallel.regions`/`parallel.tasks`
+    /// counters. Returns `None` (zero overhead) when telemetry is off.
+    fn start(workers: usize, tasks: usize) -> Option<Self> {
+        if !pcnn_telemetry::enabled() {
+            return None;
+        }
         pcnn_telemetry::counter("parallel.regions", 1);
         pcnn_telemetry::counter("parallel.tasks", tasks as u64);
+        Some(Self {
+            t0: Instant::now(),
+            busy: AtomicU64::new(0),
+            workers,
+        })
+    }
+
+    fn busy_slot(&self) -> Option<&AtomicU64> {
+        Some(&self.busy)
+    }
+
+    /// Emits the busy/idle split for the finished region.
+    fn finish(self) {
+        let wall = self.t0.elapsed().as_nanos() as u64;
+        let busy = self.busy.into_inner();
+        pcnn_telemetry::counter("parallel.busy_ns", busy);
+        pcnn_telemetry::counter(
+            "parallel.idle_ns",
+            (self.workers as u64 * wall).saturating_sub(busy),
+        );
+    }
+}
+
+/// The busy slot of an optional meter, as `as_worker` expects.
+fn slot(meter: &Option<RegionMeter>) -> Option<&AtomicU64> {
+    meter.as_ref().and_then(RegionMeter::busy_slot)
+}
+
+fn finish(meter: Option<RegionMeter>) {
+    if let Some(m) = meter {
+        m.finish();
     }
 }
 
@@ -184,27 +245,29 @@ where
     let max_workers = len.div_ceil(min_chunk);
     let threads = effective_threads(max_workers);
     if threads <= 1 {
-        as_worker(|| f(0..len));
+        as_worker(None, || f(0..len));
         return;
     }
-    count_region(threads);
+    let meter = RegionMeter::start(threads, threads);
     // Balanced contiguous split: the first `rem` workers get one extra.
     let per = len / threads;
     let rem = len % threads;
     std::thread::scope(|s| {
         let f = &f;
+        let meter = &meter;
         let mut start = 0;
         for w in 0..threads {
             let take = per + usize::from(w < rem);
             let range = start..start + take;
             start += take;
             if w + 1 == threads {
-                as_worker(|| f(range));
+                as_worker(slot(meter), || f(range));
             } else {
-                s.spawn(move || as_worker(|| f(range)));
+                s.spawn(move || as_worker(slot(meter), || f(range)));
             }
         }
     });
+    finish(meter);
 }
 
 /// Splits `data` into `chunk_len`-long chunks (the last may be shorter)
@@ -213,7 +276,10 @@ where
 ///
 /// Chunk boundaries depend only on `chunk_len`, never on the thread
 /// count, so a caller whose chunks are computed independently produces
-/// bitwise-identical data at any thread count.
+/// bitwise-identical data at any thread count. When the chunk count is
+/// smaller than the pool, workers beyond it stay idle — callers whose
+/// chunks decompose into finer independent units should use
+/// [`par_chunks_mut_fine`] instead.
 ///
 /// # Panics
 ///
@@ -227,18 +293,19 @@ where
     let n_chunks = data.len().div_ceil(chunk_len);
     let threads = effective_threads(n_chunks);
     if threads <= 1 {
-        as_worker(|| {
+        as_worker(None, || {
             for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
                 f(i, chunk);
             }
         });
         return;
     }
-    count_region(n_chunks);
+    let meter = RegionMeter::start(threads, n_chunks);
     let per = n_chunks / threads;
     let rem = n_chunks % threads;
     std::thread::scope(|s| {
         let f = &f;
+        let meter = &meter;
         let mut rest = data;
         let mut first_chunk = 0;
         for w in 0..threads {
@@ -249,7 +316,7 @@ where
             let base = first_chunk;
             first_chunk += take_chunks;
             let mut run = move || {
-                as_worker(|| {
+                as_worker(slot(meter), || {
                     for (i, chunk) in part.chunks_mut(chunk_len).enumerate() {
                         f(base + i, chunk);
                     }
@@ -262,6 +329,113 @@ where
             }
         }
     });
+    finish(meter);
+}
+
+/// [`par_chunks_mut`] with a grain fallback for coarse workloads: when
+/// there are fewer chunks than pool workers, full-length chunks are
+/// subdivided at `unit`-element boundaries so every worker still gets
+/// work (the old row-panel GEMM starved 6 of 8 workers on `m = 96`,
+/// `MC = 64` — only two 64-row chunks).
+///
+/// `f(chunk_index, offset_in_chunk, part)` receives a sub-slice starting
+/// `offset_in_chunk` elements into chunk `chunk_index`; `offset_in_chunk`
+/// is always a multiple of `unit` and is `0` whenever the chunk was not
+/// split. A short final chunk (length `< chunk_len`) is never split — its
+/// interior layout may differ from full chunks (e.g. the tight-depth
+/// final block of a packed GEMM `B`).
+///
+/// Each `unit` must be computable independently of how the chunk was
+/// split, which also makes the output bitwise-independent of the thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`, `unit == 0`, or `unit` does not divide
+/// `chunk_len`.
+pub fn par_chunks_mut_fine<T, F>(data: &mut [T], chunk_len: usize, unit: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    assert!(
+        unit > 0 && chunk_len.is_multiple_of(unit),
+        "unit must be positive and divide chunk_len"
+    );
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if n_chunks == 0 {
+        return;
+    }
+    let threads = if in_parallel_region() {
+        1
+    } else {
+        current_threads()
+    };
+    let splits = (chunk_len / unit).min(threads);
+    if threads <= 1 || n_chunks >= threads || splits <= 1 {
+        // Enough chunks to feed the pool (or no parallelism at all):
+        // plain chunk-per-task scheduling.
+        par_chunks_mut(data, chunk_len, |ci, chunk| f(ci, 0, chunk));
+        return;
+    }
+    // Starved: split every full chunk into up to `splits` unit-aligned
+    // pieces. (chunk index, offset in chunk, length.)
+    let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
+    for ci in 0..n_chunks {
+        let start = ci * chunk_len;
+        let len = chunk_len.min(data.len() - start);
+        if len == chunk_len {
+            let units = chunk_len / unit;
+            let per = units / splits;
+            let rem = units % splits;
+            let mut off = 0;
+            for s in 0..splits {
+                let take = (per + usize::from(s < rem)) * unit;
+                if take > 0 {
+                    tasks.push((ci, off, take));
+                    off += take;
+                }
+            }
+        } else {
+            tasks.push((ci, 0, len));
+        }
+    }
+    let workers = threads.min(tasks.len());
+    let meter = RegionMeter::start(workers, tasks.len());
+    let per = tasks.len() / workers;
+    let rem = tasks.len() % workers;
+    std::thread::scope(|s| {
+        let f = &f;
+        let tasks = &tasks;
+        let meter = &meter;
+        let mut rest = data;
+        let mut t0 = 0;
+        for w in 0..workers {
+            let take_tasks = per + usize::from(w < rem);
+            let mine = &tasks[t0..t0 + take_tasks];
+            t0 += take_tasks;
+            let span: usize = mine.iter().map(|t| t.2).sum();
+            let (part, tail) = rest.split_at_mut(span);
+            rest = tail;
+            let run = move || {
+                as_worker(slot(meter), || {
+                    let mut p = part;
+                    for &(ci, off, len) in mine {
+                        let (cur, next) = p.split_at_mut(len);
+                        f(ci, off, cur);
+                        p = next;
+                    }
+                })
+            };
+            if w + 1 == workers {
+                run();
+            } else {
+                s.spawn(run);
+            }
+        }
+    });
+    finish(meter);
 }
 
 /// Computes `f(i)` for every `i in 0..len` in parallel and returns the
@@ -278,15 +452,15 @@ where
 {
     let threads = effective_threads(len);
     if threads <= 1 {
-        return as_worker(|| (0..len).map(f).collect());
+        return as_worker(None, || (0..len).map(f).collect());
     }
-    count_region(len);
+    let meter = RegionMeter::start(threads, len);
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
     std::thread::scope(|s| {
-        let (f, next, results) = (&f, &next, &results);
+        let (f, next, results, meter) = (&f, &next, &results, &meter);
         let work = move || {
-            as_worker(|| {
+            as_worker(slot(meter), || {
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -303,10 +477,102 @@ where
         }
         work();
     });
+    finish(meter);
     let mut collected = results.into_inner().expect("par_map results");
     collected.sort_unstable_by_key(|(i, _)| *i);
     debug_assert_eq!(collected.len(), len);
     collected.into_iter().map(|(_, r)| r).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Scratch-buffer pool
+// ---------------------------------------------------------------------------
+
+/// Buffers returned to the pool after use; capped so a burst of huge
+/// GEMMs cannot pin unbounded memory.
+static SCRATCH_POOL: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+
+/// At most one buffer per plausible worker plus headroom for the shared
+/// packed-`B` blocks of nested callers.
+const SCRATCH_POOL_CAP: usize = 64;
+
+/// A reusable `f32` buffer checked out of the process-wide scratch pool
+/// by [`scratch_f32`]; dereferences to `[f32]` and returns the buffer to
+/// the pool when dropped.
+pub struct ScratchF32 {
+    buf: Vec<f32>,
+}
+
+impl Deref for ScratchF32 {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl DerefMut for ScratchF32 {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for ScratchF32 {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        if buf.capacity() == 0 {
+            return;
+        }
+        if let Ok(mut pool) = SCRATCH_POOL.lock() {
+            if pool.len() < SCRATCH_POOL_CAP {
+                pool.push(buf);
+            } else if let Some(smallest) = pool.iter_mut().min_by_key(|b| b.capacity()) {
+                if smallest.capacity() < buf.capacity() {
+                    *smallest = buf;
+                }
+            }
+        }
+    }
+}
+
+/// Checks a `len`-element `f32` buffer out of the process-wide scratch
+/// pool, allocating only when no pooled buffer is large enough. The
+/// packing scratch of every GEMM call comes from here, so steady-state
+/// kernels allocate nothing.
+///
+/// **Contents are unspecified** — callers must write every element they
+/// later read (the packing routines zero their own padding explicitly).
+/// Checkouts are independent: concurrent or nested calls receive disjoint
+/// buffers.
+pub fn scratch_f32(len: usize) -> ScratchF32 {
+    let reused = SCRATCH_POOL.lock().ok().and_then(|mut pool| {
+        // Best fit: the smallest pooled buffer that already holds `len`.
+        let idx = pool
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        idx.map(|i| pool.swap_remove(i))
+    });
+    if pcnn_telemetry::enabled() {
+        pcnn_telemetry::counter(
+            if reused.is_some() {
+                "parallel.scratch.reuse"
+            } else {
+                "parallel.scratch.alloc"
+            },
+            1,
+        );
+    }
+    let mut buf = reused.unwrap_or_default();
+    if buf.len() >= len {
+        buf.truncate(len);
+    } else {
+        // Within capacity for reused buffers (best-fit above), so this
+        // never reallocates on the reuse path.
+        buf.resize(len, 0.0);
+    }
+    ScratchF32 { buf }
 }
 
 #[cfg(test)]
@@ -364,6 +630,70 @@ mod tests {
     }
 
     #[test]
+    fn fine_chunks_feed_all_workers_when_chunks_are_coarse() {
+        // The old GEMM starvation case scaled down: m = 96 rows in
+        // MC = 64-row panels is only ceil(96/64) = 2 chunks, so 6 of 8
+        // workers used to idle. With MR = 4-row units the region must
+        // produce at least as many tasks as workers.
+        let n = 7; // row length, to make units multi-element
+        let (mc, mr) = (64 * n, 4 * n);
+        let mut data = vec![usize::MAX; 96 * n];
+        let tasks = AtomicUsize::new(0);
+        with_threads(8, || {
+            par_chunks_mut_fine(&mut data, mc, mr, |ci, off, part| {
+                tasks.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(off % mr, 0, "offset not unit-aligned");
+                let base = ci * mc + off;
+                for (i, v) in part.iter_mut().enumerate() {
+                    *v = base + i;
+                }
+            });
+        });
+        assert!(
+            tasks.load(Ordering::Relaxed) >= 8,
+            "coarse workload produced only {} tasks for 8 workers",
+            tasks.load(Ordering::Relaxed)
+        );
+        assert!(
+            data.iter().enumerate().all(|(i, &v)| v == i),
+            "some element missed or written twice"
+        );
+    }
+
+    #[test]
+    fn fine_chunks_never_split_the_short_tail() {
+        // 2.5 chunks: the final half-chunk must arrive whole (offset 0).
+        let mut data = vec![0usize; 100];
+        with_threads(8, || {
+            par_chunks_mut_fine(&mut data, 40, 10, |ci, off, part| {
+                if ci == 2 {
+                    assert_eq!((off, part.len()), (0, 20), "short tail was split");
+                }
+                for v in part.iter_mut() {
+                    *v += 1;
+                }
+            });
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn fine_chunks_delegate_when_grain_is_already_fine() {
+        // 10 chunks over 2 workers: no splitting, offsets all zero.
+        let mut data = vec![0u8; 100];
+        with_threads(2, || {
+            par_chunks_mut_fine(&mut data, 10, 5, |_, off, part| {
+                assert_eq!(off, 0);
+                assert_eq!(part.len(), 10);
+                for v in part.iter_mut() {
+                    *v += 1;
+                }
+            });
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
     fn par_map_preserves_order() {
         for threads in [1, 3, 7] {
             let out = with_threads(threads, || par_map(100, |i| i * i));
@@ -399,5 +729,36 @@ mod tests {
         assert_eq!(current_threads(), 3);
         with_threads(1, || assert_eq!(current_threads(), 1));
         set_threads(0);
+    }
+
+    #[test]
+    fn scratch_checkouts_are_disjoint_and_sized() {
+        let mut a = scratch_f32(16);
+        let mut b = scratch_f32(16);
+        assert_eq!((a.len(), b.len()), (16, 16));
+        a.fill(1.0);
+        b.fill(2.0);
+        assert!(a.iter().all(|&v| v == 1.0), "buffers alias");
+        drop(a);
+        drop(b);
+        // A later checkout reuses pooled capacity; contents are
+        // unspecified but the length contract holds.
+        let c = scratch_f32(8);
+        assert_eq!(c.len(), 8);
+        let d = scratch_f32(32);
+        assert_eq!(d.len(), 32);
+    }
+
+    #[test]
+    fn scratch_is_usable_from_workers() {
+        with_threads(4, || {
+            par_for(8, 1, |range| {
+                for _ in range {
+                    let mut s = scratch_f32(64);
+                    s.fill(3.0);
+                    assert!(s.iter().all(|&v| v == 3.0));
+                }
+            });
+        });
     }
 }

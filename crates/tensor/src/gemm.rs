@@ -13,11 +13,19 @@
 //! transplanted to CPU SIMD):
 //!
 //! 1. `B` is packed once into `NR`-column micropanels, zero-padded to a
-//!    multiple of [`NR`], one [`KC`]-deep block at a time;
-//! 2. row panels of `C` (up to [`MC`] rows) are processed in parallel —
-//!    each worker packs its own `MR`-row micropanels of `A`;
-//! 3. a branch-free [`MR`]`x`[`NR`] register-blocked microkernel
-//!    accumulates each tile over one `KC` block and adds it to `C`.
+//!    multiple of [`NR`], one [`KC`]-deep block at a time, into reusable
+//!    scratch from the `pcnn-parallel` buffer pool;
+//! 2. a shape-aware partitioner ([`partition_gemm`]) splits the `MR`-row
+//!    tile and `NR`-column panel grids of `C` into a 2-D grid of
+//!    `row_splits x col_splits` rectangles — one per worker — so both fat
+//!    (`n = 3025`) and skinny (`n = 169`) convolution shapes saturate the
+//!    pool (the earlier one-dimensional `MC`-row-panel split produced only
+//!    `ceil(m / 64)` = 2–6 work units for AlexNet shapes, starving it);
+//! 3. every worker shares the read-only packed `B`, packs its own
+//!    `MR`-row micropanels of `A` into pooled scratch ([`MC`]-row groups,
+//!    L2-resident), and runs a branch-free [`MR`]`x`[`NR`]
+//!    register-blocked microkernel that accumulates each tile over one
+//!    `KC` block and adds it to `C`.
 //!
 //! The microkernel is plain indexed arithmetic with constant bounds, which
 //! LLVM autovectorizes on any SIMD width without `-ffast-math`-style
@@ -31,10 +39,16 @@
 //!
 //! Each `C` element accumulates strictly in ascending-`k` order inside a
 //! `KC` block, and blocks are applied in ascending order; the parallel
-//! split is over row panels whose boundaries depend only on [`MC`], never
-//! on the thread count. `PCNN_THREADS=1` and `PCNN_THREADS=N` therefore
-//! produce **bitwise-identical** outputs (asserted by
-//! `tests/parallel_determinism.rs`).
+//! split never touches the `k` (reduction) dimension, and the rectangle
+//! boundaries depend only on shape constants — never on thread count or
+//! timing. Workers own disjoint rectangles of `C`, so which worker runs a
+//! rectangle is irrelevant: `PCNN_THREADS=1` and `PCNN_THREADS=N` produce
+//! **bitwise-identical** outputs (asserted by
+//! `tests/parallel_determinism.rs`), and the per-element accumulation
+//! order is the same one the earlier row-panel schedule used, so no golden
+//! re-pinning was needed.
+
+use std::ops::Range;
 
 /// Microkernel rows: `MR x NR` accumulators live in registers.
 pub const MR: usize = 4;
@@ -42,17 +56,115 @@ pub const MR: usize = 4;
 /// registers of baseline x86-64 with room for the `A`/`B` operands.
 pub const NR: usize = 8;
 
-/// Rows per parallel panel (multiple of `MR`): one panel's packed `A`
+/// Rows per `A`-packing group (multiple of `MR`): one group's packed `A`
 /// block (`MC x KC` f32) stays L2-resident.
 const MC: usize = 64;
 /// Depth of one packed block: a `KC x NR` `B` micropanel (8 KiB) stays
-/// L1-resident while every row tile of a panel streams over it.
+/// L1-resident while every row tile of a group streams over it.
 const KC: usize = 256;
 
 /// Work (in multiply-adds) below which [`gemm`] stays on one thread: the
 /// cost of a scoped spawn round is ~tens of microseconds, which a GEMM
 /// this small finishes on its own.
 const PAR_MAC_THRESHOLD: usize = 64 * 64 * 64;
+
+/// How [`gemm`] splits the output grid across workers: the `MR`-row tile
+/// axis into `row_splits` bands and the `NR`-column panel axis into
+/// `col_splits` bands, yielding `row_splits * col_splits` disjoint
+/// rectangles of `C`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmPartition {
+    /// Bands along the `MR`-row tile axis.
+    pub row_splits: usize,
+    /// Bands along the `NR`-column panel axis.
+    pub col_splits: usize,
+}
+
+impl GemmPartition {
+    /// Total parallel tasks this partition produces.
+    pub fn tasks(&self) -> usize {
+        self.row_splits * self.col_splits
+    }
+}
+
+/// Picks the 2-D split of an `m x n x k` GEMM for `threads` workers.
+///
+/// Minimises modelled cost per worker: microkernel multiply-adds for its
+/// rectangle plus the `A`-packing work it duplicates (every column band
+/// covering the same rows re-packs those rows — the term that steers fat
+/// shapes toward row splits). Candidates enumerate row-band counts
+/// `1..=threads` with the column bands taking the residual factor, so the
+/// result depends only on `(m, n, k, threads)` — never on timing — and
+/// tasks never exceed `threads`.
+pub fn partition_gemm(m: usize, n: usize, k: usize, threads: usize) -> GemmPartition {
+    let threads = threads.max(1);
+    let mr_tiles = m.div_ceil(MR).max(1);
+    let nr_panels = n.div_ceil(NR).max(1);
+    let mut best = GemmPartition {
+        row_splits: 1,
+        col_splits: 1,
+    };
+    let mut best_cost = u128::MAX;
+    for ti in 1..=threads.min(mr_tiles) {
+        let tj = (threads / ti).min(nr_panels).max(1);
+        let rows = mr_tiles.div_ceil(ti);
+        let cols = nr_panels.div_ceil(tj);
+        // Per-worker cost: compute on its rectangle + its share of the
+        // (col_splits-duplicated) A packing.
+        let compute = (rows * cols * MR * NR) as u128 * k as u128;
+        let packing = (rows * MR * k) as u128;
+        let cost = compute + packing;
+        if cost < best_cost {
+            best_cost = cost;
+            best = GemmPartition {
+                row_splits: ti,
+                col_splits: tj,
+            };
+        }
+    }
+    best
+}
+
+/// Band `idx` of `0..total` split into `parts` balanced contiguous ranges
+/// (the first `total % parts` bands get one extra element). Depends only
+/// on its arguments, so rectangle boundaries are thread-count-stable for
+/// a fixed partition.
+fn split_range(total: usize, parts: usize, idx: usize) -> Range<usize> {
+    let per = total / parts;
+    let rem = total % parts;
+    let start = idx * per + idx.min(rem);
+    start..start + per + usize::from(idx < rem)
+}
+
+/// Shared mutable view of `C` for workers that own **disjoint**
+/// rectangles of it. The 2-D split hands each worker a set of
+/// `(row tile, column panel)` rectangles whose element ranges interleave
+/// in memory, so safe `split_at_mut` decomposition is impossible; this
+/// wrapper makes the disjointness invariant explicit instead.
+struct TileSink {
+    ptr: *mut f32,
+}
+
+// SAFETY: every `accumulate` call writes a span derived from a
+// `(row tile, column panel)` rectangle, and `gemm` assigns each rectangle
+// to exactly one task — concurrent writers never overlap.
+unsafe impl Sync for TileSink {}
+
+impl TileSink {
+    /// `C[start..start + vals.len()] += vals`.
+    ///
+    /// # Safety
+    ///
+    /// The span must lie inside the matrix and be written by no other
+    /// concurrent task.
+    #[inline(always)]
+    unsafe fn accumulate(&self, start: usize, vals: &[f32]) {
+        let dst = std::slice::from_raw_parts_mut(self.ptr.add(start), vals.len());
+        for (d, &v) in dst.iter_mut().zip(vals) {
+            *d += v;
+        }
+    }
+}
 
 /// `C += A * B` for row-major matrices.
 ///
@@ -72,49 +184,90 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
         return;
     }
 
-    let b_pack = pack_b(n, k, b);
-    let serial = m * n * k < PAR_MAC_THRESHOLD;
-    let run_panel = |panel: usize, c_panel: &mut [f32]| {
-        let rows = c_panel.len() / n;
-        gemm_panel(panel * MC, rows, n, k, a, &b_pack, c_panel);
+    let threads = if pcnn_parallel::in_parallel_region() {
+        1
+    } else {
+        pcnn_parallel::current_threads()
     };
-    if serial {
-        for (panel, c_panel) in c[..m * n].chunks_mut(MC * n).enumerate() {
-            run_panel(panel, c_panel);
+    let part = if threads <= 1 || m * n * k < PAR_MAC_THRESHOLD {
+        GemmPartition {
+            row_splits: 1,
+            col_splits: 1,
         }
     } else {
-        pcnn_parallel::par_chunks_mut(&mut c[..m * n], MC * n, run_panel);
+        partition_gemm(m, n, k, threads)
+    };
+
+    let n_panels = n.div_ceil(NR);
+    let mr_tiles = m.div_ceil(MR);
+    let mut b_pack = pcnn_parallel::scratch_f32(k * n_panels * NR);
+    pack_b(n, k, b, &mut b_pack, part.tasks() > 1);
+
+    let sink = TileSink {
+        ptr: c.as_mut_ptr(),
+    };
+    if part.tasks() <= 1 {
+        gemm_tiles(m, n, k, a, &b_pack, &sink, 0..mr_tiles, 0..n_panels);
+        return;
     }
+    let run_task = |t: usize| {
+        let rows = split_range(mr_tiles, part.row_splits, t / part.col_splits);
+        let cols = split_range(n_panels, part.col_splits, t % part.col_splits);
+        gemm_tiles(m, n, k, a, &b_pack, &sink, rows, cols);
+    };
+    pcnn_parallel::par_for(part.tasks(), 1, |range| {
+        for t in range {
+            run_task(t);
+        }
+    });
 }
 
-/// `B` packed into `NR`-wide micropanels, one `KC` block after another.
+/// Packs `B` into `packed` (pooled scratch, `k * ceil(n/NR) * NR`
+/// elements) as `NR`-wide micropanels, one `KC` block after another.
 ///
 /// Block `pc` starts at `p0 * n_panels * NR` (`p0 = pc * KC`) and holds
 /// `n_panels` micropanels of `kc * NR` elements each; element `(p, j)` of
-/// a micropanel is at `p * NR + j`. Ragged column edges are zero-filled,
-/// so the microkernel never branches on bounds; the depth direction is
-/// packed tight (the final block is simply shorter).
-fn pack_b(n: usize, k: usize, b: &[f32]) -> Vec<f32> {
+/// a micropanel is at `p * NR + j`. Ragged column edges are zero-filled
+/// explicitly — the scratch arrives with unspecified contents — so the
+/// microkernel never branches on bounds; the depth direction is packed
+/// tight (the final block is simply shorter).
+///
+/// When `parallel`, full `KC` blocks additionally split at micropanel
+/// boundaries so even a single-block `B` feeds the whole pool.
+fn pack_b(n: usize, k: usize, b: &[f32], packed: &mut [f32], parallel: bool) {
     let n_panels = n.div_ceil(NR);
-    let mut packed = vec![0.0f32; k * n_panels * NR];
-    pcnn_parallel::par_chunks_mut(&mut packed, n_panels * KC * NR, |pc, block| {
+    let fill = |pc: usize, offset: usize, part: &mut [f32]| {
         let p0 = pc * KC;
-        let kc = block.len() / (n_panels * NR);
-        for (jp, panel) in block.chunks_mut(kc * NR).enumerate() {
-            let j0 = jp * NR;
+        let kc = KC.min(k - p0);
+        // Only full (kc == KC) blocks are ever split, so `offset` is a
+        // whole number of KC-deep micropanels; the tight-depth final
+        // block always arrives whole with offset 0.
+        let jp0 = offset / (KC * NR);
+        for (dj, panel) in part.chunks_mut(kc * NR).enumerate() {
+            let j0 = (jp0 + dj) * NR;
             let nr = NR.min(n - j0);
             for p in 0..kc {
                 let src = &b[(p0 + p) * n + j0..(p0 + p) * n + j0 + nr];
                 panel[p * NR..p * NR + nr].copy_from_slice(src);
+                panel[p * NR + nr..(p + 1) * NR].fill(0.0);
             }
         }
-    });
-    packed
+    };
+    let len = k * n_panels * NR;
+    if parallel {
+        pcnn_parallel::par_chunks_mut_fine(&mut packed[..len], n_panels * KC * NR, KC * NR, fill);
+    } else {
+        for (pc, block) in packed[..len].chunks_mut(n_panels * KC * NR).enumerate() {
+            fill(pc, 0, block);
+        }
+    }
 }
 
 /// Packs `rows x kc` of `A` (starting at `(m0, p0)`) into `MR`-row
 /// micropanels: tile `ir` starts at `ir * kc * MR`, element `(p, i)` at
-/// `p * MR + i`. Short bottom tiles are zero-padded.
+/// `p * MR + i`. Short bottom tiles are zero-padded; every element of
+/// `packed[..ceil(rows/MR) * kc * MR]` is written, so pooled scratch with
+/// unspecified contents is safe.
 fn pack_a(m0: usize, rows: usize, p0: usize, kc: usize, k: usize, a: &[f32], packed: &mut [f32]) {
     for (ir, tile) in packed[..rows.div_ceil(MR) * kc * MR]
         .chunks_mut(kc * MR)
@@ -134,81 +287,117 @@ fn pack_a(m0: usize, rows: usize, p0: usize, kc: usize, k: usize, a: &[f32], pac
     }
 }
 
-/// One row panel of the packed GEMM: `C[m0..m0+rows, :] += A * B`.
+/// One worker's rectangle of the packed GEMM:
+/// `C[tiles tile_rows, panels tile_cols] += A * B`.
 ///
-/// Dispatches once (cached feature probe) to an AVX2 instantiation of the
-/// same body on x86-64 that supports it. Both instantiations perform the
-/// identical sequence of IEEE mul/add per accumulator — vector width never
-/// changes per-element rounding — so the result is bitwise-equal whichever
-/// path runs.
-fn gemm_panel(
-    m0: usize,
-    rows: usize,
+/// Checks its `A`-packing scratch out of the pool *before* dispatching —
+/// `#[target_feature]` does not propagate into closures, so the AVX2
+/// instantiation must be a plain call tree. Dispatches once (cached
+/// feature probe) to an AVX2 instantiation of the same body on x86-64
+/// that supports it; both instantiations perform the identical sequence
+/// of IEEE mul/add per accumulator — vector width never changes
+/// per-element rounding — so the result is bitwise-equal whichever path
+/// runs.
+#[allow(clippy::too_many_arguments)]
+fn gemm_tiles(
+    m: usize,
     n: usize,
     k: usize,
     a: &[f32],
     b_pack: &[f32],
-    c: &mut [f32],
+    sink: &TileSink,
+    tile_rows: Range<usize>,
+    tile_cols: Range<usize>,
 ) {
+    if tile_rows.is_empty() || tile_cols.is_empty() {
+        return;
+    }
+    let group_cap = (MC / MR).min(tile_rows.len());
+    let mut a_pack = pcnn_parallel::scratch_f32(group_cap * KC * MR);
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: the AVX2 requirement is established by the runtime
         // feature probe on the line above.
-        return unsafe { gemm_panel_avx2(m0, rows, n, k, a, b_pack, c) };
+        return unsafe {
+            gemm_tiles_avx2(m, n, k, a, b_pack, sink, tile_rows, tile_cols, &mut a_pack)
+        };
     }
-    gemm_panel_body(m0, rows, n, k, a, b_pack, c)
+    gemm_tiles_body(m, n, k, a, b_pack, sink, tile_rows, tile_cols, &mut a_pack)
 }
 
-/// AVX2 instantiation of [`gemm_panel_body`]: same source, wider
+/// AVX2 instantiation of [`gemm_tiles_body`]: same source, wider
 /// autovectorization (one 8-lane register per accumulator row).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-fn gemm_panel_avx2(
-    m0: usize,
-    rows: usize,
+#[allow(clippy::too_many_arguments)]
+fn gemm_tiles_avx2(
+    m: usize,
     n: usize,
     k: usize,
     a: &[f32],
     b_pack: &[f32],
-    c: &mut [f32],
+    sink: &TileSink,
+    tile_rows: Range<usize>,
+    tile_cols: Range<usize>,
+    a_pack: &mut [f32],
 ) {
-    gemm_panel_body(m0, rows, n, k, a, b_pack, c)
+    gemm_tiles_body(m, n, k, a, b_pack, sink, tile_rows, tile_cols, a_pack)
 }
 
+/// The rectangle loop nest: ascending `KC` blocks on the outside (the
+/// per-element accumulation order that fixes bitwise determinism), then
+/// `MC`-row `A`-packing groups, then the `jr`/`ir` microkernel loops.
 #[inline(always)]
-fn gemm_panel_body(
-    m0: usize,
-    rows: usize,
+#[allow(clippy::too_many_arguments)]
+fn gemm_tiles_body(
+    m: usize,
     n: usize,
     k: usize,
     a: &[f32],
     b_pack: &[f32],
-    c: &mut [f32],
+    sink: &TileSink,
+    tile_rows: Range<usize>,
+    tile_cols: Range<usize>,
+    a_pack: &mut [f32],
 ) {
     let n_panels = n.div_ceil(NR);
-    let mr_tiles = rows.div_ceil(MR);
-    let mut a_pack = vec![0.0f32; mr_tiles * KC * MR];
     for pc in 0..k.div_ceil(KC) {
         let p0 = pc * KC;
         let kc = KC.min(k - p0);
-        pack_a(m0, rows, p0, kc, k, a, &mut a_pack);
         let b_block = &b_pack[p0 * n_panels * NR..];
-        for jp in 0..n_panels {
-            let b_micro = &b_block[jp * kc * NR..(jp + 1) * kc * NR];
-            let j0 = jp * NR;
-            let nr = NR.min(n - j0);
-            for ir in 0..mr_tiles {
-                let a_micro = &a_pack[ir * kc * MR..(ir + 1) * kc * MR];
-                let acc = microkernel(kc, a_micro, b_micro);
-                let i0 = ir * MR;
-                let mr = MR.min(rows - i0);
-                for (i, acc_row) in acc.iter().enumerate().take(mr) {
-                    let c_row = &mut c[(i0 + i) * n + j0..(i0 + i) * n + j0 + nr];
-                    for (cv, &av) in c_row.iter_mut().zip(acc_row) {
-                        *cv += av;
+        let mut g0 = tile_rows.start;
+        while g0 < tile_rows.end {
+            let g_tiles = (MC / MR).min(tile_rows.end - g0);
+            let rows = (g_tiles * MR).min(m - g0 * MR);
+            pack_a(
+                g0 * MR,
+                rows,
+                p0,
+                kc,
+                k,
+                a,
+                &mut a_pack[..g_tiles * kc * MR],
+            );
+            let a_group = &a_pack[..g_tiles * kc * MR];
+            for jp in tile_cols.clone() {
+                let b_micro = &b_block[jp * kc * NR..(jp + 1) * kc * NR];
+                let j0 = jp * NR;
+                let nr = NR.min(n - j0);
+                for (g, a_micro) in a_group.chunks(kc * MR).enumerate() {
+                    let i0 = (g0 + g) * MR;
+                    let mr = MR.min(m - i0);
+                    let acc = microkernel(kc, a_micro, b_micro);
+                    for (i, acc_row) in acc.iter().enumerate().take(mr) {
+                        // SAFETY: row `i0 + i` < m and columns
+                        // `j0..j0 + nr` <= n lie inside `C`, and this
+                        // task is the sole owner of the rectangle.
+                        unsafe {
+                            sink.accumulate((i0 + i) * n + j0, &acc_row[..nr]);
+                        }
                     }
                 }
             }
+            g0 += g_tiles;
         }
     }
 }
@@ -218,7 +407,7 @@ fn gemm_panel_body(
 /// `B` micropanel. Constant loop bounds let LLVM keep `acc` in vector
 /// registers and autovectorize without reassociating any float sum.
 ///
-/// Always inlined into [`gemm_panel_body`], so it picks up whatever
+/// Always inlined into [`gemm_tiles_body`], so it picks up whatever
 /// target features its instantiation was compiled with.
 #[inline(always)]
 fn microkernel(kc: usize, a: &[f32], b: &[f32]) -> [[f32; NR]; MR] {
@@ -267,7 +456,8 @@ const DOT_LANES: usize = 8;
 /// `C` is `m x n`.
 ///
 /// Used by the convolution/linear backward passes (`dW = dOut * cols^T`)
-/// and the linear forward pass. Rows of `C` are computed in parallel;
+/// and the linear forward pass. Rows of `C` are computed in parallel —
+/// splitting *within* rows when there are fewer rows than workers — and
 /// each dot product accumulates in [`DOT_LANES`] independent lanes
 /// (vectorizable) combined by a fixed tree, so results are deterministic
 /// at any thread count.
@@ -282,19 +472,19 @@ pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     if m == 0 || n == 0 {
         return;
     }
-    let row_job = |i: usize, c_row: &mut [f32]| {
+    let row_job = |i: usize, j0: usize, c_part: &mut [f32]| {
         let a_row = &a[i * k..i * k + k];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..j * k + k];
+        for (dj, cv) in c_part.iter_mut().enumerate() {
+            let b_row = &b[(j0 + dj) * k..(j0 + dj) * k + k];
             *cv += dot_lanes(a_row, b_row);
         }
     };
     if m * n * k < PAR_MAC_THRESHOLD {
         for (i, c_row) in c[..m * n].chunks_mut(n).enumerate() {
-            row_job(i, c_row);
+            row_job(i, 0, c_row);
         }
     } else {
-        pcnn_parallel::par_chunks_mut(&mut c[..m * n], n, row_job);
+        pcnn_parallel::par_chunks_mut_fine(&mut c[..m * n], n, 1, row_job);
     }
 }
 
@@ -322,9 +512,10 @@ fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
 /// `C` is `m x n`.
 ///
 /// Used by the convolution/linear backward passes (`dCols = W^T * dOut`).
-/// Rows of `C` are computed in parallel; per element the accumulation
-/// runs in ascending `k` order exactly as the serial loop does, so
-/// results are deterministic at any thread count.
+/// Rows of `C` are computed in parallel, splitting *within* rows when
+/// there are fewer rows than workers; per element the accumulation runs
+/// in ascending `k` order exactly as the serial loop does, so results are
+/// deterministic at any thread count.
 ///
 /// # Panics
 ///
@@ -336,7 +527,7 @@ pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     if m == 0 || n == 0 {
         return;
     }
-    let row_job = |i: usize, c_row: &mut [f32]| {
+    let row_job = |i: usize, j0: usize, c_part: &mut [f32]| {
         for p in 0..k {
             let aval = a[p * m + i];
             // Whole-row skip: backward passes feed ReLU-masked gradients
@@ -345,18 +536,18 @@ pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
             if aval == 0.0 {
                 continue;
             }
-            let b_row = &b[p * n..p * n + n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+            let b_row = &b[p * n + j0..p * n + j0 + c_part.len()];
+            for (cv, &bv) in c_part.iter_mut().zip(b_row) {
                 *cv += aval * bv;
             }
         }
     };
     if m * n * k < PAR_MAC_THRESHOLD {
         for (i, c_row) in c[..m * n].chunks_mut(n).enumerate() {
-            row_job(i, c_row);
+            row_job(i, 0, c_row);
         }
     } else {
-        pcnn_parallel::par_chunks_mut(&mut c[..m * n], n, row_job);
+        pcnn_parallel::par_chunks_mut_fine(&mut c[..m * n], n, 1, row_job);
     }
 }
 
@@ -459,6 +650,65 @@ mod tests {
                 let want: f32 = (0..kc).map(|p| a[p * MR + i] * b[p * NR + j]).sum();
                 assert_eq!(acc[i][j], want, "tile ({i},{j})");
             }
+        }
+    }
+
+    #[test]
+    fn partitioner_golden_splits_on_alexnet_bench_shapes() {
+        // The four `pcnn bench-gemm` shapes all have >= 24 MR-row tiles,
+        // so at 8 threads the duplicated-A-packing penalty steers the
+        // partitioner to a pure row split.
+        for &(m, n, k) in &[
+            (96usize, 3025usize, 363usize), // CONV1
+            (256, 729, 1200),               // CONV2
+            (384, 169, 2304),               // CONV3
+            (256, 169, 3456),               // CONV5
+        ] {
+            let p = partition_gemm(m, n, k, 8);
+            assert_eq!(
+                (p.row_splits, p.col_splits),
+                (8, 1),
+                "partition for ({m},{n},{k})"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioner_engages_column_axis_on_short_matrices() {
+        // Only ceil(16/4) = 4 row tiles: a pure row split would strand
+        // half of an 8-worker pool, so the 2-D split must engage.
+        let p = partition_gemm(16, 3025, 363, 8);
+        assert_eq!((p.row_splits, p.col_splits), (4, 2));
+        // Degenerate grids never exceed the available work.
+        let p = partition_gemm(4, 8, 1024, 8);
+        assert_eq!((p.row_splits, p.col_splits), (1, 1));
+    }
+
+    #[test]
+    fn partitioner_never_exceeds_thread_budget() {
+        for &threads in &[1usize, 2, 3, 4, 6, 8, 16] {
+            for &(m, n, k) in &[(96usize, 3025usize, 363), (16, 3025, 363), (130, 17, 513)] {
+                let p = partition_gemm(m, n, k, threads);
+                assert!(
+                    p.tasks() <= threads.max(1),
+                    "({m},{n},{k}) x {threads} threads -> {p:?}"
+                );
+                assert!(p.row_splits <= m.div_ceil(MR) && p.col_splits <= n.div_ceil(NR));
+            }
+        }
+    }
+
+    #[test]
+    fn split_range_covers_exactly() {
+        for &(total, parts) in &[(24usize, 8usize), (22, 8), (7, 3), (5, 5)] {
+            let mut next = 0;
+            for idx in 0..parts {
+                let r = split_range(total, parts, idx);
+                assert_eq!(r.start, next, "gap at band {idx} of {total}/{parts}");
+                assert!(!r.is_empty() || total < parts);
+                next = r.end;
+            }
+            assert_eq!(next, total);
         }
     }
 

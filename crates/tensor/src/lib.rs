@@ -26,6 +26,6 @@ mod im2col;
 mod tensor;
 
 pub use error::ShapeError;
-pub use gemm::{gemm, gemm_bias, gemm_naive, gemm_nt, gemm_tn};
+pub use gemm::{gemm, gemm_bias, gemm_naive, gemm_nt, gemm_tn, partition_gemm, GemmPartition};
 pub use im2col::{col2im_accumulate, conv_output_dim, im2col, im2col_positions, Conv2dGeometry};
 pub use tensor::Tensor;

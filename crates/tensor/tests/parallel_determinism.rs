@@ -48,14 +48,21 @@ const ODD_SHAPES: &[(usize, usize, usize)] = &[
     (130, 17, 513),
 ];
 
+/// Thread counts the determinism suite sweeps: serial, even and odd
+/// partitions, and a pool wider than most of the shapes' row-tile grids
+/// (forcing the 2-D partitioner onto the column axis).
+const THREAD_SWEEP: &[usize] = &[1, 2, 3, 4, 8];
+
 #[test]
 fn gemm_bitwise_equal_across_thread_counts_on_blocking_boundaries() {
     for &(m, n, k) in ODD_SHAPES {
         let a = pseudo(2017, m * k);
         let b = pseudo(4034, k * n);
         let c1 = gemm_at(1, m, n, k, &a, &b);
-        let c8 = gemm_at(8, m, n, k, &a, &b);
-        assert_eq!(c1, c8, "gemm {m}x{n}x{k} differs between 1 and 8 threads");
+        for &t in &THREAD_SWEEP[1..] {
+            let ct = gemm_at(t, m, n, k, &a, &b);
+            assert_eq!(c1, ct, "gemm {m}x{n}x{k} differs between 1 and {t} threads");
+        }
     }
 }
 
@@ -73,7 +80,10 @@ fn gemm_nt_and_tn_bitwise_equal_across_thread_counts() {
             c
         })
     };
-    assert_eq!(run_nt(1), run_nt(8), "gemm_nt differs across thread counts");
+    let nt1 = run_nt(1);
+    for &t in &THREAD_SWEEP[1..] {
+        assert_eq!(nt1, run_nt(t), "gemm_nt differs between 1 and {t} threads");
+    }
 
     let at = pseudo(13, k * m);
     let b = pseudo(17, k * n);
@@ -84,7 +94,10 @@ fn gemm_nt_and_tn_bitwise_equal_across_thread_counts() {
             c
         })
     };
-    assert_eq!(run_tn(1), run_tn(8), "gemm_tn differs across thread counts");
+    let tn1 = run_tn(1);
+    for &t in &THREAD_SWEEP[1..] {
+        assert_eq!(tn1, run_tn(t), "gemm_tn differs between 1 and {t} threads");
+    }
 }
 
 #[test]
@@ -105,8 +118,10 @@ fn im2col_bitwise_equal_across_thread_counts() {
 
 proptest! {
     /// Any shape — especially ragged ones around pack/panel boundaries —
-    /// yields bitwise-identical gemm output at 1 and 8 threads, and stays
-    /// numerically close to the serial triple-loop oracle.
+    /// yields bitwise-identical gemm output at every thread count in
+    /// {1, 2, 3, 4, 8}, and stays numerically close to the serial
+    /// triple-loop oracle. Ragged (non-multiple-of-MR/NR/KC/MC) shapes
+    /// dominate this range, exercising every partitioner edge.
     #[test]
     fn gemm_threads_agree_on_random_shapes(
         m in 1usize..100,
@@ -117,8 +132,10 @@ proptest! {
         let a = pseudo(seed, m * k);
         let b = pseudo(seed ^ 0xABCD, k * n);
         let c1 = gemm_at(1, m, n, k, &a, &b);
-        let c8 = gemm_at(8, m, n, k, &a, &b);
-        prop_assert_eq!(&c1, &c8);
+        for &t in &THREAD_SWEEP[1..] {
+            let ct = gemm_at(t, m, n, k, &a, &b);
+            prop_assert_eq!(&c1, &ct, "threads={}", t);
+        }
         let mut oracle = vec![0.0; m * n];
         gemm_naive(m, n, k, &a, &b, &mut oracle);
         for (x, y) in c1.iter().zip(&oracle) {
