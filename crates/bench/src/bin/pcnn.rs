@@ -10,16 +10,23 @@
 //!               [--fps F] [--frames N] [--bg-images N] [--max-batch N]
 //!               [--no-degrade] [--smoke] [--json <path>]
 //! pcnn bench-gemm [--reps N] [--json <path>]
+//! pcnn profile <alexnet|vggnet|googlenet> [--batch N] [--reps N] [--json <path>]
 //! pcnn obs <trace.json>
-//! pcnn obs check [--baseline-serve P] [--baseline-gemm P]
-//!                [--candidate-serve P] [--candidate-gemm P] [--reps N]
+//! pcnn obs diff <a.json> <b.json>
+//! pcnn obs check [--baseline-serve P] [--baseline-gemm P] [--baseline-profile P]
+//!                [--candidate-serve P] [--candidate-gemm P] [--candidate-profile P]
+//!                [--reps N]
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use pcnn_bench::baselines::{self, ServeScenario};
-use pcnn_bench::obs::{analyze_trace, compare_gemm, compare_serve, Violation};
+use pcnn_bench::obs::{
+    analyze_trace, compare_gemm, compare_profile, compare_serve, diff_documents, load_document,
+    Violation,
+};
+use pcnn_bench::profile;
 use pcnn_bench::TableWriter;
 use pcnn_core::offline::{library_schedule, OfflineCompiler};
 use pcnn_core::runtime::simulate_schedule;
@@ -32,7 +39,7 @@ use pcnn_nn::spec::{alexnet, googlenet, vggnet, NetworkSpec};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\n  pcnn serve    [--gpu <a,b,...>] [--net <...>] [--seed N] [--requests N] [--rate R] [--fps F] [--frames N] [--bg-images N] [--max-batch N] [--no-degrade] [--smoke] [--json <path>]\n  pcnn bench-gemm [--reps N] [--json <path>]\n  pcnn obs <trace.json>                      analyze an exported serve trace\n  pcnn obs check [--baseline-serve P] [--baseline-gemm P] [--candidate-serve P] [--candidate-gemm P] [--reps N]\n                                             gate fresh runs against the committed baselines\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest + Prometheus metrics,\nand --threads <N> (or PCNN_THREADS=<N>) to pin the CPU worker pool"
+        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\n  pcnn serve    [--gpu <a,b,...>] [--net <...>] [--seed N] [--requests N] [--rate R] [--fps F] [--frames N] [--bg-images N] [--max-batch N] [--no-degrade] [--smoke] [--json <path>]\n  pcnn bench-gemm [--reps N] [--json <path>]\n  pcnn profile <alexnet|vggnet|googlenet> [--batch N] [--reps N] [--json <path>]\n                                             per-layer phase/roofline report; --json writes the deterministic profile document\n  pcnn obs <trace.json>                      analyze an exported serve trace\n  pcnn obs diff <a.json> <b.json>            attribute the time delta between two profile documents or Chrome traces\n  pcnn obs check [--baseline-serve P] [--baseline-gemm P] [--baseline-profile P] [--candidate-serve P] [--candidate-gemm P] [--candidate-profile P] [--reps N]\n                                             gate fresh runs against the committed baselines\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest + Prometheus metrics,\nand --threads <N> (or PCNN_THREADS=<N>) to pin the CPU worker pool"
     );
     ExitCode::from(2)
 }
@@ -410,24 +417,17 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
 /// per-request critical path, and the SLO alert log of an exported serve
 /// trace.
 fn cmd_obs_analyze(path: &str) -> ExitCode {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: could not read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let doc = match pcnn_telemetry::json::parse(&text) {
+    let doc = match load_document(path) {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("error: {path} is not valid JSON: {e}");
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
     let analysis = match analyze_trace(&doc) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("error: {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -506,20 +506,69 @@ fn cmd_obs_analyze(path: &str) -> ExitCode {
 }
 
 fn load_json(path: &str) -> Option<pcnn_telemetry::json::JsonValue> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: could not read {path}: {e}");
-            return None;
-        }
-    };
-    match pcnn_telemetry::json::parse(&text) {
+    match load_document(path) {
         Ok(d) => Some(d),
         Err(e) => {
-            eprintln!("error: {path} is not valid JSON: {e}");
+            eprintln!("error: {e}");
             None
         }
     }
+}
+
+/// `pcnn obs diff <a> <b>` — attribute the time delta between two
+/// profile documents (down the layer/phase tree) or two Chrome traces
+/// (per span name), ranked by how much of the delta each row owns.
+fn cmd_obs_diff(a_path: &str, b_path: &str) -> ExitCode {
+    let (a, b) = match (load_document(a_path), load_document(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let d = match diff_documents(&a, &b) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "total: {:.3} ms -> {:.3} ms ({:+.3} ms)",
+        d.base_ms,
+        d.cand_ms,
+        d.delta_ms()
+    );
+    let mut t = TableWriter::new(vec![
+        "culprit",
+        "a (ms)",
+        "b (ms)",
+        "delta (ms)",
+        "top phase",
+    ]);
+    for e in d.culprits.iter().take(10) {
+        let top_phase = e
+            .children
+            .first()
+            .filter(|c| c.delta_ms().abs() > 0.0)
+            .map(|c| {
+                let phase = c.path.rsplit('/').next().unwrap_or(&c.path);
+                format!("{phase} ({:+.3} ms)", c.delta_ms())
+            })
+            .unwrap_or_else(|| "-".to_string());
+        t.row(vec![
+            e.path.clone(),
+            format!("{:.3}", e.base_ms),
+            format!("{:.3}", e.cand_ms),
+            format!("{:+.3}", e.delta_ms()),
+            top_phase,
+        ]);
+    }
+    t.print(&format!(
+        "delta attribution, ranked by |delta| ({} rows)",
+        d.culprits.len()
+    ));
+    ExitCode::SUCCESS
 }
 
 fn report_violations(what: &str, violations: &[Violation]) {
@@ -545,9 +594,15 @@ fn cmd_obs_check(flags: &HashMap<String, String>) -> ExitCode {
         .get("baseline-gemm")
         .map(String::as_str)
         .unwrap_or("BENCH_gemm.json");
+    let profile_baseline = flags
+        .get("baseline-profile")
+        .map(String::as_str)
+        .unwrap_or("BENCH_profile.json");
     // With an explicit candidate file, only the provided sides are
-    // checked (fast file-vs-file mode); otherwise both are re-run.
-    let file_mode = flags.contains_key("candidate-serve") || flags.contains_key("candidate-gemm");
+    // checked (fast file-vs-file mode); otherwise all are re-run.
+    let file_mode = flags.contains_key("candidate-serve")
+        || flags.contains_key("candidate-gemm")
+        || flags.contains_key("candidate-profile");
     let mut violations = 0usize;
 
     if !file_mode || flags.contains_key("candidate-serve") {
@@ -611,6 +666,37 @@ fn cmd_obs_check(flags: &HashMap<String, String>) -> ExitCode {
         violations += v.len();
     }
 
+    if !file_mode || flags.contains_key("candidate-profile") {
+        let Some(base) = load_json(profile_baseline) else {
+            return ExitCode::FAILURE;
+        };
+        let cand = match flags.get("candidate-profile") {
+            Some(p) => {
+                let Some(c) = load_json(p) else {
+                    return ExitCode::FAILURE;
+                };
+                c
+            }
+            None => {
+                let run = match profile::baseline_run() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("profile failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let Ok(c) = pcnn_telemetry::json::parse(&profile::profile_json(&run)) else {
+                    eprintln!("error: profile document did not parse as JSON");
+                    return ExitCode::FAILURE;
+                };
+                c
+            }
+        };
+        let v = compare_profile(&base, &cand);
+        report_violations(&format!("profile vs {profile_baseline}"), &v);
+        violations += v.len();
+    }
+
     if violations > 0 {
         ExitCode::FAILURE
     } else {
@@ -626,9 +712,67 @@ fn cmd_obs(rest: &[String]) -> ExitCode {
             };
             cmd_obs_check(&flags)
         }
+        Some((sub, tail)) if sub == "diff" => match tail {
+            [a, b] if !a.starts_with("--") && !b.starts_with("--") => cmd_obs_diff(a, b),
+            _ => usage(),
+        },
         Some((path, _)) if !path.starts_with("--") => cmd_obs_analyze(path),
         _ => usage(),
     }
+}
+
+/// `pcnn profile <model>` — instrumented forward passes, the measured
+/// roofline report, and (with `--json`) the deterministic profile
+/// document regenerated single-threaded so it is byte-identical across
+/// runs and hosts.
+fn cmd_profile(rest: &[String]) -> ExitCode {
+    let Some((model_name, tail)) = rest.split_first() else {
+        return usage();
+    };
+    if model_name.starts_with("--") {
+        return usage();
+    }
+    let Some(net) = profile::pick_model(model_name) else {
+        eprintln!("error: unknown model {model_name:?} (expected alexnet, vggnet, or googlenet)");
+        return ExitCode::from(2);
+    };
+    let Some(flags) = parse_flags(tail) else {
+        return usage();
+    };
+    let batch: usize = flags
+        .get("batch")
+        .and_then(|b| b.parse().ok())
+        .unwrap_or(profile::BASELINE_BATCH);
+    let reps: usize = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(3);
+    // Calibrate before profiling so the probe GEMM stays off the tables.
+    let peaks = profile::calibrate();
+    let run = match profile::run_profile(&net, batch, reps) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("profile failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", profile::render_report(&run, &peaks));
+    if let Some(path) = flags.get("json") {
+        // The document models time from shape-determined FLOP/byte
+        // counts, but span *counts* depend on the worker partition —
+        // regenerate single-threaded so the file is host-independent.
+        let doc_run = match pcnn_parallel::with_threads(1, || profile::run_profile(&net, batch, 1))
+        {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("profile failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, profile::profile_json(&doc_run)) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -640,9 +784,12 @@ fn main() -> ExitCode {
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
-    // `obs` takes a positional trace path / `check` subcommand.
+    // `obs` and `profile` take positional arguments.
     if cmd == "obs" {
         return cmd_obs(rest);
+    }
+    if cmd == "profile" {
+        return cmd_profile(rest);
     }
     let Some(flags) = parse_flags(rest) else {
         return usage();

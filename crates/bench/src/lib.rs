@@ -6,6 +6,7 @@ pub mod baselines;
 pub mod experiments;
 pub mod harness;
 pub mod obs;
+pub mod profile;
 pub mod threads;
 pub mod trace;
 pub mod trained;

@@ -6,14 +6,21 @@
 //!   virtual-time observability events written by `pcnn serve` under
 //!   `PCNN_TRACE`) and computes per-workload queueing-vs-service
 //!   breakdowns, the per-request critical path, and the SLO alert log.
-//! * [`compare_serve`] / [`compare_gemm`] diff a fresh benchmark run
-//!   against the committed `BENCH_serve.json` / `BENCH_gemm.json`
-//!   baselines with per-metric tolerance bands, returning the violations
-//!   (`pcnn obs check` exits nonzero on any). Serve metrics are
-//!   deterministic so their bands are tight; GEMM gates on
-//!   machine-normalised speedup ratios, never absolute GFLOP/s.
+//! * [`compare_serve`] / [`compare_gemm`] / [`compare_profile`] diff a
+//!   fresh benchmark run against the committed `BENCH_serve.json` /
+//!   `BENCH_gemm.json` / `BENCH_profile.json` baselines with per-metric
+//!   tolerance bands, returning the violations (`pcnn obs check` exits
+//!   nonzero on any). Serve and profile metrics are deterministic so
+//!   their bands are tight; GEMM gates on machine-normalised speedup
+//!   ratios, never absolute GFLOP/s.
+//!
+//! When a gate fails, [`diff_documents`] (`pcnn obs diff <a> <b>`)
+//! attributes the top-level time delta between two profile documents
+//! down the layer/phase tree — or between two Chrome traces per span
+//! name — and returns ranked culprits, so the failure names the
+//! regressing layer instead of just a number that moved.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use pcnn_telemetry::json::JsonValue;
 
@@ -272,6 +279,319 @@ pub fn compare_gemm(baseline: &JsonValue, candidate: &JsonValue) -> Vec<Violatio
     v
 }
 
+/// A typed `pcnn obs` failure. The CLI prints the message on stderr and
+/// exits nonzero — a missing or corrupt document is a diagnosable
+/// condition, not a panic.
+#[derive(Debug)]
+pub enum ObsError {
+    /// The document could not be read from disk.
+    Io {
+        /// Path passed on the command line.
+        path: String,
+        /// Underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// The document is not valid JSON.
+    Parse {
+        /// Path passed on the command line.
+        path: String,
+        /// Parser message with the byte offset.
+        message: String,
+    },
+    /// The document parsed but has the wrong shape for the command.
+    Shape {
+        /// Path passed on the command line.
+        path: String,
+        /// What was expected and what was found.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ObsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsError::Io { path, source } => write!(f, "{path}: {source}"),
+            ObsError::Parse { path, message } => write!(f, "{path}: invalid JSON: {message}"),
+            ObsError::Shape { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObsError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Reads and parses a JSON document (trace, report, or profile).
+///
+/// # Errors
+///
+/// Returns [`ObsError::Io`] when the file cannot be read and
+/// [`ObsError::Parse`] when it is not valid JSON.
+pub fn load_document(path: &str) -> Result<JsonValue, ObsError> {
+    let text = std::fs::read_to_string(path).map_err(|source| ObsError::Io {
+        path: path.to_string(),
+        source,
+    })?;
+    pcnn_telemetry::json::parse(&text).map_err(|message| ObsError::Parse {
+        path: path.to_string(),
+        message,
+    })
+}
+
+/// Diffs a fresh deterministic profile document against the committed
+/// `BENCH_profile.json` baseline. Modelled times are pure functions of
+/// the layer shapes and fixed reference peaks — machine-independent —
+/// so the bands exist only to absorb intentional small shifts.
+pub fn compare_profile(baseline: &JsonValue, candidate: &JsonValue) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let f = |doc: &JsonValue, key: &str| doc.get(key).and_then(JsonValue::as_f64);
+    check(
+        &mut v,
+        "total_modelled_ms".into(),
+        f(baseline, "total_modelled_ms"),
+        f(candidate, "total_modelled_ms"),
+        Band::higher_worse(0.10, 1e-6),
+    );
+    let rows = |doc: &JsonValue| -> BTreeMap<String, f64> {
+        doc.get("layers")
+            .and_then(|l| l.as_array())
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| {
+                        Some((
+                            r.get("layer")?.as_str()?.to_string(),
+                            r.get("modelled_ms")?.as_f64()?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base = rows(baseline);
+    let cand = rows(candidate);
+    for (layer, b) in &base {
+        check(
+            &mut v,
+            format!("{layer}.modelled_ms"),
+            Some(*b),
+            cand.get(layer).copied(),
+            Band::higher_worse(0.10, 1e-6),
+        );
+    }
+    v
+}
+
+/// One node in a diff tree: a layer (with phase children) or a leaf.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// Human path, e.g. `L00 conv` or `L00 conv/im2col`.
+    pub path: String,
+    /// Time on side A, ms.
+    pub base_ms: f64,
+    /// Time on side B, ms.
+    pub cand_ms: f64,
+    /// Phase-level children, ranked by `|delta|` descending.
+    pub children: Vec<DiffEntry>,
+}
+
+impl DiffEntry {
+    /// Signed time delta (B − A), ms.
+    pub fn delta_ms(&self) -> f64 {
+        self.cand_ms - self.base_ms
+    }
+}
+
+/// A ranked attribution of the time delta between two documents.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileDiff {
+    /// Total time on side A, ms.
+    pub base_ms: f64,
+    /// Total time on side B, ms.
+    pub cand_ms: f64,
+    /// Rows ranked by `|delta|` descending (ties break on path order, so
+    /// the ranking is deterministic).
+    pub culprits: Vec<DiffEntry>,
+}
+
+impl ProfileDiff {
+    /// Signed top-level time delta (B − A), ms.
+    pub fn delta_ms(&self) -> f64 {
+        self.cand_ms - self.base_ms
+    }
+}
+
+/// Sorts entries by `|delta|` descending, tie-breaking on path.
+fn rank(entries: &mut [DiffEntry]) {
+    entries.sort_by(|a, b| {
+        b.delta_ms()
+            .abs()
+            .partial_cmp(&a.delta_ms().abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.path.cmp(&b.path))
+    });
+}
+
+/// A layer's `(modelled_ms, phase -> modelled_ms)` attribution row.
+type LayerRow = (f64, BTreeMap<String, f64>);
+
+/// `layer name -> (modelled_ms, phase -> modelled_ms)` from a profile
+/// document.
+fn profile_rows(doc: &JsonValue) -> Result<BTreeMap<String, LayerRow>, String> {
+    let layers = doc
+        .get("layers")
+        .and_then(|l| l.as_array())
+        .ok_or_else(|| "profile document has no \"layers\" array".to_string())?;
+    let mut out = BTreeMap::new();
+    for l in layers {
+        let name = l
+            .get("layer")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "layer row is missing its \"layer\" name".to_string())?;
+        let ms = l
+            .get("modelled_ms")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        let mut phases = BTreeMap::new();
+        if let Some(ps) = l.get("phases").and_then(|p| p.as_array()) {
+            for p in ps {
+                if let (Some(pn), Some(pms)) = (
+                    p.get("phase").and_then(JsonValue::as_str),
+                    p.get("modelled_ms").and_then(JsonValue::as_f64),
+                ) {
+                    phases.insert(pn.to_string(), pms);
+                }
+            }
+        }
+        out.insert(name.to_string(), (ms, phases));
+    }
+    Ok(out)
+}
+
+/// Diffs two profile documents (`pcnn profile --json` output): the
+/// top-level modelled-time delta is attributed down the layer/phase
+/// tree, and the layers are ranked by how much of the delta they own.
+///
+/// # Errors
+///
+/// Returns a message when either document has no `layers` array.
+pub fn diff_profiles(a: &JsonValue, b: &JsonValue) -> Result<ProfileDiff, String> {
+    let ra = profile_rows(a)?;
+    let rb = profile_rows(b)?;
+    let names: BTreeSet<&String> = ra.keys().chain(rb.keys()).collect();
+    let empty = (0.0, BTreeMap::new());
+    let mut culprits = Vec::new();
+    for name in names {
+        let (bms, bph) = ra.get(name).unwrap_or(&empty);
+        let (cms, cph) = rb.get(name).unwrap_or(&empty);
+        let phase_names: BTreeSet<&String> = bph.keys().chain(cph.keys()).collect();
+        let mut children: Vec<DiffEntry> = phase_names
+            .into_iter()
+            .map(|p| DiffEntry {
+                path: format!("{name}/{p}"),
+                base_ms: bph.get(p).copied().unwrap_or(0.0),
+                cand_ms: cph.get(p).copied().unwrap_or(0.0),
+                children: Vec::new(),
+            })
+            .collect();
+        rank(&mut children);
+        culprits.push(DiffEntry {
+            path: name.clone(),
+            base_ms: *bms,
+            cand_ms: *cms,
+            children,
+        });
+    }
+    rank(&mut culprits);
+    let total = |doc: &JsonValue, rows: &BTreeMap<String, (f64, BTreeMap<String, f64>)>| {
+        doc.get("total_modelled_ms")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| rows.values().map(|(ms, _)| ms).sum())
+    };
+    Ok(ProfileDiff {
+        base_ms: total(a, &ra),
+        cand_ms: total(b, &rb),
+        culprits,
+    })
+}
+
+/// Per-name total `"X"`-slice durations (ms) from a Chrome trace, with
+/// `"#k"` string-table references resolved back to full names.
+fn trace_slice_totals(doc: &JsonValue) -> Result<BTreeMap<String, f64>, String> {
+    let events = doc
+        .as_array()
+        .ok_or_else(|| "trace is not a JSON array".to_string())?;
+    // `"#k" -> name` from the string-table metadata event.
+    let mut table: BTreeMap<String, String> = BTreeMap::new();
+    for ev in events {
+        if ev.get("name").and_then(JsonValue::as_str) == Some("trace_string_table") {
+            if let Some(JsonValue::Object(args)) = ev.get("args") {
+                for (k, v) in args {
+                    if let Some(name) = v.as_str() {
+                        table.insert(format!("#{k}"), name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    for ev in events {
+        if ev.get("ph").and_then(JsonValue::as_str) != Some("X") {
+            continue;
+        }
+        let Some(raw) = ev.get("name").and_then(JsonValue::as_str) else {
+            continue;
+        };
+        let name = table.get(raw).map(String::as_str).unwrap_or(raw);
+        let dur = ev.get("dur").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        *out.entry(name.to_string()).or_insert(0.0) += dur / 1e3;
+    }
+    Ok(out)
+}
+
+/// Diffs two Chrome traces per span name, ranked by `|delta|`.
+fn diff_traces(a: &JsonValue, b: &JsonValue) -> Result<ProfileDiff, String> {
+    let ta = trace_slice_totals(a)?;
+    let tb = trace_slice_totals(b)?;
+    let names: BTreeSet<&String> = ta.keys().chain(tb.keys()).collect();
+    let mut culprits: Vec<DiffEntry> = names
+        .into_iter()
+        .map(|name| DiffEntry {
+            path: name.clone(),
+            base_ms: ta.get(name).copied().unwrap_or(0.0),
+            cand_ms: tb.get(name).copied().unwrap_or(0.0),
+            children: Vec::new(),
+        })
+        .collect();
+    rank(&mut culprits);
+    Ok(ProfileDiff {
+        base_ms: ta.values().sum(),
+        cand_ms: tb.values().sum(),
+        culprits,
+    })
+}
+
+/// Diffs two observability documents of the same kind: profile
+/// documents (objects with a `layers` array) are attributed down the
+/// layer/phase tree; Chrome traces (JSON arrays) are aggregated and
+/// diffed per span name.
+///
+/// # Errors
+///
+/// Returns a message when the documents are of different kinds or
+/// neither kind.
+pub fn diff_documents(a: &JsonValue, b: &JsonValue) -> Result<ProfileDiff, String> {
+    match (a.as_array().is_some(), b.as_array().is_some()) {
+        (true, true) => diff_traces(a, b),
+        (false, false) => diff_profiles(a, b),
+        _ => Err("cannot diff a Chrome trace against a profile document".to_string()),
+    }
+}
+
 /// Per-workload queueing-vs-service aggregate from the trace.
 #[derive(Debug, Clone, Default)]
 pub struct WorkloadBreakdown {
@@ -515,6 +835,98 @@ mod tests {
         // A vanished layer is flagged.
         let missing = json::parse(r#"{"shapes":[]}"#).unwrap();
         assert_eq!(compare_gemm(&base, &missing).len(), 1);
+    }
+
+    fn profile_doc(conv_ms: f64, micro_ms: f64) -> JsonValue {
+        json::parse(&format!(
+            r#"{{"bench":"profile","model":"TinyAlexNet","total_modelled_ms":{},
+                "layers":[
+                  {{"layer":"L00 conv","modelled_ms":{conv_ms},"phases":[
+                     {{"phase":"im2col","modelled_ms":0.4}},
+                     {{"phase":"microkernel","modelled_ms":{micro_ms}}}]}},
+                  {{"layer":"L03 linear","modelled_ms":1.0,"phases":[
+                     {{"phase":"microkernel","modelled_ms":1.0}}]}}
+                ]}}"#,
+            conv_ms + 1.0
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn compare_profile_flags_slower_layer_and_total() {
+        let base = profile_doc(2.0, 1.6);
+        assert!(compare_profile(&base, &base).is_empty());
+        let worse = profile_doc(3.0, 2.6);
+        let v = compare_profile(&base, &worse);
+        let metrics: Vec<&str> = v.iter().map(|x| x.metric.as_str()).collect();
+        assert!(metrics.contains(&"total_modelled_ms"));
+        assert!(metrics.contains(&"L00 conv.modelled_ms"));
+        // A vanished layer is flagged as missing.
+        let missing = json::parse(r#"{"total_modelled_ms":3.0,"layers":[]}"#).unwrap();
+        assert!(compare_profile(&base, &missing)
+            .iter()
+            .any(|x| x.metric.contains("missing")));
+    }
+
+    #[test]
+    fn diff_profiles_names_the_slow_layer_and_phase() {
+        // Doctored baseline: L00's microkernel got 1 ms slower, everything
+        // else is unchanged — the diff must rank that layer first and its
+        // microkernel phase first within it.
+        let base = profile_doc(2.0, 1.6);
+        let cand = profile_doc(3.0, 2.6);
+        let d = diff_profiles(&base, &cand).unwrap();
+        assert!((d.delta_ms() - 1.0).abs() < 1e-9);
+        assert_eq!(d.culprits[0].path, "L00 conv");
+        assert!((d.culprits[0].delta_ms() - 1.0).abs() < 1e-9);
+        assert_eq!(d.culprits[0].children[0].path, "L00 conv/microkernel");
+        // The untouched layer ranks last with a zero delta.
+        assert_eq!(d.culprits[1].path, "L03 linear");
+        assert!(d.culprits[1].delta_ms().abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_traces_resolves_string_table_refs() {
+        let a = json::parse(
+            r##"[
+            {"name":"trace_string_table","ph":"M","pid":0,"tid":0,"args":{"0":"gemm.pack_b.slice"}},
+            {"name":"#0","ph":"X","pid":1,"tid":0,"ts":0,"dur":1000},
+            {"name":"#0","ph":"X","pid":1,"tid":0,"ts":1000,"dur":1000},
+            {"name":"other","ph":"X","pid":1,"tid":0,"ts":0,"dur":500}
+            ]"##,
+        )
+        .unwrap();
+        let b = json::parse(
+            r#"[
+            {"name":"gemm.pack_b.slice","ph":"X","pid":1,"tid":0,"ts":0,"dur":5000},
+            {"name":"other","ph":"X","pid":1,"tid":0,"ts":0,"dur":500}
+            ]"#,
+        )
+        .unwrap();
+        let d = diff_documents(&a, &b).unwrap();
+        // 2 ms -> 5 ms on the interned name; "other" unchanged.
+        assert_eq!(d.culprits[0].path, "gemm.pack_b.slice");
+        assert!((d.culprits[0].base_ms - 2.0).abs() < 1e-9);
+        assert!((d.culprits[0].cand_ms - 5.0).abs() < 1e-9);
+        assert!((d.delta_ms() - 3.0).abs() < 1e-9);
+        // Mixed kinds are a typed refusal, not a panic.
+        let profile = profile_doc(2.0, 1.6);
+        assert!(diff_documents(&a, &profile).is_err());
+    }
+
+    #[test]
+    fn load_document_returns_typed_errors() {
+        let missing = load_document("/nonexistent/trace.json").unwrap_err();
+        assert!(matches!(missing, ObsError::Io { .. }));
+        assert!(missing.to_string().contains("/nonexistent/trace.json"));
+        let dir = std::env::temp_dir().join("pcnn_obs_err_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corrupt = dir.join("corrupt.json");
+        std::fs::write(&corrupt, "{not json").unwrap();
+        let err = load_document(corrupt.to_str().unwrap()).unwrap_err();
+        assert!(matches!(err, ObsError::Parse { .. }));
+        assert!(err.to_string().contains("invalid JSON"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

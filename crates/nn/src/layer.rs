@@ -6,6 +6,7 @@
 //! Perforated inference (Fig. 11) evaluates the GEMM only at a sampled
 //! subset of output positions and interpolates the rest.
 
+use pcnn_profile::{phase_span, Phase};
 use pcnn_tensor::{
     col2im_accumulate, gemm, gemm_bias, gemm_nt, gemm_tn, im2col, im2col_positions, Conv2dGeometry,
     Tensor,
@@ -131,11 +132,21 @@ impl Conv2d {
         let g = &self.geom;
         let (k, n_pos) = (g.patch_len(), g.out_positions());
         // Pooled scratch: im2col writes every element, so the unspecified
-        // checkout contents never leak into the GEMM.
+        // checkout contents never leak into the GEMM. The span covers the
+        // checkout and the output allocation.
+        let span = phase_span(Phase::Epilogue);
         let mut cols = pcnn_parallel::scratch_f32(k * n_pos);
         let mut out = Tensor::zeros(self.output_shape(batch));
+        if let Some(s) = span {
+            s.finish(0, 4 * (out.data().len() + k * n_pos) as u64);
+        }
         for b in 0..batch {
+            let span = phase_span(Phase::Im2col);
             im2col(g, input.batch_item(b), &mut cols);
+            if let Some(s) = span {
+                // One image read, one data matrix written.
+                s.finish(0, 4 * (g.in_channels * g.in_h * g.in_w + k * n_pos) as u64);
+            }
             gemm_bias(
                 self.out_channels,
                 n_pos,
@@ -185,15 +196,27 @@ impl Conv2d {
         // the GEMM accumulates into it).
         let mut cols = pcnn_parallel::scratch_f32(k * n_keep);
         let mut sampled = pcnn_parallel::scratch_f32(self.out_channels * n_keep);
+        let span = phase_span(Phase::Epilogue);
         let mut out = Tensor::zeros(self.output_shape(batch));
+        if let Some(s) = span {
+            s.finish(0, 4 * out.data().len() as u64);
+        }
         for b in 0..batch {
+            let span = phase_span(Phase::Im2col);
             im2col_positions(g, input.batch_item(b), kept, &mut cols);
+            if let Some(s) = span {
+                s.finish(0, 4 * (g.in_channels * g.in_h * g.in_w + k * n_keep) as u64);
+            }
+            let span = phase_span(Phase::Epilogue);
             for (c, s) in sampled
                 .chunks_mut(n_keep)
                 .enumerate()
                 .take(self.out_channels)
             {
                 s.fill(self.bias[c]);
+            }
+            if let Some(s) = span {
+                s.finish(0, 4 * (self.out_channels * n_keep) as u64);
             }
             gemm(
                 self.out_channels,
@@ -205,6 +228,7 @@ impl Conv2d {
             );
             // Interpolation: every position averages its kept-neighbour
             // stencil (kept positions reference only themselves).
+            let span = phase_span(Phase::Epilogue);
             let out_b = out.batch_item_mut(b);
             for c in 0..self.out_channels {
                 let src = &sampled[c * n_keep..(c + 1) * n_keep];
@@ -214,6 +238,12 @@ impl Conv2d {
                     let sum: f32 = sources.iter().map(|&i| src[i as usize]).sum();
                     *d = sum / sources.len() as f32;
                 }
+            }
+            if let Some(s) = span {
+                s.finish(
+                    2 * (self.out_channels * n_pos) as u64,
+                    4 * (self.out_channels * (n_keep + n_pos)) as u64,
+                );
             }
         }
         Ok(out)
@@ -437,10 +467,15 @@ impl Linear {
             });
         }
         let n = input.shape()[0];
+        let span = phase_span(Phase::Epilogue);
         let mut out = Tensor::zeros(vec![n, self.out_features]);
         for (row, o) in out.data_mut().chunks_mut(self.out_features).enumerate() {
             o.copy_from_slice(&self.bias);
             let _ = row;
+        }
+        if let Some(s) = span {
+            // Zeroed allocation plus the bias broadcast into every row.
+            s.finish(0, 8 * (n * self.out_features) as u64);
         }
         gemm_nt(
             n,
@@ -566,16 +601,49 @@ impl Layer {
                 };
                 Ok((out, LayerCache::None))
             }
-            Layer::Relu => Ok((input.map(|x| x.max(0.0)), LayerCache::None)),
-            Layer::MaxPool2d(p) => p.forward(input),
+            Layer::Relu => {
+                let span = phase_span(Phase::Activation);
+                let out = input.map(|x| x.max(0.0));
+                if let Some(s) = span {
+                    let numel = out.data().len() as u64;
+                    s.finish(numel, 8 * numel);
+                }
+                Ok((out, LayerCache::None))
+            }
+            Layer::MaxPool2d(p) => {
+                let span = phase_span(Phase::Activation);
+                let result = p.forward(input);
+                if let Some(s) = span {
+                    let in_n = input.data().len() as u64;
+                    let out_n = result
+                        .as_ref()
+                        .map(|(t, _)| t.data().len() as u64)
+                        .unwrap_or(0);
+                    // ~1 compare per input element.
+                    s.finish(in_n, 4 * (in_n + out_n));
+                }
+                result
+            }
             Layer::Flatten => {
+                let span = phase_span(Phase::Epilogue);
                 let n = input.shape()[0];
                 let rest: usize = input.shape()[1..].iter().product();
-                Ok((input.clone().reshape(vec![n, rest])?, LayerCache::None))
+                let out = input.clone().reshape(vec![n, rest])?;
+                if let Some(s) = span {
+                    s.finish(0, 8 * out.data().len() as u64);
+                }
+                Ok((out, LayerCache::None))
             }
             Layer::Linear(l) => Ok((l.forward(input)?, LayerCache::None)),
             Layer::Dropout(p) => match train_seed {
-                None => Ok((input.clone(), LayerCache::None)),
+                None => {
+                    let span = phase_span(Phase::Epilogue);
+                    let out = input.clone();
+                    if let Some(s) = span {
+                        s.finish(0, 8 * out.data().len() as u64);
+                    }
+                    Ok((out, LayerCache::None))
+                }
                 Some(seed) => {
                     let keep_scale = 1.0 / (1.0 - p);
                     let mut out = input.clone();

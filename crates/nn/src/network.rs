@@ -159,8 +159,16 @@ impl Network {
         // Small batches (fewer images than workers) run the serial group
         // path so the pool stays free for the 2-D GEMM split inside each
         // layer — a starved batch split would pin every worker to at most
-        // one image and leave the kernels single-threaded.
-        if batch < 2 || threads < 2 || batch < threads || pcnn_parallel::in_parallel_region() {
+        // one image and leave the kernels single-threaded. Profiling also
+        // forces the serial path: the profiler's active-layer attribution
+        // is a process-global, so exactly one group may walk the layer
+        // pipeline at a time (kernels inside each layer stay parallel).
+        if batch < 2
+            || threads < 2
+            || batch < threads
+            || pcnn_parallel::in_parallel_region()
+            || pcnn_profile::enabled()
+        {
             return self.forward_group(input, &perfs);
         }
         // Contiguous image groups; group boundaries depend only on the
@@ -190,15 +198,18 @@ impl Network {
         }
     }
 
-    /// Runs the layer pipeline on one image group.
+    /// Runs the layer pipeline on one image group, opening a profiler
+    /// layer scope around each layer (a no-op unless profiling is on).
     fn forward_group(
         &self,
         input: &Tensor,
         perfs: &[Option<LayerPerforation>],
     ) -> Result<Tensor, NnError> {
         let mut x = input.clone();
-        for (layer, perf) in self.layers.iter().zip(perfs) {
+        for (i, (layer, perf)) in self.layers.iter().zip(perfs).enumerate() {
+            let scope = pcnn_profile::layer_scope(i, layer.kind());
             let (out, _) = layer.forward(&x, perf.as_ref())?;
+            drop(scope);
             x = out;
         }
         Ok(x)

@@ -33,6 +33,10 @@
 //! 3. the `PCNN_THREADS` environment variable,
 //! 4. [`std::thread::available_parallelism`].
 //!
+//! Steps 3 and 4 are resolved once and cached for the process lifetime:
+//! `available_parallelism` performs syscalls (and cgroup reads) that are
+//! far too expensive to repeat on every parallel region.
+//!
 //! Nested parallel regions run serially on the worker they land on: a
 //! parallel `Network::forward` that reaches a parallel `gemm` does not
 //! multiply its worker count.
@@ -48,6 +52,15 @@
 //! visible in trace manifests: a starved region shows `idle_ns` dwarfing
 //! `busy_ns`. The scratch pool counts `parallel.scratch.reuse` /
 //! `parallel.scratch.alloc`.
+//!
+//! Regions additionally meter **per-worker** busy time: every worker of
+//! a parallel region emits a [`pcnn_telemetry::worker_slice`] onto the
+//! worker-pool track group of the Chrome trace (one lane per worker
+//! index, labelled with the region's name), and the finished region
+//! records its load imbalance — max over mean per-worker busy time, in
+//! thousandths — in the `parallel.imbalance_milli.<label>` histogram
+//! (1000 = perfectly balanced). Callers name the regions they start via
+//! [`with_region_label`]; unlabelled regions meter as `"region"`.
 //!
 //! # Example
 //!
@@ -73,12 +86,21 @@ pub const MAX_THREADS: usize = 256;
 /// Process-wide thread-count override; 0 means "not set".
 static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Cached automatic thread count (`PCNN_THREADS` env var falling back to
+/// `available_parallelism`); 0 means "not resolved yet". Cached because
+/// `available_parallelism` costs syscalls on every call, and parallel
+/// regions consult the thread count on their hot path.
+static AUTO_THREADS: AtomicUsize = AtomicUsize::new(0);
+
 thread_local! {
     /// Thread-local override installed by [`with_threads`]; 0 = unset.
     static LOCAL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
     /// True while this thread is executing inside a pool worker, so
     /// nested parallel regions degrade to serial execution.
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    /// Telemetry label the next parallel region started from this thread
+    /// will carry; installed by [`with_region_label`].
+    static REGION_LABEL: Cell<&'static str> = const { Cell::new("region") };
 }
 
 /// The thread count parallel regions started from this thread will use,
@@ -92,6 +114,17 @@ pub fn current_threads() -> usize {
     if global > 0 {
         return global.min(MAX_THREADS);
     }
+    let auto = AUTO_THREADS.load(Ordering::Relaxed);
+    if auto > 0 {
+        return auto;
+    }
+    let resolved = resolve_auto_threads();
+    AUTO_THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Automatic resolution (env var, then hardware), run once per process.
+fn resolve_auto_threads() -> usize {
     if let Ok(v) = std::env::var("PCNN_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
@@ -137,6 +170,26 @@ pub fn in_parallel_region() -> bool {
     IN_POOL.with(Cell::get)
 }
 
+/// Runs `f` with every parallel region started from this thread labelled
+/// `label` in telemetry: worker slices on the trace's worker-pool tracks
+/// carry the label as their name, and the region's load-imbalance
+/// histogram becomes `parallel.imbalance_milli.<label>`. Restores the
+/// previous label afterwards (also on panic), so labels nest like scopes.
+pub fn with_region_label<R>(label: &'static str, f: impl FnOnce() -> R) -> R {
+    struct Restore(&'static str);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            REGION_LABEL.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(REGION_LABEL.with(|c| {
+        let prev = c.get();
+        c.set(label);
+        prev
+    }));
+    f()
+}
+
 /// Worker count for a region of `n_tasks` independent tasks.
 fn effective_threads(n_tasks: usize) -> usize {
     if n_tasks <= 1 || in_parallel_region() {
@@ -146,10 +199,11 @@ fn effective_threads(n_tasks: usize) -> usize {
     }
 }
 
-/// Runs `f` as a pool worker: marks the thread as in-pool and records
-/// busy time (per-worker histogram plus the region's busy total) when
-/// telemetry is recording.
-fn as_worker<R>(busy: Option<&AtomicU64>, f: impl FnOnce() -> R) -> R {
+/// Runs `f` as a pool worker: marks the thread as in-pool and, when
+/// telemetry is recording, records busy time (per-worker histogram plus
+/// the region's per-worker busy slot) and emits the worker's trace slice
+/// onto the worker-pool track of its index.
+fn as_worker<R>(ctx: Option<(&RegionMeter, usize)>, f: impl FnOnce() -> R) -> R {
     struct Unmark;
     impl Drop for Unmark {
         fn drop(&mut self) {
@@ -163,8 +217,9 @@ fn as_worker<R>(busy: Option<&AtomicU64>, f: impl FnOnce() -> R) -> R {
         let out = f();
         let ns = start.elapsed().as_nanos() as u64;
         pcnn_telemetry::histogram("parallel.worker_busy_ns", ns as f64);
-        if let Some(b) = busy {
-            b.fetch_add(ns, Ordering::Relaxed);
+        if let Some((m, w)) = ctx {
+            m.busy[w].fetch_add(ns, Ordering::Relaxed);
+            pcnn_telemetry::worker_slice(m.label, w as u64, start, ns);
         }
         out
     } else {
@@ -173,14 +228,16 @@ fn as_worker<R>(busy: Option<&AtomicU64>, f: impl FnOnce() -> R) -> R {
 }
 
 /// Per-region utilisation meter: measures the region's wall time on the
-/// caller and, combined with the summed worker busy time, emits the
-/// `parallel.busy_ns` / `parallel.idle_ns` counters that make pool
-/// starvation visible in traces. Only constructed (and only timing) when
-/// telemetry is recording.
+/// caller and one busy total per worker, and emits on finish the
+/// `parallel.busy_ns` / `parallel.idle_ns` counters plus the
+/// `parallel.imbalance_milli.<label>` histogram (max over mean worker
+/// busy time, in thousandths) that make pool starvation and skew visible
+/// in traces. Only constructed (and only timing) when telemetry is
+/// recording.
 struct RegionMeter {
     t0: Instant,
-    busy: AtomicU64,
-    workers: usize,
+    label: &'static str,
+    busy: Vec<AtomicU64>,
 }
 
 impl RegionMeter {
@@ -195,30 +252,44 @@ impl RegionMeter {
         pcnn_telemetry::counter("parallel.tasks", tasks as u64);
         Some(Self {
             t0: Instant::now(),
-            busy: AtomicU64::new(0),
-            workers,
+            label: REGION_LABEL.with(Cell::get),
+            busy: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         })
     }
 
-    fn busy_slot(&self) -> Option<&AtomicU64> {
-        Some(&self.busy)
-    }
-
-    /// Emits the busy/idle split for the finished region.
+    /// Emits the busy/idle split and load-imbalance metric for the
+    /// finished region.
     fn finish(self) {
         let wall = self.t0.elapsed().as_nanos() as u64;
-        let busy = self.busy.into_inner();
+        let workers = self.busy.len() as u64;
+        let mut busy = 0u64;
+        let mut max = 0u64;
+        for b in &self.busy {
+            let ns = b.load(Ordering::Relaxed);
+            busy += ns;
+            max = max.max(ns);
+        }
         pcnn_telemetry::counter("parallel.busy_ns", busy);
-        pcnn_telemetry::counter(
-            "parallel.idle_ns",
-            (self.workers as u64 * wall).saturating_sub(busy),
-        );
+        pcnn_telemetry::counter("parallel.idle_ns", (workers * wall).saturating_sub(busy));
+        // max / mean in thousandths; 1000 = perfectly balanced,
+        // `workers * 1000` = one worker did everything.
+        if let Some(imbalance_milli) = max
+            .saturating_mul(1000)
+            .saturating_mul(workers)
+            .checked_div(busy)
+        {
+            pcnn_telemetry::histogram(
+                &format!("parallel.imbalance_milli.{}", self.label),
+                imbalance_milli as f64,
+            );
+        }
     }
 }
 
-/// The busy slot of an optional meter, as `as_worker` expects.
-fn slot(meter: &Option<RegionMeter>) -> Option<&AtomicU64> {
-    meter.as_ref().and_then(RegionMeter::busy_slot)
+/// The `(meter, worker index)` context of worker `w`, as `as_worker`
+/// expects.
+fn ctx(meter: &Option<RegionMeter>, w: usize) -> Option<(&RegionMeter, usize)> {
+    meter.as_ref().map(|m| (m, w))
 }
 
 fn finish(meter: Option<RegionMeter>) {
@@ -261,9 +332,9 @@ where
             let range = start..start + take;
             start += take;
             if w + 1 == threads {
-                as_worker(slot(meter), || f(range));
+                as_worker(ctx(meter, w), || f(range));
             } else {
-                s.spawn(move || as_worker(slot(meter), || f(range)));
+                s.spawn(move || as_worker(ctx(meter, w), || f(range)));
             }
         }
     });
@@ -316,7 +387,7 @@ where
             let base = first_chunk;
             first_chunk += take_chunks;
             let mut run = move || {
-                as_worker(slot(meter), || {
+                as_worker(ctx(meter, w), || {
                     for (i, chunk) in part.chunks_mut(chunk_len).enumerate() {
                         f(base + i, chunk);
                     }
@@ -419,7 +490,7 @@ where
             let (part, tail) = rest.split_at_mut(span);
             rest = tail;
             let run = move || {
-                as_worker(slot(meter), || {
+                as_worker(ctx(meter, w), || {
                     let mut p = part;
                     for &(ci, off, len) in mine {
                         let (cur, next) = p.split_at_mut(len);
@@ -459,8 +530,8 @@ where
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
     std::thread::scope(|s| {
         let (f, next, results, meter) = (&f, &next, &results, &meter);
-        let work = move || {
-            as_worker(slot(meter), || {
+        let work = move |w: usize| {
+            as_worker(ctx(meter, w), || {
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -472,10 +543,10 @@ where
                 results.lock().expect("par_map results").extend(local);
             })
         };
-        for _ in 0..threads - 1 {
-            s.spawn(work);
+        for w in 0..threads - 1 {
+            s.spawn(move || work(w));
         }
-        work();
+        work(threads - 1);
     });
     finish(meter);
     let mut collected = results.into_inner().expect("par_map results");
@@ -747,6 +818,63 @@ mod tests {
         assert_eq!(c.len(), 8);
         let d = scratch_f32(32);
         assert_eq!(d.len(), 32);
+    }
+
+    #[test]
+    fn regions_emit_per_worker_slices_and_imbalance() {
+        // Serialise against any other test that flips the global
+        // telemetry switch.
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        pcnn_telemetry::set_enabled(true);
+        pcnn_telemetry::reset();
+        with_threads(4, || {
+            with_region_label("imbalance_probe", || {
+                par_for(64, 1, |range| {
+                    let mut acc = 0u64;
+                    for i in range {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+                    }
+                    std::hint::black_box(acc);
+                });
+            });
+        });
+        let metrics = pcnn_telemetry::snapshot();
+        let trace = pcnn_telemetry::render_chrome_trace();
+        pcnn_telemetry::set_enabled(false);
+
+        let h = metrics
+            .histogram("parallel.imbalance_milli.imbalance_probe")
+            .expect("labelled imbalance histogram missing");
+        assert_eq!(h.count, 1, "one region, one imbalance sample");
+        // max/mean is at least 1.0 by construction.
+        assert!(h.sum >= 1000.0, "imbalance below 1000 milli: {}", h.sum);
+        // Worker slices land on the worker-pool track group, named after
+        // the region label (literally or via the trace string table).
+        assert!(
+            trace.contains("imbalance_probe"),
+            "region label not in trace"
+        );
+        assert!(
+            trace.contains("\"worker pool\""),
+            "worker-pool process track missing"
+        );
+        assert!(
+            trace.contains("\"worker 0\""),
+            "per-worker thread track missing"
+        );
+    }
+
+    #[test]
+    fn region_labels_nest_and_restore() {
+        with_region_label("outer", || {
+            assert_eq!(REGION_LABEL.with(Cell::get), "outer");
+            with_region_label("inner", || {
+                assert_eq!(REGION_LABEL.with(Cell::get), "inner");
+            });
+            assert_eq!(REGION_LABEL.with(Cell::get), "outer");
+        });
+        assert_eq!(REGION_LABEL.with(Cell::get), "region");
     }
 
     #[test]

@@ -67,6 +67,13 @@ use std::time::Instant;
 pub const N_BUCKETS: usize = 64;
 const BUCKET_BIAS: i32 = 32;
 
+/// Chrome-trace name interning thresholds: a name only becomes a
+/// `"#<table index>"` reference when it is emitted at least this many
+/// times and is at least this long — otherwise the reference plus the
+/// table entry costs more than the repeats it replaces.
+const INTERN_MIN_COUNT: u32 = 4;
+const INTERN_MIN_LEN: usize = 8;
+
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
@@ -295,6 +302,10 @@ enum EventKind {
     ObsSlice { dur_us: f64 },
     /// A virtual-time instant on the observability process.
     ObsInstant,
+    /// A wall-clock busy slice on the worker-pool process (pid 4); the
+    /// tid is the worker's *index within its region*, so consecutive
+    /// regions stack onto stable per-worker tracks.
+    WorkerSlice { dur_us: f64 },
 }
 
 impl EventKind {
@@ -320,7 +331,10 @@ pub enum ExportMode {
 
 #[derive(Debug, Clone, PartialEq)]
 struct TraceEvent {
-    name: String,
+    /// Index into the collector's interned-name table — long runs repeat
+    /// a handful of span names millions of times, so events store 4
+    /// bytes instead of an owned `String`.
+    name: u32,
     ts_us: f64,
     tid: u64,
     depth: u32,
@@ -383,6 +397,28 @@ struct Collector {
     obs_tracks: Vec<(u64, String)>,
     /// Windowed virtual-time series merged in at run end.
     windowed: Vec<windowed::WindowedSeries>,
+    /// Interned event names; `TraceEvent::name` indexes into this.
+    names: Vec<String>,
+    /// Reverse lookup for [`Collector::intern`].
+    name_ids: HashMap<String, u32>,
+}
+
+impl Collector {
+    /// Interns `name`, returning its stable index.
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.name_ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.name_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The interned string for an event's name index.
+    fn name(&self, ev: &TraceEvent) -> &str {
+        &self.names[ev.name as usize]
+    }
 }
 
 static EXPORT_MODE: AtomicU64 = AtomicU64::new(0);
@@ -468,8 +504,9 @@ impl Drop for SpanGuard {
         THREAD.with(|t| t.borrow_mut().depth = span.depth);
         let dur_us = now_us() - span.start_us;
         let mut c = collector().lock().expect("telemetry lock");
+        let name = c.intern(&span.name);
         c.events.push(TraceEvent {
-            name: span.name,
+            name,
             ts_us: span.start_us,
             tid: span.tid,
             depth: span.depth,
@@ -509,15 +546,18 @@ pub fn record_event(name: &str, args: impl FnOnce() -> Vec<(&'static str, Value)
         return;
     }
     let tid = THREAD.with(|t| t.borrow().tid);
-    let ev = TraceEvent {
-        name: name.to_string(),
-        ts_us: now_us(),
+    let ts_us = now_us();
+    let args = args();
+    let mut c = collector().lock().expect("telemetry lock");
+    let name = c.intern(name);
+    c.events.push(TraceEvent {
+        name,
+        ts_us,
         tid,
         depth: 0,
         kind: EventKind::Instant,
-        args: args(),
-    };
-    collector().lock().expect("telemetry lock").events.push(ev);
+        args,
+    });
 }
 
 /// Reserves `dur_us` simulated microseconds on the shared simulated-time
@@ -538,15 +578,16 @@ pub fn sim_slice(name: &str, track: u64, ts_us: f64, dur_us: f64) {
     if !enabled() {
         return;
     }
-    let ev = TraceEvent {
-        name: name.to_string(),
+    let mut c = collector().lock().expect("telemetry lock");
+    let name = c.intern(name);
+    c.events.push(TraceEvent {
+        name,
         ts_us,
         tid: track,
         depth: 0,
         kind: EventKind::SimSlice { dur_us },
         args: Vec::new(),
-    };
-    collector().lock().expect("telemetry lock").events.push(ev);
+    });
 }
 
 /// Names a track on the observability process (pid 3) — e.g. one track
@@ -579,15 +620,17 @@ pub fn obs_slice(
     if !enabled() {
         return;
     }
-    let ev = TraceEvent {
-        name: name.to_string(),
+    let args = args();
+    let mut c = collector().lock().expect("telemetry lock");
+    let name = c.intern(name);
+    c.events.push(TraceEvent {
+        name,
         ts_us,
         tid: track,
         depth: 0,
         kind: EventKind::ObsSlice { dur_us },
-        args: args(),
-    };
-    collector().lock().expect("telemetry lock").events.push(ev);
+        args,
+    });
 }
 
 /// Records a virtual-time instant on the observability process (pid 3).
@@ -601,15 +644,47 @@ pub fn obs_instant(
     if !enabled() {
         return;
     }
-    let ev = TraceEvent {
-        name: name.to_string(),
+    let args = args();
+    let mut c = collector().lock().expect("telemetry lock");
+    let name = c.intern(name);
+    c.events.push(TraceEvent {
+        name,
         ts_us,
         tid: track,
         depth: 0,
         kind: EventKind::ObsInstant,
-        args: args(),
-    };
-    collector().lock().expect("telemetry lock").events.push(ev);
+        args,
+    });
+}
+
+/// Places a wall-clock busy slice on the worker-pool process (pid 4):
+/// `worker` is the worker's index within its parallel region, so every
+/// region's slices stack onto the same small set of per-worker tracks
+/// ("worker 0", "worker 1", …) and pool utilisation reads directly off
+/// the timeline. `start` must not predate the telemetry epoch (the pool
+/// only calls this for regions that began after recording was enabled;
+/// earlier starts clamp to 0). No-op while disabled; dropped by
+/// [`ExportMode::Deterministic`] export like all wall-clock data.
+pub fn worker_slice(name: &str, worker: u64, start: Instant, dur_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let ts_us = start
+        .checked_duration_since(epoch())
+        .map(|d| d.as_secs_f64() * 1e6)
+        .unwrap_or(0.0);
+    let mut c = collector().lock().expect("telemetry lock");
+    let name = c.intern(name);
+    c.events.push(TraceEvent {
+        name,
+        ts_us,
+        tid: worker,
+        depth: 0,
+        kind: EventKind::WorkerSlice {
+            dur_us: dur_ns as f64 / 1e3,
+        },
+        args: Vec::new(),
+    });
 }
 
 /// Merges a windowed virtual-time series into the global sink for
@@ -708,6 +783,35 @@ pub fn render_chrome_trace() -> String {
             &mut out,
         );
     }
+    if mode == ExportMode::Full {
+        // Worker-pool process plus one named track per worker index,
+        // only when any pool slices were recorded.
+        let mut workers: Vec<u64> = c
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::WorkerSlice { .. }))
+            .map(|e| e.tid)
+            .collect();
+        workers.sort_unstable();
+        workers.dedup();
+        if !workers.is_empty() {
+            push_event(
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":4,\"tid\":0,\
+                 \"args\":{\"name\":\"worker pool\"}}"
+                    .to_string(),
+                &mut out,
+            );
+            for w in workers {
+                push_event(
+                    format!(
+                        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":4,\"tid\":{w},\
+                         \"args\":{{\"name\":\"worker {w}\"}}}}"
+                    ),
+                    &mut out,
+                );
+            }
+        }
+    }
     for (tid, name) in &c.obs_tracks {
         let mut line = format!(
             "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":3,\"tid\":{tid},\"args\":{{\"name\":"
@@ -716,18 +820,61 @@ pub fn render_chrome_trace() -> String {
         line.push_str("}}");
         push_event(line, &mut out);
     }
-    for ev in &c.events {
-        if mode == ExportMode::Deterministic && !ev.kind.is_virtual() {
-            continue;
+    // Repeated event names are emitted as `"#<table index>"` references
+    // into one string-table metadata event — long runs repeat a handful
+    // of span names millions of times, and the references keep the file
+    // small. Table indices are assigned in first-emission order over the
+    // *mode-filtered* stream, so deterministic exports stay byte-identical
+    // across runs regardless of wall-clock event interleaving.
+    let emitted = |ev: &TraceEvent| mode == ExportMode::Full || ev.kind.is_virtual();
+    let mut counts = vec![0u32; c.names.len()];
+    let mut order: Vec<u32> = Vec::new();
+    for ev in c.events.iter().filter(|e| emitted(e)) {
+        if counts[ev.name as usize] == 0 {
+            order.push(ev.name);
         }
+        counts[ev.name as usize] += 1;
+    }
+    let mut refs: HashMap<u32, usize> = HashMap::new();
+    for id in order {
+        let name = &c.names[id as usize];
+        if counts[id as usize] >= INTERN_MIN_COUNT
+            && name.len() >= INTERN_MIN_LEN
+            && !name.starts_with('#')
+        {
+            let k = refs.len();
+            refs.insert(id, k);
+        }
+    }
+    if !refs.is_empty() {
+        let mut table: Vec<(usize, u32)> = refs.iter().map(|(&id, &k)| (k, id)).collect();
+        table.sort_unstable();
+        let mut line = String::from(
+            "{\"name\":\"trace_string_table\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{",
+        );
+        for (k, id) in table {
+            if k > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"{k}\":"));
+            json::write_escaped(&mut line, &c.names[id as usize]);
+        }
+        line.push_str("}}");
+        push_event(line, &mut out);
+    }
+    for ev in c.events.iter().filter(|e| emitted(e)) {
         let mut line = String::from("{\"name\":");
-        json::write_escaped(&mut line, &ev.name);
+        match refs.get(&ev.name) {
+            Some(k) => json::write_escaped(&mut line, &format!("#{k}")),
+            None => json::write_escaped(&mut line, c.name(ev)),
+        }
         let (ph, pid, dur) = match ev.kind {
             EventKind::Complete { dur_us } => ("X", 1, Some(dur_us)),
             EventKind::Instant => ("i", 1, None),
             EventKind::SimSlice { dur_us } => ("X", 2, Some(dur_us)),
             EventKind::ObsSlice { dur_us } => ("X", 3, Some(dur_us)),
             EventKind::ObsInstant => ("i", 3, None),
+            EventKind::WorkerSlice { dur_us } => ("X", 4, Some(dur_us)),
         };
         line.push_str(&format!(
             ",\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{}",
@@ -742,8 +889,10 @@ pub fn render_chrome_trace() -> String {
         if matches!(ev.kind, EventKind::Instant | EventKind::ObsInstant) {
             line.push_str(",\"s\":\"t\"");
         }
-        line.push_str(",\"args\":");
-        write_args(&mut line, &ev.args);
+        if !ev.args.is_empty() {
+            line.push_str(",\"args\":");
+            write_args(&mut line, &ev.args);
+        }
         line.push('}');
         push_event(line, &mut out);
     }
@@ -834,11 +983,12 @@ pub fn render_manifest() -> String {
             line.push_str("}}\n");
             out.push_str(&line);
         }
-        // Span aggregates: count and total wall time per name.
+        // Span aggregates: count and total wall time per name (pool
+        // worker slices fold in alongside ordinary spans).
         let mut spans: HashMap<&str, (u64, f64)> = HashMap::new();
         for ev in &c.events {
-            if let EventKind::Complete { dur_us } = ev.kind {
-                let e = spans.entry(&ev.name).or_insert((0, 0.0));
+            if let EventKind::Complete { dur_us } | EventKind::WorkerSlice { dur_us } = ev.kind {
+                let e = spans.entry(c.name(ev)).or_insert((0, 0.0));
                 e.0 += 1;
                 e.1 += dur_us;
             }
@@ -859,7 +1009,7 @@ pub fn render_manifest() -> String {
     let mut obs_spans: HashMap<&str, (u64, f64)> = HashMap::new();
     for ev in &c.events {
         if let EventKind::ObsSlice { dur_us } = ev.kind {
-            let e = obs_spans.entry(&ev.name).or_insert((0, 0.0));
+            let e = obs_spans.entry(c.name(ev)).or_insert((0, 0.0));
             e.0 += 1;
             e.1 += dur_us;
         }
@@ -909,7 +1059,7 @@ pub fn render_manifest() -> String {
             _ => continue,
         };
         let mut line = format!("{{\"type\":\"{ty}\",\"name\":");
-        json::write_escaped(&mut line, &ev.name);
+        json::write_escaped(&mut line, c.name(ev));
         if matches!(ev.kind, EventKind::ObsInstant) {
             line.push_str(&format!(",\"track\":{}", ev.tid));
         }
@@ -1199,6 +1349,89 @@ mod tests {
         assert!(manifest.contains("\"p99\":"));
         assert!(prom_doc.contains("serve_deadline_hits{label=\"real_time\"} 3"));
         assert!(prom_doc.contains("serve_latency_s_count{label=\"real_time\"} 2"));
+    }
+
+    #[test]
+    fn repeated_names_are_interned_via_a_string_table() {
+        let _g = test_guard();
+        set_enabled(true);
+        reset();
+        for i in 0..50 {
+            sim_slice("a.very.repetitive.span.name", 0, i as f64, 1.0);
+        }
+        sim_slice("once", 0, 0.0, 1.0);
+        let trace = render_chrome_trace();
+        set_enabled(false);
+        // The long repeated name appears exactly once — in the table;
+        // every event line carries the reference instead.
+        assert_eq!(trace.matches("a.very.repetitive.span.name").count(), 1);
+        assert!(trace.contains("trace_string_table"));
+        assert_eq!(trace.matches("\"name\":\"#0\"").count(), 50);
+        // Short or rare names stay literal.
+        assert_eq!(trace.matches("\"once\"").count(), 1);
+        // The document stays valid JSON and the table resolves.
+        let doc = json::parse(&trace).unwrap();
+        let table = doc
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("trace_string_table"))
+            .expect("string table event");
+        assert_eq!(
+            table.get("args").unwrap().get("0").unwrap().as_str(),
+            Some("a.very.repetitive.span.name")
+        );
+    }
+
+    #[test]
+    fn interned_trace_size_stays_bounded_and_empty_args_are_omitted() {
+        let _g = test_guard();
+        set_enabled(true);
+        reset();
+        const N: usize = 1000;
+        for i in 0..N {
+            sim_slice("pcnn.repeated.region.name", 3, i as f64, 2.0);
+        }
+        let trace = render_chrome_trace();
+        set_enabled(false);
+        assert!(!trace.contains("\"args\":{}"), "empty args not omitted");
+        // Size regression bound: with referenced names and no empty args
+        // objects a repeated slice costs well under 80 bytes; the
+        // pre-interning encoding was over 100.
+        let bytes_per_event = trace.len() / N;
+        assert!(bytes_per_event < 80, "bytes/event = {bytes_per_event}");
+        json::parse(&trace).expect("valid chrome trace");
+    }
+
+    #[test]
+    fn worker_slices_land_on_pid_4_with_named_tracks() {
+        let _g = test_guard();
+        set_enabled(true);
+        reset();
+        let t0 = Instant::now();
+        worker_slice("gemm", 0, t0, 1500);
+        worker_slice("gemm", 1, t0, 2500);
+        let full = render_chrome_trace();
+        set_export_mode(ExportMode::Deterministic);
+        let det = render_chrome_trace();
+        set_export_mode(ExportMode::Full);
+        set_enabled(false);
+        assert!(full.contains("\"name\":\"worker pool\""));
+        assert!(full.contains("\"name\":\"worker 1\""));
+        let doc = json::parse(&full).unwrap();
+        let slice = doc
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(|n| n.as_str()) == Some("gemm")
+                    && e.get("tid").and_then(|t| t.as_f64()) == Some(1.0)
+            })
+            .expect("worker slice");
+        assert_eq!(slice.get("pid").unwrap().as_f64(), Some(4.0));
+        assert_eq!(slice.get("dur").unwrap().as_f64(), Some(2.5));
+        // Wall-clock data: dropped from deterministic export.
+        assert!(!det.contains("worker pool"));
     }
 
     #[test]

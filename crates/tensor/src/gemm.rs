@@ -47,7 +47,21 @@
 //! `tests/parallel_determinism.rs`), and the per-element accumulation
 //! order is the same one the earlier row-panel schedule used, so no golden
 //! re-pinning was needed.
+//!
+//! # Profiling
+//!
+//! When `pcnn-profile` recording is on, the packed GEMM reports its
+//! phases to the engine profiler: `B`-packing as one [`Phase::PackB`]
+//! span per call, `A`-packing and the microkernel loop as
+//! [`Phase::PackA`] / [`Phase::Microkernel`] spans per (`KC` block,
+//! `MC`-row group) — coarse enough to stay off the hot path — each
+//! carrying its flop and byte traffic for roofline classification, and
+//! [`gemm_bias`]'s bias broadcast as a [`Phase::Epilogue`] span.
+//! Parallel regions carry the `gemm` / `gemm.pack_b` / `gemm_nt` labels
+//! on the worker-pool trace tracks. Disabled recording costs one atomic
+//! load per would-be span and never changes any arithmetic.
 
+use pcnn_profile::{phase_span, Phase};
 use std::ops::Range;
 
 /// Microkernel rows: `MR x NR` accumulators live in registers.
@@ -200,8 +214,17 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
 
     let n_panels = n.div_ceil(NR);
     let mr_tiles = m.div_ceil(MR);
+    // The span starts before the scratch checkout so pool bookkeeping
+    // (and any first-use zero-fill) counts as packing time.
+    let span = phase_span(Phase::PackB);
     let mut b_pack = pcnn_parallel::scratch_f32(k * n_panels * NR);
-    pack_b(n, k, b, &mut b_pack, part.tasks() > 1);
+    pcnn_parallel::with_region_label("gemm.pack_b", || {
+        pack_b(n, k, b, &mut b_pack, part.tasks() > 1);
+    });
+    if let Some(s) = span {
+        // Reads the k x n source, writes the padded packed image.
+        s.finish(0, 4 * (k * n + k * n_panels * NR) as u64);
+    }
 
     let sink = TileSink {
         ptr: c.as_mut_ptr(),
@@ -215,10 +238,12 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
         let cols = split_range(n_panels, part.col_splits, t % part.col_splits);
         gemm_tiles(m, n, k, a, &b_pack, &sink, rows, cols);
     };
-    pcnn_parallel::par_for(part.tasks(), 1, |range| {
-        for t in range {
-            run_task(t);
-        }
+    pcnn_parallel::with_region_label("gemm", || {
+        pcnn_parallel::par_for(part.tasks(), 1, |range| {
+            for t in range {
+                run_task(t);
+            }
+        });
     });
 }
 
@@ -313,7 +338,13 @@ fn gemm_tiles(
         return;
     }
     let group_cap = (MC / MR).min(tile_rows.len());
+    let span = phase_span(Phase::PackA);
     let mut a_pack = pcnn_parallel::scratch_f32(group_cap * KC * MR);
+    if let Some(s) = span {
+        // Scratch checkout for the A-panel group (pool bookkeeping plus
+        // any first-use zero-fill).
+        s.finish(0, 4 * (group_cap * KC * MR) as u64);
+    }
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: the AVX2 requirement is established by the runtime
@@ -369,6 +400,7 @@ fn gemm_tiles_body(
         while g0 < tile_rows.end {
             let g_tiles = (MC / MR).min(tile_rows.end - g0);
             let rows = (g_tiles * MR).min(m - g0 * MR);
+            let span = phase_span(Phase::PackA);
             pack_a(
                 g0 * MR,
                 rows,
@@ -378,7 +410,12 @@ fn gemm_tiles_body(
                 a,
                 &mut a_pack[..g_tiles * kc * MR],
             );
+            if let Some(s) = span {
+                // Reads the rows x kc source, writes the padded group.
+                s.finish(0, 4 * (rows * kc + g_tiles * kc * MR) as u64);
+            }
             let a_group = &a_pack[..g_tiles * kc * MR];
+            let span = phase_span(Phase::Microkernel);
             for jp in tile_cols.clone() {
                 let b_micro = &b_block[jp * kc * NR..(jp + 1) * kc * NR];
                 let j0 = jp * NR;
@@ -396,6 +433,20 @@ fn gemm_tiles_body(
                         }
                     }
                 }
+            }
+            if let Some(s) = span {
+                // Effective (unpadded) column count of this rectangle.
+                let ncols = tile_cols.len() * NR
+                    - if tile_cols.end == n_panels {
+                        n_panels * NR - n
+                    } else {
+                        0
+                    };
+                s.finish(
+                    2 * (rows * kc * ncols) as u64,
+                    // Packed A group + packed B panels + C read/write.
+                    4 * (g_tiles * kc * MR + tile_cols.len() * kc * NR + 2 * rows * ncols) as u64,
+                );
             }
             g0 += g_tiles;
         }
@@ -438,11 +489,15 @@ fn microkernel(kc: usize, a: &[f32], b: &[f32]) -> [[f32; NR]; MR] {
 pub fn gemm_bias(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], bias: &[f32], c: &mut [f32]) {
     assert!(bias.len() >= m, "bias too short: {} < {m}", bias.len());
     assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+    let span = phase_span(Phase::Epilogue);
     for i in 0..m {
         let row = &mut c[i * n..i * n + n];
         for v in row.iter_mut() {
             *v = bias[i];
         }
+    }
+    if let Some(s) = span {
+        s.finish(0, 4 * (m * n) as u64);
     }
     gemm(m, n, k, a, b, c);
 }
@@ -479,12 +534,24 @@ pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
             *cv += dot_lanes(a_row, b_row);
         }
     };
+    let span = phase_span(Phase::Microkernel);
     if m * n * k < PAR_MAC_THRESHOLD {
         for (i, c_row) in c[..m * n].chunks_mut(n).enumerate() {
             row_job(i, 0, c_row);
         }
     } else {
-        pcnn_parallel::par_chunks_mut_fine(&mut c[..m * n], n, 1, row_job);
+        pcnn_parallel::with_region_label("gemm_nt", || {
+            pcnn_parallel::par_chunks_mut_fine(&mut c[..m * n], n, 1, row_job);
+        });
+    }
+    if let Some(s) = span {
+        s.finish(
+            2 * (m * n * k) as u64,
+            // A and B each streamed once per output row/column pair is
+            // the unblocked worst case; count each operand once plus the
+            // C read/write, matching the packed GEMM's convention.
+            4 * (m * k + n * k + 2 * m * n) as u64,
+        );
     }
 }
 
@@ -651,6 +718,30 @@ mod tests {
                 assert_eq!(acc[i][j], want, "tile ({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn profiling_never_changes_gemm_results() {
+        let (m, n, k) = (65, 67, 129);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let bias = seq(m);
+        let mut plain = vec![0.0; m * n];
+        gemm_bias(m, n, k, &a, &b, &bias, &mut plain);
+        let mut profiled = vec![0.0; m * n];
+        pcnn_profile::set_enabled(true);
+        pcnn_profile::reset();
+        let scope = pcnn_profile::layer_scope(0, "test");
+        gemm_bias(m, n, k, &a, &b, &bias, &mut profiled);
+        drop(scope);
+        pcnn_profile::set_enabled(false);
+        assert_eq!(plain, profiled, "profiling perturbed the arithmetic");
+        let layers = pcnn_profile::snapshot();
+        let l = layers.iter().find(|l| l.index == 0).expect("layer profile");
+        assert!(l.phase(Phase::Microkernel).ns > 0 || l.phase(Phase::Microkernel).calls > 0);
+        assert!(l.phase(Phase::PackB).calls > 0);
+        assert!(l.phase(Phase::Epilogue).calls > 0);
+        pcnn_profile::reset();
     }
 
     #[test]
