@@ -10,24 +10,22 @@
 //!               [--fps F] [--frames N] [--bg-images N] [--max-batch N]
 //!               [--no-degrade] [--smoke] [--json <path>]
 //! pcnn bench-gemm [--reps N] [--json <path>]
+//! pcnn bench-conv [--reps N] [--smoke] [--json <path>]
 //! pcnn profile <alexnet|vggnet|googlenet> [--batch N] [--reps N] [--json <path>]
 //! pcnn obs <trace.json>
 //! pcnn obs diff <a.json> <b.json>
-//! pcnn obs check [--baseline-serve P] [--baseline-gemm P] [--baseline-profile P]
-//!                [--candidate-serve P] [--candidate-gemm P] [--candidate-profile P]
-//!                [--reps N]
+//! pcnn obs check [--baseline-<name> P] [--candidate-<name> P] [--reps N]
+//!                where <name> is any registered baseline:
+//!                serve, gemm, profile, conv
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use pcnn_bench::baselines::{self, ServeScenario};
-use pcnn_bench::obs::{
-    analyze_trace, compare_gemm, compare_profile, compare_serve, diff_documents, load_document,
-    Violation,
-};
-use pcnn_bench::profile;
+use pcnn_bench::obs::{analyze_trace, diff_documents, load_document, Violation};
 use pcnn_bench::TableWriter;
+use pcnn_bench::{conv, profile};
 use pcnn_core::offline::{library_schedule, OfflineCompiler};
 use pcnn_core::runtime::simulate_schedule;
 use pcnn_core::task::{AppSpec, UserRequirements};
@@ -39,7 +37,7 @@ use pcnn_nn::spec::{alexnet, googlenet, vggnet, NetworkSpec};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\n  pcnn serve    [--gpu <a,b,...>] [--net <...>] [--seed N] [--requests N] [--rate R] [--fps F] [--frames N] [--bg-images N] [--max-batch N] [--no-degrade] [--smoke] [--json <path>]\n  pcnn bench-gemm [--reps N] [--json <path>]\n  pcnn profile <alexnet|vggnet|googlenet> [--batch N] [--reps N] [--json <path>]\n                                             per-layer phase/roofline report; --json writes the deterministic profile document\n  pcnn obs <trace.json>                      analyze an exported serve trace\n  pcnn obs diff <a.json> <b.json>            attribute the time delta between two profile documents or Chrome traces\n  pcnn obs check [--baseline-serve P] [--baseline-gemm P] [--baseline-profile P] [--candidate-serve P] [--candidate-gemm P] [--candidate-profile P] [--reps N]\n                                             gate fresh runs against the committed baselines\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest + Prometheus metrics,\nand --threads <N> (or PCNN_THREADS=<N>) to pin the CPU worker pool"
+        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\n  pcnn serve    [--gpu <a,b,...>] [--net <...>] [--seed N] [--requests N] [--rate R] [--fps F] [--frames N] [--bg-images N] [--max-batch N] [--no-degrade] [--smoke] [--json <path>]\n  pcnn bench-gemm [--reps N] [--json <path>]\n  pcnn bench-conv [--reps N] [--smoke] [--json <path>]\n                                             sweep conv algorithms ({{im2col,direct,winograd}}) over the canonical layer shapes + tuned-plan e2e proof\n  pcnn profile <alexnet|vggnet|googlenet> [--batch N] [--reps N] [--json <path>]\n                                             per-layer phase/roofline report; --json writes the deterministic profile document\n  pcnn obs <trace.json>                      analyze an exported serve trace\n  pcnn obs diff <a.json> <b.json>            attribute the time delta between two profile documents or Chrome traces\n  pcnn obs check [--baseline-<name> P] [--candidate-<name> P] [--reps N]   (<name>: serve, gemm, profile, conv)\n                                             gate fresh runs against the committed baselines\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest + Prometheus metrics,\nand --threads <N> (or PCNN_THREADS=<N>) to pin the CPU worker pool"
     );
     ExitCode::from(2)
 }
@@ -252,6 +250,81 @@ fn cmd_tune(flags: &HashMap<String, String>) -> ExitCode {
         "  grid {}, optTLP {}, rEC {:.3}, invocation waves {}",
         tuned.grid, tuned.opt_tlp, tuned.rec, tuned.invocations
     );
+    ExitCode::SUCCESS
+}
+
+/// `pcnn bench-conv` — sweep the canonical conv layer shapes across
+/// {im2col, direct, winograd} and the thread widths, then prove the
+/// offline-tuned plan beats always-im2col on a full single-threaded
+/// network forward. `--json` writes the `BENCH_conv.json` document the
+/// obs gate reads; `--smoke` runs the reduced CI subset (never commit a
+/// smoke document as the baseline — the gate flags its missing shapes).
+fn cmd_bench_conv(flags: &HashMap<String, String>) -> ExitCode {
+    let reps: usize = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(3);
+    let smoke = flags.contains_key("smoke");
+    let bench = match conv::run_conv_bench(reps, smoke) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench-conv failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let widths = conv::sweep_widths(&bench);
+    let sweep_header = format!(
+        "ms @ {}T",
+        widths
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join("/")
+    );
+    let mut t = TableWriter::new(vec![
+        "layer",
+        "shape",
+        "algo",
+        "GF/s 1T",
+        "vs im2col",
+        sweep_header.as_str(),
+        "win",
+    ]);
+    for r in &bench.rows {
+        let s = &r.shape;
+        for a in &r.algos {
+            t.row(vec![
+                s.name.to_string(),
+                format!(
+                    "{}x{}x{} k{} s{} p{} oc{}",
+                    s.c, s.h, s.w, s.kernel, s.stride, s.pad, s.oc
+                ),
+                a.algo.name().to_string(),
+                format!("{:.2}", a.gflops_1t),
+                format!("{:.2}x", a.speedup_vs_im2col_1t),
+                a.secs
+                    .iter()
+                    .map(|sec| format!("{:.2}", sec * 1e3))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+                if a.algo == r.winner { "*" } else { "" }.to_string(),
+            ]);
+        }
+    }
+    t.print(&format!(
+        "conv algorithm sweep ({} shapes, best of {reps}, {} cores)",
+        bench.rows.len(),
+        baselines::machine_cores()
+    ));
+    let e = &bench.e2e;
+    println!(
+        "e2e {} x{}: im2col {:.3} ms -> tuned {:.3} ms ({:.2}x, plan [{}], {} timed / {} pruned)",
+        e.model, e.batch, e.baseline_ms, e.tuned_ms, e.tuned_speedup, e.plan, e.explored, e.pruned
+    );
+    if let Some(path) = flags.get("json") {
+        if let Err(err) = std::fs::write(path, conv::conv_json(&bench, widths)) {
+            eprintln!("error: could not write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
     ExitCode::SUCCESS
 }
 
@@ -585,31 +658,32 @@ fn report_violations(what: &str, violations: &[Violation]) {
 /// `pcnn obs check` — diff fresh runs (or `--candidate-*` files) against
 /// the committed baselines with per-metric tolerance bands; exits nonzero
 /// on any regression.
+///
+/// Every baseline comes from the [`baselines::baseline_gates`] registry:
+/// each entry declares its default path, its in-process regenerator, and
+/// its compare function, so this loop is the whole command. With any
+/// explicit `--candidate-{name}` file, only the provided sides are
+/// checked (fast file-vs-file mode); otherwise every gate is re-run.
 fn cmd_obs_check(flags: &HashMap<String, String>) -> ExitCode {
-    let serve_baseline = flags
-        .get("baseline-serve")
-        .map(String::as_str)
-        .unwrap_or("BENCH_serve.json");
-    let gemm_baseline = flags
-        .get("baseline-gemm")
-        .map(String::as_str)
-        .unwrap_or("BENCH_gemm.json");
-    let profile_baseline = flags
-        .get("baseline-profile")
-        .map(String::as_str)
-        .unwrap_or("BENCH_profile.json");
-    // With an explicit candidate file, only the provided sides are
-    // checked (fast file-vs-file mode); otherwise all are re-run.
-    let file_mode = flags.contains_key("candidate-serve")
-        || flags.contains_key("candidate-gemm")
-        || flags.contains_key("candidate-profile");
+    let gates = baselines::baseline_gates();
+    let file_mode = gates
+        .iter()
+        .any(|g| flags.contains_key(&format!("candidate-{}", g.name)));
+    let reps: usize = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(3);
     let mut violations = 0usize;
-
-    if !file_mode || flags.contains_key("candidate-serve") {
-        let Some(base) = load_json(serve_baseline) else {
+    for gate in gates {
+        let cand_flag = format!("candidate-{}", gate.name);
+        if file_mode && !flags.contains_key(&cand_flag) {
+            continue;
+        }
+        let baseline_path = flags
+            .get(&format!("baseline-{}", gate.name))
+            .map(String::as_str)
+            .unwrap_or(gate.default_path);
+        let Some(base) = load_json(baseline_path) else {
             return ExitCode::FAILURE;
         };
-        let cand = match flags.get("candidate-serve") {
+        let cand = match flags.get(&cand_flag) {
             Some(p) => {
                 let Some(c) = load_json(p) else {
                     return ExitCode::FAILURE;
@@ -617,83 +691,22 @@ fn cmd_obs_check(flags: &HashMap<String, String>) -> ExitCode {
                 c
             }
             None => {
-                let report = match ServeScenario::canonical().run() {
-                    Ok(r) => r,
+                let text = match (gate.regenerate)(reps) {
+                    Ok(t) => t,
                     Err(e) => {
-                        eprintln!("serve failed: {e}");
+                        eprintln!("{e}");
                         return ExitCode::FAILURE;
                     }
                 };
-                let Ok(c) = pcnn_telemetry::json::parse(&report.to_json()) else {
-                    eprintln!("error: serve report did not parse as JSON");
+                let Ok(c) = pcnn_telemetry::json::parse(&text) else {
+                    eprintln!("error: {} report did not parse as JSON", gate.name);
                     return ExitCode::FAILURE;
                 };
                 c
             }
         };
-        let v = compare_serve(&base, &cand);
-        report_violations(&format!("serve vs {serve_baseline}"), &v);
-        violations += v.len();
-    }
-
-    if !file_mode || flags.contains_key("candidate-gemm") {
-        let Some(base) = load_json(gemm_baseline) else {
-            return ExitCode::FAILURE;
-        };
-        let cand = match flags.get("candidate-gemm") {
-            Some(p) => {
-                let Some(c) = load_json(p) else {
-                    return ExitCode::FAILURE;
-                };
-                c
-            }
-            None => {
-                let reps: usize = flags.get("reps").and_then(|r| r.parse().ok()).unwrap_or(3);
-                let rows = baselines::run_gemm_bench(reps);
-                let threads = pcnn_parallel::current_threads();
-                let cores = baselines::machine_cores();
-                let Ok(c) =
-                    pcnn_telemetry::json::parse(&baselines::gemm_json(&rows, threads, cores, reps))
-                else {
-                    eprintln!("error: gemm report did not parse as JSON");
-                    return ExitCode::FAILURE;
-                };
-                c
-            }
-        };
-        let v = compare_gemm(&base, &cand);
-        report_violations(&format!("gemm vs {gemm_baseline}"), &v);
-        violations += v.len();
-    }
-
-    if !file_mode || flags.contains_key("candidate-profile") {
-        let Some(base) = load_json(profile_baseline) else {
-            return ExitCode::FAILURE;
-        };
-        let cand = match flags.get("candidate-profile") {
-            Some(p) => {
-                let Some(c) = load_json(p) else {
-                    return ExitCode::FAILURE;
-                };
-                c
-            }
-            None => {
-                let run = match profile::baseline_run() {
-                    Ok(r) => r,
-                    Err(e) => {
-                        eprintln!("profile failed: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-                let Ok(c) = pcnn_telemetry::json::parse(&profile::profile_json(&run)) else {
-                    eprintln!("error: profile document did not parse as JSON");
-                    return ExitCode::FAILURE;
-                };
-                c
-            }
-        };
-        let v = compare_profile(&base, &cand);
-        report_violations(&format!("profile vs {profile_baseline}"), &v);
+        let v = (gate.compare)(&base, &cand);
+        report_violations(&format!("{} vs {baseline_path}", gate.name), &v);
         violations += v.len();
     }
 
@@ -801,6 +814,7 @@ fn main() -> ExitCode {
         "tune" => cmd_tune(&flags),
         "serve" => cmd_serve(&flags),
         "bench-gemm" => cmd_bench_gemm(&flags),
+        "bench-conv" => cmd_bench_conv(&flags),
         _ => usage(),
     }
 }

@@ -1,0 +1,510 @@
+//! `pcnn bench-conv` — the per-layer convolution-algorithm benchmark
+//! behind the committed `BENCH_conv.json` baseline.
+//!
+//! Two halves, one document:
+//!
+//! * A **shape sweep**: every [`BENCH_CONV_SHAPES`] layer (the real
+//!   AlexNet conv tower plus two VGG-style 3x3 stacks) measured under
+//!   every eligible algorithm ({im2col, direct, winograd}) at every
+//!   [`CONV_THREAD_SWEEP`] pool width. `pcnn obs check` gates the
+//!   machine-normalised `speedup_vs_im2col` ratios, never absolute
+//!   GFLOP/s.
+//! * An **end-to-end proof**: the offline [`ConvTuner`] tunes the tiny
+//!   AlexNet engine model, and the tuned plan's single-threaded
+//!   best-of-`reps` forward wall time is compared against the always-
+//!   im2col baseline. The gated `tuned_speedup` must stay above 1.0 —
+//!   the tuner must pay for itself on a real network, not just on
+//!   isolated layers.
+
+use pcnn_core::tune::{run_conv_algo, ConvTuner, WallClockTimer};
+use pcnn_nn::PerforationPlan;
+use pcnn_tensor::{Conv2dGeometry, ConvAlgo};
+
+use crate::baselines::machine_cores;
+use crate::profile::{pick_model, profile_input};
+
+/// One benchmarked layer shape: a name and the conv geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvShape {
+    /// Layer label, e.g. `"ALEX_CONV1"`.
+    pub name: &'static str,
+    /// Input channels.
+    pub c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Padding.
+    pub pad: usize,
+    /// Output channels.
+    pub oc: usize,
+}
+
+impl ConvShape {
+    /// The shape's [`Conv2dGeometry`].
+    pub fn geometry(&self) -> Conv2dGeometry {
+        Conv2dGeometry::new(self.c, self.h, self.w, self.kernel, self.stride, self.pad)
+    }
+
+    /// Multiply-accumulate FLOPs of one pass (2 per MAC).
+    pub fn gflop(&self) -> f64 {
+        let g = self.geometry();
+        2.0 * (self.oc * g.patch_len() * g.out_positions()) as f64 / 1e9
+    }
+}
+
+/// The swept layer shapes: the real AlexNet conv tower (conv2 taken
+/// ungrouped) plus two VGG-style 3x3 stages. CONV1 is strided 11x11 —
+/// Winograd-ineligible, the shape where direct's fused packing wins;
+/// the 3x3 stride-1 layers are Winograd's home turf.
+pub const BENCH_CONV_SHAPES: &[ConvShape] = &[
+    ConvShape {
+        name: "ALEX_CONV1",
+        c: 3,
+        h: 227,
+        w: 227,
+        kernel: 11,
+        stride: 4,
+        pad: 0,
+        oc: 96,
+    },
+    ConvShape {
+        name: "ALEX_CONV2",
+        c: 96,
+        h: 27,
+        w: 27,
+        kernel: 5,
+        stride: 1,
+        pad: 2,
+        oc: 256,
+    },
+    ConvShape {
+        name: "ALEX_CONV3",
+        c: 256,
+        h: 13,
+        w: 13,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+        oc: 384,
+    },
+    ConvShape {
+        name: "ALEX_CONV5",
+        c: 384,
+        h: 13,
+        w: 13,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+        oc: 256,
+    },
+    ConvShape {
+        name: "VGG2_2",
+        c: 128,
+        h: 56,
+        w: 56,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+        oc: 128,
+    },
+    ConvShape {
+        name: "VGG3_2",
+        c: 256,
+        h: 28,
+        w: 28,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+        oc: 256,
+    },
+];
+
+/// The fast subset `--smoke` sweeps: one Winograd-ineligible strided
+/// shape and one 3x3 stage, small enough for debug CI runs.
+pub const SMOKE_CONV_SHAPES: &[ConvShape] = &[
+    ConvShape {
+        name: "ALEX_CONV1",
+        c: 3,
+        h: 63,
+        w: 63,
+        kernel: 11,
+        stride: 4,
+        pad: 0,
+        oc: 32,
+    },
+    ConvShape {
+        name: "ALEX_CONV3",
+        c: 64,
+        h: 13,
+        w: 13,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+        oc: 96,
+    },
+];
+
+/// Pool widths the sweep measures each algorithm at.
+pub const CONV_THREAD_SWEEP: &[usize] = &[1, 2, 8];
+
+/// One algorithm's measurements on one shape.
+#[derive(Debug, Clone)]
+pub struct AlgoRow {
+    /// The algorithm.
+    pub algo: ConvAlgo,
+    /// Best wall seconds at each [`CONV_THREAD_SWEEP`] width.
+    pub secs: Vec<f64>,
+    /// Single-thread effective throughput (direct-conv FLOPs over
+    /// measured seconds — Winograd's algorithmic saving shows up as
+    /// *higher* effective GFLOP/s, not fewer FLOPs).
+    pub gflops_1t: f64,
+    /// `im2col_secs_1t / secs_1t` — the machine-normalised ratio the
+    /// regression gate reads. 1.0 for im2col itself.
+    pub speedup_vs_im2col_1t: f64,
+}
+
+/// One swept shape with all its algorithm rows.
+#[derive(Debug, Clone)]
+pub struct ConvRow {
+    /// The shape.
+    pub shape: ConvShape,
+    /// Per-algorithm measurements, in [`ConvAlgo::ALL`] order (ineligible
+    /// algorithms omitted).
+    pub algos: Vec<AlgoRow>,
+    /// The single-thread winner.
+    pub winner: ConvAlgo,
+}
+
+/// The end-to-end tuned-plan proof on the tiny AlexNet engine model.
+#[derive(Debug, Clone)]
+pub struct E2eResult {
+    /// Model name.
+    pub model: String,
+    /// Batch size of the timed forward pass.
+    pub batch: usize,
+    /// Always-im2col forward, best-of-`reps` single-thread wall ms.
+    pub baseline_ms: f64,
+    /// Tuned-plan forward, best-of-`reps` single-thread wall ms.
+    pub tuned_ms: f64,
+    /// `baseline_ms / tuned_ms` — the gated headline number.
+    pub tuned_speedup: f64,
+    /// The tuned plan, serialized (e.g. `"winograd,winograd"`).
+    pub plan: String,
+    /// Candidates the tuner actually timed.
+    pub explored: u64,
+    /// Candidates the tuner pruned by shape eligibility.
+    pub pruned: u64,
+}
+
+/// A complete conv benchmark run.
+#[derive(Debug, Clone)]
+pub struct ConvBench {
+    /// Per-shape sweep rows.
+    pub rows: Vec<ConvRow>,
+    /// The end-to-end tuned-plan result.
+    pub e2e: E2eResult,
+    /// Repetitions per measurement.
+    pub reps: usize,
+    /// Whether this was the `--smoke` subset.
+    pub smoke: bool,
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measures one shape under every eligible algorithm at every sweep
+/// width. Operands are the tuner's deterministic fills.
+fn sweep_shape(shape: &ConvShape, reps: usize, threads: &[usize]) -> ConvRow {
+    let geom = shape.geometry();
+    let weight: Vec<f32> = (0..shape.oc * geom.patch_len())
+        .map(|i| ((i % 2017) as f32 - 1000.0) / 512.0)
+        .collect();
+    let bias: Vec<f32> = (0..shape.oc).map(|i| (i % 7) as f32 / 8.0).collect();
+    let input: Vec<f32> = (0..shape.c * shape.h * shape.w)
+        .map(|i| ((i % 1999) as f32 - 999.0) / 512.0)
+        .collect();
+    let mut out = vec![0.0f32; shape.oc * geom.out_positions()];
+    let mut algos = Vec::new();
+    for algo in ConvAlgo::ALL {
+        if !algo.supports(&geom) {
+            continue;
+        }
+        let secs: Vec<f64> = threads
+            .iter()
+            .map(|&t| {
+                pcnn_parallel::with_threads(t, || {
+                    // Warm once per width (pool scratch, page faults).
+                    run_conv_algo(algo, &geom, shape.oc, &weight, &bias, &input, &mut out);
+                    best_secs(reps, || {
+                        run_conv_algo(algo, &geom, shape.oc, &weight, &bias, &input, &mut out)
+                    })
+                })
+            })
+            .collect();
+        algos.push(AlgoRow {
+            algo,
+            gflops_1t: shape.gflop() / secs[0],
+            speedup_vs_im2col_1t: 0.0, // filled below, needs im2col's row
+            secs,
+        });
+    }
+    let im2col_1t = algos
+        .iter()
+        .find(|a| a.algo == ConvAlgo::Im2col)
+        .map(|a| a.secs[0])
+        .expect("im2col supports every geometry");
+    for a in &mut algos {
+        a.speedup_vs_im2col_1t = im2col_1t / a.secs[0];
+    }
+    let winner = algos
+        .iter()
+        .min_by(|a, b| a.secs[0].total_cmp(&b.secs[0]))
+        .expect("at least im2col ran")
+        .algo;
+    ConvRow {
+        shape: *shape,
+        algos,
+        winner,
+    }
+}
+
+/// Batch of the end-to-end forward timing.
+pub const E2E_BATCH: usize = 8;
+
+/// Runs the tuner on the tiny AlexNet engine model and times the tuned
+/// plan against always-im2col, single-threaded best-of-`reps`.
+///
+/// # Errors
+///
+/// Returns the forward-pass error message on shape mismatch.
+fn run_e2e(reps: usize) -> Result<E2eResult, String> {
+    // The tiny-model forward is sub-millisecond, so both the tuner's
+    // per-candidate timings and the end-to-end comparison need more
+    // samples than the big shape sweep to keep the gated `tuned_speedup`
+    // out of the noise floor.
+    let reps = reps.max(20);
+    let net = pick_model("alexnet").expect("alexnet is a known model");
+    let report = pcnn_parallel::with_threads(1, || {
+        ConvTuner::new(WallClockTimer::new(reps)).tune_network(&net)
+    });
+    let plan = report.plan();
+    let input = profile_input(&net, E2E_BATCH);
+    let perf = PerforationPlan::identity(net.conv_count());
+    let mut result = Ok(());
+    // Interleave baseline and tuned rounds inside one measurement window:
+    // back-to-back best-of windows see different host drift, which on a
+    // sub-millisecond forward is the same order as the effect being
+    // measured; interleaving lets both minima sample the same quiet
+    // moments.
+    let (baseline_s, tuned_s) = pcnn_parallel::with_threads(1, || {
+        let mut run = |tuned: bool| {
+            let out = if tuned {
+                net.forward_planned(&input, &perf, &plan)
+            } else {
+                net.forward(&input, &perf)
+            };
+            if let Err(e) = out {
+                result = Err(e.to_string());
+            }
+        };
+        run(false);
+        run(true);
+        let (mut base, mut tuned) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            run(false);
+            base = base.min(t0.elapsed().as_secs_f64());
+            let t0 = std::time::Instant::now();
+            run(true);
+            tuned = tuned.min(t0.elapsed().as_secs_f64());
+        }
+        (base, tuned)
+    });
+    result?;
+    Ok(E2eResult {
+        model: net.name().to_string(),
+        batch: E2E_BATCH,
+        baseline_ms: baseline_s * 1e3,
+        tuned_ms: tuned_s * 1e3,
+        tuned_speedup: baseline_s / tuned_s,
+        plan: plan.serialize(),
+        explored: report.explored,
+        pruned: report.pruned,
+    })
+}
+
+/// Runs the full conv benchmark: the shape sweep plus the end-to-end
+/// tuned-plan timing. `smoke` swaps in [`SMOKE_CONV_SHAPES`] and a
+/// narrower thread sweep.
+///
+/// # Errors
+///
+/// Returns the forward-pass error message if the end-to-end model run
+/// fails.
+pub fn run_conv_bench(reps: usize, smoke: bool) -> Result<ConvBench, String> {
+    let _span = pcnn_telemetry::span!("bench.conv", smoke = u64::from(smoke));
+    let (shapes, threads): (&[ConvShape], &[usize]) = if smoke {
+        (SMOKE_CONV_SHAPES, &CONV_THREAD_SWEEP[..2])
+    } else {
+        (BENCH_CONV_SHAPES, CONV_THREAD_SWEEP)
+    };
+    let rows = shapes
+        .iter()
+        .map(|s| sweep_shape(s, reps, threads))
+        .collect();
+    let e2e = run_e2e(reps)?;
+    Ok(ConvBench {
+        rows,
+        e2e,
+        reps,
+        smoke,
+    })
+}
+
+/// Renders the `BENCH_conv.json` document — the same bytes `pcnn
+/// bench-conv --json` writes and `pcnn obs check` regenerates.
+pub fn conv_json(bench: &ConvBench, threads: &[usize]) -> String {
+    let shapes: Vec<String> = bench
+        .rows
+        .iter()
+        .map(|r| {
+            let algos: Vec<String> = r
+                .algos
+                .iter()
+                .map(|a| {
+                    let secs: Vec<String> = threads
+                        .iter()
+                        .zip(&a.secs)
+                        .map(|(t, s)| format!("{{\"threads\": {t}, \"ms\": {:.4}}}", s * 1e3))
+                        .collect();
+                    format!(
+                        concat!(
+                            "{{\"algo\": \"{}\", \"gflops_1t\": {:.3}, ",
+                            "\"speedup_vs_im2col_1t\": {:.3}, \"sweep\": [{}]}}"
+                        ),
+                        a.algo.name(),
+                        a.gflops_1t,
+                        a.speedup_vs_im2col_1t,
+                        secs.join(", ")
+                    )
+                })
+                .collect();
+            let s = &r.shape;
+            format!(
+                concat!(
+                    "    {{\"layer\": \"{}\", \"c\": {}, \"h\": {}, \"w\": {}, ",
+                    "\"kernel\": {}, \"stride\": {}, \"pad\": {}, \"oc\": {}, ",
+                    "\"winner\": \"{}\", \"algos\": [\n      {}\n    ]}}"
+                ),
+                s.name,
+                s.c,
+                s.h,
+                s.w,
+                s.kernel,
+                s.stride,
+                s.pad,
+                s.oc,
+                r.winner.name(),
+                algos.join(",\n      ")
+            )
+        })
+        .collect();
+    let e = &bench.e2e;
+    format!(
+        concat!(
+            "{{\n  \"bench\": \"conv\",\n  \"smoke\": {},\n  \"reps\": {},\n  \"cores\": {},\n",
+            "  \"e2e\": {{\"model\": \"{}\", \"batch\": {}, \"baseline_ms\": {:.4}, ",
+            "\"tuned_ms\": {:.4}, \"tuned_speedup\": {:.3}, \"plan\": \"{}\", ",
+            "\"explored\": {}, \"pruned\": {}}},\n  \"shapes\": [\n{}\n  ]\n}}\n"
+        ),
+        bench.smoke,
+        bench.reps,
+        machine_cores(),
+        e.model,
+        e.batch,
+        e.baseline_ms,
+        e.tuned_ms,
+        e.tuned_speedup,
+        e.plan,
+        e.explored,
+        e.pruned,
+        shapes.join(",\n")
+    )
+}
+
+/// The thread widths a [`ConvBench`] was swept at.
+pub fn sweep_widths(bench: &ConvBench) -> &'static [usize] {
+    if bench.smoke {
+        &CONV_THREAD_SWEEP[..2]
+    } else {
+        CONV_THREAD_SWEEP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_table_has_each_algorithms_home_turf() {
+        // At least one swept shape is Winograd-ineligible (direct's win)
+        // and at least one is a stride-1 3x3 (Winograd's win).
+        let strided = BENCH_CONV_SHAPES
+            .iter()
+            .any(|s| !ConvAlgo::Winograd.supports(&s.geometry()));
+        let wino = BENCH_CONV_SHAPES
+            .iter()
+            .any(|s| ConvAlgo::Winograd.supports(&s.geometry()));
+        assert!(strided && wino);
+        // Same property holds in the smoke subset.
+        assert!(SMOKE_CONV_SHAPES
+            .iter()
+            .any(|s| !ConvAlgo::Winograd.supports(&s.geometry())));
+        assert!(SMOKE_CONV_SHAPES
+            .iter()
+            .any(|s| ConvAlgo::Winograd.supports(&s.geometry())));
+    }
+
+    #[test]
+    fn smoke_bench_document_is_well_formed() {
+        let bench = run_conv_bench(1, true).unwrap();
+        let doc = conv_json(&bench, sweep_widths(&bench));
+        let parsed = pcnn_telemetry::json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("bench").and_then(|b| b.as_str()), Some("conv"));
+        let shapes = parsed.get("shapes").unwrap().as_array().unwrap();
+        assert_eq!(shapes.len(), SMOKE_CONV_SHAPES.len());
+        // Every shape has an im2col row with ratio exactly 1.0 and a
+        // winner drawn from its algo rows.
+        for s in shapes {
+            let algos = s.get("algos").unwrap().as_array().unwrap();
+            let im2col = algos
+                .iter()
+                .find(|a| a.get("algo").and_then(|x| x.as_str()) == Some("im2col"))
+                .expect("im2col always measured");
+            assert_eq!(
+                im2col.get("speedup_vs_im2col_1t").unwrap().as_f64(),
+                Some(1.0)
+            );
+            let winner = s.get("winner").and_then(|w| w.as_str()).unwrap();
+            assert!(algos
+                .iter()
+                .any(|a| a.get("algo").and_then(|x| x.as_str()) == Some(winner)));
+        }
+        let e2e = parsed.get("e2e").unwrap();
+        assert!(e2e.get("tuned_speedup").unwrap().as_f64().unwrap() > 0.0);
+        assert!(!e2e.get("plan").unwrap().as_str().unwrap().is_empty());
+    }
+}

@@ -3,6 +3,7 @@
 //! the experiment index and `EXPERIMENTS.md` for recorded results).
 
 pub mod baselines;
+pub mod conv;
 pub mod experiments;
 pub mod harness;
 pub mod obs;

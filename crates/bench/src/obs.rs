@@ -279,6 +279,87 @@ pub fn compare_gemm(baseline: &JsonValue, candidate: &JsonValue) -> Vec<Violatio
     v
 }
 
+/// Diffs a fresh conv-algorithm benchmark against the committed
+/// `BENCH_conv.json` baseline. Like the GEMM gate, only
+/// machine-normalised ratios are gated, never absolute GFLOP/s or
+/// milliseconds:
+///
+/// * per shape and algorithm, `speedup_vs_im2col_1t` — a collapsed ratio
+///   means the alternative kernel lost its advantage on that shape;
+/// * `e2e.tuned_speedup` — the tuned plan vs always-im2col on the full
+///   network forward, banded against the baseline *and* hard-floored:
+///   a tuned plan that *loses* to the baseline it replaced
+///   (`< `[`E2E_SPEEDUP_FLOOR`]`, i.e. beyond measurement noise) is a
+///   regression regardless of what the committed document says. The
+///   floor sits 5 % under parity because on a near-tie shape the tuner
+///   may honestly keep im2col, which reads ~1.0x plus timer noise — a
+///   broken tuned path reads far lower.
+pub fn compare_conv(baseline: &JsonValue, candidate: &JsonValue) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let algo_ratios = |doc: &JsonValue| -> BTreeMap<String, f64> {
+        doc.get("shapes")
+            .and_then(|s| s.as_array())
+            .map(|shapes| {
+                shapes
+                    .iter()
+                    .filter_map(|s| {
+                        let layer = s.get("layer")?.as_str()?;
+                        let algos = s.get("algos")?.as_array()?;
+                        Some(algos.iter().filter_map(move |a| {
+                            Some((
+                                format!("{layer}.{}", a.get("algo")?.as_str()?),
+                                a.get("speedup_vs_im2col_1t")?.as_f64()?,
+                            ))
+                        }))
+                    })
+                    .flatten()
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base = algo_ratios(baseline);
+    let cand = algo_ratios(candidate);
+    for (key, b) in &base {
+        check(
+            &mut v,
+            format!("{key}.speedup_vs_im2col_1t"),
+            Some(*b),
+            cand.get(key).copied(),
+            Band::lower_worse(0.40, 0.0),
+        );
+    }
+    let e2e = |doc: &JsonValue| {
+        doc.get("e2e")
+            .and_then(|e| e.get("tuned_speedup"))
+            .and_then(JsonValue::as_f64)
+    };
+    let (be, ce) = (e2e(baseline), e2e(candidate));
+    check(
+        &mut v,
+        "e2e.tuned_speedup".into(),
+        be,
+        ce,
+        Band::lower_worse(0.25, 0.0),
+    );
+    if let Some(c) = ce {
+        // Hard floor: the tuned plan must never lose to always-im2col
+        // beyond measurement noise, whatever the committed value is.
+        if c < E2E_SPEEDUP_FLOOR {
+            v.push(Violation {
+                metric: format!("e2e.tuned_speedup (must not drop under {E2E_SPEEDUP_FLOOR})"),
+                baseline: be.unwrap_or(f64::NAN),
+                candidate: c,
+                limit: E2E_SPEEDUP_FLOOR,
+            });
+        }
+    }
+    v
+}
+
+/// Lowest `e2e.tuned_speedup` the conv gate accepts, regardless of the
+/// committed baseline: parity with always-im2col minus 5 % timer noise.
+pub const E2E_SPEEDUP_FLOOR: f64 = 0.95;
+
 /// A typed `pcnn obs` failure. The CLI prints the message on stderr and
 /// exits nonzero — a missing or corrupt document is a diagnosable
 /// condition, not a panic.
@@ -835,6 +916,76 @@ mod tests {
         // A vanished layer is flagged.
         let missing = json::parse(r#"{"shapes":[]}"#).unwrap();
         assert_eq!(compare_gemm(&base, &missing).len(), 1);
+    }
+
+    #[test]
+    fn compare_conv_gates_ratios_and_tuned_floor() {
+        let base = json::parse(
+            r#"{"bench":"conv","e2e":{"tuned_speedup":1.30},"shapes":[
+                {"layer":"ALEX_CONV3","algos":[
+                    {"algo":"im2col","speedup_vs_im2col_1t":1.0,"gflops_1t":20.0},
+                    {"algo":"winograd","speedup_vs_im2col_1t":1.8,"gflops_1t":36.0}]}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(compare_conv(&base, &base).is_empty());
+        // A slower host with preserved ratios passes...
+        let slower = json::parse(
+            r#"{"bench":"conv","e2e":{"tuned_speedup":1.25},"shapes":[
+                {"layer":"ALEX_CONV3","algos":[
+                    {"algo":"im2col","speedup_vs_im2col_1t":1.0,"gflops_1t":9.0},
+                    {"algo":"winograd","speedup_vs_im2col_1t":1.7,"gflops_1t":15.0}]}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(compare_conv(&base, &slower).is_empty());
+        // ...a collapsed per-shape ratio does not.
+        let collapsed = json::parse(
+            r#"{"bench":"conv","e2e":{"tuned_speedup":1.30},"shapes":[
+                {"layer":"ALEX_CONV3","algos":[
+                    {"algo":"im2col","speedup_vs_im2col_1t":1.0},
+                    {"algo":"winograd","speedup_vs_im2col_1t":0.9}]}
+            ]}"#,
+        )
+        .unwrap();
+        let v = compare_conv(&base, &collapsed);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].metric, "ALEX_CONV3.winograd.speedup_vs_im2col_1t");
+        // A tuned plan that *loses* to always-im2col trips the hard floor
+        // even when the band alone would tolerate the drop...
+        let floor = json::parse(
+            r#"{"bench":"conv","e2e":{"tuned_speedup":0.93},"shapes":[
+                {"layer":"ALEX_CONV3","algos":[
+                    {"algo":"im2col","speedup_vs_im2col_1t":1.0},
+                    {"algo":"winograd","speedup_vs_im2col_1t":1.8}]}
+            ]}"#,
+        )
+        .unwrap();
+        let v = compare_conv(&base, &floor);
+        assert!(v.iter().any(|x| x.metric.contains("must not drop")));
+        // ...while an honest near-tie (tuner kept im2col, ~1.0x) passes.
+        let tie = json::parse(
+            r#"{"bench":"conv","e2e":{"tuned_speedup":0.99},"shapes":[
+                {"layer":"ALEX_CONV3","algos":[
+                    {"algo":"im2col","speedup_vs_im2col_1t":1.0},
+                    {"algo":"winograd","speedup_vs_im2col_1t":1.8}]}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(!compare_conv(&base, &tie)
+            .iter()
+            .any(|x| x.metric.contains("must not drop")));
+        // A vanished algorithm row is flagged as missing.
+        let missing = json::parse(
+            r#"{"bench":"conv","e2e":{"tuned_speedup":1.30},"shapes":[
+                {"layer":"ALEX_CONV3","algos":[
+                    {"algo":"im2col","speedup_vs_im2col_1t":1.0}]}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(compare_conv(&base, &missing)
+            .iter()
+            .any(|x| x.metric.contains("winograd") && x.metric.contains("missing")));
     }
 
     fn profile_doc(conv_ms: f64, micro_ms: f64) -> JsonValue {

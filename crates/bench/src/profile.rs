@@ -128,6 +128,11 @@ pub struct ProfileRun {
     /// `(region label, max/mean busy ratio)` per instrumented pool
     /// region, from telemetry — empty unless telemetry was recording.
     pub imbalance: Vec<(String, f64)>,
+    /// Layer registrations beyond the profiler's fixed table
+    /// ([`pcnn_profile::MAX_LAYERS`]) during the run. Nonzero means the
+    /// per-layer tables are truncated and the report says so explicitly
+    /// instead of silently attributing a partial network.
+    pub dropped_layers: u64,
 }
 
 impl ProfileRun {
@@ -170,6 +175,7 @@ pub fn run_profile(net: &Network, batch: usize, reps: usize) -> Result<ProfileRu
     let forward_wall_ns = t0.elapsed().as_nanos() as u64;
     pcnn_profile::set_enabled(false);
     let layers = pcnn_profile::snapshot();
+    let dropped_layers = pcnn_profile::dropped_layers();
     pcnn_profile::reset();
     result?;
     let imbalance = if pcnn_telemetry::enabled() {
@@ -198,6 +204,7 @@ pub fn run_profile(net: &Network, batch: usize, reps: usize) -> Result<ProfileRu
         layers,
         forward_wall_ns,
         imbalance,
+        dropped_layers,
     })
 }
 
@@ -307,8 +314,8 @@ fn ms_cell(ns: u64, calls: u64, reps: u64) -> String {
 pub fn render_report(run: &ProfileRun, peaks: &MachinePeaks) -> String {
     let reps = run.reps.max(1) as u64;
     let mut t = TableWriter::new(vec![
-        "layer", "wall ms", "im2col", "pack_a", "pack_b", "micro", "epilog", "activ", "GFLOP/s",
-        "FLOP/B", "bound",
+        "layer", "wall ms", "im2col", "pack_a", "pack_b", "micro", "wino_t", "wino_i", "epilog",
+        "activ", "GFLOP/s", "FLOP/B", "bound",
     ]);
     for l in &run.layers {
         let total = l.total();
@@ -338,6 +345,8 @@ pub fn render_report(run: &ProfileRun, peaks: &MachinePeaks) -> String {
             cell(Phase::PackA),
             cell(Phase::PackB),
             cell(Phase::Microkernel),
+            cell(Phase::WinogradTransform),
+            cell(Phase::WinogradInverse),
             cell(Phase::Epilogue),
             cell(Phase::Activation),
             format!("{gflops:.2}"),
@@ -366,6 +375,13 @@ pub fn render_report(run: &ProfileRun, peaks: &MachinePeaks) -> String {
         run.coverage() * 100.0,
         run.forward_wall_ns as f64 / reps as f64 / 1e6
     ));
+    if run.dropped_layers > 0 {
+        out.push_str(&format!(
+            "WARNING: {} layer(s) beyond the profiler's {}-layer table were dropped — per-layer rows above are truncated\n",
+            run.dropped_layers,
+            pcnn_profile::MAX_LAYERS
+        ));
+    }
     for (label, ratio) in &run.imbalance {
         out.push_str(&format!(
             "pool imbalance [{label}]: max/mean busy = {ratio:.2}x{}\n",

@@ -29,6 +29,7 @@ pub mod scheduler;
 pub mod soc;
 pub mod task;
 pub mod timemodel;
+pub mod tune;
 pub mod tuning;
 
 // The only root-level re-export: the crate-wide error type. Every other

@@ -18,6 +18,9 @@ pub enum NnError {
     /// A perforation plan referenced a conv layer the network does not have,
     /// or used a rate outside `[0, 1)`.
     Perforation(String),
+    /// A conv-algorithm plan did not match the network (wrong length, an
+    /// unparsable entry, or an algorithm the layer shape cannot run).
+    Plan(String),
     /// Underlying tensor error.
     Tensor(ShapeError),
 }
@@ -31,6 +34,7 @@ impl fmt::Display for NnError {
                 actual,
             } => write!(f, "{context}: expected {expected}, got shape {actual:?}"),
             NnError::Perforation(msg) => write!(f, "invalid perforation plan: {msg}"),
+            NnError::Plan(msg) => write!(f, "invalid conv plan: {msg}"),
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
         }
     }

@@ -8,8 +8,8 @@
 
 use pcnn_profile::{phase_span, Phase};
 use pcnn_tensor::{
-    col2im_accumulate, gemm, gemm_bias, gemm_nt, gemm_tn, im2col, im2col_positions, Conv2dGeometry,
-    Tensor,
+    col2im_accumulate, conv2d_direct, conv2d_winograd, gemm, gemm_bias, gemm_nt, gemm_tn, im2col,
+    im2col_positions, Conv2dGeometry, ConvAlgo, Tensor,
 };
 use rand::Rng;
 
@@ -156,6 +156,59 @@ impl Conv2d {
                 &self.bias,
                 out.batch_item_mut(b),
             );
+        }
+        Ok(out)
+    }
+
+    /// Full forward pass through the chosen convolution algorithm.
+    ///
+    /// [`ConvAlgo::Im2col`] is exactly [`forward`](Self::forward);
+    /// [`ConvAlgo::Direct`] produces bitwise-identical output without the
+    /// materialised column matrix; [`ConvAlgo::Winograd`] (stride-1 3x3
+    /// layers only) is deterministic but within
+    /// [`pcnn_tensor::winograd_error_bound`] of the reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] on input shape mismatch, or
+    /// [`NnError::Plan`] if the algorithm cannot run this layer's shape.
+    pub fn forward_with(&self, input: &Tensor, algo: ConvAlgo) -> Result<Tensor, NnError> {
+        if algo == ConvAlgo::Im2col {
+            return self.forward(input);
+        }
+        if !algo.supports(&self.geom) {
+            return Err(NnError::Plan(format!(
+                "{algo} cannot run a {}x{} stride-{} conv layer",
+                self.geom.kernel, self.geom.kernel, self.geom.stride
+            )));
+        }
+        let batch = self.check_input(input)?;
+        let span = phase_span(Phase::Epilogue);
+        let mut out = Tensor::zeros(self.output_shape(batch));
+        if let Some(s) = span {
+            s.finish(0, 4 * out.data().len() as u64);
+        }
+        for b in 0..batch {
+            let (x, y) = (input.batch_item(b), out.batch_item_mut(b));
+            match algo {
+                ConvAlgo::Direct => conv2d_direct(
+                    &self.geom,
+                    self.out_channels,
+                    self.weight.data(),
+                    &self.bias,
+                    x,
+                    y,
+                ),
+                ConvAlgo::Winograd => conv2d_winograd(
+                    &self.geom,
+                    self.out_channels,
+                    self.weight.data(),
+                    &self.bias,
+                    x,
+                    y,
+                ),
+                ConvAlgo::Im2col => unreachable!("handled above"),
+            }
         }
         Ok(out)
     }
@@ -579,6 +632,32 @@ impl Layer {
         perf: Option<&LayerPerforation>,
     ) -> Result<(Tensor, LayerCache), NnError> {
         self.forward_mode(input, perf, None)
+    }
+
+    /// Like [`forward`](Self::forward) but routes a full (unperforated)
+    /// conv layer through the chosen algorithm. Perforation takes
+    /// precedence — a perforated conv always runs the position-sampled
+    /// im2col path — and non-conv layers ignore `algo`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/perforation/plan errors from the concrete layer.
+    pub fn forward_algo(
+        &self,
+        input: &Tensor,
+        perf: Option<&LayerPerforation>,
+        algo: ConvAlgo,
+    ) -> Result<(Tensor, LayerCache), NnError> {
+        match self {
+            Layer::Conv2d(c) => {
+                let out = match perf {
+                    Some(p) if !p.is_identity() => c.forward_perforated(input, p)?,
+                    _ => c.forward_with(input, algo)?,
+                };
+                Ok((out, LayerCache::None))
+            }
+            _ => self.forward(input, perf),
+        }
     }
 
     /// Forward pass; `train_seed = Some(seed)` activates training-only

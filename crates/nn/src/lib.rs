@@ -34,6 +34,7 @@ pub mod memory;
 pub mod models;
 pub mod network;
 pub mod perforation;
+pub mod plan;
 pub mod spec;
 pub mod train;
 
@@ -41,3 +42,4 @@ pub use error::NnError;
 pub use layer::Layer;
 pub use network::Network;
 pub use perforation::PerforationPlan;
+pub use plan::ConvPlan;

@@ -1,9 +1,10 @@
 //! A runnable sequential CNN.
 
-use pcnn_tensor::Tensor;
+use pcnn_tensor::{ConvAlgo, Tensor};
 
 use crate::layer::{Layer, LayerCache};
 use crate::perforation::{LayerPerforation, PerforationPlan};
+use crate::plan::ConvPlan;
 use crate::spec::{ConvSpec, FcSpec, LayerSpec, NetworkSpec, PoolSpec};
 use crate::NnError;
 
@@ -149,7 +150,52 @@ impl Network {
     ///
     /// Returns an error on shape mismatch or an inconsistent plan.
     pub fn forward(&self, input: &Tensor, plan: &PerforationPlan) -> Result<Tensor, NnError> {
+        self.forward_dispatch(input, plan, None)
+    }
+
+    /// Inference forward pass executing a tuned per-layer [`ConvPlan`]:
+    /// each full (unperforated) conv layer runs the algorithm the offline
+    /// tuner chose for its shape, with the same batching, determinism and
+    /// profiling behaviour as [`forward`](Self::forward).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch, an inconsistent perforation
+    /// plan, or a conv plan that does not fit this network.
+    pub fn forward_planned(
+        &self,
+        input: &Tensor,
+        plan: &PerforationPlan,
+        conv_plan: &ConvPlan,
+    ) -> Result<Tensor, NnError> {
+        conv_plan.validate(self)?;
+        self.forward_dispatch(input, plan, Some(conv_plan))
+    }
+
+    /// Expands a conv plan to one algorithm per *layer* index (non-conv
+    /// layers get the ignored im2col default).
+    fn layer_algos(&self, conv_plan: Option<&ConvPlan>) -> Vec<ConvAlgo> {
+        let mut algos = vec![ConvAlgo::Im2col; self.layers.len()];
+        if let Some(cp) = conv_plan {
+            let mut ci = 0;
+            for (i, layer) in self.layers.iter().enumerate() {
+                if matches!(layer, Layer::Conv2d(_)) {
+                    algos[i] = cp.algo(ci);
+                    ci += 1;
+                }
+            }
+        }
+        algos
+    }
+
+    fn forward_dispatch(
+        &self,
+        input: &Tensor,
+        plan: &PerforationPlan,
+        conv_plan: Option<&ConvPlan>,
+    ) -> Result<Tensor, NnError> {
         let perfs = self.layer_perforations(plan, 1)?;
+        let algos = self.layer_algos(conv_plan);
         let batch = if input.ndim() == 4 {
             input.shape()[0]
         } else {
@@ -169,7 +215,7 @@ impl Network {
             || pcnn_parallel::in_parallel_region()
             || pcnn_profile::enabled()
         {
-            return self.forward_group(input, &perfs);
+            return self.forward_group(input, &perfs, &algos);
         }
         // Contiguous image groups; group boundaries depend only on the
         // batch and thread count, and per-image results are independent
@@ -182,7 +228,7 @@ impl Network {
             let start = gi * group;
             let count = out_chunk.len() / classes;
             let sub = input.batch_range(start, count);
-            match self.forward_group(&sub, &perfs) {
+            match self.forward_group(&sub, &perfs, &algos) {
                 Ok(logits) => out_chunk.copy_from_slice(logits.data()),
                 Err(e) => {
                     first_err
@@ -204,11 +250,12 @@ impl Network {
         &self,
         input: &Tensor,
         perfs: &[Option<LayerPerforation>],
+        algos: &[ConvAlgo],
     ) -> Result<Tensor, NnError> {
         let mut x = input.clone();
         for (i, (layer, perf)) in self.layers.iter().zip(perfs).enumerate() {
             let scope = pcnn_profile::layer_scope(i, layer.kind());
-            let (out, _) = layer.forward(&x, perf.as_ref())?;
+            let (out, _) = layer.forward_algo(&x, perf.as_ref(), algos[i])?;
             drop(scope);
             x = out;
         }
@@ -339,6 +386,60 @@ mod tests {
         let perf = net.forward(&input, &plan).unwrap();
         assert_eq!(full.shape(), perf.shape());
         assert!(perf.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn planned_forward_direct_is_bitwise_identical() {
+        let net = tiny_alexnet(5);
+        let input = Tensor::from_fn(vec![2, 1, 32, 32], |i| ((i * 13 % 31) as f32) / 31.0 - 0.5);
+        let identity = PerforationPlan::identity(net.conv_count());
+        let base = net.forward(&input, &identity).unwrap();
+        let direct = net
+            .forward_planned(
+                &input,
+                &identity,
+                &ConvPlan::from_algos(vec![ConvAlgo::Direct; net.conv_count()]),
+            )
+            .unwrap();
+        assert_eq!(base, direct);
+    }
+
+    #[test]
+    fn planned_forward_winograd_is_close_and_baseline_plan_exact() {
+        let net = tiny_alexnet(5);
+        let input = Tensor::from_fn(vec![1, 1, 32, 32], |i| ((i * 7 % 19) as f32) / 19.0 - 0.5);
+        let identity = PerforationPlan::identity(net.conv_count());
+        let base = net.forward(&input, &identity).unwrap();
+        let im2col_plan = ConvPlan::im2col(net.conv_count());
+        assert_eq!(
+            base,
+            net.forward_planned(&input, &identity, &im2col_plan)
+                .unwrap()
+        );
+        let wino = net
+            .forward_planned(
+                &input,
+                &identity,
+                &ConvPlan::from_algos(vec![ConvAlgo::Winograd; net.conv_count()]),
+            )
+            .unwrap();
+        for (a, b) in base.data().iter().zip(wino.data()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn planned_forward_rejects_bad_plan() {
+        let net = tiny_alexnet(5);
+        let input = Tensor::zeros(vec![1, 1, 32, 32]);
+        let err = net
+            .forward_planned(
+                &input,
+                &PerforationPlan::identity(net.conv_count()),
+                &ConvPlan::im2col(net.conv_count() + 2),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NnError::Plan(_)));
     }
 
     #[test]

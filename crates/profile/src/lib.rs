@@ -38,11 +38,13 @@ use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// Maximum distinct layer rows; deeper networks fold into the
-/// unattributed row rather than losing time.
-pub const MAX_LAYERS: usize = 64;
+/// unattributed row rather than losing time, and every folded layer is
+/// counted by [`dropped_layers`] so reports can say so instead of
+/// silently merging.
+pub const MAX_LAYERS: usize = 128;
 
 /// Number of [`Phase`] variants.
-pub const NUM_PHASES: usize = 6;
+pub const NUM_PHASES: usize = 8;
 
 /// One row past the last layer: work recorded outside any layer scope.
 const UNATTRIBUTED: usize = MAX_LAYERS;
@@ -68,6 +70,10 @@ pub enum Phase {
     Epilogue,
     /// Elementwise nonlinearities and pooling.
     Activation,
+    /// Winograd filter/input transforms (`G g G^T`, `B^T d B`).
+    WinogradTransform,
+    /// Winograd inverse transform + bias (`A^T M A`).
+    WinogradInverse,
 }
 
 impl Phase {
@@ -79,6 +85,8 @@ impl Phase {
         Phase::Microkernel,
         Phase::Epilogue,
         Phase::Activation,
+        Phase::WinogradTransform,
+        Phase::WinogradInverse,
     ];
 
     /// Stable lowercase name used in reports and profile documents.
@@ -90,6 +98,8 @@ impl Phase {
             Phase::Microkernel => "microkernel",
             Phase::Epilogue => "epilogue",
             Phase::Activation => "activation",
+            Phase::WinogradTransform => "winograd_transform",
+            Phase::WinogradInverse => "winograd_inverse",
         }
     }
 }
@@ -102,6 +112,11 @@ static FLOPS: [AtomicU64; CELLS] = [const { AtomicU64::new(0) }; CELLS];
 static BYTES: [AtomicU64; CELLS] = [const { AtomicU64::new(0) }; CELLS];
 static CALLS: [AtomicU64; CELLS] = [const { AtomicU64::new(0) }; CELLS];
 static WALL_NS: [AtomicU64; ROWS] = [const { AtomicU64::new(0) }; ROWS];
+
+/// Layer scopes opened with `index >= MAX_LAYERS` (their spans fold into
+/// the unattributed row); surfaced as the `profile.dropped_layers`
+/// metric so deep models degrade visibly instead of silently merging.
+static DROPPED_LAYERS: AtomicU64 = AtomicU64::new(0);
 
 /// Layer display names, registered lazily by [`layer_scope`] (off the
 /// hot path: one short lock per layer per forward, only while enabled).
@@ -128,7 +143,14 @@ pub fn reset() {
     for cell in WALL_NS.iter() {
         cell.store(0, Ordering::Relaxed);
     }
+    DROPPED_LAYERS.store(0, Ordering::Relaxed);
     NAMES.lock().unwrap_or_else(PoisonError::into_inner).clear();
+}
+
+/// How many layer scopes overflowed the table (folded into the
+/// unattributed row) since the last [`reset`].
+pub fn dropped_layers() -> u64 {
+    DROPPED_LAYERS.load(Ordering::Relaxed)
 }
 
 /// Marks layer `index` as the attribution target until dropped; restores
@@ -157,6 +179,7 @@ pub fn layer_scope(index: usize, kind: &str) -> Option<LayerGuard> {
     let row = if index < MAX_LAYERS {
         index
     } else {
+        DROPPED_LAYERS.fetch_add(1, Ordering::Relaxed);
         UNATTRIBUTED
     };
     if row != UNATTRIBUTED {
@@ -380,6 +403,40 @@ mod tests {
         assert_eq!(row.name, "(unattributed)");
         assert_eq!(row.phase(Phase::Microkernel).flops, 10);
         assert_eq!(row.phase(Phase::Epilogue).bytes, 2);
+    }
+
+    #[test]
+    fn layer_table_boundary_counts_dropped_layers() {
+        let _g = test_guard();
+        set_enabled(true);
+        reset();
+        // The last in-table index gets its own row, no drop counted.
+        {
+            let _scope = layer_scope(MAX_LAYERS - 1, "conv");
+            phase_span(Phase::Microkernel).unwrap().finish(3, 4);
+        }
+        assert_eq!(dropped_layers(), 0);
+        // The first out-of-table index folds — and is counted.
+        {
+            let _scope = layer_scope(MAX_LAYERS, "conv");
+            phase_span(Phase::Microkernel).unwrap().finish(7, 8);
+        }
+        let snap = snapshot();
+        assert_eq!(dropped_layers(), 1);
+        set_enabled(false);
+        let last = snap
+            .iter()
+            .find(|l| l.index == MAX_LAYERS - 1)
+            .expect("boundary layer row");
+        assert_eq!(last.name, format!("L{:02} conv", MAX_LAYERS - 1));
+        assert_eq!(last.phase(Phase::Microkernel).flops, 3);
+        let unattributed = snap
+            .iter()
+            .find(|l| l.index == MAX_LAYERS)
+            .expect("unattributed row");
+        assert_eq!(unattributed.phase(Phase::Microkernel).flops, 7);
+        reset();
+        assert_eq!(dropped_layers(), 0);
     }
 
     #[test]

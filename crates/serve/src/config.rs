@@ -60,6 +60,23 @@ pub struct DegradationLevel {
     pub rates: Vec<f64>,
     /// Expected mean output entropy under these rates (nats).
     pub entropy: f64,
+    /// Multiplier on the predicted execution time (and proportionally on
+    /// energy) relative to the baseline convolution algorithm. `1.0` for
+    /// perforation rungs; an algorithm-downgrade rung (e.g. switching
+    /// eligible layers to Winograd/direct kernels) has `time_scale < 1.0`
+    /// with all-zero rates — it is faster without dropping any work.
+    pub time_scale: f64,
+}
+
+impl DegradationLevel {
+    /// A perforation rung: `time_scale` 1.0.
+    pub fn perforated(rates: Vec<f64>, entropy: f64) -> Self {
+        Self {
+            rates,
+            entropy,
+            time_scale: 1.0,
+        }
+    }
 }
 
 /// The offline tuning path rewritten as an overload-shedding ladder:
@@ -78,10 +95,10 @@ impl DegradationLadder {
     /// structurally.
     pub fn none(n_convs: usize, base_entropy: f64) -> Self {
         Self {
-            levels: vec![DegradationLevel {
-                rates: vec![0.0; n_convs],
-                entropy: base_entropy,
-            }],
+            levels: vec![DegradationLevel::perforated(
+                vec![0.0; n_convs],
+                base_entropy,
+            )],
         }
     }
 
@@ -89,15 +106,12 @@ impl DegradationLadder {
     /// unperforated at `base_entropy`; each `(rate, entropy)` step adds a
     /// level perforating every conv layer at `rate`.
     pub fn uniform(n_convs: usize, base_entropy: f64, steps: &[(f64, f64)]) -> Self {
-        let mut levels = vec![DegradationLevel {
-            rates: vec![0.0; n_convs],
-            entropy: base_entropy,
-        }];
+        let mut levels = vec![DegradationLevel::perforated(
+            vec![0.0; n_convs],
+            base_entropy,
+        )];
         for &(rate, entropy) in steps {
-            levels.push(DegradationLevel {
-                rates: vec![rate; n_convs],
-                entropy,
-            });
+            levels.push(DegradationLevel::perforated(vec![rate; n_convs], entropy));
         }
         Self { levels }
     }
@@ -123,12 +137,35 @@ impl DegradationLadder {
         let levels = path
             .entries
             .iter()
-            .map(|e| DegradationLevel {
-                rates: map_rates(&e.plan, n_convs),
-                entropy: e.entropy,
-            })
+            .map(|e| DegradationLevel::perforated(map_rates(&e.plan, n_convs), e.entropy))
             .collect();
         Ok(Self { levels })
+    }
+
+    /// Inserts an algorithm-downgrade rung right after the unperforated
+    /// level: same all-zero perforation rates, `time_scale < 1.0` from a
+    /// tuned convolution plan (Winograd/direct kernels), and a small
+    /// `entropy_cost` for the Winograd layers' bounded numeric drift.
+    /// Under overload the ladder walks this rung *before* any perforation
+    /// rung — free speed is spent before accuracy is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_scale` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_algo_rung(mut self, time_scale: f64, entropy_cost: f64) -> Self {
+        assert!(
+            time_scale > 0.0 && time_scale <= 1.0,
+            "algo rung time_scale must be in (0, 1]"
+        );
+        let base = &self.levels[0];
+        let rung = DegradationLevel {
+            rates: base.rates.clone(),
+            entropy: base.entropy + entropy_cost,
+            time_scale,
+        };
+        self.levels.insert(1, rung);
+        self
     }
 
     /// Deepest level index.
@@ -190,6 +227,26 @@ mod tests {
             assert!(w[0].rates[0] < w[1].rates[0]);
         }
         assert_eq!(l.max_level(), 3);
+    }
+
+    #[test]
+    fn algo_rung_inserts_before_perforation() {
+        let l = DegradationLadder::default_ladder(5).with_algo_rung(0.72, 0.02);
+        assert_eq!(l.max_level(), 4);
+        // The rung drops no work and is faster than the baseline level.
+        assert_eq!(l.levels[1].rates, vec![0.0; 5]);
+        assert!(l.levels[1].time_scale < 1.0);
+        assert!(l.levels[1].entropy > l.levels[0].entropy);
+        assert!(l.levels[1].entropy < l.levels[2].entropy);
+        // Perforation rungs behind it are untouched.
+        assert!(l.levels[2].rates[0] > 0.0);
+        assert_eq!(l.levels[2].time_scale, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time_scale")]
+    fn algo_rung_rejects_bad_time_scale() {
+        let _ = DegradationLadder::default_ladder(3).with_algo_rung(1.5, 0.02);
     }
 
     #[test]

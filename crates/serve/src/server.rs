@@ -45,12 +45,20 @@ impl<'a> CostModel<'a> {
         if let Some(c) = self.cache.get(&key) {
             return Ok(*c);
         }
+        let rung = &self.ladder.levels[level];
         let schedule = OfflineCompiler::new(self.gpus[gpu], self.spec).try_compile_perforated(
             size,
-            &self.ladder.levels[level].rates,
+            &rung.rates,
             true,
         )?;
-        let c = simulate_schedule(self.gpus[gpu], &schedule);
+        let mut c = simulate_schedule(self.gpus[gpu], &schedule);
+        // An algorithm-downgrade rung runs the same work through faster
+        // conv kernels: the simulator models the baseline algorithm, so
+        // the rung's measured speedup scales predicted time and energy.
+        if rung.time_scale != 1.0 {
+            c.seconds *= rung.time_scale;
+            c.energy = c.energy.scaled(rung.time_scale);
+        }
         self.cache.insert(key, c);
         Ok(c)
     }

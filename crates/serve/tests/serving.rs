@@ -111,6 +111,74 @@ fn overload_degradation_beats_fixed_batch_fifo() {
 }
 
 #[test]
+fn algo_rung_is_walked_before_perforation() {
+    let spec = tiny_net();
+    let n = spec.conv_layers().len();
+    let c = batch_cost(&spec);
+    let throughput = BATCH as f64 / c;
+    let load = 1.35;
+    let t_user = 8.0 * c;
+    let trace = RequestTrace::poisson(WorkloadKind::Interactive, 400, load * throughput, 7);
+    let app = AppSpec {
+        name: "algo rung load test".into(),
+        kind: WorkloadKind::Interactive,
+        data_rate: load * throughput,
+        accuracy_sensitive: false,
+    };
+    let mut workload = ServeWorkload::new(app, trace, 256);
+    workload.req.t_imperceptible = Some(t_user);
+    workload.req.t_unusable = Some(20.0 * t_user);
+    let cfg = ServerConfig {
+        max_batch: BATCH,
+        queue_high_watermark: 0.3,
+        ..ServerConfig::default()
+    };
+
+    let base = DegradationLadder::default_ladder(n);
+    // A tuned conv plan (Winograd/direct kernels) measured ~30 % faster:
+    // the ladder's first escalation becomes an algorithm downgrade, not
+    // perforation.
+    let with_rung = base.clone().with_algo_rung(0.70, 0.02);
+    assert_eq!(with_rung.levels[1].rates, vec![0.0; n]);
+
+    let mut s1 = Server::new(vec![&K20C], &spec, base, cfg.clone()).unwrap();
+    s1.add_workload(workload.clone());
+    let without = s1.run().unwrap();
+
+    let mut s2 = Server::new(vec![&K20C], &spec, with_rung, cfg).unwrap();
+    s2.add_workload(workload);
+    let with = s2.run().unwrap();
+
+    let (a, b) = (&without.workloads[0], &with.workloads[0]);
+    // The perforation-only ladder is forced into dropped work…
+    assert!(a.degrade_up > 0, "perforation ladder never walked");
+    assert!(
+        a.final_level >= 2,
+        "expected perforation, got {}",
+        a.final_level
+    );
+    // …while the algo-rung ladder escalates exactly once and parks at the
+    // rung: the overload is absorbed by faster kernels, never by
+    // perforation.
+    assert!(b.degrade_up > 0, "algo-rung ladder never walked");
+    assert_eq!(b.final_level, 1, "walked past the algo rung");
+    // Free speed beats dropped work on both axes: more deadlines met at
+    // strictly lower mean entropy.
+    assert!(
+        b.deadlines_met > a.deadlines_met,
+        "algo rung met {} deadlines vs {} without",
+        b.deadlines_met,
+        a.deadlines_met
+    );
+    assert!(
+        b.mean_entropy < a.mean_entropy,
+        "algo rung entropy {} vs {} without",
+        b.mean_entropy,
+        a.mean_entropy
+    );
+}
+
+#[test]
 fn below_capacity_nothing_is_dropped_and_deadlines_hold() {
     let spec = tiny_net();
     let ladder = DegradationLadder::default_ladder(spec.conv_layers().len());

@@ -75,7 +75,7 @@ pub const NR: usize = 8;
 const MC: usize = 64;
 /// Depth of one packed block: a `KC x NR` `B` micropanel (8 KiB) stays
 /// L1-resident while every row tile of a group streams over it.
-const KC: usize = 256;
+pub(crate) const KC: usize = 256;
 
 /// Work (in multiply-adds) below which [`gemm`] stays on one thread: the
 /// cost of a scoped spawn round is ~tens of microseconds, which a GEMM
@@ -198,45 +198,74 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
         return;
     }
 
+    let part = active_partition(m, n, k);
+    // The span starts before the scratch checkout so pool bookkeeping
+    // (and any first-use zero-fill) counts as packing time.
+    let span = phase_span(Phase::PackB);
+    let mut b_pack = pcnn_parallel::scratch_f32(packed_b_len(n, k));
+    pcnn_parallel::with_region_label("gemm.pack_b", || {
+        pack_b(n, k, b, &mut b_pack, part.tasks() > 1);
+    });
+    if let Some(s) = span {
+        // Reads the k x n source, writes the padded packed image.
+        s.finish(0, 4 * (k * n + packed_b_len(n, k)) as u64);
+    }
+    gemm_packed(m, n, k, a, &b_pack, part, c);
+}
+
+/// The partition [`gemm`] would actually run with right now: collapses to
+/// a single task inside a parallel region, below [`PAR_MAC_THRESHOLD`],
+/// or on a one-thread pool. Callers that build their own packed `B` (the
+/// direct convolution) use it to decide whether to parallelise packing.
+pub(crate) fn active_partition(m: usize, n: usize, k: usize) -> GemmPartition {
     let threads = if pcnn_parallel::in_parallel_region() {
         1
     } else {
         pcnn_parallel::current_threads()
     };
-    let part = if threads <= 1 || m * n * k < PAR_MAC_THRESHOLD {
+    if threads <= 1 || m * n * k < PAR_MAC_THRESHOLD {
         GemmPartition {
             row_splits: 1,
             col_splits: 1,
         }
     } else {
         partition_gemm(m, n, k, threads)
-    };
+    }
+}
 
+/// Length in f32 elements of the packed-`B` image for a `k x n` operand:
+/// `k` rows of `ceil(n/NR)` zero-padded `NR`-wide micropanels.
+pub(crate) fn packed_b_len(n: usize, k: usize) -> usize {
+    k * n.div_ceil(NR) * NR
+}
+
+/// `C += A * B` where `B` is already packed in [`pack_b`]'s micropanel
+/// layout. The compute tail of [`gemm`], shared with the direct
+/// convolution (which streams input patches into the packed image
+/// without materialising `B` at all); identical partitioning and loop
+/// nest, so outputs are bitwise-equal to the two-step path.
+pub(crate) fn gemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b_pack: &[f32],
+    part: GemmPartition,
+    c: &mut [f32],
+) {
     let n_panels = n.div_ceil(NR);
     let mr_tiles = m.div_ceil(MR);
-    // The span starts before the scratch checkout so pool bookkeeping
-    // (and any first-use zero-fill) counts as packing time.
-    let span = phase_span(Phase::PackB);
-    let mut b_pack = pcnn_parallel::scratch_f32(k * n_panels * NR);
-    pcnn_parallel::with_region_label("gemm.pack_b", || {
-        pack_b(n, k, b, &mut b_pack, part.tasks() > 1);
-    });
-    if let Some(s) = span {
-        // Reads the k x n source, writes the padded packed image.
-        s.finish(0, 4 * (k * n + k * n_panels * NR) as u64);
-    }
-
     let sink = TileSink {
         ptr: c.as_mut_ptr(),
     };
     if part.tasks() <= 1 {
-        gemm_tiles(m, n, k, a, &b_pack, &sink, 0..mr_tiles, 0..n_panels);
+        gemm_tiles(m, n, k, a, b_pack, &sink, 0..mr_tiles, 0..n_panels);
         return;
     }
     let run_task = |t: usize| {
         let rows = split_range(mr_tiles, part.row_splits, t / part.col_splits);
         let cols = split_range(n_panels, part.col_splits, t % part.col_splits);
-        gemm_tiles(m, n, k, a, &b_pack, &sink, rows, cols);
+        gemm_tiles(m, n, k, a, b_pack, &sink, rows, cols);
     };
     pcnn_parallel::with_region_label("gemm", || {
         pcnn_parallel::par_for(part.tasks(), 1, |range| {
