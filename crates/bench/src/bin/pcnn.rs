@@ -9,6 +9,8 @@
 //! pcnn serve    [--gpu <a,b,...>] [--net <...>] [--seed N] [--requests N] [--rate R]
 //!               [--fps F] [--frames N] [--bg-images N] [--max-batch N]
 //!               [--no-degrade] [--smoke] [--json <path>]
+//! pcnn serve-fleet [--smoke] [--policy <round-robin|affinity|energy|steal>]
+//!                  [--stream N] [--json <path>]
 //! pcnn bench-gemm [--reps N] [--json <path>]
 //! pcnn bench-conv [--reps N] [--smoke] [--json <path>]
 //! pcnn profile <alexnet|vggnet|googlenet> [--batch N] [--reps N] [--json <path>]
@@ -16,13 +18,13 @@
 //! pcnn obs diff <a.json> <b.json>
 //! pcnn obs check [--baseline-<name> P] [--candidate-<name> P] [--reps N]
 //!                where <name> is any registered baseline:
-//!                serve, gemm, profile, conv
+//!                serve, gemm, profile, conv, fleet
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use pcnn_bench::baselines::{self, ServeScenario};
+use pcnn_bench::baselines::{self, FleetBench, FleetScenario, ServeScenario};
 use pcnn_bench::obs::{analyze_trace, diff_documents, load_document, Violation};
 use pcnn_bench::TableWriter;
 use pcnn_bench::{conv, profile};
@@ -34,10 +36,11 @@ use pcnn_gpu::arch::{all_platforms, GpuArch, GTX_970M, JETSON_TX1, K20C, TITAN_X
 use pcnn_kernels::sgemm::SgemmShape;
 use pcnn_kernels::{tune_kernel, Library};
 use pcnn_nn::spec::{alexnet, googlenet, vggnet, NetworkSpec};
+use pcnn_serve::RouterPolicy;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\n  pcnn serve    [--gpu <a,b,...>] [--net <...>] [--seed N] [--requests N] [--rate R] [--fps F] [--frames N] [--bg-images N] [--max-batch N] [--no-degrade] [--smoke] [--json <path>]\n  pcnn bench-gemm [--reps N] [--json <path>]\n  pcnn bench-conv [--reps N] [--smoke] [--json <path>]\n                                             sweep conv algorithms ({{im2col,direct,winograd}}) over the canonical layer shapes + tuned-plan e2e proof\n  pcnn profile <alexnet|vggnet|googlenet> [--batch N] [--reps N] [--json <path>]\n                                             per-layer phase/roofline report; --json writes the deterministic profile document\n  pcnn obs <trace.json>                      analyze an exported serve trace\n  pcnn obs diff <a.json> <b.json>            attribute the time delta between two profile documents or Chrome traces\n  pcnn obs check [--baseline-<name> P] [--candidate-<name> P] [--reps N]   (<name>: serve, gemm, profile, conv)\n                                             gate fresh runs against the committed baselines\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest + Prometheus metrics,\nand --threads <N> (or PCNN_THREADS=<N>) to pin the CPU worker pool"
+        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\n  pcnn serve    [--gpu <a,b,...>] [--net <...>] [--seed N] [--requests N] [--rate R] [--fps F] [--frames N] [--bg-images N] [--max-batch N] [--no-degrade] [--smoke] [--json <path>]\n  pcnn serve-fleet [--smoke] [--policy <round-robin|affinity|energy|steal>] [--stream N] [--json <path>]\n                                             run the heterogeneous K20c+TX1 fleet scenarios under every routing policy; --stream N serves N lazy requests in O(1) memory\n  pcnn bench-gemm [--reps N] [--json <path>]\n  pcnn bench-conv [--reps N] [--smoke] [--json <path>]\n                                             sweep conv algorithms ({{im2col,direct,winograd}}) over the canonical layer shapes + tuned-plan e2e proof\n  pcnn profile <alexnet|vggnet|googlenet> [--batch N] [--reps N] [--json <path>]\n                                             per-layer phase/roofline report; --json writes the deterministic profile document\n  pcnn obs <trace.json>                      analyze an exported serve trace\n  pcnn obs diff <a.json> <b.json>            attribute the time delta between two profile documents or Chrome traces\n  pcnn obs check [--baseline-<name> P] [--candidate-<name> P] [--reps N]   (<name>: serve, gemm, profile, conv, fleet)\n                                             gate fresh runs against the committed baselines\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest + Prometheus metrics,\nand --threads <N> (or PCNN_THREADS=<N>) to pin the CPU worker pool"
     );
     ExitCode::from(2)
 }
@@ -486,6 +489,181 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `pcnn serve-fleet` — run the canonical heterogeneous-fleet scenarios
+/// (deadline frames, energy-slack bursts, background drain, and the
+/// degradation-ladder demo) on the mixed K20c + Jetson TX1 fleet under
+/// every routing policy, and report per-policy SoC/energy/deadline rows
+/// plus the per-platform ladder-occupancy profile.
+///
+/// The scenarios are pure functions of the flags, so `--json` writes a
+/// byte-identical document across runs; the committed `BENCH_fleet.json`
+/// baseline is [`FleetScenario::canonical`]. `--stream N` instead serves
+/// `N` lazily-generated Poisson requests through the streaming event
+/// loop — memory stays independent of `N` because the trace is never
+/// materialized.
+fn cmd_serve_fleet(flags: &HashMap<String, String>) -> ExitCode {
+    let scenario = if flags.contains_key("smoke") {
+        FleetScenario::smoke()
+    } else {
+        FleetScenario::canonical()
+    };
+    let policy = match flags.get("policy") {
+        Some(name) => match RouterPolicy::parse(name) {
+            Some(p) => Some(p),
+            None => {
+                eprintln!(
+                    "error: unknown policy {name:?} (expected round-robin, affinity, energy, or steal)"
+                );
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    // Seeded fleet runs should be byte-identical: keep only the
+    // virtual-time observability data unless the user forced a mode.
+    if pcnn_telemetry::enabled() && std::env::var("PCNN_TRACE_MODE").is_err() {
+        pcnn_telemetry::set_export_mode(pcnn_telemetry::ExportMode::Deterministic);
+    }
+
+    if let Some(n) = flags.get("stream") {
+        let Ok(n) = n.parse::<usize>() else {
+            return usage();
+        };
+        let p = policy.unwrap_or_default();
+        let report = match scenario.run_stream(p, n) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve-fleet failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let w = &report.workloads[0];
+        println!(
+            "streamed {} lazy requests over {} platforms ({} router): {} served, {} rejected, p99 {:.2} ms, makespan {:.2} s",
+            w.requests,
+            report.gpus.len(),
+            report.router,
+            w.served_images,
+            w.rejected_images,
+            w.latency.p99 * 1e3,
+            report.makespan_s
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if policy.is_some() && flags.contains_key("json") {
+        eprintln!("error: --json needs every policy (drop --policy)");
+        return ExitCode::from(2);
+    }
+    let policies: Vec<RouterPolicy> = match policy {
+        Some(p) => vec![p],
+        None => RouterPolicy::all().to_vec(),
+    };
+    let bench = (|| -> pcnn_core::Result<FleetBench> {
+        let mut deadline = Vec::new();
+        let mut slack = Vec::new();
+        let mut drain = Vec::new();
+        for &p in &policies {
+            deadline.push((p, scenario.run_deadline(p)?));
+            slack.push((p, scenario.run_slack(p)?));
+            drain.push((p, scenario.run_drain(p)?));
+        }
+        Ok(FleetBench {
+            deadline,
+            slack,
+            drain,
+            ladder_demo: scenario.run_ladder_demo()?,
+        })
+    })();
+    let bench = match bench {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("serve-fleet failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut t = TableWriter::new(vec![
+        "scenario",
+        "policy",
+        "deadlines",
+        "served",
+        "compute J",
+        "idle J",
+        "J/img",
+        "SoC",
+        "makespan (s)",
+    ]);
+    let sections = [
+        ("deadline", &bench.deadline),
+        ("slack", &bench.slack),
+        ("drain", &bench.drain),
+    ];
+    for (sec, rows) in sections {
+        for (p, r) in rows.iter() {
+            t.row(vec![
+                sec.to_string(),
+                p.name().to_string(),
+                if r.fleet.deadline_total > 0 {
+                    format!("{}/{}", r.fleet.deadlines_met, r.fleet.deadline_total)
+                } else {
+                    "-".to_string()
+                },
+                r.fleet.served_images.to_string(),
+                format!("{:.3}", r.fleet.compute_j),
+                format!("{:.3}", r.fleet.idle_j),
+                format!("{:.4}", r.fleet.joules_per_image),
+                format!("{:.3}", r.fleet.mean_soc),
+                format!("{:.3}", r.makespan_s),
+            ]);
+        }
+    }
+    let gpu_names: Vec<&str> = scenario.gpus.iter().map(|g| g.name).collect();
+    t.print(&format!(
+        "fleet serving {} on {} (seed {})",
+        scenario.net.name,
+        gpu_names.join(" + "),
+        scenario.seed
+    ));
+
+    let mut lt = TableWriter::new(vec!["platform", "images", "images at ladder level 0.."]);
+    for g in &bench.ladder_demo.gpus {
+        lt.row(vec![
+            g.name.clone(),
+            g.images.to_string(),
+            g.images_at_level
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join("/"),
+        ]);
+    }
+    lt.print(&format!(
+        "ladder demo ({} router, degradation on): each platform walks its own ladder",
+        bench.ladder_demo.router
+    ));
+
+    if policy.is_none() {
+        let frontier: Vec<&str> = baselines::pareto_frontier(&bench)
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        println!(
+            "SoC/energy pareto frontier over the slack runs: {}",
+            frontier.join(", ")
+        );
+    }
+
+    if let Some(path) = flags.get("json") {
+        if let Err(e) = std::fs::write(path, baselines::fleet_json(&scenario, &bench)) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// `pcnn obs <trace.json>` — per-workload queueing-vs-service breakdown,
 /// per-request critical path, and the SLO alert log of an exported serve
 /// trace.
@@ -813,6 +991,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&flags),
         "tune" => cmd_tune(&flags),
         "serve" => cmd_serve(&flags),
+        "serve-fleet" => cmd_serve_fleet(&flags),
         "bench-gemm" => cmd_bench_gemm(&flags),
         "bench-conv" => cmd_bench_conv(&flags),
         _ => usage(),

@@ -228,6 +228,172 @@ pub fn compare_serve(baseline: &JsonValue, candidate: &JsonValue) -> Vec<Violati
     v
 }
 
+/// `policy name -> row` from one section of a `BENCH_fleet.json`
+/// document.
+fn fleet_rows<'a>(doc: &'a JsonValue, section: &str) -> BTreeMap<String, &'a JsonValue> {
+    doc.get(section)
+        .and_then(|s| s.as_array())
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| Some((r.get("policy")?.as_str()?.to_string(), r)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Images a ladder-demo platform served below level 0 (i.e. degraded).
+fn degraded_images(platform: &JsonValue) -> Option<f64> {
+    let levels = platform.get("images_at_level")?.as_array()?;
+    Some(
+        levels
+            .iter()
+            .skip(1)
+            .filter_map(JsonValue::as_f64)
+            .sum::<f64>(),
+    )
+}
+
+/// Diffs a fresh fleet benchmark against the committed `BENCH_fleet.json`
+/// baseline. Two layers of gating:
+///
+/// * **bands vs the baseline** — per scenario section and policy row,
+///   the deadline hit rate, energy, joules/image, SoC and makespan are
+///   banded like the serve gate (the simulator is deterministic, so the
+///   bands absorb intentional shifts, not noise);
+/// * **self-invariants on the candidate** — the policy contrasts the
+///   fleet exists to demonstrate, checked regardless of what the
+///   committed document says: platform-affinity must strictly beat
+///   round-robin on deadline hits (and drop none itself), energy-aware
+///   routing must spend strictly fewer joules than round-robin at
+///   equal-or-better SoC, work stealing must drain the background job
+///   strictly faster than pinning, and in the ladder demo the reference
+///   platform must stay undegraded while the small platform walks its
+///   own ladder.
+pub fn compare_fleet(baseline: &JsonValue, candidate: &JsonValue) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let f = |row: &JsonValue, key: &str| row.get(key).and_then(JsonValue::as_f64);
+    for sec in ["deadline", "slack", "drain"] {
+        let base = fleet_rows(baseline, sec);
+        let cand = fleet_rows(candidate, sec);
+        for (policy, brow) in &base {
+            let Some(crow) = cand.get(policy) else {
+                v.push(Violation {
+                    metric: format!("{sec}.{policy} (policy row missing from candidate)"),
+                    baseline: 0.0,
+                    candidate: f64::NAN,
+                    limit: f64::NAN,
+                });
+                continue;
+            };
+            if f(brow, "deadline_total") > Some(0.0) {
+                check(
+                    &mut v,
+                    format!("{sec}.{policy}.deadline_hit_rate"),
+                    hit_rate(brow),
+                    hit_rate(crow),
+                    Band::lower_worse(0.0, 0.02),
+                );
+            }
+            for (key, band) in [
+                ("compute_j", Band::higher_worse(0.05, 1e-9)),
+                ("joules_per_image", Band::higher_worse(0.05, 1e-9)),
+                ("makespan_s", Band::higher_worse(0.05, 1e-9)),
+            ] {
+                check(
+                    &mut v,
+                    format!("{sec}.{policy}.{key}"),
+                    f(brow, key),
+                    f(crow, key),
+                    band,
+                );
+            }
+            if f(brow, "mean_soc") > Some(0.0) {
+                check(
+                    &mut v,
+                    format!("{sec}.{policy}.mean_soc"),
+                    f(brow, "mean_soc"),
+                    f(crow, "mean_soc"),
+                    Band::lower_worse(0.05, 1e-9),
+                );
+            }
+        }
+    }
+    // Self-invariants: `lhs` must stay strictly under `rhs` in the
+    // candidate document. A missing row or metric reads as NaN, which
+    // fails the comparison and lands in the violation list.
+    let mut strictly_under = |metric: String, lhs: Option<f64>, rhs: Option<f64>| {
+        let (l, r) = (lhs.unwrap_or(f64::NAN), rhs.unwrap_or(f64::NAN));
+        // NaN (a missing metric) must count as a violation, so spell out
+        // the NaN arms instead of `l >= r` (false for NaN operands).
+        if l.is_nan() || r.is_nan() || l >= r {
+            v.push(Violation {
+                metric,
+                baseline: r,
+                candidate: l,
+                limit: r,
+            });
+        }
+    };
+    let deadline = fleet_rows(candidate, "deadline");
+    let met = |rows: &BTreeMap<String, &JsonValue>, policy: &str, key: &str| {
+        rows.get(policy).and_then(|r| f(r, key))
+    };
+    strictly_under(
+        "deadline.affinity deadlines_met must strictly beat round-robin".into(),
+        met(&deadline, "round-robin", "deadlines_met"),
+        met(&deadline, "affinity", "deadlines_met"),
+    );
+    strictly_under(
+        "deadline.affinity must meet every deadline".into(),
+        met(&deadline, "affinity", "deadlines_met")
+            .zip(met(&deadline, "affinity", "deadline_total"))
+            .map(|(m, t)| (m - t).abs()),
+        Some(0.5),
+    );
+    let slack = fleet_rows(candidate, "slack");
+    strictly_under(
+        "slack.energy compute_j must stay strictly under round-robin".into(),
+        met(&slack, "energy", "compute_j"),
+        met(&slack, "round-robin", "compute_j"),
+    );
+    strictly_under(
+        "slack.energy joules_per_image must stay strictly under round-robin".into(),
+        met(&slack, "energy", "joules_per_image"),
+        met(&slack, "round-robin", "joules_per_image"),
+    );
+    strictly_under(
+        "slack.energy mean_soc must stay at least round-robin's".into(),
+        met(&slack, "round-robin", "mean_soc"),
+        met(&slack, "energy", "mean_soc").map(|s| s + 1e-12),
+    );
+    let drain = fleet_rows(candidate, "drain");
+    strictly_under(
+        "drain.steal makespan_s must stay strictly under affinity".into(),
+        met(&drain, "steal", "makespan_s"),
+        met(&drain, "affinity", "makespan_s"),
+    );
+    let ladder_platforms = candidate
+        .get("ladder_demo")
+        .and_then(|l| l.get("platforms"))
+        .and_then(|p| p.as_array());
+    let degraded = |i: usize| {
+        ladder_platforms
+            .and_then(|ps| ps.get(i))
+            .and_then(degraded_images)
+    };
+    strictly_under(
+        "ladder_demo reference platform must stay undegraded".into(),
+        degraded(0),
+        Some(0.5),
+    );
+    strictly_under(
+        "ladder_demo small platform must walk its own ladder".into(),
+        Some(0.5),
+        degraded(1),
+    );
+    v
+}
+
 /// Diffs a fresh GEMM benchmark against the committed baseline. Only
 /// machine-normalised ratios are gated (generously — wall-clock noise
 /// and host differences are real), never absolute GFLOP/s:
@@ -895,6 +1061,78 @@ mod tests {
         assert!(metrics.contains(&"w.deadline_hit_rate"));
         assert!(metrics.contains(&"w.latency_p99_s"));
         assert!(metrics.contains(&"w.rejected_images"));
+    }
+
+    fn fleet_doc(
+        affinity_met: u32,
+        energy_compute_j: f64,
+        ref_levels: &str,
+        small_levels: &str,
+    ) -> JsonValue {
+        json::parse(&format!(
+            r#"{{"bench":"fleet",
+              "deadline":[
+                {{"policy":"round-robin","deadlines_met":30,"deadline_total":60,
+                  "compute_j":1.0,"joules_per_image":0.02,"makespan_s":1.0,"mean_soc":0.5}},
+                {{"policy":"affinity","deadlines_met":{affinity_met},"deadline_total":60,
+                  "compute_j":1.0,"joules_per_image":0.02,"makespan_s":1.0,"mean_soc":0.6}}],
+              "slack":[
+                {{"policy":"round-robin","deadlines_met":160,"deadline_total":160,
+                  "compute_j":2.0,"joules_per_image":0.03,"makespan_s":2.0,"mean_soc":0.5}},
+                {{"policy":"energy","deadlines_met":160,"deadline_total":160,
+                  "compute_j":{energy_compute_j},"joules_per_image":0.02,"makespan_s":2.0,"mean_soc":0.5}}],
+              "drain":[
+                {{"policy":"affinity","deadlines_met":0,"deadline_total":0,
+                  "compute_j":1.0,"joules_per_image":0.02,"makespan_s":3.0,"mean_soc":0.0}},
+                {{"policy":"steal","deadlines_met":0,"deadline_total":0,
+                  "compute_j":1.0,"joules_per_image":0.02,"makespan_s":2.0,"mean_soc":0.0}}],
+              "ladder_demo":{{"policy":"round-robin","platforms":[
+                {{"name":"K20c","images":30,"images_at_level":[{ref_levels}]}},
+                {{"name":"Jetson TX1","images":30,"images_at_level":[{small_levels}]}}]}}
+            }}"#,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn compare_fleet_enforces_bands_and_policy_contrasts() {
+        let base = fleet_doc(60, 1.0, "30, 0, 0, 0", "10, 20, 0, 0");
+        assert!(compare_fleet(&base, &base).is_empty());
+
+        // A candidate whose affinity run drops deadlines trips both the
+        // band and the strict-contrast invariant.
+        let dropped = fleet_doc(50, 1.0, "30, 0, 0, 0", "10, 20, 0, 0");
+        let v = compare_fleet(&base, &dropped);
+        let metrics: Vec<&str> = v.iter().map(|x| x.metric.as_str()).collect();
+        assert!(metrics.contains(&"deadline.affinity.deadline_hit_rate"));
+        assert!(metrics
+            .iter()
+            .any(|m| m.contains("must meet every deadline")));
+
+        // Energy-aware routing losing its joule advantage is flagged even
+        // when every band against the baseline would pass.
+        let inverted = fleet_doc(60, 2.5, "30, 0, 0, 0", "10, 20, 0, 0");
+        let v = compare_fleet(&inverted, &inverted);
+        assert!(v
+            .iter()
+            .any(|x| x.metric.contains("compute_j must stay strictly under")));
+
+        // The ladder demo must keep the reference clean and the small
+        // platform degraded.
+        let ref_walked = fleet_doc(60, 1.0, "20, 10, 0, 0", "10, 20, 0, 0");
+        assert!(compare_fleet(&base, &ref_walked)
+            .iter()
+            .any(|x| x.metric.contains("reference platform must stay undegraded")));
+        let small_flat = fleet_doc(60, 1.0, "30, 0, 0, 0", "30, 0, 0, 0");
+        assert!(compare_fleet(&base, &small_flat)
+            .iter()
+            .any(|x| x.metric.contains("small platform must walk")));
+
+        // A vanished policy row is itself a violation.
+        let missing = json::parse(r#"{"bench":"fleet","deadline":[]}"#).unwrap();
+        assert!(compare_fleet(&base, &missing)
+            .iter()
+            .any(|x| x.metric.contains("policy row missing")));
     }
 
     #[test]

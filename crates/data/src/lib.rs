@@ -12,9 +12,14 @@
 //!   experiments rely on.
 //! * [`workload`] — deterministic request-arrival generators for the three
 //!   task classes of §II.B (interactive, real-time, background).
+//! * [`spec`] — the same arrival processes as lazy specifications
+//!   ([`TraceSpec`]), generated one arrival at a time so a server can
+//!   stream million-request scenarios in O(1) memory.
 
 pub mod dataset;
+pub mod spec;
 pub mod workload;
 
 pub use dataset::{Dataset, DatasetBuilder};
+pub use spec::{ArrivalIter, TraceSpec};
 pub use workload::{RequestTrace, WorkloadKind};

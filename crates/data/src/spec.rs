@@ -1,0 +1,456 @@
+//! Lazy arrival-process specifications.
+//!
+//! [`RequestTrace`] materializes every `(arrival, images)` pair up front,
+//! which is fine for hundreds of requests and fatal for millions: the
+//! serving simulator's memory would grow with trace length. [`TraceSpec`]
+//! is the same family of arrival processes as a *specification* — the
+//! shape parameters and the seed — from which arrivals are generated one
+//! at a time ([`TraceSpec::arrivals`]). Request count and total images
+//! are known analytically, so a server can stream a ~1M-request scenario
+//! in O(1) memory while producing exactly the arrivals the equivalent
+//! materialized constructor would (see the equivalence tests below).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::{RequestTrace, WorkloadKind};
+
+/// An arrival process: either an explicit materialized trace or the
+/// parameters of one of the shaped [`RequestTrace`] constructors.
+///
+/// The shaped variants generate arrivals lazily and are byte-equivalent
+/// to their materialized counterparts for the same parameters and seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceSpec {
+    /// A fully materialized trace (the compatibility path: every
+    /// [`RequestTrace`] converts via `From`).
+    Explicit(RequestTrace),
+    /// Single-image requests with think times drawn uniformly from
+    /// `[min_gap, max_gap]` seconds; see [`RequestTrace::interactive`].
+    Interactive {
+        /// Request count.
+        n_requests: usize,
+        /// Shortest think time, seconds.
+        min_gap: f64,
+        /// Longest think time, seconds.
+        max_gap: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// One frame every `1/fps` seconds; see [`RequestTrace::real_time`].
+    RealTime {
+        /// Frame count.
+        n_frames: usize,
+        /// Frames per second.
+        fps: f64,
+    },
+    /// All images available at time zero; see
+    /// [`RequestTrace::background`].
+    Background {
+        /// Image count.
+        n_images: usize,
+    },
+    /// Open-loop Poisson arrivals; see [`RequestTrace::poisson`].
+    Poisson {
+        /// Workload class.
+        kind: WorkloadKind,
+        /// Request count.
+        n_requests: usize,
+        /// Mean arrival rate, requests/second.
+        rate: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Bursts at Poisson arrivals, each a fan-out of simultaneous
+    /// single-image requests; see [`RequestTrace::bursty`].
+    Bursty {
+        /// Workload class.
+        kind: WorkloadKind,
+        /// Burst count.
+        n_bursts: usize,
+        /// Requests per burst.
+        burst_size: usize,
+        /// Mean burst rate, bursts/second.
+        burst_rate: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl From<RequestTrace> for TraceSpec {
+    fn from(trace: RequestTrace) -> Self {
+        TraceSpec::Explicit(trace)
+    }
+}
+
+impl TraceSpec {
+    /// Lazy Poisson arrivals, parameter-checked like
+    /// [`RequestTrace::poisson`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_requests == 0` or `rate` is not positive and finite.
+    pub fn poisson(kind: WorkloadKind, n_requests: usize, rate: f64, seed: u64) -> Self {
+        assert!(n_requests > 0, "need at least one request");
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        TraceSpec::Poisson {
+            kind,
+            n_requests,
+            rate,
+            seed,
+        }
+    }
+
+    /// Lazy periodic frames, parameter-checked like
+    /// [`RequestTrace::real_time`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps <= 0` or `n_frames == 0`.
+    pub fn real_time(n_frames: usize, fps: f64) -> Self {
+        assert!(fps > 0.0, "fps must be positive");
+        assert!(n_frames > 0, "need at least one frame");
+        TraceSpec::RealTime { n_frames, fps }
+    }
+
+    /// Lazy background burst, parameter-checked like
+    /// [`RequestTrace::background`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_images == 0`.
+    pub fn background(n_images: usize) -> Self {
+        assert!(n_images > 0, "need at least one image");
+        TraceSpec::Background { n_images }
+    }
+
+    /// Lazy interactive think-time arrivals, parameter-checked like
+    /// [`RequestTrace::interactive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_requests == 0` or the gap range is invalid.
+    pub fn interactive(n_requests: usize, min_gap: f64, max_gap: f64, seed: u64) -> Self {
+        assert!(n_requests > 0, "need at least one request");
+        assert!(
+            min_gap >= 0.0 && max_gap >= min_gap,
+            "invalid gap range [{min_gap}, {max_gap}]"
+        );
+        TraceSpec::Interactive {
+            n_requests,
+            min_gap,
+            max_gap,
+            seed,
+        }
+    }
+
+    /// Lazy bursty arrivals, parameter-checked like
+    /// [`RequestTrace::bursty`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bursts == 0`, `burst_size == 0` or `burst_rate` is
+    /// not positive and finite.
+    pub fn bursty(
+        kind: WorkloadKind,
+        n_bursts: usize,
+        burst_size: usize,
+        burst_rate: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n_bursts > 0, "need at least one burst");
+        assert!(burst_size > 0, "bursts must carry images");
+        assert!(
+            burst_rate > 0.0 && burst_rate.is_finite(),
+            "burst rate must be positive"
+        );
+        TraceSpec::Bursty {
+            kind,
+            n_bursts,
+            burst_size,
+            burst_rate,
+            seed,
+        }
+    }
+
+    /// The workload class.
+    pub fn kind(&self) -> WorkloadKind {
+        match self {
+            TraceSpec::Explicit(t) => t.kind(),
+            TraceSpec::Interactive { .. } => WorkloadKind::Interactive,
+            TraceSpec::RealTime { .. } => WorkloadKind::RealTime,
+            TraceSpec::Background { .. } => WorkloadKind::Background,
+            TraceSpec::Poisson { kind, .. } | TraceSpec::Bursty { kind, .. } => *kind,
+        }
+    }
+
+    /// Number of requests the process will emit — analytic, never
+    /// generated.
+    pub fn len(&self) -> usize {
+        match self {
+            TraceSpec::Explicit(t) => t.requests().len(),
+            TraceSpec::Interactive { n_requests, .. } => *n_requests,
+            TraceSpec::RealTime { n_frames, .. } => *n_frames,
+            TraceSpec::Background { .. } => 1,
+            TraceSpec::Poisson { n_requests, .. } => *n_requests,
+            TraceSpec::Bursty {
+                n_bursts,
+                burst_size,
+                ..
+            } => n_bursts * burst_size,
+        }
+    }
+
+    /// Whether the process emits no requests (only possible for an
+    /// explicit empty trace).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total images across all requests — analytic, never generated.
+    pub fn total_images(&self) -> usize {
+        match self {
+            TraceSpec::Explicit(t) => t.total_images(),
+            TraceSpec::Background { n_images } => *n_images,
+            _ => self.len(),
+        }
+    }
+
+    /// A lazy iterator over `(arrival seconds, image count)` pairs, in
+    /// arrival order. O(1) state regardless of trace length.
+    pub fn arrivals(&self) -> ArrivalIter<'_> {
+        let state = match self {
+            TraceSpec::Explicit(t) => IterState::Slice(t.requests().iter()),
+            TraceSpec::Interactive {
+                n_requests,
+                min_gap,
+                max_gap,
+                seed,
+            } => IterState::Gapped {
+                rng: StdRng::seed_from_u64(*seed),
+                t: 0.0,
+                left: *n_requests,
+                gap: Gap::Uniform {
+                    min: *min_gap,
+                    max: *max_gap,
+                },
+            },
+            TraceSpec::RealTime { n_frames, fps } => IterState::Periodic {
+                i: 0,
+                n: *n_frames,
+                period: 1.0 / fps,
+            },
+            TraceSpec::Background { n_images } => IterState::Once(Some(*n_images)),
+            TraceSpec::Poisson {
+                n_requests,
+                rate,
+                seed,
+                ..
+            } => IterState::Gapped {
+                rng: StdRng::seed_from_u64(*seed),
+                t: 0.0,
+                left: *n_requests,
+                gap: Gap::Exponential { rate: *rate },
+            },
+            TraceSpec::Bursty {
+                n_bursts,
+                burst_size,
+                burst_rate,
+                seed,
+                ..
+            } => IterState::Bursty {
+                rng: StdRng::seed_from_u64(*seed),
+                t: 0.0,
+                bursts_left: *n_bursts,
+                in_burst: 0,
+                burst_size: *burst_size,
+                burst_rate: *burst_rate,
+            },
+        };
+        ArrivalIter { state }
+    }
+
+    /// Materializes the process into a [`RequestTrace`] (for executors
+    /// that need the whole vector, e.g. the fixed-batch FIFO baseline).
+    pub fn materialize(&self) -> RequestTrace {
+        match self {
+            TraceSpec::Explicit(t) => t.clone(),
+            _ => RequestTrace::from_requests(self.kind(), self.arrivals().collect()),
+        }
+    }
+}
+
+/// How a gap-process iterator draws its next inter-arrival time.
+enum Gap {
+    Uniform { min: f64, max: f64 },
+    Exponential { rate: f64 },
+}
+
+impl Gap {
+    fn draw(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            Gap::Uniform { min, max } => rng.gen_range(min..=max),
+            Gap::Exponential { rate } => {
+                // Inverse-CDF exponential sample; 1 - u stays in (0, 1].
+                let u: f64 = rng.gen_range(0.0..1.0);
+                -(1.0 - u).ln() / rate
+            }
+        }
+    }
+}
+
+enum IterState<'a> {
+    Slice(std::slice::Iter<'a, (f64, usize)>),
+    Gapped {
+        rng: StdRng,
+        t: f64,
+        left: usize,
+        gap: Gap,
+    },
+    Periodic {
+        i: usize,
+        n: usize,
+        period: f64,
+    },
+    Once(Option<usize>),
+    Bursty {
+        rng: StdRng,
+        t: f64,
+        bursts_left: usize,
+        in_burst: usize,
+        burst_size: usize,
+        burst_rate: f64,
+    },
+}
+
+/// Lazy `(arrival seconds, image count)` iterator over a [`TraceSpec`];
+/// see [`TraceSpec::arrivals`].
+pub struct ArrivalIter<'a> {
+    state: IterState<'a>,
+}
+
+impl Iterator for ArrivalIter<'_> {
+    type Item = (f64, usize);
+
+    fn next(&mut self) -> Option<(f64, usize)> {
+        match &mut self.state {
+            IterState::Slice(it) => it.next().copied(),
+            IterState::Gapped { rng, t, left, gap } => {
+                if *left == 0 {
+                    return None;
+                }
+                *left -= 1;
+                let at = *t;
+                *t += gap.draw(rng);
+                Some((at, 1))
+            }
+            IterState::Periodic { i, n, period } => {
+                if *i == *n {
+                    return None;
+                }
+                let at = *i as f64 * *period;
+                *i += 1;
+                Some((at, 1))
+            }
+            IterState::Once(n) => n.take().map(|n| (0.0, n)),
+            IterState::Bursty {
+                rng,
+                t,
+                bursts_left,
+                in_burst,
+                burst_size,
+                burst_rate,
+            } => {
+                if *bursts_left == 0 {
+                    return None;
+                }
+                let at = *t;
+                *in_burst += 1;
+                if *in_burst == *burst_size {
+                    *in_burst = 0;
+                    *bursts_left -= 1;
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    *t += -(1.0 - u).ln() / *burst_rate;
+                }
+                Some((at, 1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(spec: &TraceSpec) -> Vec<(f64, usize)> {
+        spec.arrivals().collect()
+    }
+
+    #[test]
+    fn poisson_spec_matches_materialized_trace() {
+        let spec = TraceSpec::poisson(WorkloadKind::Interactive, 500, 20.0, 11);
+        let trace = RequestTrace::poisson(WorkloadKind::Interactive, 500, 20.0, 11);
+        assert_eq!(collect(&spec), trace.requests());
+        assert_eq!(spec.len(), 500);
+        assert_eq!(spec.total_images(), 500);
+        assert_eq!(spec.materialize(), trace);
+    }
+
+    #[test]
+    fn interactive_spec_matches_materialized_trace() {
+        let spec = TraceSpec::interactive(50, 0.1, 1.0, 7);
+        let trace = RequestTrace::interactive(50, 0.1, 1.0, 7);
+        assert_eq!(collect(&spec), trace.requests());
+        assert_eq!(spec.kind(), WorkloadKind::Interactive);
+    }
+
+    #[test]
+    fn real_time_and_background_specs_match() {
+        assert_eq!(
+            collect(&TraceSpec::real_time(30, 60.0)),
+            RequestTrace::real_time(30, 60.0).requests()
+        );
+        assert_eq!(
+            collect(&TraceSpec::background(256)),
+            RequestTrace::background(256).requests()
+        );
+        assert_eq!(TraceSpec::background(256).total_images(), 256);
+        assert_eq!(TraceSpec::background(256).len(), 1);
+    }
+
+    #[test]
+    fn bursty_spec_matches_materialized_trace() {
+        let spec = TraceSpec::bursty(WorkloadKind::Interactive, 10, 4, 2.0, 3);
+        let trace = RequestTrace::bursty(WorkloadKind::Interactive, 10, 4, 2.0, 3);
+        assert_eq!(collect(&spec), trace.requests());
+        assert_eq!(spec.len(), 40);
+        assert_eq!(spec.total_images(), 40);
+    }
+
+    #[test]
+    fn explicit_round_trips() {
+        let trace = RequestTrace::from_requests(WorkloadKind::Background, vec![(0.0, 2), (0.5, 1)]);
+        let spec: TraceSpec = trace.clone().into();
+        assert_eq!(collect(&spec), trace.requests());
+        assert_eq!(spec.total_images(), 3);
+        assert_eq!(spec.materialize(), trace);
+        assert!(!spec.is_empty());
+    }
+
+    #[test]
+    fn iterator_state_is_constant_size() {
+        // A million-request spec is four words of parameters; pulling a
+        // few arrivals never allocates the tail.
+        let spec = TraceSpec::poisson(WorkloadKind::Interactive, 1_000_000, 900.0, 42);
+        let first: Vec<(f64, usize)> = spec.arrivals().take(3).collect();
+        assert_eq!(first.len(), 3);
+        assert_eq!(first[0].0, 0.0);
+        assert_eq!(spec.len(), 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn poisson_spec_rejects_bad_rate() {
+        let _ = TraceSpec::poisson(WorkloadKind::Interactive, 10, 0.0, 1);
+    }
+}

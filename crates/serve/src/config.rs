@@ -3,7 +3,9 @@
 
 use pcnn_core::prelude::*;
 use pcnn_core::scheduler::map_rates;
-use pcnn_data::RequestTrace;
+use pcnn_data::TraceSpec;
+
+use crate::fleet::RouterPolicy;
 
 /// One tenant of the serving simulator: an application, its inferred user
 /// requirements, the open-loop request trace it submits, and how many
@@ -14,8 +16,11 @@ pub struct ServeWorkload {
     pub app: AppSpec,
     /// Inferred user requirements (deadline and entropy threshold).
     pub req: UserRequirements,
-    /// The arrival trace this workload plays against the server.
-    pub trace: RequestTrace,
+    /// The arrival process this workload plays against the server. A lazy
+    /// [`TraceSpec`] so million-request scenarios stream in O(1) memory;
+    /// a materialized [`RequestTrace`](pcnn_data::RequestTrace) converts
+    /// via `Into`.
+    pub trace: TraceSpec,
     /// Bounded admission queue, in images. Arrivals beyond this are
     /// rejected (counted, never silently dropped).
     pub queue_capacity: usize,
@@ -28,12 +33,12 @@ pub struct ServeWorkload {
 
 impl ServeWorkload {
     /// Builds a workload, inferring requirements from the app spec.
-    pub fn new(app: AppSpec, trace: RequestTrace, queue_capacity: usize) -> Self {
+    pub fn new(app: AppSpec, trace: impl Into<TraceSpec>, queue_capacity: usize) -> Self {
         let req = UserRequirements::infer(&app);
         Self {
             app,
             req,
-            trace,
+            trace: trace.into(),
             queue_capacity,
             slo: None,
         }
@@ -198,6 +203,9 @@ pub struct ServerConfig {
     /// seconds. Only read when telemetry is enabled; it never changes the
     /// serving decisions or the report.
     pub obs_window_s: f64,
+    /// The fleet routing policy placing batches onto platforms. The
+    /// default round-robin reproduces the legacy homogeneous behaviour.
+    pub router: RouterPolicy,
 }
 
 impl Default for ServerConfig {
@@ -210,7 +218,116 @@ impl Default for ServerConfig {
             restore_patience: 4,
             slack_margin: 0.25,
             obs_window_s: 0.25,
+            router: RouterPolicy::RoundRobin,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the upper bound on any dispatched batch.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Enables or disables overload degradation (ladder walking).
+    #[must_use]
+    pub fn with_degradation(mut self, degradation: bool) -> Self {
+        self.degradation = degradation;
+        self
+    }
+
+    /// Sets the queue fill fraction that triggers escalation.
+    #[must_use]
+    pub fn with_queue_high_watermark(mut self, frac: f64) -> Self {
+        self.queue_high_watermark = frac;
+        self
+    }
+
+    /// Sets the queue fill fraction below which dispatches count as calm.
+    #[must_use]
+    pub fn with_queue_low_watermark(mut self, frac: f64) -> Self {
+        self.queue_low_watermark = frac;
+        self
+    }
+
+    /// Sets the calm-dispatch count required before restoring a level.
+    #[must_use]
+    pub fn with_restore_patience(mut self, dispatches: usize) -> Self {
+        self.restore_patience = dispatches;
+        self
+    }
+
+    /// Sets the early-finish fraction of `T_user` that counts as calm.
+    #[must_use]
+    pub fn with_slack_margin(mut self, frac: f64) -> Self {
+        self.slack_margin = frac;
+        self
+    }
+
+    /// Sets the observability / SLO window width, virtual seconds.
+    #[must_use]
+    pub fn with_obs_window(mut self, seconds: f64) -> Self {
+        self.obs_window_s = seconds;
+        self
+    }
+
+    /// Sets the fleet routing policy.
+    #[must_use]
+    pub fn with_router(mut self, router: RouterPolicy) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Checks every knob. Called by
+    /// [`ServerBuilder::build`](crate::server::ServerBuilder::build);
+    /// callable directly when a config is assembled elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] naming the offending knob.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch == 0 {
+            return Err(Error::InvalidInput {
+                what: "max_batch must be at least 1",
+            });
+        }
+        if !(self.queue_high_watermark.is_finite()
+            && (0.0..=1.0).contains(&self.queue_high_watermark))
+        {
+            return Err(Error::InvalidInput {
+                what: "queue_high_watermark must be in [0, 1]",
+            });
+        }
+        if !(self.queue_low_watermark.is_finite()
+            && (0.0..=1.0).contains(&self.queue_low_watermark))
+        {
+            return Err(Error::InvalidInput {
+                what: "queue_low_watermark must be in [0, 1]",
+            });
+        }
+        if self.queue_low_watermark > self.queue_high_watermark {
+            return Err(Error::InvalidInput {
+                what: "queue_low_watermark must not exceed queue_high_watermark",
+            });
+        }
+        if self.restore_patience == 0 {
+            return Err(Error::InvalidInput {
+                what: "restore_patience must be at least 1",
+            });
+        }
+        if !(self.slack_margin.is_finite() && (0.0..1.0).contains(&self.slack_margin)) {
+            return Err(Error::InvalidInput {
+                what: "slack_margin must be in [0, 1)",
+            });
+        }
+        if !(self.obs_window_s.is_finite() && self.obs_window_s > 0.0) {
+            return Err(Error::InvalidInput {
+                what: "obs_window_s must be positive and finite",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -263,5 +380,69 @@ mod tests {
             DegradationLadder::from_tuning_path(&path, 3).unwrap_err(),
             Error::EmptyTuningPath
         );
+    }
+
+    #[test]
+    fn combinators_set_every_knob() {
+        let c = ServerConfig::default()
+            .with_max_batch(32)
+            .with_degradation(false)
+            .with_queue_high_watermark(0.9)
+            .with_queue_low_watermark(0.1)
+            .with_restore_patience(2)
+            .with_slack_margin(0.5)
+            .with_obs_window(1.0)
+            .with_router(RouterPolicy::Affinity);
+        assert_eq!(c.max_batch, 32);
+        assert!(!c.degradation);
+        assert_eq!(c.queue_high_watermark, 0.9);
+        assert_eq!(c.queue_low_watermark, 0.1);
+        assert_eq!(c.restore_patience, 2);
+        assert_eq!(c.slack_margin, 0.5);
+        assert_eq!(c.obs_window_s, 1.0);
+        assert_eq!(c.router, RouterPolicy::Affinity);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_every_bad_knob() {
+        let what = |c: ServerConfig| match c.validate().unwrap_err() {
+            Error::InvalidInput { what } => what,
+            e => panic!("expected InvalidInput, got {e:?}"),
+        };
+        let ok = ServerConfig::default;
+        assert_eq!(what(ok().with_max_batch(0)), "max_batch must be at least 1");
+        assert_eq!(
+            what(ok().with_queue_high_watermark(1.5)),
+            "queue_high_watermark must be in [0, 1]"
+        );
+        assert_eq!(
+            what(ok().with_queue_low_watermark(f64::NAN)),
+            "queue_low_watermark must be in [0, 1]"
+        );
+        assert_eq!(
+            what(
+                ok().with_queue_low_watermark(0.8)
+                    .with_queue_high_watermark(0.5)
+            ),
+            "queue_low_watermark must not exceed queue_high_watermark"
+        );
+        assert_eq!(
+            what(ok().with_restore_patience(0)),
+            "restore_patience must be at least 1"
+        );
+        assert_eq!(
+            what(ok().with_slack_margin(1.0)),
+            "slack_margin must be in [0, 1)"
+        );
+        assert_eq!(
+            what(ok().with_obs_window(0.0)),
+            "obs_window_s must be positive and finite"
+        );
+        assert_eq!(
+            what(ok().with_obs_window(f64::INFINITY)),
+            "obs_window_s must be positive and finite"
+        );
+        ok().validate().unwrap();
     }
 }

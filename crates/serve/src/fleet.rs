@@ -1,0 +1,358 @@
+//! Heterogeneous fleet serving: per-platform descriptors and the routing
+//! seam in front of the dispatch loop.
+//!
+//! The paper's premise is user-satisfactory CNN *across* GPU
+//! microarchitectures; a deployed service runs the mix it has — a K20c
+//! next to a Jetson TX1 — not four copies of one card. A [`Platform`]
+//! bundles a [`GpuArch`] with its **own** offline-compiled
+//! [`DegradationLadder`] and a capability profile, so each device walks
+//! its ladder independently (the TX1 can sit two rungs deep while the
+//! K20c serves unperforated) and the cost oracle caches per-platform
+//! schedules keyed by that platform's ladder.
+//!
+//! In front of the dispatch loop sits a [`Router`]: given the workload at
+//! the head of the priority order and the set of idle platforms, it picks
+//! where (or whether) to place the batch. Four built-in policies
+//! ([`RouterPolicy`]) cover the fleet-placement space the literature
+//! spans:
+//!
+//! * **round-robin** — capability-blind rotation, the comparison
+//!   baseline;
+//! * **affinity** — big batches to big GPUs, tight-`T_user` traffic to
+//!   the platform predicted fastest *that still meets the head deadline*;
+//!   deadline work waits for a busy platform rather than burn a request
+//!   on one that cannot make it;
+//! * **energy** — Castro-style placement: among the platforms meeting
+//!   the deadline, take the one minimizing predicted joules per image;
+//! * **steal** — affinity placement, but an idle platform takes
+//!   background work whose preferred (bigger) platform is busy instead of
+//!   letting its own slack burn.
+
+use pcnn_core::prelude::*;
+use pcnn_data::WorkloadKind;
+use pcnn_gpu::GpuArch;
+
+use crate::config::DegradationLadder;
+use crate::server::CostOracle;
+
+const EPS: f64 = 1e-12;
+
+/// Capability profile of one platform, derived from its architecture
+/// descriptor: the coarse numbers routing policies sort by without
+/// running the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capability {
+    /// Peak single-precision throughput, FLOP/s.
+    pub peak_flops: f64,
+    /// DRAM bandwidth, GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Constant platform power while idle (board, NoC, MC), watts.
+    pub idle_w: f64,
+}
+
+impl Capability {
+    /// Derives the profile from an architecture descriptor.
+    pub fn of(arch: &GpuArch) -> Self {
+        Self {
+            peak_flops: arch.peak_flops(),
+            mem_bandwidth_gbps: arch.mem_bandwidth_gbps,
+            idle_w: arch.energy.constant_w,
+        }
+    }
+}
+
+/// One serving platform: an architecture plus the degradation ladder
+/// compiled offline *for that architecture* and its capability profile.
+#[derive(Debug, Clone)]
+pub struct Platform<'a> {
+    /// The GPU microarchitecture descriptor.
+    pub arch: &'a GpuArch,
+    /// This platform's own degradation ladder. Platforms in one fleet may
+    /// (and usually do) carry different ladders — a mobile part sheds
+    /// work earlier and deeper than a server part.
+    pub ladder: DegradationLadder,
+    /// Coarse capability numbers for routing decisions.
+    pub capability: Capability,
+}
+
+impl<'a> Platform<'a> {
+    /// Bundles an architecture with its offline-compiled ladder.
+    pub fn new(arch: &'a GpuArch, ladder: DegradationLadder) -> Self {
+        Self {
+            arch,
+            capability: Capability::of(arch),
+            ladder,
+        }
+    }
+}
+
+/// The built-in routing policies. Plain data so it can live in
+/// [`ServerConfig`](crate::ServerConfig) and be compared/printed; each
+/// value builds its [`Router`] implementation via [`RouterPolicy::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterPolicy {
+    /// Capability-blind rotation over idle platforms.
+    #[default]
+    RoundRobin,
+    /// Platform-affinity placement (deadline-aware, capability-sorted).
+    Affinity,
+    /// Energy-aware placement: minimum predicted joules/image subject to
+    /// the deadline.
+    EnergyAware,
+    /// Affinity plus cross-GPU work stealing for background slack.
+    WorkStealing,
+}
+
+impl RouterPolicy {
+    /// The stable name used in reports, baselines and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::Affinity => "affinity",
+            RouterPolicy::EnergyAware => "energy",
+            RouterPolicy::WorkStealing => "steal",
+        }
+    }
+
+    /// Parses a policy name as printed by [`RouterPolicy::name`].
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "round-robin" | "roundrobin" | "rr" => Some(RouterPolicy::RoundRobin),
+            "affinity" => Some(RouterPolicy::Affinity),
+            "energy" | "energy-aware" => Some(RouterPolicy::EnergyAware),
+            "steal" | "work-stealing" => Some(RouterPolicy::WorkStealing),
+            _ => None,
+        }
+    }
+
+    /// Every built-in policy, in the canonical comparison order.
+    pub fn all() -> [RouterPolicy; 4] {
+        [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::Affinity,
+            RouterPolicy::EnergyAware,
+            RouterPolicy::WorkStealing,
+        ]
+    }
+
+    /// Builds the policy's router. Fresh state per run, so a `Server` can
+    /// be run repeatedly with identical results.
+    pub fn build(&self) -> Box<dyn Router> {
+        match self {
+            RouterPolicy::RoundRobin => Box::new(RoundRobinRouter { next: 0 }),
+            RouterPolicy::Affinity => Box::new(AffinityRouter { steal: false }),
+            RouterPolicy::EnergyAware => Box::new(EnergyAwareRouter),
+            RouterPolicy::WorkStealing => Box::new(AffinityRouter { steal: true }),
+        }
+    }
+}
+
+/// Everything a router may consult about the dispatch decision at hand.
+/// Slices are indexed by platform, in fleet order.
+#[derive(Debug)]
+pub struct RouteCtx<'c> {
+    /// Index of the workload whose batch is being placed.
+    pub workload: usize,
+    /// The workload's task class.
+    pub kind: WorkloadKind,
+    /// The workload's deadline, `None` for background work.
+    pub t_user: Option<f64>,
+    /// Current virtual time.
+    pub now: f64,
+    /// Arrival time of the request at the head of the queue.
+    pub head_arrival: f64,
+    /// Images currently queued for this workload.
+    pub queue_len: usize,
+    /// Queue fill fraction (`queue_len / capacity`).
+    pub queue_fill: f64,
+    /// Idle platform indices, ascending. Never empty when `route` is
+    /// called.
+    pub idle: &'c [usize],
+    /// When each platform frees up (`<= now` for idle ones).
+    pub free_at: &'c [f64],
+    /// This workload's current ladder level on each platform.
+    pub levels: &'c [usize],
+    /// This workload's target batch on each platform.
+    pub targets: &'c [usize],
+    /// Each platform's peak throughput, FLOP/s.
+    pub peak_flops: &'c [f64],
+}
+
+impl RouteCtx<'_> {
+    /// The batch size a dispatch on platform `p` would aim for.
+    pub fn batch_on(&self, p: usize) -> usize {
+        self.queue_len.min(self.targets[p]).max(1)
+    }
+
+    /// The head request's absolute deadline, if any.
+    pub fn deadline(&self) -> Option<f64> {
+        self.t_user.map(|t| self.head_arrival + t)
+    }
+}
+
+/// The routing seam: given a dispatchable workload and the idle platform
+/// set, pick the platform to place the batch on — or `None` to hold the
+/// batch for a busy platform (the event loop retries when one frees).
+///
+/// Contract: the returned index must be in `ctx.idle`, and a router must
+/// return `Some` whenever *every* platform is idle (otherwise the loop
+/// could stall with no pending event). Implementations must be
+/// deterministic — same context, same answer — to keep reports
+/// byte-identical per seed.
+pub trait Router {
+    /// Picks a platform for the batch, querying predicted cost and energy
+    /// through the per-platform oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates offline-compilation errors from the cost oracle.
+    fn route(&mut self, ctx: &RouteCtx<'_>, costs: &mut CostOracle<'_>) -> Result<Option<usize>>;
+}
+
+/// Capability-blind rotation: the baseline every placement policy is
+/// measured against.
+pub struct RoundRobinRouter {
+    next: usize,
+}
+
+impl Router for RoundRobinRouter {
+    fn route(&mut self, ctx: &RouteCtx<'_>, _costs: &mut CostOracle<'_>) -> Result<Option<usize>> {
+        let n = ctx.free_at.len();
+        let g = (0..n)
+            .map(|k| (self.next + k) % n)
+            .find(|p| ctx.idle.contains(p))
+            .unwrap_or(ctx.idle[0]);
+        self.next = (g + 1) % n;
+        Ok(Some(g))
+    }
+}
+
+/// The fastest idle platform that still meets the head deadline, or
+/// `None` when only a busy platform can make it (wait for it) — shared
+/// by the affinity and energy policies. `key` ranks the platforms that
+/// meet the deadline (smaller is better).
+fn deadline_place(
+    ctx: &RouteCtx<'_>,
+    costs: &mut CostOracle<'_>,
+    deadline: f64,
+    mut key: impl FnMut(usize, &NetworkCost) -> f64,
+) -> Result<Option<usize>> {
+    let mut best: Option<(f64, usize)> = None;
+    let mut fastest: Option<(f64, usize)> = None;
+    for &p in ctx.idle {
+        let c = costs.cost(p, ctx.levels[p], ctx.batch_on(p))?;
+        if ctx.now + c.seconds <= deadline + EPS {
+            let k = key(p, &c);
+            if best.is_none_or(|(bk, bp)| (k, p) < (bk, bp)) {
+                best = Some((k, p));
+            }
+        }
+        if fastest.is_none_or(|(fs, fp)| (c.seconds, p) < (fs, fp)) {
+            fastest = Some((c.seconds, p));
+        }
+    }
+    if let Some((_, p)) = best {
+        return Ok(Some(p));
+    }
+    // No idle platform makes it. If a busy one could once free, hold the
+    // batch for it — a guaranteed miss helps nobody.
+    for (p, &free) in ctx.free_at.iter().enumerate() {
+        if free <= ctx.now + EPS {
+            continue;
+        }
+        let c = costs.cost(p, ctx.levels[p], ctx.batch_on(p))?;
+        if free.max(ctx.now) + c.seconds <= deadline + EPS {
+            return Ok(None);
+        }
+    }
+    // The head misses everywhere: shed it as fast as possible.
+    Ok(fastest.map(|(_, p)| p))
+}
+
+/// Platform-affinity placement. Deadline traffic goes to the fastest
+/// platform that meets the head deadline; background batches are pinned
+/// to the highest-peak platforms (big batches to big GPUs). With `steal`
+/// set, an idle platform takes background work whose preferred platform
+/// is busy instead of idling — cross-GPU work stealing.
+pub struct AffinityRouter {
+    steal: bool,
+}
+
+impl Router for AffinityRouter {
+    fn route(&mut self, ctx: &RouteCtx<'_>, costs: &mut CostOracle<'_>) -> Result<Option<usize>> {
+        match ctx.deadline() {
+            Some(deadline) => deadline_place(ctx, costs, deadline, |_, c| c.seconds),
+            None => {
+                // Background: prefer the biggest platforms in the fleet.
+                let max_peak = ctx.peak_flops.iter().copied().fold(0.0, f64::max);
+                let preferred = ctx
+                    .idle
+                    .iter()
+                    .copied()
+                    .find(|&p| ctx.peak_flops[p] >= max_peak - EPS);
+                match preferred {
+                    Some(p) => Ok(Some(p)),
+                    // Every top platform is busy: steal onto the biggest
+                    // idle one, or hold the batch for the big GPU.
+                    None if self.steal => Ok(ctx.idle.iter().copied().max_by(|&a, &b| {
+                        ctx.peak_flops[a]
+                            .total_cmp(&ctx.peak_flops[b])
+                            .then(b.cmp(&a))
+                    })),
+                    None => Ok(None),
+                }
+            }
+        }
+    }
+}
+
+/// Energy-aware placement: among the platforms that meet the head
+/// deadline, take the one with the lowest predicted joules per image;
+/// background batches always chase joules per image.
+pub struct EnergyAwareRouter;
+
+impl Router for EnergyAwareRouter {
+    fn route(&mut self, ctx: &RouteCtx<'_>, costs: &mut CostOracle<'_>) -> Result<Option<usize>> {
+        let per_image =
+            |p: usize, c: &NetworkCost| c.energy.total_j() / ctx.batch_on(p).max(1) as f64;
+        match ctx.deadline() {
+            Some(deadline) => deadline_place(ctx, costs, deadline, per_image),
+            None => {
+                let mut best: Option<(f64, usize)> = None;
+                for &p in ctx.idle {
+                    let c = costs.cost(p, ctx.levels[p], ctx.batch_on(p))?;
+                    let k = per_image(p, &c);
+                    if best.is_none_or(|(bk, bp)| (k, p) < (bk, bp)) {
+                        best = Some((k, p));
+                    }
+                }
+                Ok(best.map(|(_, p)| p))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in RouterPolicy::all() {
+            assert_eq!(RouterPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(RouterPolicy::parse("rr"), Some(RouterPolicy::RoundRobin));
+        assert_eq!(RouterPolicy::parse("nope"), None);
+        assert_eq!(RouterPolicy::default(), RouterPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn capability_profile_tracks_arch() {
+        let cap = Capability::of(&pcnn_gpu::arch::K20C);
+        assert!((cap.peak_flops - pcnn_gpu::arch::K20C.peak_flops()).abs() < 1.0);
+        assert_eq!(cap.idle_w, pcnn_gpu::arch::K20C.energy.constant_w);
+        let tx1 = Capability::of(&pcnn_gpu::arch::JETSON_TX1);
+        assert!(tx1.peak_flops < cap.peak_flops);
+        assert!(tx1.idle_w < cap.idle_w);
+    }
+}

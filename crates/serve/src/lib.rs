@@ -34,6 +34,14 @@
 //!   [`SloPolicy`] objectives are evaluated per window with error-budget
 //!   burn-rate alerts.
 //!
+//! * **Fleet serving** ([`fleet`]) — a heterogeneous fleet of
+//!   [`Platform`]s, each bundling an architecture with its *own*
+//!   offline-compiled ladder and capability profile, behind a pluggable
+//!   [`Router`] seam (round-robin, platform-affinity, energy-aware,
+//!   work-stealing placement). Each platform walks its ladder
+//!   independently; arrivals stream lazily from [`pcnn_data::TraceSpec`]
+//!   so million-request scenarios run in O(1) memory.
+//!
 //! Everything is virtual-time simulation: a run is a pure function of
 //! its inputs, so reports ([`ServeReport::to_json`]) are byte-identical
 //! across runs and thread counts. [`fifo_baseline`] replays the same
@@ -41,12 +49,17 @@
 
 pub mod baseline;
 pub mod config;
+pub mod fleet;
 pub mod obs;
 pub mod report;
 pub mod server;
 
 pub use baseline::{fifo_baseline, BaselineReport};
 pub use config::{DegradationLadder, DegradationLevel, ServeWorkload, ServerConfig};
+pub use fleet::{
+    AffinityRouter, Capability, EnergyAwareRouter, Platform, RoundRobinRouter, RouteCtx, Router,
+    RouterPolicy,
+};
 pub use obs::SloPolicy;
-pub use report::{GpuReport, LatencyStats, ServeReport, WorkloadReport};
-pub use server::Server;
+pub use report::{FleetSummary, GpuReport, LatencyAcc, LatencyStats, ServeReport, WorkloadReport};
+pub use server::{CostOracle, Server, ServerBuilder};

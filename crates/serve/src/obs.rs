@@ -22,10 +22,10 @@
 //!   the error-budget burn rate.
 
 use pcnn_data::WorkloadKind;
-use pcnn_gpu::GpuArch;
 use pcnn_telemetry::{self as telemetry, Value, WindowedSeries};
 
-use crate::config::{DegradationLadder, ServeWorkload, ServerConfig};
+use crate::config::{ServeWorkload, ServerConfig};
+use crate::fleet::Platform;
 
 /// Per-workload service-level objectives, evaluated once per virtual-time
 /// window (width [`ServerConfig::obs_window_s`]). Objectives left `None`
@@ -137,29 +137,30 @@ pub(crate) struct Obs {
     labels: Vec<String>,
     gpu_track: Vec<u64>,
     wl_track: Vec<u64>,
-    level_entropy: Vec<f64>,
+    /// Per-platform, per-rung output entropy — platforms carry their own
+    /// ladders, so the tables are jagged.
+    level_entropy: Vec<Vec<f64>>,
     slo: Vec<SloTracker>,
     next_batch: u64,
 }
 
 impl Obs {
     /// Builds the recorder when telemetry is on, registering one pid-3
-    /// track per GPU and per workload; `None` otherwise.
+    /// track per platform and per workload; `None` otherwise.
     pub(crate) fn maybe(
         config: &ServerConfig,
-        gpus: &[&GpuArch],
+        platforms: &[Platform<'_>],
         workloads: &[ServeWorkload],
-        ladder: &DegradationLadder,
     ) -> Option<Obs> {
         if !telemetry::enabled() {
             return None;
         }
-        let gpu_track: Vec<u64> = (0..gpus.len() as u64).collect();
+        let gpu_track: Vec<u64> = (0..platforms.len() as u64).collect();
         let wl_track: Vec<u64> = (0..workloads.len() as u64)
-            .map(|w| gpus.len() as u64 + w)
+            .map(|w| platforms.len() as u64 + w)
             .collect();
-        for (g, arch) in gpus.iter().enumerate() {
-            telemetry::obs_track_name(gpu_track[g], &format!("gpu{g} ({})", arch.name));
+        for (g, p) in platforms.iter().enumerate() {
+            telemetry::obs_track_name(gpu_track[g], &format!("gpu{g} ({})", p.arch.name));
         }
         let mut labels = Vec::with_capacity(workloads.len());
         let mut slo = Vec::with_capacity(workloads.len());
@@ -180,7 +181,10 @@ impl Obs {
             labels,
             gpu_track,
             wl_track,
-            level_entropy: ladder.levels.iter().map(|l| l.entropy).collect(),
+            level_entropy: platforms
+                .iter()
+                .map(|p| p.ladder.levels.iter().map(|l| l.entropy).collect())
+                .collect(),
             slo,
             next_batch: 0,
         })
@@ -317,7 +321,7 @@ impl Obs {
             .add(finish, "serve.throughput", &label, size as u64);
         self.windows
             .add(now, "serve.dispatches", &format!("gpu{g}"), 1);
-        let entropy = self.level_entropy[level];
+        let entropy = self.level_entropy[g][level];
         for _ in 0..size {
             self.windows
                 .observe(finish, "serve.entropy", &label, entropy);

@@ -1,6 +1,8 @@
 //! Serving reports: per-workload latency percentiles, SoC, rejection and
 //! degradation counts, and a deterministic JSON rendering.
 
+use std::collections::BTreeMap;
+
 use pcnn_core::prelude::Soc;
 use pcnn_data::WorkloadKind;
 
@@ -37,6 +39,78 @@ impl LatencyStats {
             p95: rank(0.95),
             p99: rank(0.99),
             max: sorted[n - 1],
+        }
+    }
+}
+
+/// Streaming latency accumulator: constant-size state regardless of how
+/// many samples it absorbs, so a million-request run never materializes a
+/// per-request latency vector.
+///
+/// Mean and max are exact. Percentiles come from a sparse log-spaced
+/// histogram with 128 sub-buckets per octave (relative width ≈ 0.54 %, so
+/// the reported quantile is within ~0.3 % of the true sample), evaluated
+/// by the same nearest-rank rule as [`LatencyStats::of`].
+#[derive(Debug, Clone, Default)]
+pub struct LatencyAcc {
+    count: u64,
+    sum: f64,
+    max: f64,
+    /// Bucket index → sample count; index = `floor(log2(l) * 128)`.
+    buckets: BTreeMap<i64, u64>,
+    zeros: u64,
+}
+
+impl LatencyAcc {
+    const SUB: f64 = 128.0;
+
+    /// Absorbs one latency sample (non-negative seconds).
+    pub fn record(&mut self, latency_s: f64) {
+        self.count += 1;
+        self.sum += latency_s;
+        self.max = self.max.max(latency_s);
+        if latency_s <= 0.0 {
+            self.zeros += 1;
+            return;
+        }
+        let idx = (latency_s.log2() * Self::SUB).floor() as i64;
+        *self.buckets.entry(idx).or_insert(0) += 1;
+    }
+
+    /// Samples absorbed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Collapses the histogram to nearest-rank percentile stats. Returns
+    /// the zero stats when no sample was recorded.
+    pub fn stats(&self) -> LatencyStats {
+        if self.count == 0 {
+            return LatencyStats::default();
+        }
+        let n = self.count;
+        let rank = |q: f64| {
+            let target = (((q * n as f64).ceil() as u64).clamp(1, n)) - 1;
+            if target < self.zeros {
+                return 0.0;
+            }
+            let mut seen = self.zeros;
+            for (&idx, &c) in &self.buckets {
+                seen += c;
+                if seen > target {
+                    // Bucket midpoint in log space; the top bucket's
+                    // midpoint can overshoot the true maximum, so clamp.
+                    return ((idx as f64 + 0.5) / Self::SUB).exp2().min(self.max);
+                }
+            }
+            self.max
+        };
+        LatencyStats {
+            mean: self.sum / n as f64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            max: self.max,
         }
     }
 }
@@ -83,19 +157,45 @@ pub struct WorkloadReport {
     pub soc: Option<Soc>,
 }
 
-/// Per-GPU serving outcome.
+/// Per-platform serving outcome.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuReport {
     /// Architecture name.
     pub name: String,
-    /// Batches dispatched to this GPU.
+    /// Batches dispatched to this platform.
     pub dispatches: usize,
+    /// Images served by this platform.
+    pub images: usize,
     /// Seconds spent computing.
     pub busy_s: f64,
     /// Compute energy (J).
     pub energy_j: f64,
     /// Idle energy over the non-busy span (J).
     pub idle_energy_j: f64,
+    /// Images served at each rung of *this platform's* ladder — the
+    /// ladder-occupancy profile. Lengths differ across a heterogeneous
+    /// fleet.
+    pub images_at_level: Vec<usize>,
+}
+
+/// Fleet-wide rollup: one point on the SoC/energy Pareto front for the
+/// routing policy that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetSummary {
+    /// Images served across the fleet.
+    pub served_images: usize,
+    /// Deadline hits across all deadline-bearing workloads.
+    pub deadlines_met: usize,
+    /// Deadline-bearing requests fully served.
+    pub deadline_total: usize,
+    /// Fleet compute energy (J).
+    pub compute_j: f64,
+    /// Fleet idle energy (J).
+    pub idle_j: f64,
+    /// Total joules (compute + idle) per served image.
+    pub joules_per_image: f64,
+    /// Unweighted mean SoC score over workloads that report one.
+    pub mean_soc: f64,
 }
 
 /// The full serving-run report.
@@ -103,7 +203,7 @@ pub struct GpuReport {
 pub struct ServeReport {
     /// One entry per workload, in submission order.
     pub workloads: Vec<WorkloadReport>,
-    /// One entry per GPU, in configuration order.
+    /// One entry per platform, in configuration order.
     pub gpus: Vec<GpuReport>,
     /// First arrival to last completion (s).
     pub makespan_s: f64,
@@ -115,12 +215,48 @@ pub struct ServeReport {
     pub degradation: bool,
     /// The dispatcher's global batch cap.
     pub max_batch: usize,
+    /// The routing policy that placed the batches.
+    pub router: &'static str,
+    /// Fleet-wide SoC/energy rollup.
+    pub fleet: FleetSummary,
 }
 
 impl ServeReport {
     /// Total rejected images across workloads.
     pub fn total_rejected(&self) -> usize {
         self.workloads.iter().map(|w| w.rejected_images).sum()
+    }
+
+    /// Recomputes the fleet rollup from the per-workload and per-platform
+    /// entries. Called once after those are final.
+    pub(crate) fn fleet_summary(&self) -> FleetSummary {
+        let served_images: usize = self.workloads.iter().map(|w| w.served_images).sum();
+        let deadlines_met = self.workloads.iter().map(|w| w.deadlines_met).sum();
+        let deadline_total = self.workloads.iter().map(|w| w.deadline_total).sum();
+        let socs: Vec<f64> = self
+            .workloads
+            .iter()
+            .filter_map(|w| w.soc.as_ref().map(|s| s.score))
+            .collect();
+        let mean_soc = if socs.is_empty() {
+            0.0
+        } else {
+            socs.iter().sum::<f64>() / socs.len() as f64
+        };
+        let total_j = self.total_energy_j + self.total_idle_energy_j;
+        FleetSummary {
+            served_images,
+            deadlines_met,
+            deadline_total,
+            compute_j: self.total_energy_j,
+            idle_j: self.total_idle_energy_j,
+            joules_per_image: if served_images > 0 {
+                total_j / served_images as f64
+            } else {
+                0.0
+            },
+            mean_soc,
+        }
     }
 
     /// Deterministic JSON rendering: fixed key order, no wall-clock
@@ -131,20 +267,37 @@ impl ServeReport {
         s.push_str("{\n  \"degradation\": ");
         s.push_str(if self.degradation { "true" } else { "false" });
         s.push_str(&format!(",\n  \"max_batch\": {}", self.max_batch));
+        s.push_str(&format!(",\n  \"router\": \"{}\"", self.router));
         s.push_str(&format!(",\n  \"makespan_s\": {}", self.makespan_s));
         s.push_str(&format!(",\n  \"total_energy_j\": {}", self.total_energy_j));
         s.push_str(&format!(
             ",\n  \"total_idle_energy_j\": {}",
             self.total_idle_energy_j
         ));
+        s.push_str(&format!(
+            ",\n  \"fleet\": {{\"served_images\": {}, \"deadlines_met\": {}, \"deadline_total\": {}, \"compute_j\": {}, \"idle_j\": {}, \"joules_per_image\": {}, \"mean_soc\": {}}}",
+            self.fleet.served_images,
+            self.fleet.deadlines_met,
+            self.fleet.deadline_total,
+            self.fleet.compute_j,
+            self.fleet.idle_j,
+            self.fleet.joules_per_image,
+            self.fleet.mean_soc
+        ));
         s.push_str(",\n  \"gpus\": [");
         for (i, g) in self.gpus.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
+            let levels = g
+                .images_at_level
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
             s.push_str(&format!(
-                "\n    {{\"name\": \"{}\", \"dispatches\": {}, \"busy_s\": {}, \"energy_j\": {}, \"idle_energy_j\": {}}}",
-                g.name, g.dispatches, g.busy_s, g.energy_j, g.idle_energy_j
+                "\n    {{\"name\": \"{}\", \"dispatches\": {}, \"images\": {}, \"busy_s\": {}, \"energy_j\": {}, \"idle_energy_j\": {}, \"images_at_level\": [{}]}}",
+                g.name, g.dispatches, g.images, g.busy_s, g.energy_j, g.idle_energy_j, levels
             ));
         }
         s.push_str("\n  ],\n  \"workloads\": [");
@@ -232,5 +385,40 @@ mod tests {
         assert_eq!(s.p50, 0.25);
         assert_eq!(s.p99, 0.25);
         assert_eq!(s.max, 0.25);
+    }
+
+    #[test]
+    fn streaming_acc_tracks_exact_percentiles_closely() {
+        let lats: Vec<f64> = (1..=1000).map(|i| i as f64 * 1e-3).collect();
+        let exact = LatencyStats::of(&lats);
+        let mut acc = LatencyAcc::default();
+        for &l in &lats {
+            acc.record(l);
+        }
+        let approx = acc.stats();
+        assert_eq!(acc.count(), 1000);
+        assert!((approx.mean - exact.mean).abs() < 1e-12);
+        assert_eq!(approx.max, exact.max);
+        for (a, e) in [
+            (approx.p50, exact.p50),
+            (approx.p95, exact.p95),
+            (approx.p99, exact.p99),
+        ] {
+            assert!(
+                (a - e).abs() / e < 0.01,
+                "quantile drifted: approx {a}, exact {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_acc_handles_empty_and_zero() {
+        assert_eq!(LatencyAcc::default().stats(), LatencyStats::default());
+        let mut acc = LatencyAcc::default();
+        acc.record(0.0);
+        acc.record(0.5);
+        let s = acc.stats();
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.max, 0.5);
     }
 }

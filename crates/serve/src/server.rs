@@ -1,57 +1,72 @@
 //! The event-driven serving loop: priority queues, deadline-aware dynamic
-//! batching, admission control and graceful degradation.
+//! batching, admission control, graceful degradation and fleet routing.
 //!
 //! Time is simulated, not measured: the loop advances a virtual clock
-//! from event to event (arrival, GPU completion, forced-dispatch timer),
-//! so a run is a pure function of its inputs — same traces, same
-//! architectures, same config ⇒ byte-identical report.
+//! from event to event (arrival, platform completion, forced-dispatch
+//! timer), so a run is a pure function of its inputs — same traces, same
+//! platforms, same config ⇒ byte-identical report.
+//!
+//! Arrivals stream lazily from each workload's [`TraceSpec`]: the loop
+//! holds one pending arrival per workload (a k-way merge) and only the
+//! in-flight requests bounded by the admission queues, so a ~1M-request
+//! scenario runs in O(1) memory.
 
 use std::collections::{HashMap, VecDeque};
 
 use pcnn_core::prelude::*;
-use pcnn_data::WorkloadKind;
+use pcnn_data::{ArrivalIter, WorkloadKind};
 use pcnn_gpu::{EnergyBreakdown, GpuArch};
 use pcnn_nn::spec::NetworkSpec;
 
 use crate::config::{DegradationLadder, ServeWorkload, ServerConfig};
+use crate::fleet::{Platform, RouteCtx, Router};
 use crate::obs::{BatchMember, Completion, Obs};
-use crate::report::{GpuReport, LatencyStats, ServeReport, WorkloadReport};
+use crate::report::{FleetSummary, GpuReport, LatencyAcc, ServeReport, WorkloadReport};
 
 const EPS: f64 = 1e-12;
 
 /// Memoized latency/energy predictor: one offline compilation + simulator
-/// run per distinct `(gpu, ladder level, batch size)` triple, reused for
-/// every dispatch decision thereafter. This is the paper's offline time
-/// model doing double duty as the server's batching cost oracle.
-struct CostModel<'a> {
-    gpus: &'a [&'a GpuArch],
+/// run per distinct `(platform, ladder level, batch size)` triple, reused
+/// for every dispatch and routing decision thereafter. This is the
+/// paper's offline time model doing double duty as the server's batching
+/// cost oracle — each platform's costs come from *its own* ladder, so two
+/// platforms at different rungs predict different costs for the same
+/// batch.
+pub struct CostOracle<'a> {
+    platforms: &'a [Platform<'a>],
     spec: &'a NetworkSpec,
-    ladder: &'a DegradationLadder,
     cache: HashMap<(usize, usize, usize), NetworkCost>,
 }
 
-impl<'a> CostModel<'a> {
-    fn new(gpus: &'a [&'a GpuArch], spec: &'a NetworkSpec, ladder: &'a DegradationLadder) -> Self {
+impl<'a> CostOracle<'a> {
+    /// Builds an empty oracle over the fleet.
+    pub fn new(platforms: &'a [Platform<'a>], spec: &'a NetworkSpec) -> Self {
         Self {
-            gpus,
+            platforms,
             spec,
-            ladder,
             cache: HashMap::new(),
         }
     }
 
-    fn cost(&mut self, gpu: usize, level: usize, size: usize) -> Result<NetworkCost> {
-        let key = (gpu, level, size);
+    /// Predicted cost of a `size`-image batch on `platform` at that
+    /// platform's ladder `level`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates offline-compilation errors.
+    pub fn cost(&mut self, platform: usize, level: usize, size: usize) -> Result<NetworkCost> {
+        let key = (platform, level, size);
         if let Some(c) = self.cache.get(&key) {
             return Ok(*c);
         }
-        let rung = &self.ladder.levels[level];
-        let schedule = OfflineCompiler::new(self.gpus[gpu], self.spec).try_compile_perforated(
+        let p = &self.platforms[platform];
+        let rung = &p.ladder.levels[level];
+        let schedule = OfflineCompiler::new(p.arch, self.spec).try_compile_perforated(
             size,
             &rung.rates,
             true,
         )?;
-        let mut c = simulate_schedule(self.gpus[gpu], &schedule);
+        let mut c = simulate_schedule(p.arch, &schedule);
         // An algorithm-downgrade rung runs the same work through faster
         // conv kernels: the simulator models the baseline algorithm, so
         // the rung's measured speedup scales predicted time and energy.
@@ -64,11 +79,10 @@ impl<'a> CostModel<'a> {
     }
 }
 
-/// Per-request bookkeeping.
+/// Per-request bookkeeping, held only while the request is in flight.
 #[derive(Debug, Clone)]
 struct ReqState {
     arrival: f64,
-    admitted: usize,
     remaining: usize,
     done: f64,
     rejected: bool,
@@ -81,31 +95,71 @@ struct QItem {
     req: usize,
 }
 
-/// Per-workload serving state.
+/// One workload's lazy arrival stream with a single look-ahead slot.
+struct ArrivalStream<'t> {
+    iter: ArrivalIter<'t>,
+    /// The next `(arrival, images)` pair, or `None` when drained.
+    next: Option<(f64, usize)>,
+    /// Request index the pending arrival will get.
+    next_ri: usize,
+}
+
+impl<'t> ArrivalStream<'t> {
+    fn new(mut iter: ArrivalIter<'t>) -> Self {
+        let next = iter.next();
+        Self {
+            iter,
+            next,
+            next_ri: 0,
+        }
+    }
+
+    fn pop(&mut self) -> Option<(f64, usize, usize)> {
+        let (t, n) = self.next?;
+        let ri = self.next_ri;
+        self.next_ri += 1;
+        self.next = self.iter.next();
+        Some((t, n, ri))
+    }
+}
+
+/// Per-workload serving state. `reqs` holds only in-flight requests
+/// (bounded by the admission queue), and latency percentiles accumulate
+/// in constant space, so state never grows with trace length.
 struct WState {
     queue: VecDeque<QItem>,
-    reqs: Vec<ReqState>,
+    reqs: HashMap<usize, ReqState>,
     arrivals_left: usize,
-    level: usize,
-    calm: usize,
-    target_batch: usize,
+    /// Current ladder level per platform — each platform walks its own
+    /// ladder independently.
+    levels: Vec<usize>,
+    /// Consecutive calm dispatches per platform.
+    calms: Vec<usize>,
+    /// Target batch per platform (big batches to big GPUs).
+    targets: Vec<usize>,
     t_user: Option<f64>,
     rejected_images: usize,
+    rejected_requests: usize,
     served_images: usize,
-    images_at_level: Vec<usize>,
+    entropy_sum: f64,
     energy: EnergyBreakdown,
     degrade_up: usize,
     degrade_down: usize,
+    deadlines_met: usize,
+    deadline_total: usize,
+    latency: LatencyAcc,
     last_finish: f64,
     first_arrival: f64,
 }
 
-/// Per-GPU serving state.
+/// Per-platform serving state.
 struct GState {
     free_at: f64,
     busy: f64,
     energy: EnergyBreakdown,
     dispatches: usize,
+    images: usize,
+    images_at_level: Vec<usize>,
 }
 
 fn kind_rank(kind: WorkloadKind) -> u8 {
@@ -116,89 +170,148 @@ fn kind_rank(kind: WorkloadKind) -> u8 {
     }
 }
 
-/// The serving simulator: a set of simulated GPUs running one network for
-/// a mix of workloads.
+/// Assembles a [`Server`] from platforms, workloads and config, running
+/// every validation the legacy constructor performed at [`build`] time.
+///
+/// [`build`]: ServerBuilder::build
+pub struct ServerBuilder<'a> {
+    spec: &'a NetworkSpec,
+    platforms: Vec<Platform<'a>>,
+    config: ServerConfig,
+    workloads: Vec<ServeWorkload>,
+}
+
+impl<'a> ServerBuilder<'a> {
+    /// Adds one platform to the fleet, in routing-index order.
+    #[must_use]
+    pub fn platform(mut self, platform: Platform<'a>) -> Self {
+        self.platforms.push(platform);
+        self
+    }
+
+    /// Sets the server configuration (defaults to
+    /// [`ServerConfig::default`]).
+    #[must_use]
+    pub fn config(mut self, config: ServerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers a workload. Submission order breaks priority ties.
+    #[must_use]
+    pub fn workload(mut self, workload: ServeWorkload) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Validates everything and builds the server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if no platform was added, a
+    /// platform's ladder has no levels, or a config knob is out of domain
+    /// (see [`ServerConfig::validate`]), and [`Error::RateLenMismatch`]
+    /// if any ladder level's rate vector does not match the network's
+    /// conv-layer count.
+    pub fn build(self) -> Result<Server<'a>> {
+        if self.platforms.is_empty() {
+            return Err(Error::InvalidInput {
+                what: "server needs at least one GPU",
+            });
+        }
+        self.config.validate()?;
+        let n_convs = self.spec.conv_layers().len();
+        for p in &self.platforms {
+            if p.ladder.levels.is_empty() {
+                return Err(Error::InvalidInput {
+                    what: "degradation ladder needs at least one level",
+                });
+            }
+            for level in &p.ladder.levels {
+                if level.rates.len() != n_convs {
+                    return Err(Error::RateLenMismatch {
+                        expected: n_convs,
+                        got: level.rates.len(),
+                    });
+                }
+            }
+        }
+        Ok(Server {
+            spec: self.spec,
+            platforms: self.platforms,
+            config: self.config,
+            workloads: self.workloads,
+        })
+    }
+}
+
+/// The serving simulator: a fleet of simulated platforms running one
+/// network for a mix of workloads.
 ///
 /// ```no_run
-/// use pcnn_gpu::arch::K20C;
+/// use pcnn_gpu::arch::{JETSON_TX1, K20C};
 /// use pcnn_nn::spec::alexnet;
-/// use pcnn_data::{RequestTrace, WorkloadKind};
+/// use pcnn_data::TraceSpec;
 /// use pcnn_core::prelude::AppSpec;
-/// use pcnn_serve::{DegradationLadder, Server, ServerConfig, ServeWorkload};
+/// use pcnn_serve::{DegradationLadder, Platform, Server, ServerConfig, ServeWorkload};
 ///
 /// # fn main() -> pcnn_core::Result<()> {
 /// let spec = alexnet();
-/// let ladder = DegradationLadder::default_ladder(spec.conv_layers().len());
-/// let mut server = Server::new(vec![&K20C], &spec, ladder, ServerConfig::default())?;
-/// server.add_workload(ServeWorkload::new(
-///     AppSpec::age_detection(),
-///     RequestTrace::poisson(WorkloadKind::Interactive, 100, 20.0, 7),
-///     64,
-/// ));
+/// let n = spec.conv_layers().len();
+/// let server = Server::builder(&spec)
+///     .platform(Platform::new(&K20C, DegradationLadder::default_ladder(n)))
+///     .platform(Platform::new(&JETSON_TX1, DegradationLadder::default_ladder(n)))
+///     .config(ServerConfig::default())
+///     .workload(ServeWorkload::new(
+///         AppSpec::age_detection(),
+///         TraceSpec::poisson(pcnn_data::WorkloadKind::Interactive, 100, 20.0, 7),
+///         64,
+///     ))
+///     .build()?;
 /// let report = server.run()?;
 /// println!("{}", report.to_json());
 /// # Ok(())
 /// # }
 /// ```
 pub struct Server<'a> {
-    gpus: Vec<&'a GpuArch>,
     spec: &'a NetworkSpec,
-    ladder: DegradationLadder,
+    platforms: Vec<Platform<'a>>,
     config: ServerConfig,
     workloads: Vec<ServeWorkload>,
 }
 
 impl<'a> Server<'a> {
-    /// Builds a server over one or more GPUs.
+    /// Starts assembling a server over `spec`.
+    pub fn builder(spec: &'a NetworkSpec) -> ServerBuilder<'a> {
+        ServerBuilder {
+            spec,
+            platforms: Vec::new(),
+            config: ServerConfig::default(),
+            workloads: Vec::new(),
+        }
+    }
+
+    /// Builds a homogeneous server: every GPU gets a copy of the one
+    /// ladder.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidInput`] if `gpus` is empty, the ladder has
-    /// no levels, `config.max_batch == 0` or `config.obs_window_s` is not
-    /// positive and finite, and [`Error::RateLenMismatch`] if any ladder
-    /// level's rate vector does not match the network's conv-layer count.
+    /// As [`ServerBuilder::build`].
+    #[deprecated(
+        since = "0.9.0",
+        note = "use Server::builder with per-platform ladders (Platform::new)"
+    )]
     pub fn new(
         gpus: Vec<&'a GpuArch>,
         spec: &'a NetworkSpec,
         ladder: DegradationLadder,
         config: ServerConfig,
     ) -> Result<Self> {
-        if gpus.is_empty() {
-            return Err(Error::InvalidInput {
-                what: "server needs at least one GPU",
-            });
+        let mut b = Server::builder(spec).config(config);
+        for gpu in gpus {
+            b = b.platform(Platform::new(gpu, ladder.clone()));
         }
-        if ladder.levels.is_empty() {
-            return Err(Error::InvalidInput {
-                what: "degradation ladder needs at least one level",
-            });
-        }
-        if config.max_batch == 0 {
-            return Err(Error::InvalidInput {
-                what: "max_batch must be at least 1",
-            });
-        }
-        if !config.obs_window_s.is_finite() || config.obs_window_s <= 0.0 {
-            return Err(Error::InvalidInput {
-                what: "obs_window_s must be positive and finite",
-            });
-        }
-        let n_convs = spec.conv_layers().len();
-        for level in &ladder.levels {
-            if level.rates.len() != n_convs {
-                return Err(Error::RateLenMismatch {
-                    expected: n_convs,
-                    got: level.rates.len(),
-                });
-            }
-        }
-        Ok(Self {
-            gpus,
-            spec,
-            ladder,
-            config,
-            workloads: Vec::new(),
-        })
+        b.build()
     }
 
     /// Registers a workload. Submission order breaks priority ties.
@@ -212,19 +325,44 @@ impl<'a> Server<'a> {
         &self.workloads
     }
 
-    /// Largest power-of-two batch (≤ `max_batch`) whose unperforated
-    /// forward pass on the reference GPU fits `t_user`; background
-    /// workloads get the offline background batch, capped.
-    fn target_batch(&self, workload: &ServeWorkload, costs: &mut CostModel) -> Result<usize> {
+    /// The fleet, in routing-index order.
+    pub fn platforms(&self) -> &[Platform<'a>] {
+        &self.platforms
+    }
+
+    /// Index of the reference platform — the highest-peak one — used for
+    /// forced-dispatch timing and feasibility.
+    fn reference(&self) -> usize {
+        let mut best = 0;
+        for (i, p) in self.platforms.iter().enumerate() {
+            if p.capability.peak_flops > self.platforms[best].capability.peak_flops + EPS {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Per-platform target batch: the largest power-of-two batch
+    /// (≤ `max_batch`) whose unperforated forward pass on that platform
+    /// fits `t_user`; background workloads get the platform's offline
+    /// background batch, capped. Bigger platforms get bigger targets.
+    fn target_batch(
+        &self,
+        workload: &ServeWorkload,
+        platform: usize,
+        costs: &mut CostOracle,
+    ) -> Result<usize> {
         match workload.t_user() {
-            None => Ok(OfflineCompiler::new(self.gpus[0], self.spec)
-                .background_batch()
-                .clamp(1, self.config.max_batch)),
+            None => Ok(
+                OfflineCompiler::new(self.platforms[platform].arch, self.spec)
+                    .background_batch()
+                    .clamp(1, self.config.max_batch),
+            ),
             Some(t_user) => {
                 let mut best = 1;
                 let mut b = 1;
                 while b <= self.config.max_batch {
-                    let c = costs.cost(0, 0, b)?;
+                    let c = costs.cost(platform, 0, b)?;
                     if c.seconds <= t_user {
                         best = b;
                     } else {
@@ -238,14 +376,20 @@ impl<'a> Server<'a> {
     }
 
     /// Latest virtual time at which the head of `w`'s queue can still be
-    /// dispatched (at the current ladder level, on the reference GPU)
-    /// without missing `T_user`. `None` for background workloads.
-    fn forced_time(&self, ws: &WState, costs: &mut CostModel) -> Result<Option<f64>> {
+    /// dispatched (at the current ladder level, on the reference
+    /// platform) without missing `T_user`. `None` for background
+    /// workloads.
+    fn forced_time(
+        &self,
+        ws: &WState,
+        reference: usize,
+        costs: &mut CostOracle,
+    ) -> Result<Option<f64>> {
         let (Some(t_user), Some(head)) = (ws.t_user, ws.queue.front()) else {
             return Ok(None);
         };
-        let size = ws.queue.len().min(ws.target_batch);
-        let c = costs.cost(0, ws.level, size)?;
+        let size = ws.queue.len().min(ws.targets[reference]);
+        let c = costs.cost(reference, ws.levels[reference], size)?;
         // Relative safety margin so the predicted finish lands strictly
         // inside the deadline despite float rounding — real-time SoC has
         // a satisfaction cliff exactly at `T_user`.
@@ -255,30 +399,54 @@ impl<'a> Server<'a> {
     /// Whether `w`'s queue can dispatch right now: a full target batch is
     /// waiting, the head's deadline forces a partial dispatch, or (for
     /// background work) the trace has drained.
-    fn dispatchable(&self, ws: &WState, now: f64, costs: &mut CostModel) -> Result<bool> {
+    fn dispatchable(
+        &self,
+        ws: &WState,
+        reference: usize,
+        now: f64,
+        costs: &mut CostOracle,
+    ) -> Result<bool> {
         if ws.queue.is_empty() {
             return Ok(false);
         }
-        if ws.queue.len() >= ws.target_batch {
+        if ws.queue.len() >= ws.targets[reference] {
             return Ok(true);
         }
-        match self.forced_time(ws, costs)? {
+        match self.forced_time(ws, reference, costs)? {
             Some(forced) => Ok(now >= forced - EPS),
             None => Ok(ws.arrivals_left == 0),
         }
     }
 
-    /// Runs the whole simulation to completion.
+    /// Runs the whole simulation to completion with the configured
+    /// routing policy.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidInput`] if no workload was registered or a
     /// declared [`crate::obs::SloPolicy`] has an objective outside its
-    /// domain, and [`Error::InfeasibleSchedule`] if some deadline workload
-    /// cannot meet `T_user` even at batch 1 on the deepest usable ladder
-    /// level — admission control rejects the whole workload up front
-    /// rather than accepting requests it can never serve in time.
+    /// domain, and [`Error::InfeasibleSchedule`] if some deadline
+    /// workload cannot meet `T_user` at batch 1 on the deepest usable
+    /// ladder level of *any* platform — admission control rejects the
+    /// whole workload up front rather than accepting requests it can
+    /// never serve in time.
     pub fn run(&self) -> Result<ServeReport> {
+        let mut router = self.config.router.build();
+        self.run_with_router(self.config.router.name(), router.as_mut())
+    }
+
+    /// Runs the simulation with a caller-supplied [`Router`] — the
+    /// pluggable seam in front of the dispatch loop. `router_name` is
+    /// recorded in the report.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::run`].
+    pub fn run_with_router(
+        &self,
+        router_name: &'static str,
+        router: &mut dyn Router,
+    ) -> Result<ServeReport> {
         if self.workloads.is_empty() {
             return Err(Error::InvalidInput {
                 what: "server has no workloads",
@@ -291,114 +459,141 @@ impl<'a> Server<'a> {
         }
         let _span = pcnn_telemetry::span!(
             "serve.run",
-            gpus = self.gpus.len(),
+            gpus = self.platforms.len(),
             workloads = self.workloads.len()
         );
         // The recorder exists only while telemetry is enabled; with it
         // disabled the serving decisions and the report are bit-for-bit
         // the code paths of the un-instrumented server.
-        let mut obs = Obs::maybe(&self.config, &self.gpus, &self.workloads, &self.ladder);
-        let mut costs = CostModel::new(&self.gpus, self.spec, &self.ladder);
-        let deepest = if self.config.degradation {
-            self.ladder.max_level()
-        } else {
-            0
-        };
+        let mut obs = Obs::maybe(&self.config, &self.platforms, &self.workloads);
+        let mut costs = CostOracle::new(&self.platforms, self.spec);
+        let reference = self.reference();
+        let peaks: Vec<f64> = self
+            .platforms
+            .iter()
+            .map(|p| p.capability.peak_flops)
+            .collect();
 
-        // Feasibility gate: batch 1 at the deepest level must fit T_user.
+        // Feasibility gate: batch 1 at the deepest level must fit T_user
+        // on the best platform for it.
         for w in &self.workloads {
             if let Some(t_user) = w.t_user() {
-                let c = costs.cost(0, deepest, 1)?;
-                if c.seconds > t_user {
+                let mut fastest = f64::INFINITY;
+                for (p, platform) in self.platforms.iter().enumerate() {
+                    let deepest = if self.config.degradation {
+                        platform.ladder.max_level()
+                    } else {
+                        0
+                    };
+                    fastest = fastest.min(costs.cost(p, deepest, 1)?.seconds);
+                }
+                if fastest > t_user {
                     return Err(Error::InfeasibleSchedule {
                         t_user,
-                        predicted: c.seconds,
+                        predicted: fastest,
                     });
                 }
             }
         }
 
-        // Per-workload and per-GPU state.
+        // Per-workload and per-platform state; arrivals stream lazily.
+        let mut streams: Vec<ArrivalStream<'_>> = self
+            .workloads
+            .iter()
+            .map(|w| ArrivalStream::new(w.trace.arrivals()))
+            .collect();
         let mut wstates: Vec<WState> = Vec::with_capacity(self.workloads.len());
-        for w in &self.workloads {
-            let reqs = w
-                .trace
-                .requests()
-                .iter()
-                .map(|&(at, _)| ReqState {
-                    arrival: at,
-                    admitted: 0,
-                    remaining: 0,
-                    done: at,
-                    rejected: false,
-                })
-                .collect();
+        for (wi, w) in self.workloads.iter().enumerate() {
+            let mut targets = Vec::with_capacity(self.platforms.len());
+            for p in 0..self.platforms.len() {
+                targets.push(self.target_batch(w, p, &mut costs)?);
+            }
             wstates.push(WState {
                 queue: VecDeque::new(),
-                reqs,
-                arrivals_left: w.trace.requests().len(),
-                level: 0,
-                calm: 0,
-                target_batch: 0,
+                reqs: HashMap::new(),
+                arrivals_left: w.trace.len(),
+                levels: vec![0; self.platforms.len()],
+                calms: vec![0; self.platforms.len()],
+                targets,
                 t_user: w.t_user(),
                 rejected_images: 0,
+                rejected_requests: 0,
                 served_images: 0,
-                images_at_level: vec![0; self.ladder.levels.len()],
+                entropy_sum: 0.0,
                 energy: EnergyBreakdown::default(),
                 degrade_up: 0,
                 degrade_down: 0,
+                deadlines_met: 0,
+                deadline_total: 0,
+                latency: LatencyAcc::default(),
                 last_finish: 0.0,
-                first_arrival: w.trace.requests().first().map(|&(t, _)| t).unwrap_or(0.0),
+                first_arrival: streams[wi].next.map(|(t, _)| t).unwrap_or(0.0),
             });
         }
-        for (w, ws) in self.workloads.iter().zip(wstates.iter_mut()) {
-            ws.target_batch = self.target_batch(w, &mut costs)?;
-        }
         let mut gstates: Vec<GState> = self
-            .gpus
+            .platforms
             .iter()
-            .map(|_| GState {
+            .map(|p| GState {
                 free_at: 0.0,
                 busy: 0.0,
                 energy: EnergyBreakdown::default(),
                 dispatches: 0,
+                images: 0,
+                images_at_level: vec![0; p.ladder.levels.len()],
             })
             .collect();
 
-        // Merged arrival stream, sorted by (time, workload, request).
-        let mut arrivals: Vec<(f64, usize, usize, usize)> = Vec::new();
-        for (w, workload) in self.workloads.iter().enumerate() {
-            for (ri, &(t, n)) in workload.trace.requests().iter().enumerate() {
-                arrivals.push((t, w, ri, n));
+        // The k-way merge over the per-workload streams: the earliest
+        // pending arrival, ties broken by workload index (matching the
+        // materialized sort order the loop used to rely on).
+        let peek_min = |streams: &[ArrivalStream<'_>]| -> Option<(f64, usize)> {
+            let mut min: Option<(f64, usize)> = None;
+            for (w, s) in streams.iter().enumerate() {
+                if let Some((t, _)) = s.next {
+                    if min.is_none_or(|(mt, mw)| t.total_cmp(&mt).then(w.cmp(&mw)).is_lt()) {
+                        min = Some((t, w));
+                    }
+                }
             }
-        }
-        arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+            min
+        };
 
-        let mut now = arrivals.first().map(|&(t, ..)| t).unwrap_or(0.0);
-        let mut next_arr = 0usize;
+        let mut now = peek_min(&streams).map(|(t, _)| t).unwrap_or(0.0);
         loop {
             // 1. Admit every arrival due by `now` into its bounded queue.
-            while next_arr < arrivals.len() && arrivals[next_arr].0 <= now + EPS {
-                let (t, w, ri, n) = arrivals[next_arr];
-                next_arr += 1;
+            while let Some((t, w)) = peek_min(&streams) {
+                if t > now + EPS {
+                    break;
+                }
+                // Invariant: `peek_min` saw a pending arrival.
+                let (t, n, ri) = streams[w].pop().expect("peeked arrival");
                 let cap = self.workloads[w].queue_capacity;
                 let ws = &mut wstates[w];
                 ws.arrivals_left -= 1;
-                let mut admitted = 0usize;
-                let mut rejected = 0usize;
-                for _ in 0..n {
-                    if ws.queue.len() < cap {
-                        ws.queue.push_back(QItem {
+                let room = cap.saturating_sub(ws.queue.len());
+                let admitted = n.min(room);
+                let rejected = n - admitted;
+                for _ in 0..admitted {
+                    ws.queue.push_back(QItem {
+                        arrival: t,
+                        req: ri,
+                    });
+                }
+                if admitted > 0 {
+                    ws.reqs.insert(
+                        ri,
+                        ReqState {
                             arrival: t,
-                            req: ri,
-                        });
-                        ws.reqs[ri].admitted += 1;
-                        ws.reqs[ri].remaining += 1;
-                        admitted += 1;
-                    } else {
-                        ws.reqs[ri].rejected = true;
-                        ws.rejected_images += 1;
-                        rejected += 1;
+                            remaining: admitted,
+                            done: t,
+                            rejected: rejected > 0,
+                        },
+                    );
+                }
+                if rejected > 0 {
+                    ws.rejected_images += rejected;
+                    ws.rejected_requests += 1;
+                    for _ in 0..rejected {
                         pcnn_telemetry::counter("serve.rejected", 1);
                     }
                 }
@@ -408,12 +603,19 @@ impl<'a> Server<'a> {
                 }
             }
 
-            // 2. Dispatch onto idle GPUs until nothing more can start.
+            // 2. Route and dispatch onto idle platforms until nothing
+            // more can start.
             'dispatch: loop {
-                let n_idle = gstates.iter().filter(|g| g.free_at <= now + EPS).count();
-                let Some(g) = gstates.iter().position(|g| g.free_at <= now + EPS) else {
+                let idle: Vec<usize> = gstates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.free_at <= now + EPS)
+                    .map(|(i, _)| i)
+                    .collect();
+                if idle.is_empty() {
                     break;
-                };
+                }
+                let free_at: Vec<f64> = gstates.iter().map(|g| g.free_at).collect();
                 // Priority order: real-time, interactive, background;
                 // earliest waiting head first; submission order last.
                 let mut order: Vec<usize> = (0..wstates.len())
@@ -439,22 +641,79 @@ impl<'a> Server<'a> {
                         .then(a.cmp(&b))
                 });
                 for (pos, &w) in order.iter().enumerate() {
-                    if !self.dispatchable(&wstates[w], now, &mut costs)? {
+                    if !self.dispatchable(&wstates[w], reference, now, &mut costs)? {
                         continue;
                     }
-                    // Slack fit: on the last idle GPU, don't start work
-                    // that would make a higher-priority waiting queue
-                    // miss its forced-dispatch time.
-                    if n_idle == 1 {
-                        let size = wstates[w].queue.len().min(wstates[w].target_batch);
-                        let my_cost = costs.cost(g, wstates[w].level, size)?.seconds;
+                    let ws = &wstates[w];
+                    let cap = self.workloads[w].queue_capacity;
+                    let ctx = RouteCtx {
+                        workload: w,
+                        kind: self.workloads[w].app.kind,
+                        t_user: ws.t_user,
+                        now,
+                        // Invariant: `dispatchable` required a non-empty
+                        // queue.
+                        head_arrival: ws.queue.front().expect("non-empty queue").arrival,
+                        queue_len: ws.queue.len(),
+                        queue_fill: ws.queue.len() as f64 / cap.max(1) as f64,
+                        idle: &idle,
+                        free_at: &free_at,
+                        levels: &ws.levels,
+                        targets: &ws.targets,
+                        peak_flops: &peaks,
+                    };
+                    let Some(g) = router.route(&ctx, &mut costs)? else {
+                        // The router holds this batch for a busy
+                        // platform; its completion event retries.
+                        continue;
+                    };
+                    // A router returning a busy platform would corrupt
+                    // the timeline; treat it as a hold.
+                    if !idle.contains(&g) {
+                        continue;
+                    }
+                    // Slack fit: don't start work on `g` that would make
+                    // a higher-priority waiting queue miss its
+                    // forced-dispatch time — unless some *other* platform
+                    // is free by then and fast enough to serve that
+                    // queue's head within its deadline. On a heterogeneous
+                    // fleet an idle platform is no safety net if it cannot
+                    // make the deadline, so coverage is checked against
+                    // each platform's own predicted cost.
+                    {
+                        let size = wstates[w].queue.len().min(wstates[w].targets[g]);
+                        let my_cost = costs.cost(g, wstates[w].levels[g], size)?.seconds;
                         let mut starves = false;
                         for &hp in &order[..pos] {
-                            if let Some(forced) = self.forced_time(&wstates[hp], &mut costs)? {
-                                if now + my_cost > forced + EPS {
-                                    starves = true;
+                            let Some(forced) =
+                                self.forced_time(&wstates[hp], reference, &mut costs)?
+                            else {
+                                continue;
+                            };
+                            if now + my_cost <= forced + EPS {
+                                continue;
+                            }
+                            let hs = &wstates[hp];
+                            // Invariant: `forced_time` returned `Some`, so
+                            // the queue is non-empty and has a deadline.
+                            let t_user = hs.t_user.expect("deadline workload");
+                            let head_deadline =
+                                hs.queue.front().expect("non-empty queue").arrival + t_user;
+                            let dispatch_at = forced.max(now);
+                            let mut covered = false;
+                            for (p, &free) in free_at.iter().enumerate() {
+                                if p == g || free > dispatch_at + EPS {
+                                    continue;
+                                }
+                                let c = costs.cost(p, hs.levels[p], 1)?.seconds;
+                                if dispatch_at + c <= head_deadline + EPS {
+                                    covered = true;
                                     break;
                                 }
+                            }
+                            if !covered {
+                                starves = true;
+                                break;
                             }
                         }
                         if starves {
@@ -469,8 +728,8 @@ impl<'a> Server<'a> {
 
             // 3. Advance the clock to the next event.
             let mut next = f64::INFINITY;
-            if next_arr < arrivals.len() {
-                next = next.min(arrivals[next_arr].0);
+            if let Some((t, _)) = peek_min(&streams) {
+                next = next.min(t);
             }
             for g in &gstates {
                 if g.free_at > now + EPS {
@@ -479,7 +738,7 @@ impl<'a> Server<'a> {
             }
             for ws in &wstates {
                 if !ws.queue.is_empty() {
-                    if let Some(forced) = self.forced_time(ws, &mut costs)? {
+                    if let Some(forced) = self.forced_time(ws, reference, &mut costs)? {
                         if forced > now + EPS {
                             next = next.min(forced);
                         }
@@ -495,12 +754,13 @@ impl<'a> Server<'a> {
         if let Some(o) = obs.as_mut() {
             o.finish();
         }
-        self.build_report(wstates, gstates)
+        self.build_report(router_name, wstates, gstates)
     }
 
-    /// Dispatches one batch from workload `w` onto GPU `g` at time `now`,
-    /// walking the degradation ladder first if the head deadline or queue
-    /// pressure demands it, and back up when things have been calm.
+    /// Dispatches one batch from workload `w` onto platform `g` at time
+    /// `now`, walking that platform's degradation ladder first if the
+    /// head deadline or queue pressure demands it, and back up when
+    /// things have been calm.
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
@@ -509,19 +769,19 @@ impl<'a> Server<'a> {
         now: f64,
         wstates: &mut [WState],
         gstates: &mut [GState],
-        costs: &mut CostModel,
+        costs: &mut CostOracle,
         obs: &mut Option<Obs>,
     ) -> Result<()> {
         let cap = self.workloads[w].queue_capacity;
-        let max_level = self.ladder.max_level();
+        let max_level = self.platforms[g].ladder.max_level();
         let ws = &mut wstates[w];
         let q = ws.queue.len();
-        let mut size = q.min(ws.target_batch);
+        let mut size = q.min(ws.targets[g]);
         // What the batcher planned for before any escalation or shrink:
         // the oracle-error metric compares this against the dispatched
         // batch's latency. Only the recorder reads it.
         let planned_s = if obs.is_some() {
-            costs.cost(0, ws.level, size)?.seconds
+            costs.cost(g, ws.levels[g], size)?.seconds
         } else {
             0.0
         };
@@ -529,14 +789,14 @@ impl<'a> Server<'a> {
             // Escalate on queue pressure before it turns into misses.
             if self.config.degradation
                 && q as f64 >= self.config.queue_high_watermark * cap as f64
-                && ws.level < max_level
+                && ws.levels[g] < max_level
             {
-                ws.level += 1;
+                ws.levels[g] += 1;
                 ws.degrade_up += 1;
-                ws.calm = 0;
+                ws.calms[g] = 0;
                 pcnn_telemetry::counter("serve.degrade.up", 1);
                 if let Some(o) = obs.as_mut() {
-                    o.on_degrade(w, now, ws.level, true);
+                    o.on_degrade(w, now, ws.levels[g], true);
                 }
             }
             // Invariant: `dispatchable` required a non-empty queue before
@@ -546,7 +806,7 @@ impl<'a> Server<'a> {
             let mut meets = |level: usize, s: usize| -> Result<bool> {
                 Ok(now + costs.cost(g, level, s)?.seconds <= head_deadline + EPS)
             };
-            if !meets(ws.level, size)? {
+            if !meets(ws.levels[g], size)? {
                 // A late arrival can inflate the batch past what the head's
                 // deadline allows: first try a smaller (faster) batch at
                 // the current level, leaving the newer images for the next
@@ -562,21 +822,21 @@ impl<'a> Server<'a> {
                     }
                     Ok(None)
                 };
-                if let Some(s) = shrink(&mut |l, s| meets(l, s), ws.level, size)? {
+                if let Some(s) = shrink(&mut |l, s| meets(l, s), ws.levels[g], size)? {
                     size = s;
                 } else if self.config.degradation {
                     // Even batch 1 misses at this level: walk the ladder.
-                    while ws.level < max_level && !meets(ws.level, size)? {
-                        ws.level += 1;
+                    while ws.levels[g] < max_level && !meets(ws.levels[g], size)? {
+                        ws.levels[g] += 1;
                         ws.degrade_up += 1;
-                        ws.calm = 0;
+                        ws.calms[g] = 0;
                         pcnn_telemetry::counter("serve.degrade.up", 1);
                         if let Some(o) = obs.as_mut() {
-                            o.on_degrade(w, now, ws.level, true);
+                            o.on_degrade(w, now, ws.levels[g], true);
                         }
                     }
-                    if !meets(ws.level, size)? {
-                        if let Some(s) = shrink(&mut |l, s| meets(l, s), ws.level, size)? {
+                    if !meets(ws.levels[g], size)? {
+                        if let Some(s) = shrink(&mut |l, s| meets(l, s), ws.levels[g], size)? {
                             size = s;
                         }
                         // Otherwise the head is lost regardless; keep the
@@ -585,7 +845,8 @@ impl<'a> Server<'a> {
                 }
             }
         }
-        let cost = costs.cost(g, ws.level, size)?;
+        let level = ws.levels[g];
+        let cost = costs.cost(g, level, size)?;
         let finish = now + cost.seconds;
         let mut earliest_arrival = f64::INFINITY;
         let mut members: Vec<BatchMember> = Vec::new();
@@ -595,11 +856,13 @@ impl<'a> Server<'a> {
             // exactly `size` items are poppable.
             let item = ws.queue.pop_front().expect("sized pop");
             earliest_arrival = earliest_arrival.min(item.arrival);
-            let r = &mut ws.reqs[item.req];
+            // Invariant: every queued image belongs to an in-flight
+            // request inserted at admission.
+            let r = ws.reqs.get_mut(&item.req).expect("in-flight request");
             r.remaining -= 1;
             r.done = r.done.max(finish);
             ws.served_images += 1;
-            ws.images_at_level[ws.level] += 1;
+            ws.entropy_sum += self.platforms[g].ladder.levels[level].entropy;
             if obs.is_some() {
                 // A request's images arrive together, so they sit
                 // contiguously in the queue: extend the last member.
@@ -611,14 +874,28 @@ impl<'a> Server<'a> {
                         images: 1,
                     }),
                 }
-                if r.remaining == 0 && r.admitted > 0 && !r.rejected {
+            }
+            if r.remaining == 0 {
+                // Invariant: just looked up.
+                let r = ws.reqs.remove(&item.req).expect("in-flight request");
+                if !r.rejected {
                     let latency_s = r.done - r.arrival;
-                    completions.push(Completion {
-                        req: item.req,
-                        latency_s,
-                        done: r.done,
-                        hit: ws.t_user.map(|t| latency_s <= t + EPS).unwrap_or(true),
-                    });
+                    ws.latency.record(latency_s);
+                    let hit = ws.t_user.map(|t| latency_s <= t + EPS).unwrap_or(true);
+                    if ws.t_user.is_some() {
+                        ws.deadline_total += 1;
+                        if hit {
+                            ws.deadlines_met += 1;
+                        }
+                    }
+                    if obs.is_some() {
+                        completions.push(Completion {
+                            req: item.req,
+                            latency_s,
+                            done: r.done,
+                            hit,
+                        });
+                    }
                 }
             }
         }
@@ -629,19 +906,18 @@ impl<'a> Server<'a> {
         gs.busy += cost.seconds;
         gs.energy = gs.energy.plus(&cost.energy);
         gs.dispatches += 1;
-        pcnn_telemetry::histogram(
-            "serve.batch_occupancy",
-            size as f64 / ws.target_batch as f64,
-        );
+        gs.images += size;
+        gs.images_at_level[level] += size;
+        pcnn_telemetry::histogram("serve.batch_occupancy", size as f64 / ws.targets[g] as f64);
         if let Some(o) = obs.as_mut() {
             o.on_dispatch(
                 w,
                 g,
                 now,
                 finish,
-                ws.level,
+                level,
                 size,
-                ws.target_batch,
+                ws.targets[g],
                 planned_s,
                 cost.seconds,
                 &members,
@@ -650,58 +926,46 @@ impl<'a> Server<'a> {
         }
 
         // Restore path: enough consecutive calm dispatches (short queue,
-        // comfortable slack) walk the ladder back up.
-        if self.config.degradation && ws.level > 0 {
+        // comfortable slack) walk this platform's ladder back up.
+        if self.config.degradation && ws.levels[g] > 0 {
             if let Some(t_user) = ws.t_user {
                 let calm = ws.queue.len() as f64 <= self.config.queue_low_watermark * cap as f64
                     && finish <= earliest_arrival + t_user * (1.0 - self.config.slack_margin);
                 if calm {
-                    ws.calm += 1;
-                    if ws.calm >= self.config.restore_patience {
-                        ws.level -= 1;
+                    ws.calms[g] += 1;
+                    if ws.calms[g] >= self.config.restore_patience {
+                        ws.levels[g] -= 1;
                         ws.degrade_down += 1;
-                        ws.calm = 0;
+                        ws.calms[g] = 0;
                         pcnn_telemetry::counter("serve.degrade.down", 1);
                         if let Some(o) = obs.as_mut() {
-                            o.on_degrade(w, now, ws.level, false);
+                            o.on_degrade(w, now, ws.levels[g], false);
                         }
                     }
                 } else {
-                    ws.calm = 0;
+                    ws.calms[g] = 0;
                 }
             }
         }
         Ok(())
     }
 
-    fn build_report(&self, wstates: Vec<WState>, gstates: Vec<GState>) -> Result<ServeReport> {
+    fn build_report(
+        &self,
+        router_name: &'static str,
+        wstates: Vec<WState>,
+        gstates: Vec<GState>,
+    ) -> Result<ServeReport> {
+        let reference = self.reference();
         let makespan = wstates.iter().map(|w| w.last_finish).fold(0.0, f64::max);
         let mut workloads = Vec::with_capacity(wstates.len());
         for (w, ws) in self.workloads.iter().zip(wstates) {
-            let latencies: Vec<f64> = ws
-                .reqs
-                .iter()
-                .filter(|r| r.admitted > 0 && !r.rejected && r.remaining == 0)
-                .map(|r| r.done - r.arrival)
-                .collect();
-            let (met, total) = match ws.t_user {
-                Some(t_user) => (
-                    latencies.iter().filter(|&&l| l <= t_user + EPS).count(),
-                    latencies.len(),
-                ),
-                None => (0, 0),
-            };
             let mean_entropy = if ws.served_images == 0 {
-                self.ladder.levels[0].entropy
+                self.platforms[reference].ladder.levels[0].entropy
             } else {
-                ws.images_at_level
-                    .iter()
-                    .zip(&self.ladder.levels)
-                    .map(|(&n, l)| n as f64 * l.entropy)
-                    .sum::<f64>()
-                    / ws.served_images as f64
+                ws.entropy_sum / ws.served_images as f64
             };
-            let latency = LatencyStats::of(&latencies);
+            let latency = ws.latency.stats();
             let soc = if ws.served_images == 0 {
                 None
             } else {
@@ -722,39 +986,41 @@ impl<'a> Server<'a> {
             workloads.push(WorkloadReport {
                 name: w.app.name.clone(),
                 kind: w.app.kind,
-                requests: w.trace.requests().len(),
+                requests: w.trace.len(),
                 images: w.trace.total_images(),
                 served_images: ws.served_images,
                 rejected_images: ws.rejected_images,
-                rejected_requests: ws.reqs.iter().filter(|r| r.rejected).count(),
-                target_batch: ws.target_batch,
+                rejected_requests: ws.rejected_requests,
+                target_batch: ws.targets[reference],
                 deadline_s: ws.t_user,
-                deadlines_met: met,
-                deadline_total: total,
+                deadlines_met: ws.deadlines_met,
+                deadline_total: ws.deadline_total,
                 latency,
                 mean_entropy,
                 degrade_up: ws.degrade_up,
                 degrade_down: ws.degrade_down,
-                final_level: ws.level,
+                final_level: ws.levels.iter().copied().max().unwrap_or(0),
                 energy_j: ws.energy.total_j(),
                 soc,
             });
         }
         let gpus = self
-            .gpus
+            .platforms
             .iter()
             .zip(gstates)
-            .map(|(arch, gs)| GpuReport {
-                name: arch.name.to_string(),
+            .map(|(p, gs)| GpuReport {
+                name: p.arch.name.to_string(),
                 dispatches: gs.dispatches,
+                images: gs.images,
                 busy_s: gs.busy,
                 energy_j: gs.energy.total_j(),
-                idle_energy_j: (makespan - gs.busy).max(0.0) * arch.energy.constant_w,
+                idle_energy_j: (makespan - gs.busy).max(0.0) * p.arch.energy.constant_w,
+                images_at_level: gs.images_at_level,
             })
             .collect::<Vec<_>>();
         let total_energy_j = gpus.iter().map(|g| g.energy_j).sum();
         let total_idle_energy_j = gpus.iter().map(|g| g.idle_energy_j).sum();
-        Ok(ServeReport {
+        let mut report = ServeReport {
             workloads,
             gpus,
             makespan_s: makespan,
@@ -762,6 +1028,18 @@ impl<'a> Server<'a> {
             total_idle_energy_j,
             degradation: self.config.degradation,
             max_batch: self.config.max_batch,
-        })
+            router: router_name,
+            fleet: FleetSummary {
+                served_images: 0,
+                deadlines_met: 0,
+                deadline_total: 0,
+                compute_j: 0.0,
+                idle_j: 0.0,
+                joules_per_image: 0.0,
+                mean_soc: 0.0,
+            },
+        };
+        report.fleet = report.fleet_summary();
+        Ok(report)
     }
 }

@@ -1,0 +1,389 @@
+//! Heterogeneous fleet acceptance tests: per-platform cost oracles,
+//! router-policy outcomes on a mixed K20c + Jetson TX1 fleet, fleet
+//! determinism, and the streaming event loop.
+//!
+//! Every threshold is derived from measured simulator costs, never
+//! hard-coded seconds.
+
+use pcnn_core::prelude::*;
+use pcnn_data::{TraceSpec, WorkloadKind};
+use pcnn_gpu::arch::{JETSON_TX1, K20C};
+use pcnn_gpu::GpuArch;
+use pcnn_nn::spec::{ConvSpec, FcSpec, LayerSpec, NetworkSpec};
+use pcnn_serve::{
+    CostOracle, DegradationLadder, Platform, RouterPolicy, ServeWorkload, Server, ServerConfig,
+};
+
+fn tiny_net() -> NetworkSpec {
+    NetworkSpec {
+        name: "TinyFleet".into(),
+        input_elems: 16 * 32 * 32,
+        layers: vec![
+            LayerSpec::Conv(ConvSpec::new("CONV1", 64, 3, 16, 32, 32, 1, 1, 1)),
+            LayerSpec::Conv(ConvSpec::new("CONV2", 128, 3, 64, 16, 16, 1, 1, 1)),
+            LayerSpec::Fc(FcSpec {
+                name: "FC".into(),
+                in_features: 128 * 8 * 8,
+                out_features: 10,
+            }),
+        ],
+    }
+}
+
+/// Unperforated cost of a batch-`b` pass on `arch`.
+fn cost_on(arch: &GpuArch, spec: &NetworkSpec, b: usize) -> NetworkCost {
+    let schedule = OfflineCompiler::new(arch, spec)
+        .try_compile_batch(b)
+        .unwrap();
+    simulate_schedule(arch, &schedule)
+}
+
+/// An interactive workload with an explicit deadline rescaled to the
+/// simulated timescale.
+fn interactive(
+    spec_name: &str,
+    trace: TraceSpec,
+    t_user: f64,
+    capacity: usize,
+    rate: f64,
+) -> ServeWorkload {
+    let app = AppSpec {
+        name: spec_name.into(),
+        kind: WorkloadKind::Interactive,
+        data_rate: rate,
+        accuracy_sensitive: false,
+    };
+    let mut w = ServeWorkload::new(app, trace, capacity);
+    w.req.t_imperceptible = Some(t_user);
+    w.req.t_unusable = Some(20.0 * t_user);
+    w
+}
+
+#[test]
+fn platforms_at_different_rungs_predict_different_costs() {
+    let spec = tiny_net();
+    let n = spec.conv_layers().len();
+    // Same silicon, different ladders: p0's rung 1 perforates lightly,
+    // p1's rung 1 aggressively. The old shared-ladder cost model read one
+    // ladder for both and would predict identical costs.
+    let platforms = vec![
+        Platform::new(&K20C, DegradationLadder::uniform(n, 0.9, &[(0.25, 1.05)])),
+        Platform::new(&K20C, DegradationLadder::uniform(n, 0.9, &[(0.60, 1.50)])),
+    ];
+    let mut oracle = CostOracle::new(&platforms, &spec);
+    let c0 = oracle.cost(0, 1, 8).unwrap();
+    let c1 = oracle.cost(1, 1, 8).unwrap();
+    assert!(
+        c1.seconds < c0.seconds,
+        "deeper perforation must predict a faster batch: {} vs {}",
+        c1.seconds,
+        c0.seconds
+    );
+    // At the shared unperforated level the platforms agree.
+    let b0 = oracle.cost(0, 0, 8).unwrap();
+    let b1 = oracle.cost(1, 0, 8).unwrap();
+    assert_eq!(b0.seconds, b1.seconds);
+}
+
+/// The canonical mixed-fleet deadline scenario: periodic frames whose
+/// forced dispatch leaves exactly the reference K20c's batch-1 latency of
+/// slack. A capability-blind router that hands such a dispatch to the TX1
+/// misses the deadline by the platforms' batch-1 gap; a platform-aware
+/// one keeps every frame on silicon that can hold it.
+fn deadline_scenario(spec: &NetworkSpec, policy: RouterPolicy) -> pcnn_serve::ServeReport {
+    let n = spec.conv_layers().len();
+    let c1_k20 = cost_on(&K20C, spec, 1).seconds;
+    let c1_tx1 = cost_on(&JETSON_TX1, spec, 1).seconds;
+    assert!(
+        c1_tx1 > c1_k20 * 1.001,
+        "scenario needs a real batch-1 gap: {c1_tx1} vs {c1_k20}"
+    );
+    let fps = 1.0 / (1.5 * c1_k20);
+    let frames = ServeWorkload::new(
+        AppSpec::video_surveillance(fps),
+        TraceSpec::real_time(60, fps),
+        64,
+    );
+    Server::builder(spec)
+        .platform(Platform::new(&K20C, DegradationLadder::none(n, 0.9)))
+        .platform(Platform::new(&JETSON_TX1, DegradationLadder::none(n, 0.9)))
+        .config(
+            ServerConfig::default()
+                .with_max_batch(8)
+                .with_degradation(false)
+                .with_router(policy),
+        )
+        .workload(frames)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn affinity_beats_round_robin_on_deadlines() {
+    let spec = tiny_net();
+    let rr = deadline_scenario(&spec, RouterPolicy::RoundRobin);
+    let affinity = deadline_scenario(&spec, RouterPolicy::Affinity);
+
+    let (r, a) = (&rr.workloads[0], &affinity.workloads[0]);
+    assert_eq!(a.deadline_total, 60);
+    assert_eq!(
+        a.deadlines_met, a.deadline_total,
+        "affinity missed deadlines it could meet"
+    );
+    assert!(
+        a.deadlines_met > r.deadlines_met,
+        "affinity {} must strictly beat round-robin {}",
+        a.deadlines_met,
+        r.deadlines_met
+    );
+    // Round-robin really did burn frames on the TX1.
+    assert!(rr.gpus[1].images > 0);
+    // Affinity kept deadline traffic off the platform that cannot hold
+    // it.
+    assert_eq!(affinity.gpus[1].images, 0);
+    assert_eq!(rr.router, "round-robin");
+    assert_eq!(affinity.router, "affinity");
+}
+
+/// A latency-slack scenario: bursts of one full target batch, spaced so
+/// the fleet is usually idle when one lands. Both platforms meet the
+/// deadline comfortably, so the routing choice is pure energy.
+fn slack_scenario(spec: &NetworkSpec, policy: RouterPolicy) -> pcnn_serve::ServeReport {
+    let n = spec.conv_layers().len();
+    let c8_tx1 = cost_on(&JETSON_TX1, spec, 8);
+    let t_user = 4.0 * c8_tx1.seconds;
+    let burst_rate = 1.0 / (3.0 * c8_tx1.seconds);
+    let workload = interactive(
+        "fleet slack",
+        TraceSpec::bursty(WorkloadKind::Interactive, 30, 8, burst_rate, 23),
+        t_user,
+        128,
+        burst_rate * 8.0,
+    );
+    Server::builder(spec)
+        .platform(Platform::new(&K20C, DegradationLadder::none(n, 0.9)))
+        .platform(Platform::new(&JETSON_TX1, DegradationLadder::none(n, 0.9)))
+        .config(
+            ServerConfig::default()
+                .with_max_batch(8)
+                .with_degradation(false)
+                .with_router(policy),
+        )
+        .workload(workload)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn energy_aware_dominates_round_robin_on_joules_at_equal_soc() {
+    let spec = tiny_net();
+    // Scenario validity: the TX1 really is the lower-joule platform at
+    // the batch size the routers place.
+    let (k, t) = (cost_on(&K20C, &spec, 8), cost_on(&JETSON_TX1, &spec, 8));
+    assert!(t.energy.total_j() < k.energy.total_j());
+
+    let rr = slack_scenario(&spec, RouterPolicy::RoundRobin);
+    let ea = slack_scenario(&spec, RouterPolicy::EnergyAware);
+
+    // Same service on both policies…
+    assert_eq!(
+        rr.workloads[0].deadlines_met,
+        rr.workloads[0].deadline_total
+    );
+    assert_eq!(
+        ea.workloads[0].deadlines_met,
+        ea.workloads[0].deadline_total
+    );
+    // …strictly fewer compute joules…
+    assert!(
+        ea.total_energy_j < rr.total_energy_j,
+        "energy-aware {} J vs round-robin {} J",
+        ea.total_energy_j,
+        rr.total_energy_j
+    );
+    // …at equal-or-better SoC (SoC = time x accuracy / energy, so lower
+    // joules at full time/accuracy satisfaction scores higher).
+    let (rr_soc, ea_soc) = (
+        rr.workloads[0].soc.as_ref().unwrap().score,
+        ea.workloads[0].soc.as_ref().unwrap().score,
+    );
+    assert!(
+        ea_soc >= rr_soc,
+        "energy-aware SoC {ea_soc} vs round-robin {rr_soc}"
+    );
+    assert!(ea.fleet.joules_per_image < rr.fleet.joules_per_image);
+}
+
+#[test]
+fn platforms_walk_their_ladders_independently() {
+    let spec = tiny_net();
+    let n = spec.conv_layers().len();
+    let c1_k20 = cost_on(&K20C, &spec, 1).seconds;
+    let c1_tx1 = cost_on(&JETSON_TX1, &spec, 1).seconds;
+    assert!(c1_tx1 > c1_k20 * 1.001, "scenario needs a batch-1 gap");
+    // The deadline-scenario frames again, but with degradation enabled:
+    // round-robin still hands every other forced dispatch to the TX1,
+    // which can only hold the deadline by walking its own ladder — while
+    // the K20c serves the same workload undegraded at level 0.
+    let fps = 1.0 / (1.5 * c1_k20);
+    let frames = ServeWorkload::new(
+        AppSpec::video_surveillance(fps),
+        TraceSpec::real_time(60, fps),
+        64,
+    );
+    let report = Server::builder(&spec)
+        .platform(Platform::new(&K20C, DegradationLadder::default_ladder(n)))
+        .platform(Platform::new(
+            &JETSON_TX1,
+            DegradationLadder::default_ladder(n),
+        ))
+        .config(
+            ServerConfig::default()
+                .with_max_batch(8)
+                .with_router(RouterPolicy::RoundRobin),
+        )
+        .workload(frames)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let (k20, tx1) = (&report.gpus[0], &report.gpus[1]);
+    assert!(k20.images > 0 && tx1.images > 0);
+    // The K20c never left the unperforated level…
+    assert!(
+        k20.images_at_level[1..].iter().all(|&i| i == 0),
+        "K20c degraded: {:?}",
+        k20.images_at_level
+    );
+    // …while the TX1 walked its own ladder on the same workload.
+    assert!(
+        tx1.images_at_level[1..].iter().sum::<usize>() > 0,
+        "TX1 never degraded: {:?}",
+        tx1.images_at_level
+    );
+    let w = &report.workloads[0];
+    assert!(w.final_level >= 1);
+    // Degradation turned the TX1's would-be misses into (degraded) hits,
+    // at an entropy cost the report makes visible.
+    assert_eq!(w.deadlines_met, w.deadline_total);
+    assert!(w.mean_entropy > 0.90);
+}
+
+#[test]
+fn work_stealing_drains_background_faster_than_affinity() {
+    let spec = tiny_net();
+    let n = spec.conv_layers().len();
+    let run = |policy: RouterPolicy| {
+        let bg = ServeWorkload::new(AppSpec::image_tagging(), TraceSpec::background(128), 256);
+        Server::builder(&spec)
+            .platform(Platform::new(&K20C, DegradationLadder::none(n, 0.9)))
+            .platform(Platform::new(&JETSON_TX1, DegradationLadder::none(n, 0.9)))
+            .config(
+                ServerConfig::default()
+                    .with_max_batch(8)
+                    .with_degradation(false)
+                    .with_router(policy),
+            )
+            .workload(bg)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+    };
+    let pinned = run(RouterPolicy::Affinity);
+    let stealing = run(RouterPolicy::WorkStealing);
+    // Affinity pins background work to the big platform; stealing lets
+    // the idle TX1 take batches while the K20c is busy.
+    assert_eq!(pinned.gpus[1].images, 0);
+    assert!(stealing.gpus[1].images > 0);
+    assert!(
+        stealing.makespan_s < pinned.makespan_s,
+        "stealing {} vs pinned {}",
+        stealing.makespan_s,
+        pinned.makespan_s
+    );
+}
+
+#[test]
+fn fleet_reports_are_byte_identical_per_seed() {
+    let spec = tiny_net();
+    let n = spec.conv_layers().len();
+    let c8_k20 = cost_on(&K20C, &spec, 8).seconds;
+    let run = |policy: RouterPolicy| {
+        let t_user = 5.0 * c8_k20;
+        let rate = 1.2 * 8.0 / c8_k20;
+        let mix = interactive(
+            "fleet determinism",
+            TraceSpec::poisson(WorkloadKind::Interactive, 120, rate, 42),
+            t_user,
+            128,
+            rate,
+        );
+        let bg = ServeWorkload::new(AppSpec::image_tagging(), TraceSpec::background(64), 128);
+        Server::builder(&spec)
+            .platform(Platform::new(&K20C, DegradationLadder::default_ladder(n)))
+            .platform(Platform::new(
+                &JETSON_TX1,
+                DegradationLadder::default_ladder(n),
+            ))
+            .config(
+                ServerConfig::default()
+                    .with_max_batch(8)
+                    .with_router(policy),
+            )
+            .workload(mix)
+            .workload(bg)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+            .to_json()
+    };
+    for policy in RouterPolicy::all() {
+        assert_eq!(
+            run(policy),
+            run(policy),
+            "{} run not deterministic",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn streaming_loop_serves_large_lazy_traces() {
+    let spec = tiny_net();
+    let n = spec.conv_layers().len();
+    let c8 = cost_on(&K20C, &spec, 8).seconds;
+    let t_user = 5.0 * c8;
+    let rate = 1.5 * 8.0 / c8;
+    const N: usize = 50_000;
+    // The trace is never materialized: the server pulls arrivals from the
+    // spec one at a time and holds only in-flight requests.
+    let workload = interactive(
+        "fleet stream",
+        TraceSpec::poisson(WorkloadKind::Interactive, N, rate, 9),
+        t_user,
+        128,
+        rate,
+    );
+    let report = Server::builder(&spec)
+        .platform(Platform::new(&K20C, DegradationLadder::default_ladder(n)))
+        .config(ServerConfig::default().with_max_batch(8))
+        .workload(workload)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let w = &report.workloads[0];
+    assert_eq!(w.requests, N);
+    assert_eq!(w.images, N);
+    assert_eq!(w.served_images + w.rejected_images, N);
+    assert!(w.served_images > 0);
+    // Percentile stats came out of the constant-space accumulator.
+    assert!(w.latency.p99 >= w.latency.p50);
+    assert!(w.latency.max >= w.latency.p99);
+}

@@ -11,7 +11,7 @@ use pcnn_core::prelude::*;
 use pcnn_data::{RequestTrace, WorkloadKind};
 use pcnn_gpu::arch::K20C;
 use pcnn_nn::spec::{ConvSpec, FcSpec, LayerSpec, NetworkSpec};
-use pcnn_serve::{DegradationLadder, ServeWorkload, Server, ServerConfig, SloPolicy};
+use pcnn_serve::{DegradationLadder, Platform, ServeWorkload, Server, ServerConfig, SloPolicy};
 
 fn telemetry_lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
@@ -76,8 +76,12 @@ fn run_report(spec: &NetworkSpec, slo: Option<SloPolicy>) -> String {
         ..ServerConfig::default()
     };
     let ladder = DegradationLadder::default_ladder(spec.conv_layers().len());
-    let mut server = Server::new(vec![&K20C], spec, ladder, config).unwrap();
-    server.add_workload(overload_workload(spec, slo));
+    let server = Server::builder(spec)
+        .platform(Platform::new(&K20C, ladder))
+        .config(config)
+        .workload(overload_workload(spec, slo))
+        .build()
+        .unwrap();
     server.run().unwrap().to_json()
 }
 

@@ -9,7 +9,7 @@ use pcnn_core::prelude::*;
 use pcnn_data::{RequestTrace, WorkloadKind};
 use pcnn_gpu::arch::K20C;
 use pcnn_nn::spec::{ConvSpec, FcSpec, LayerSpec, NetworkSpec};
-use pcnn_serve::{fifo_baseline, DegradationLadder, ServeWorkload, Server, ServerConfig};
+use pcnn_serve::{fifo_baseline, DegradationLadder, Platform, ServeWorkload, Server, ServerConfig};
 
 /// A two-conv network small enough to compile in milliseconds but big
 /// enough that perforation changes its cost measurably.
@@ -84,8 +84,12 @@ fn overload_degradation_beats_fixed_batch_fifo() {
     let ladder = DegradationLadder::default_ladder(spec.conv_layers().len());
     let (workload, _) = interactive_workload(&spec, 1.5, 600, 512, 42);
 
-    let mut server = Server::new(vec![&K20C], &spec, ladder.clone(), config()).unwrap();
-    server.add_workload(workload.clone());
+    let server = Server::builder(&spec)
+        .platform(Platform::new(&K20C, ladder.clone()))
+        .config(config())
+        .workload(workload.clone())
+        .build()
+        .unwrap();
     let report = server.run().unwrap();
     let served = &report.workloads[0];
 
@@ -141,12 +145,20 @@ fn algo_rung_is_walked_before_perforation() {
     let with_rung = base.clone().with_algo_rung(0.70, 0.02);
     assert_eq!(with_rung.levels[1].rates, vec![0.0; n]);
 
-    let mut s1 = Server::new(vec![&K20C], &spec, base, cfg.clone()).unwrap();
-    s1.add_workload(workload.clone());
+    let s1 = Server::builder(&spec)
+        .platform(Platform::new(&K20C, base))
+        .config(cfg.clone())
+        .workload(workload.clone())
+        .build()
+        .unwrap();
     let without = s1.run().unwrap();
 
-    let mut s2 = Server::new(vec![&K20C], &spec, with_rung, cfg).unwrap();
-    s2.add_workload(workload);
+    let s2 = Server::builder(&spec)
+        .platform(Platform::new(&K20C, with_rung))
+        .config(cfg)
+        .workload(workload)
+        .build()
+        .unwrap();
     let with = s2.run().unwrap();
 
     let (a, b) = (&without.workloads[0], &with.workloads[0]);
@@ -184,8 +196,12 @@ fn below_capacity_nothing_is_dropped_and_deadlines_hold() {
     let ladder = DegradationLadder::default_ladder(spec.conv_layers().len());
     let (workload, _) = interactive_workload(&spec, 0.4, 200, 256, 7);
 
-    let mut server = Server::new(vec![&K20C], &spec, ladder, config()).unwrap();
-    server.add_workload(workload);
+    let server = Server::builder(&spec)
+        .platform(Platform::new(&K20C, ladder))
+        .config(config())
+        .workload(workload)
+        .build()
+        .unwrap();
     let report = server.run().unwrap();
     let w = &report.workloads[0];
 
@@ -206,8 +222,12 @@ fn same_seed_is_byte_identical() {
     let run = || {
         let ladder = DegradationLadder::default_ladder(spec.conv_layers().len());
         let (workload, _) = interactive_workload(&spec, 1.2, 150, 128, 3);
-        let mut server = Server::new(vec![&K20C], &spec, ladder, config()).unwrap();
-        server.add_workload(workload);
+        let server = Server::builder(&spec)
+            .platform(Platform::new(&K20C, ladder))
+            .config(config())
+            .workload(workload)
+            .build()
+            .unwrap();
         server.run().unwrap().to_json()
     };
     assert_eq!(run(), run());
@@ -230,9 +250,13 @@ fn realtime_outranks_background_and_both_finish() {
     rt.req.t_unusable = Some(period);
     let bg = ServeWorkload::new(AppSpec::image_tagging(), RequestTrace::background(64), 128);
 
-    let mut server = Server::new(vec![&K20C], &spec, ladder, config()).unwrap();
-    server.add_workload(rt);
-    server.add_workload(bg);
+    let server = Server::builder(&spec)
+        .platform(Platform::new(&K20C, ladder))
+        .config(config())
+        .workload(rt)
+        .workload(bg)
+        .build()
+        .unwrap();
     let report = server.run().unwrap();
 
     let rt_report = &report.workloads[0];
@@ -269,8 +293,12 @@ fn infeasible_deadline_is_refused_up_front() {
         RequestTrace::real_time(4, fps),
         16,
     );
-    let mut server = Server::new(vec![&K20C], &spec, ladder, config()).unwrap();
-    server.add_workload(rt);
+    let server = Server::builder(&spec)
+        .platform(Platform::new(&K20C, ladder))
+        .config(config())
+        .workload(rt)
+        .build()
+        .unwrap();
     match server.run() {
         Err(Error::InfeasibleSchedule { t_user, predicted }) => {
             assert!(predicted > t_user);
@@ -280,45 +308,99 @@ fn infeasible_deadline_is_refused_up_front() {
 }
 
 #[test]
-fn constructor_rejects_bad_inputs() {
+fn builder_rejects_bad_inputs() {
     let spec = tiny_net();
     let n_convs = spec.conv_layers().len();
     let ladder = DegradationLadder::default_ladder(n_convs);
 
+    // No platform at all.
     assert!(matches!(
-        Server::new(vec![], &spec, ladder.clone(), config()),
-        Err(Error::InvalidInput { .. })
+        Server::builder(&spec).config(config()).build(),
+        Err(Error::InvalidInput {
+            what: "server needs at least one GPU"
+        })
     ));
+    // A platform whose ladder has no levels.
     assert!(matches!(
-        Server::new(
-            vec![&K20C],
-            &spec,
-            DegradationLadder { levels: vec![] },
-            config()
-        ),
-        Err(Error::InvalidInput { .. })
+        Server::builder(&spec)
+            .platform(Platform::new(&K20C, DegradationLadder { levels: vec![] }))
+            .config(config())
+            .build(),
+        Err(Error::InvalidInput {
+            what: "degradation ladder needs at least one level"
+        })
     ));
+    // A ladder whose rate vectors don't match the network — even when
+    // only the *second* platform carries it.
     assert!(matches!(
-        Server::new(
-            vec![&K20C],
-            &spec,
-            DegradationLadder::default_ladder(n_convs + 1),
-            config()
-        ),
+        Server::builder(&spec)
+            .platform(Platform::new(&K20C, ladder.clone()))
+            .platform(Platform::new(
+                &K20C,
+                DegradationLadder::default_ladder(n_convs + 1)
+            ))
+            .config(config())
+            .build(),
         Err(Error::RateLenMismatch { .. })
     ));
-    let zero_batch = ServerConfig {
-        max_batch: 0,
-        ..ServerConfig::default()
-    };
+    // Config knobs are validated through ServerConfig::validate.
     assert!(matches!(
-        Server::new(vec![&K20C], &spec, ladder.clone(), zero_batch),
-        Err(Error::InvalidInput { .. })
+        Server::builder(&spec)
+            .platform(Platform::new(&K20C, ladder.clone()))
+            .config(config().with_max_batch(0))
+            .build(),
+        Err(Error::InvalidInput {
+            what: "max_batch must be at least 1"
+        })
+    ));
+    assert!(matches!(
+        Server::builder(&spec)
+            .platform(Platform::new(&K20C, ladder.clone()))
+            .config(config().with_slack_margin(2.0))
+            .build(),
+        Err(Error::InvalidInput {
+            what: "slack_margin must be in [0, 1)"
+        })
     ));
 
     // A server with no workloads is an error, not an empty report.
-    let server = Server::new(vec![&K20C], &spec, ladder, config()).unwrap();
+    let server = Server::builder(&spec)
+        .platform(Platform::new(&K20C, ladder))
+        .config(config())
+        .build()
+        .unwrap();
     assert!(matches!(server.run(), Err(Error::InvalidInput { .. })));
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_constructor_still_builds_homogeneous_fleet() {
+    let spec = tiny_net();
+    let ladder = DegradationLadder::default_ladder(spec.conv_layers().len());
+
+    // The shim validates like the builder…
+    assert!(matches!(
+        Server::new(vec![], &spec, ladder.clone(), config()),
+        Err(Error::InvalidInput {
+            what: "server needs at least one GPU"
+        })
+    ));
+    // …and still serves, giving every GPU a copy of the one ladder.
+    let (workload, _) = interactive_workload(&spec, 0.5, 20, 64, 5);
+    let mut old = Server::new(vec![&K20C, &K20C], &spec, ladder.clone(), config()).unwrap();
+    old.add_workload(workload.clone());
+    assert_eq!(old.platforms().len(), 2);
+    let via_builder = Server::builder(&spec)
+        .platform(Platform::new(&K20C, ladder.clone()))
+        .platform(Platform::new(&K20C, ladder))
+        .config(config())
+        .workload(workload)
+        .build()
+        .unwrap();
+    assert_eq!(
+        old.run().unwrap().to_json(),
+        via_builder.run().unwrap().to_json()
+    );
 }
 
 #[test]
@@ -333,7 +415,10 @@ fn observability_config_errors_are_typed() {
         ..config()
     };
     assert!(matches!(
-        Server::new(vec![&K20C], &spec, ladder.clone(), bad_window),
+        Server::builder(&spec)
+            .platform(Platform::new(&K20C, ladder.clone()))
+            .config(bad_window)
+            .build(),
         Err(Error::InvalidInput {
             what: "obs_window_s must be positive and finite"
         })
@@ -346,8 +431,12 @@ fn observability_config_errors_are_typed() {
         min_hit_rate: Some(1.5),
         ..pcnn_serve::SloPolicy::none()
     };
-    let mut server = Server::new(vec![&K20C], &spec, ladder, config()).unwrap();
-    server.add_workload(workload.with_slo(bad_slo));
+    let server = Server::builder(&spec)
+        .platform(Platform::new(&K20C, ladder))
+        .config(config())
+        .workload(workload.with_slo(bad_slo))
+        .build()
+        .unwrap();
     assert!(matches!(
         server.run(),
         Err(Error::InvalidInput {
@@ -365,14 +454,18 @@ fn two_gpus_serve_faster_than_one() {
         degradation: false,
         ..ServerConfig::default()
     };
-    let run = |gpus: Vec<&pcnn_gpu::GpuArch>| {
+    let run = |n_gpus: usize| {
         let bg = ServeWorkload::new(AppSpec::image_tagging(), RequestTrace::background(128), 256);
-        let mut server = Server::new(gpus, &spec, ladder.clone(), no_degrade.clone()).unwrap();
-        server.add_workload(bg);
-        server.run().unwrap()
+        let mut b = Server::builder(&spec)
+            .config(no_degrade.clone())
+            .workload(bg);
+        for _ in 0..n_gpus {
+            b = b.platform(Platform::new(&K20C, ladder.clone()));
+        }
+        b.build().unwrap().run().unwrap()
     };
-    let one = run(vec![&K20C]);
-    let two = run(vec![&K20C, &K20C]);
+    let one = run(1);
+    let two = run(2);
     assert!(
         two.makespan_s < one.makespan_s,
         "two GPUs {} vs one {}",
