@@ -10,12 +10,15 @@
 //!               [--fps F] [--frames N] [--bg-images N] [--max-batch N]
 //!               [--no-degrade] [--smoke] [--json <path>]
 //! pcnn serve-fleet [--smoke] [--policy <round-robin|affinity|energy|steal>]
+//!                  [--scenario <deadline|slack|drain|ladder>]
 //!                  [--stream N] [--json <path>]
 //! pcnn bench-gemm [--reps N] [--json <path>]
 //! pcnn bench-conv [--reps N] [--smoke] [--json <path>]
 //! pcnn profile <alexnet|vggnet|googlenet> [--batch N] [--reps N] [--json <path>]
 //! pcnn obs <trace.json>
 //! pcnn obs diff <a.json> <b.json>
+//! pcnn obs route <trace.json> [--req N] [--workload W]
+//! pcnn obs incident <trace.json.incident.json>
 //! pcnn obs check [--baseline-<name> P] [--candidate-<name> P] [--reps N]
 //!                where <name> is any registered baseline:
 //!                serve, gemm, profile, conv, fleet
@@ -25,7 +28,9 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use pcnn_bench::baselines::{self, FleetBench, FleetScenario, ServeScenario};
-use pcnn_bench::obs::{analyze_trace, diff_documents, load_document, Violation};
+use pcnn_bench::obs::{
+    analyze_incident, analyze_route, analyze_trace, diff_documents, load_document, Violation,
+};
 use pcnn_bench::TableWriter;
 use pcnn_bench::{conv, profile};
 use pcnn_core::offline::{library_schedule, OfflineCompiler};
@@ -40,7 +45,7 @@ use pcnn_serve::RouterPolicy;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\n  pcnn serve    [--gpu <a,b,...>] [--net <...>] [--seed N] [--requests N] [--rate R] [--fps F] [--frames N] [--bg-images N] [--max-batch N] [--no-degrade] [--smoke] [--json <path>]\n  pcnn serve-fleet [--smoke] [--policy <round-robin|affinity|energy|steal>] [--stream N] [--json <path>]\n                                             run the heterogeneous K20c+TX1 fleet scenarios under every routing policy; --stream N serves N lazy requests in O(1) memory\n  pcnn bench-gemm [--reps N] [--json <path>]\n  pcnn bench-conv [--reps N] [--smoke] [--json <path>]\n                                             sweep conv algorithms ({{im2col,direct,winograd}}) over the canonical layer shapes + tuned-plan e2e proof\n  pcnn profile <alexnet|vggnet|googlenet> [--batch N] [--reps N] [--json <path>]\n                                             per-layer phase/roofline report; --json writes the deterministic profile document\n  pcnn obs <trace.json>                      analyze an exported serve trace\n  pcnn obs diff <a.json> <b.json>            attribute the time delta between two profile documents or Chrome traces\n  pcnn obs check [--baseline-<name> P] [--candidate-<name> P] [--reps N]   (<name>: serve, gemm, profile, conv, fleet)\n                                             gate fresh runs against the committed baselines\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest + Prometheus metrics,\nand --threads <N> (or PCNN_THREADS=<N>) to pin the CPU worker pool"
+        "usage:\n  pcnn platforms\n  pcnn compile  --gpu <k20|titanx|970m|tx1> --net <alexnet|vggnet|googlenet> --task <interactive|realtime|background> [--rate <imgs/s>]\n  pcnn simulate --gpu <...> --net <...> [--batch N] [--library <cublas|cudnn|nervana>]\n  pcnn tune     --gpu <...> --m <M> --n <N> --k <K>\n  pcnn serve    [--gpu <a,b,...>] [--net <...>] [--seed N] [--requests N] [--rate R] [--fps F] [--frames N] [--bg-images N] [--max-batch N] [--no-degrade] [--smoke] [--json <path>]\n  pcnn serve-fleet [--smoke] [--policy <round-robin|affinity|energy|steal>] [--scenario <deadline|slack|drain|ladder>] [--stream N] [--json <path>]\n                                             run the heterogeneous K20c+TX1 fleet scenarios under every routing policy; --scenario runs exactly one (clean traces); --stream N serves N lazy requests in O(1) memory\n  pcnn bench-gemm [--reps N] [--json <path>]\n  pcnn bench-conv [--reps N] [--smoke] [--json <path>]\n                                             sweep conv algorithms ({{im2col,direct,winograd}}) over the canonical layer shapes + tuned-plan e2e proof\n  pcnn profile <alexnet|vggnet|googlenet> [--batch N] [--reps N] [--json <path>]\n                                             per-layer phase/roofline report; --json writes the deterministic profile document\n  pcnn obs <trace.json>                      analyze an exported serve trace\n  pcnn obs diff <a.json> <b.json>            attribute the time delta between two profile documents or Chrome traces\n  pcnn obs route <trace.json> [--req N] [--workload W]   routing audit trail: reason histogram, steal flows, per-request \"why platform P\"\n  pcnn obs incident <trace>.incident.json    postmortem a flight-recorder incident snapshot (alert + last windows + recent decisions)\n  pcnn obs check [--baseline-<name> P] [--candidate-<name> P] [--reps N]   (<name>: serve, gemm, profile, conv, fleet)\n                                             gate fresh runs against the committed baselines\nevery subcommand also accepts --trace <path> (or PCNN_TRACE=<path>) to write a Chrome trace + JSONL manifest + Prometheus metrics,\nand --threads <N> (or PCNN_THREADS=<N>) to pin the CPU worker pool"
     );
     ExitCode::from(2)
 }
@@ -525,6 +530,47 @@ fn cmd_serve_fleet(flags: &HashMap<String, String>) -> ExitCode {
         pcnn_telemetry::set_export_mode(pcnn_telemetry::ExportMode::Deterministic);
     }
 
+    // `--scenario` runs exactly one scenario, so a trace (and its route
+    // audit trail / incident snapshot) covers a single serving run
+    // instead of the full 13-run bench sweep.
+    if let Some(name) = flags.get("scenario") {
+        if flags.contains_key("json") {
+            eprintln!("error: --json writes the full bench (drop --scenario)");
+            return ExitCode::from(2);
+        }
+        let p = policy.unwrap_or_default();
+        let report = match name.as_str() {
+            "deadline" => scenario.run_deadline(p),
+            "slack" => scenario.run_slack(p),
+            "drain" => scenario.run_drain(p),
+            // The ladder demo is defined under round-robin.
+            "ladder" => scenario.run_ladder_demo(),
+            _ => {
+                eprintln!(
+                    "error: unknown scenario {name:?} (expected deadline, slack, drain, or ladder)"
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let report = match report {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve-fleet failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "{name} scenario ({} router): {}/{} deadlines, {} images served, {:.3} compute J, makespan {:.3} s",
+            report.router,
+            report.fleet.deadlines_met,
+            report.fleet.deadline_total,
+            report.fleet.served_images,
+            report.fleet.compute_j,
+            report.makespan_s
+        );
+        return ExitCode::SUCCESS;
+    }
+
     if let Some(n) = flags.get("stream") {
         let Ok(n) = n.parse::<usize>() else {
             return usage();
@@ -895,6 +941,287 @@ fn cmd_obs_check(flags: &HashMap<String, String>) -> ExitCode {
     }
 }
 
+fn fmt_slack(slack_s: Option<f64>) -> String {
+    slack_s
+        .map(|s| format!("{:+.2}", s * 1e3))
+        .unwrap_or_else(|| "-".to_string())
+}
+
+fn route_decision_row(d: &pcnn_bench::obs::RouteRecord) -> Vec<String> {
+    vec![
+        format!("{:.4}", d.t_s),
+        d.workload.clone(),
+        format!("#{}", d.req),
+        d.platform.clone().unwrap_or_else(|| "hold".to_string()),
+        d.reason.clone(),
+        if d.dispatched { "yes" } else { "no" }.to_string(),
+        d.queue.to_string(),
+        d.from.clone().unwrap_or_else(|| "-".to_string()),
+    ]
+}
+
+/// `pcnn obs route <trace.json>` — the routing-decision audit trail:
+/// decision histogram by reason, steal-flow matrix, and (with `--req N`
+/// and optionally `--workload W`) the full "why did request X land on
+/// platform P" story including every rejected candidate's score.
+fn cmd_obs_route(path: &str, flags: &HashMap<String, String>) -> ExitCode {
+    let Some(doc) = load_json(path) else {
+        return ExitCode::FAILURE;
+    };
+    let report = match analyze_route(&doc) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.decisions.is_empty() {
+        println!("no route.decision events in {path} (was the trace exported by a fleet run with PCNN_TRACE set?)");
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(req) = flags.get("req") {
+        let Ok(req) = req.parse::<u64>() else {
+            return usage();
+        };
+        let workload = match flags.get("workload") {
+            Some(w) => w.clone(),
+            None => {
+                // With a single workload in the trail the flag is noise.
+                let mut names: Vec<&str> = report
+                    .decisions
+                    .iter()
+                    .map(|d| d.workload.as_str())
+                    .collect();
+                names.sort_unstable();
+                names.dedup();
+                match names.as_slice() {
+                    [only] => only.to_string(),
+                    many => {
+                        eprintln!(
+                            "error: trace has {} workloads ({}); pick one with --workload",
+                            many.len(),
+                            many.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        };
+        let decisions = report.for_request(&workload, req);
+        if decisions.is_empty() {
+            println!("no routing decisions for request {workload}#{req} in {path}");
+            return ExitCode::FAILURE;
+        }
+        let mut t = TableWriter::new(vec![
+            "t (s)",
+            "workload",
+            "req",
+            "platform",
+            "reason",
+            "dispatched",
+            "queue",
+            "stolen from",
+        ]);
+        for d in &decisions {
+            t.row(route_decision_row(d));
+        }
+        t.print(&format!(
+            "routing decisions for request {workload}#{req} ({})",
+            path
+        ));
+        // The candidate scores behind the decision that actually placed
+        // the request (falling back to the last attempt for holds).
+        let story = decisions
+            .iter()
+            .rfind(|d| d.dispatched)
+            .or(decisions.last())
+            .expect("non-empty decisions");
+        if story.candidates.is_empty() {
+            println!("no candidate scores recorded for this decision");
+        } else {
+            let mut t = TableWriter::new(vec![
+                "candidate",
+                "batch",
+                "predicted (ms)",
+                "slack (ms)",
+                "J/img",
+                "feasible",
+                "verdict",
+            ]);
+            for c in &story.candidates {
+                let chosen = story.platform.as_deref() == Some(c.platform.as_str());
+                t.row(vec![
+                    c.platform.clone(),
+                    c.batch.to_string(),
+                    format!("{:.2}", c.predicted_s * 1e3),
+                    fmt_slack(c.slack_s),
+                    format!("{:.4}", c.joules_per_image),
+                    if c.feasible { "yes" } else { "no" }.to_string(),
+                    if chosen {
+                        format!("chosen ({})", story.reason)
+                    } else if c.feasible {
+                        "passed over".to_string()
+                    } else {
+                        "rejected: misses deadline".to_string()
+                    },
+                ]);
+            }
+            t.print(&format!(
+                "candidate scores at t={:.4}s (queue depth {})",
+                story.t_s, story.queue
+            ));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut t = TableWriter::new(vec!["reason", "decisions", "dispatched"]);
+    for (reason, (total, dispatched)) in &report.by_reason {
+        t.row(vec![
+            reason.clone(),
+            total.to_string(),
+            dispatched.to_string(),
+        ]);
+    }
+    t.print(&format!(
+        "decision histogram by reason ({} decisions)",
+        report.decisions.len()
+    ));
+    if report.steals.is_empty() {
+        println!("no steals");
+    } else {
+        let mut t = TableWriter::new(vec!["from", "to", "batches"]);
+        for ((from, to), n) in &report.steals {
+            t.row(vec![from.clone(), to.clone(), n.to_string()]);
+        }
+        t.print("steal-flow matrix");
+    }
+    println!("drill into one request with: pcnn obs route {path} --req <N> [--workload <name>]");
+    ExitCode::SUCCESS
+}
+
+/// `pcnn obs incident <snapshot.incident.json>` — postmortem view of a
+/// self-contained incident snapshot: the alert that fired, the last
+/// closed window's state, and the flight recorder's recent routing
+/// decisions and ladder moves.
+fn cmd_obs_incident(path: &str) -> ExitCode {
+    let Some(doc) = load_json(path) else {
+        return ExitCode::FAILURE;
+    };
+    let inc = match analyze_incident(&doc) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "incident: {} SLO on {} violated at t={:.3}s — observed {:.4} vs objective {:.4} (burn {:.2}x)",
+        inc.alert.metric,
+        inc.alert.workload,
+        inc.alert.t_s,
+        inc.alert.observed,
+        inc.alert.objective,
+        inc.alert.burn_rate
+    );
+    println!(
+        "run: {} router, {:.3}s SLO windows, platforms [{}], workloads [{}]",
+        inc.router,
+        inc.window_s,
+        inc.platforms.join(", "),
+        inc.workloads.join(", ")
+    );
+    if let Some(last) = inc.windows.last() {
+        let get_f = |v: &pcnn_telemetry::json::JsonValue, k: &str| {
+            v.get(k).and_then(pcnn_telemetry::json::JsonValue::as_f64)
+        };
+        let get_s = |v: &pcnn_telemetry::json::JsonValue, k: &str| {
+            v.get(k)
+                .and_then(pcnn_telemetry::json::JsonValue::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        let mut t = TableWriter::new(vec!["metric", "label", "count", "mean", "p99", "max"]);
+        for r in last
+            .get("records")
+            .and_then(pcnn_telemetry::json::JsonValue::as_array)
+            .unwrap_or(&[])
+        {
+            let (count, mean, p99, max) = match get_f(r, "count") {
+                Some(n) => (n, None, None, None),
+                None => (
+                    get_f(r, "n").unwrap_or(0.0),
+                    get_f(r, "mean"),
+                    get_f(r, "p99"),
+                    get_f(r, "max"),
+                ),
+            };
+            let num = |v: Option<f64>| v.map(|x| format!("{x:.4}")).unwrap_or_else(|| "-".into());
+            t.row(vec![
+                get_s(r, "name"),
+                get_s(r, "label"),
+                format!("{count}"),
+                num(mean),
+                num(p99),
+                num(max),
+            ]);
+        }
+        t.print(&format!(
+            "last closed window (#{}, {:.3}s..{:.3}s) of {} snapshotted",
+            get_f(last, "window").unwrap_or(f64::NAN),
+            get_f(last, "start_s").unwrap_or(f64::NAN),
+            get_f(last, "end_s").unwrap_or(f64::NAN),
+            inc.windows.len()
+        ));
+    }
+    if inc.route_decisions.is_empty() {
+        println!("no route decisions in the flight recorder");
+    } else {
+        let mut t = TableWriter::new(vec![
+            "t (s)",
+            "workload",
+            "req",
+            "platform",
+            "reason",
+            "dispatched",
+            "queue",
+            "stolen from",
+        ]);
+        let shown = inc.route_decisions.len().min(12);
+        for d in &inc.route_decisions[inc.route_decisions.len() - shown..] {
+            t.row(route_decision_row(d));
+        }
+        t.print(&format!(
+            "most recent route decisions ({} of {} recorded)",
+            shown,
+            inc.route_decisions.len()
+        ));
+    }
+    if inc.ladder_moves.is_empty() {
+        println!("no ladder moves in the flight recorder");
+    } else {
+        let mut t = TableWriter::new(vec!["t (s)", "workload", "platform", "level", "dir"]);
+        for m in &inc.ladder_moves {
+            let f = |k: &str| m.get(k).and_then(pcnn_telemetry::json::JsonValue::as_f64);
+            let s = |k: &str| {
+                m.get(k)
+                    .and_then(pcnn_telemetry::json::JsonValue::as_str)
+                    .unwrap_or("?")
+                    .to_string()
+            };
+            t.row(vec![
+                format!("{:.4}", f("t_s").unwrap_or(f64::NAN)),
+                s("workload"),
+                s("platform"),
+                format!("{}", f("level").unwrap_or(f64::NAN)),
+                s("dir"),
+            ]);
+        }
+        t.print(&format!("ladder moves ({})", inc.ladder_moves.len()));
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_obs(rest: &[String]) -> ExitCode {
     match rest.split_first() {
         Some((sub, tail)) if sub == "check" => {
@@ -905,6 +1232,19 @@ fn cmd_obs(rest: &[String]) -> ExitCode {
         }
         Some((sub, tail)) if sub == "diff" => match tail {
             [a, b] if !a.starts_with("--") && !b.starts_with("--") => cmd_obs_diff(a, b),
+            _ => usage(),
+        },
+        Some((sub, tail)) if sub == "route" => match tail.split_first() {
+            Some((path, rest)) if !path.starts_with("--") => {
+                let Some(flags) = parse_flags(rest) else {
+                    return usage();
+                };
+                cmd_obs_route(path, &flags)
+            }
+            _ => usage(),
+        },
+        Some((sub, tail)) if sub == "incident" => match tail {
+            [path] if !path.starts_with("--") => cmd_obs_incident(path),
             _ => usage(),
         },
         Some((path, _)) if !path.starts_with("--") => cmd_obs_analyze(path),

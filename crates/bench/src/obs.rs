@@ -768,11 +768,10 @@ pub fn diff_profiles(a: &JsonValue, b: &JsonValue) -> Result<ProfileDiff, String
 
 /// Per-name total `"X"`-slice durations (ms) from a Chrome trace, with
 /// `"#k"` string-table references resolved back to full names.
-fn trace_slice_totals(doc: &JsonValue) -> Result<BTreeMap<String, f64>, String> {
-    let events = doc
-        .as_array()
-        .ok_or_else(|| "trace is not a JSON array".to_string())?;
-    // `"#k" -> name` from the string-table metadata event.
+/// The `"#k" -> name` map from a trace's string-table metadata event.
+/// Long runs intern repeated event names; every analyzer resolves names
+/// through this before matching.
+fn trace_string_table(events: &[JsonValue]) -> BTreeMap<String, String> {
     let mut table: BTreeMap<String, String> = BTreeMap::new();
     for ev in events {
         if ev.get("name").and_then(JsonValue::as_str) == Some("trace_string_table") {
@@ -785,6 +784,14 @@ fn trace_slice_totals(doc: &JsonValue) -> Result<BTreeMap<String, f64>, String> 
             }
         }
     }
+    table
+}
+
+fn trace_slice_totals(doc: &JsonValue) -> Result<BTreeMap<String, f64>, String> {
+    let events = doc
+        .as_array()
+        .ok_or_else(|| "trace is not a JSON array".to_string())?;
+    let table = trace_string_table(events);
     let mut out = BTreeMap::new();
     for ev in events {
         if ev.get("ph").and_then(JsonValue::as_str) != Some("X") {
@@ -913,10 +920,12 @@ pub fn analyze_trace(doc: &JsonValue) -> Result<TraceAnalysis, String> {
         .as_array()
         .ok_or_else(|| "trace is not a JSON array".to_string())?;
     let mut out = TraceAnalysis::default();
+    let table = trace_string_table(events);
     // (label, req) -> accumulated path.
     let mut paths: BTreeMap<(String, u64), CriticalPath> = BTreeMap::new();
     for ev in events {
-        let name = ev.get("name").and_then(JsonValue::as_str).unwrap_or("");
+        let raw = ev.get("name").and_then(JsonValue::as_str).unwrap_or("");
+        let name = table.get(raw).map(String::as_str).unwrap_or(raw);
         let ph = ev.get("ph").and_then(JsonValue::as_str).unwrap_or("");
         let args = ev.get("args");
         let arg_f = |key: &str| args.and_then(|a| a.get(key)).and_then(JsonValue::as_f64);
@@ -950,10 +959,15 @@ pub fn analyze_trace(doc: &JsonValue) -> Result<TraceAnalysis, String> {
                     _ => {}
                 }
             }
-            "i" if name == "slo.alert" => {
+            "i" if name == "slo.alert" || name == "slo.platform_alert" => {
+                // Platform alerts carry a `platform` arg where workload
+                // alerts carry `workload`; fold both into one stream.
+                let subject = arg_s("workload")
+                    .map(str::to_string)
+                    .or_else(|| arg_s("platform").map(|p| format!("platform {p}")));
                 out.alerts.push(Alert {
                     t_s: ev.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0) / 1e6,
-                    workload: arg_s("workload").unwrap_or("?").to_string(),
+                    workload: subject.unwrap_or_else(|| "?".to_string()),
                     metric: arg_s("metric").unwrap_or("?").to_string(),
                     observed: arg_f("observed").unwrap_or(f64::NAN),
                     objective: arg_f("objective").unwrap_or(f64::NAN),
@@ -978,6 +992,307 @@ pub fn analyze_trace(doc: &JsonValue) -> Result<TraceAnalysis, String> {
         }
     }
     Ok(out)
+}
+
+/// One per-candidate score the router considered and (mostly) rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteCandidate {
+    /// Platform (architecture) name.
+    pub platform: String,
+    /// Batch size the score was computed for.
+    pub batch: u64,
+    /// Predicted batch latency on this platform, seconds.
+    pub predicted_s: f64,
+    /// Deadline slack were the batch placed here (`None` for
+    /// deadline-free workloads).
+    pub slack_s: Option<f64>,
+    /// Predicted energy per image, joules.
+    pub joules_per_image: f64,
+    /// Whether the head deadline would still be met here.
+    pub feasible: bool,
+}
+
+/// One routing decision from the audit trail — a placement, hold or
+/// steal, with every candidate's score at decision time.
+#[derive(Debug, Clone)]
+pub struct RouteRecord {
+    /// Decision time, virtual seconds.
+    pub t_s: f64,
+    /// Workload name.
+    pub workload: String,
+    /// Head request id the decision was made for.
+    pub req: u64,
+    /// Chosen platform name, `None` for a hold.
+    pub platform: Option<String>,
+    /// Reason code (`DeadlineSlack`, `JoulesPerImage`, `Steal`, …).
+    pub reason: String,
+    /// Whether the dispatcher went through with the placement (`false`
+    /// for holds, busy platforms and starvation vetoes).
+    pub dispatched: bool,
+    /// Workload queue depth at decision time, images.
+    pub queue: u64,
+    /// For steals: the busy platform the work was stolen from.
+    pub from: Option<String>,
+    /// Per-candidate scores (empty when the router saw no alternatives).
+    pub candidates: Vec<RouteCandidate>,
+}
+
+/// The routing audit trail extracted from one trace: every decision in
+/// order, the decision histogram by reason, and the steal-flow matrix.
+#[derive(Debug, Clone, Default)]
+pub struct RouteReport {
+    /// Decisions in trace (= virtual time) order.
+    pub decisions: Vec<RouteRecord>,
+    /// `reason -> (decisions, dispatched)`.
+    pub by_reason: BTreeMap<String, (usize, usize)>,
+    /// `(from, to) -> dispatched steals`.
+    pub steals: BTreeMap<(String, String), usize>,
+}
+
+impl RouteReport {
+    /// Every decision made for request `req` of `workload`, in order —
+    /// holds and vetoes first, the dispatching decision (if any) last.
+    pub fn for_request(&self, workload: &str, req: u64) -> Vec<&RouteRecord> {
+        self.decisions
+            .iter()
+            .filter(|d| d.workload == workload && d.req == req)
+            .collect()
+    }
+}
+
+/// Re-expands the compact candidate encoding the `route.decision` instant
+/// carries: `platform:batch:predicted_s:slack_s:joules_per_image:feasible`
+/// per candidate, `;`-joined, `-` for a deadline-free slack.
+fn parse_candidates(s: &str) -> Vec<RouteCandidate> {
+    let mut out = Vec::new();
+    for c in s.split(';').filter(|c| !c.is_empty()) {
+        // The platform name is free-form; the five score fields are not,
+        // so split from the right.
+        let parts: Vec<&str> = c.rsplitn(6, ':').collect();
+        if parts.len() != 6 {
+            continue;
+        }
+        let (feasible, jpi, slack, predicted, batch, platform) =
+            (parts[0], parts[1], parts[2], parts[3], parts[4], parts[5]);
+        let Ok(predicted_s) = predicted.parse::<f64>() else {
+            continue;
+        };
+        out.push(RouteCandidate {
+            platform: platform.to_string(),
+            batch: batch.parse().unwrap_or(0),
+            predicted_s,
+            slack_s: (slack != "-").then(|| slack.parse().unwrap_or(f64::NAN)),
+            joules_per_image: jpi.parse().unwrap_or(f64::NAN),
+            feasible: feasible == "1",
+        });
+    }
+    out
+}
+
+/// Builds one [`RouteRecord`] from a `route.decision` instant's args.
+fn route_record(t_s: f64, args: &JsonValue) -> Option<RouteRecord> {
+    let arg_s = |key: &str| args.get(key).and_then(JsonValue::as_str);
+    let arg_f = |key: &str| args.get(key).and_then(JsonValue::as_f64);
+    let platform = match arg_s("platform")? {
+        "hold" => None,
+        p => Some(p.to_string()),
+    };
+    Some(RouteRecord {
+        t_s,
+        workload: arg_s("workload")?.to_string(),
+        req: arg_f("req")? as u64,
+        platform,
+        reason: arg_s("reason")?.to_string(),
+        dispatched: args
+            .get("dispatched")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false),
+        queue: arg_f("queue").unwrap_or(0.0) as u64,
+        from: arg_s("from").map(str::to_string),
+        candidates: parse_candidates(arg_s("candidates").unwrap_or("")),
+    })
+}
+
+/// Extracts the routing audit trail from an exported Chrome trace:
+/// answers "why did request X land on platform P" (`for_request`), and
+/// aggregates the decision histogram and steal-flow matrix.
+///
+/// # Errors
+///
+/// Returns a message when the document is not a trace-event array.
+pub fn analyze_route(doc: &JsonValue) -> Result<RouteReport, String> {
+    let events = doc
+        .as_array()
+        .ok_or_else(|| "trace is not a JSON array".to_string())?;
+    let table = trace_string_table(events);
+    let mut out = RouteReport::default();
+    for ev in events {
+        let raw = ev.get("name").and_then(JsonValue::as_str).unwrap_or("");
+        let name = table.get(raw).map(String::as_str).unwrap_or(raw);
+        if ev.get("ph").and_then(JsonValue::as_str) != Some("i") || name != "route.decision" {
+            continue;
+        }
+        let t_s = ev.get("ts").and_then(JsonValue::as_f64).unwrap_or(0.0) / 1e6;
+        let Some(rec) = ev.get("args").and_then(|a| route_record(t_s, a)) else {
+            continue;
+        };
+        let entry = out.by_reason.entry(rec.reason.clone()).or_insert((0, 0));
+        entry.0 += 1;
+        if rec.dispatched {
+            entry.1 += 1;
+            if let (Some(from), Some(to)) = (&rec.from, &rec.platform) {
+                if rec.reason == "Steal" {
+                    *out.steals.entry((from.clone(), to.clone())).or_insert(0) += 1;
+                }
+            }
+        }
+        out.decisions.push(rec);
+    }
+    Ok(out)
+}
+
+/// One parsed incident snapshot (`<trace>.incident.json`): the alert
+/// that froze the flight recorder plus the recorder's contents.
+#[derive(Debug, Clone)]
+pub struct IncidentReport {
+    /// Router policy name the run was serving under.
+    pub router: String,
+    /// SLO window width, virtual seconds.
+    pub window_s: f64,
+    /// `"workload"` or `"platform"` — which kind of SLO fired.
+    pub scope: String,
+    /// The alert itself (for platform scope, `workload` carries
+    /// `platform <name>`).
+    pub alert: Alert,
+    /// Fleet platform names, routing-index order.
+    pub platforms: Vec<String>,
+    /// Workload names.
+    pub workloads: Vec<String>,
+    /// The last closed-window snapshots, oldest first (raw records).
+    pub windows: Vec<JsonValue>,
+    /// Recent routing decisions, oldest first.
+    pub route_decisions: Vec<RouteRecord>,
+    /// Recent ladder moves, oldest first (raw records).
+    pub ladder_moves: Vec<JsonValue>,
+}
+
+/// Parses a self-contained incident snapshot produced when a run's first
+/// SLO alert fired.
+///
+/// # Errors
+///
+/// Returns a message when the document is not an incident snapshot.
+pub fn analyze_incident(doc: &JsonValue) -> Result<IncidentReport, String> {
+    if doc.get("kind").and_then(JsonValue::as_str) != Some("incident") {
+        return Err("document is not an incident snapshot (kind != \"incident\")".to_string());
+    }
+    let alert = doc
+        .get("alert")
+        .ok_or_else(|| "incident snapshot has no alert".to_string())?;
+    let astr = |key: &str| alert.get(key).and_then(JsonValue::as_str).unwrap_or("?");
+    let afl = |key: &str| {
+        alert
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(f64::NAN)
+    };
+    let scope = astr("scope").to_string();
+    let subject = astr("subject");
+    let strings = |key: &str| -> Vec<String> {
+        doc.get(key)
+            .and_then(JsonValue::as_array)
+            .map(|a| {
+                a.iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let arrays = |key: &str| -> Vec<JsonValue> {
+        doc.get(key)
+            .and_then(JsonValue::as_array)
+            .map(<[JsonValue]>::to_vec)
+            .unwrap_or_default()
+    };
+    let route_decisions = arrays("route_decisions")
+        .iter()
+        .filter_map(|d| {
+            let t_s = d.get("t_s").and_then(JsonValue::as_f64).unwrap_or(0.0);
+            // Snapshot decisions carry expanded candidate objects rather
+            // than the trace's compact string.
+            let mut rec = route_record_from_snapshot(t_s, d)?;
+            rec.candidates = d
+                .get("candidates")
+                .and_then(JsonValue::as_array)
+                .map(|cs| cs.iter().filter_map(candidate_from_snapshot).collect())
+                .unwrap_or_default();
+            Some(rec)
+        })
+        .collect();
+    Ok(IncidentReport {
+        router: doc
+            .get("router")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        window_s: doc
+            .get("window_s")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(f64::NAN),
+        scope: scope.clone(),
+        alert: Alert {
+            t_s: afl("t_s"),
+            workload: if scope == "platform" {
+                format!("platform {subject}")
+            } else {
+                subject.to_string()
+            },
+            metric: astr("metric").to_string(),
+            observed: afl("observed"),
+            objective: afl("objective"),
+            burn_rate: afl("burn_rate"),
+        },
+        platforms: strings("platforms"),
+        workloads: strings("workloads"),
+        windows: arrays("windows"),
+        route_decisions,
+        ladder_moves: arrays("ladder_moves"),
+    })
+}
+
+fn route_record_from_snapshot(t_s: f64, d: &JsonValue) -> Option<RouteRecord> {
+    let arg_s = |key: &str| d.get(key).and_then(JsonValue::as_str);
+    Some(RouteRecord {
+        t_s,
+        workload: arg_s("workload")?.to_string(),
+        req: d.get("req").and_then(JsonValue::as_f64)? as u64,
+        platform: arg_s("platform").map(str::to_string),
+        reason: arg_s("reason")?.to_string(),
+        dispatched: d
+            .get("dispatched")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false),
+        queue: d.get("queue").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64,
+        from: arg_s("from").map(str::to_string),
+        candidates: Vec::new(),
+    })
+}
+
+fn candidate_from_snapshot(c: &JsonValue) -> Option<RouteCandidate> {
+    Some(RouteCandidate {
+        platform: c.get("platform").and_then(JsonValue::as_str)?.to_string(),
+        batch: c.get("batch").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64,
+        predicted_s: c.get("predicted_s").and_then(JsonValue::as_f64)?,
+        slack_s: c.get("slack_s").and_then(JsonValue::as_f64),
+        joules_per_image: c
+            .get("joules_per_image")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(f64::NAN),
+        feasible: c
+            .get("feasible")
+            .and_then(JsonValue::as_bool)
+            .unwrap_or(false),
+    })
 }
 
 #[cfg(test)]
@@ -1346,5 +1661,110 @@ mod tests {
         assert!(compare_gemm(&base, &dropped)
             .iter()
             .any(|v| v.metric.contains("scaling_efficiency") && v.metric.contains("missing")));
+    }
+
+    #[test]
+    fn candidate_parsing_splits_from_the_right() {
+        // Platform names are free-form (spaces included); only the five
+        // score fields are colon-structured.
+        let cands = parse_candidates("K20c:4:0.5:0.25:2:1;Jetson TX1:4:2:-:0.5:0");
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].platform, "K20c");
+        assert_eq!(cands[0].batch, 4);
+        assert_eq!(cands[0].slack_s, Some(0.25));
+        assert!(cands[0].feasible);
+        assert_eq!(cands[1].platform, "Jetson TX1");
+        assert_eq!(cands[1].slack_s, None); // deadline-free
+        assert!(!cands[1].feasible);
+        // Malformed fragments are skipped, not panicked on.
+        assert!(parse_candidates("").is_empty());
+        assert!(parse_candidates("junk").is_empty());
+    }
+
+    #[test]
+    fn analyze_route_builds_histogram_and_steal_matrix() {
+        // `route.decision` is long and frequent enough to be interned, so
+        // the analyzer must resolve the trail through the string table.
+        let doc = json::parse(
+            r##"[
+            {"name":"trace_string_table","ph":"M","pid":0,"tid":0,"args":{"3":"route.decision"}},
+            {"name":"#3","ph":"i","pid":3,"tid":5,"ts":0,"s":"t","args":
+              {"workload":"vid","req":0,"platform":"K20c","reason":"DeadlineSlack",
+               "dispatched":true,"queue":1,"candidates":"K20c:1:0.5:0.25:2:1;TX1:1:2:-0.5:0.5:0"}},
+            {"name":"#3","ph":"i","pid":3,"tid":5,"ts":100,"s":"t","args":
+              {"workload":"vid","req":1,"platform":"hold","reason":"HoldForBusy",
+               "dispatched":false,"queue":2,"candidates":""}},
+            {"name":"#3","ph":"i","pid":3,"tid":5,"ts":200,"s":"t","args":
+              {"workload":"vid","req":1,"platform":"TX1","reason":"Steal",
+               "dispatched":true,"queue":2,"from":"K20c","candidates":""}}
+            ]"##,
+        )
+        .unwrap();
+        let r = analyze_route(&doc).unwrap();
+        assert_eq!(r.decisions.len(), 3);
+        assert_eq!(r.by_reason["DeadlineSlack"], (1, 1));
+        assert_eq!(r.by_reason["HoldForBusy"], (1, 0));
+        assert_eq!(r.steals[&("K20c".to_string(), "TX1".to_string())], 1);
+        // "Why did request 1 land where it did": hold first, steal last.
+        let trail = r.for_request("vid", 1);
+        assert_eq!(trail.len(), 2);
+        assert_eq!(trail[0].platform, None);
+        assert_eq!(trail[1].platform.as_deref(), Some("TX1"));
+        assert_eq!(trail[1].from.as_deref(), Some("K20c"));
+        // The dispatching decision's candidates decode with their verdicts.
+        assert!(r.decisions[0].candidates[0].feasible);
+        assert_eq!(r.decisions[0].candidates[1].slack_s, Some(-0.5));
+    }
+
+    #[test]
+    fn analyze_incident_parses_a_snapshot() {
+        let doc = json::parse(
+            r#"{"kind":"incident","router":"round-robin","window_s":0.25,
+            "alert":{"t_s":0.5,"scope":"platform","subject":"TX1","window":2,
+                     "metric":"deadline_hit_rate","observed":0.5,"objective":0.95,
+                     "burn_rate":10.0},
+            "platforms":["K20c","TX1"],"workloads":["vid"],
+            "windows":[{"window":2,"records":[]}],
+            "route_decisions":[
+              {"t_s":0.4,"workload":"vid","req":7,"platform":"TX1",
+               "reason":"RoundRobin","dispatched":true,"queue":3,
+               "candidates":[{"platform":"TX1","batch":1,"predicted_s":2.0,
+                              "slack_s":-1.0,"joules_per_image":0.5,"feasible":false}]}],
+            "ladder_moves":[{"t_s":0.3,"workload":"vid","platform":"TX1","level":1,"dir":"down"}]}"#,
+        )
+        .unwrap();
+        let inc = analyze_incident(&doc).unwrap();
+        assert_eq!(inc.router, "round-robin");
+        assert_eq!(inc.scope, "platform");
+        // Platform-scope alerts surface as `platform <name>` subjects.
+        assert_eq!(inc.alert.workload, "platform TX1");
+        assert_eq!(inc.alert.metric, "deadline_hit_rate");
+        assert_eq!(inc.platforms, vec!["K20c", "TX1"]);
+        assert_eq!(inc.windows.len(), 1);
+        assert_eq!(inc.ladder_moves.len(), 1);
+        let d = &inc.route_decisions[0];
+        assert_eq!(d.req, 7);
+        assert_eq!(d.platform.as_deref(), Some("TX1"));
+        assert!(!d.candidates[0].feasible);
+        assert_eq!(d.candidates[0].slack_s, Some(-1.0));
+        // A non-incident document is a typed refusal.
+        let not = json::parse(r#"{"kind":"report"}"#).unwrap();
+        assert!(analyze_incident(&not).is_err());
+    }
+
+    #[test]
+    fn analyze_trace_surfaces_platform_alerts() {
+        let doc = json::parse(
+            r#"[
+            {"name":"slo.platform_alert","ph":"i","pid":3,"tid":1,"ts":250000,"s":"t","args":
+              {"platform":"TX1","metric":"deadline_hit_rate","observed":0.5,
+               "objective":0.95,"burn_rate":10.0}}
+            ]"#,
+        )
+        .unwrap();
+        let a = analyze_trace(&doc).unwrap();
+        assert_eq!(a.alerts.len(), 1);
+        assert_eq!(a.alerts[0].workload, "platform TX1");
+        assert_eq!(a.alerts[0].metric, "deadline_hit_rate");
     }
 }

@@ -49,6 +49,18 @@ impl Drop for TraceSession {
             eprintln!("warning: could not write metrics {}: {e}", prom.display());
             return;
         }
+        // An SLO alert during the run froze an incident snapshot: write it
+        // next to the trace for `pcnn obs incident`.
+        if let Some(snapshot) = pcnn_telemetry::incident() {
+            let incident = incident_path(&path);
+            match std::fs::write(&incident, snapshot) {
+                Ok(()) => eprintln!("telemetry: incident snapshot {}", incident.display()),
+                Err(e) => eprintln!(
+                    "warning: could not write incident snapshot {}: {e}",
+                    incident.display()
+                ),
+            }
+        }
         eprintln!(
             "telemetry: trace {} manifest {} metrics {} (open the trace in https://ui.perfetto.dev)",
             path.display(),
@@ -69,6 +81,14 @@ pub fn manifest_path(trace: &std::path::Path) -> PathBuf {
 pub fn prom_path(trace: &std::path::Path) -> PathBuf {
     let mut s = trace.as_os_str().to_os_string();
     s.push(".prom");
+    PathBuf::from(s)
+}
+
+/// The incident-snapshot sidecar written next to a trace file when a run
+/// fires an SLO alert (see [`pcnn_telemetry::record_incident`]).
+pub fn incident_path(trace: &std::path::Path) -> PathBuf {
+    let mut s = trace.as_os_str().to_os_string();
+    s.push(".incident.json");
     PathBuf::from(s)
 }
 
@@ -144,6 +164,10 @@ mod tests {
         assert_eq!(
             manifest_path(std::path::Path::new("/tmp/x.json")),
             PathBuf::from("/tmp/x.json.manifest.jsonl")
+        );
+        assert_eq!(
+            incident_path(std::path::Path::new("/tmp/x.json")),
+            PathBuf::from("/tmp/x.json.incident.json")
         );
     }
 }

@@ -103,6 +103,87 @@ fn traced_serve_runs_are_byte_identical_and_analyzable() {
 }
 
 #[test]
+fn fleet_incident_and_route_trail_are_queryable_end_to_end() {
+    // A traced single-scenario fleet run: round-robin onto the mixed
+    // K20c + TX1 fleet misses deadlines on the slow platform, so the run
+    // must leave behind a trace with a routing audit trail AND an
+    // incident snapshot sidecar.
+    let trace = tmp("fleet-trace.json");
+    let incident = PathBuf::from(format!("{}.incident.json", trace.display()));
+    let out = pcnn()
+        .args(["serve-fleet", "--smoke", "--scenario", "deadline"])
+        .args(["--policy", "round-robin"])
+        .env("PCNN_TRACE", &trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "serve-fleet failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("deadline scenario (round-robin router)"),
+        "unexpected scenario summary: {stdout}"
+    );
+    assert!(
+        incident.is_file(),
+        "overload run left no incident snapshot next to the trace"
+    );
+
+    // `obs route` answers "why": histogram by reason, then the drill-in.
+    let out = pcnn().args(["obs", "route"]).arg(&trace).output().unwrap();
+    assert!(
+        out.status.success(),
+        "obs route failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("RoundRobin"),
+        "no reason histogram: {stdout}"
+    );
+
+    let out = pcnn()
+        .args(["obs", "route"])
+        .arg(&trace)
+        .args(["--req", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "obs route --req failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("chosen"),
+        "no per-request verdict: {stdout}"
+    );
+
+    // `obs incident` renders the postmortem from the snapshot alone.
+    let out = pcnn()
+        .args(["obs", "incident"])
+        .arg(&incident)
+        .output()
+        .unwrap();
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&incident).ok();
+    std::fs::remove_file(format!("{}.manifest.jsonl", trace.display())).ok();
+    std::fs::remove_file(format!("{}.prom", trace.display())).ok();
+    assert!(
+        out.status.success(),
+        "obs incident failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("incident:") && stdout.contains("deadline_hit_rate"),
+        "unexpected incident rendering: {stdout}"
+    );
+}
+
+#[test]
 fn analyzer_rejects_non_trace_input() {
     let path = tmp("not-a-trace.json");
     std::fs::write(&path, "{\"not\": \"a trace\"}").unwrap();

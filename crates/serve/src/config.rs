@@ -206,6 +206,12 @@ pub struct ServerConfig {
     /// The fleet routing policy placing batches onto platforms. The
     /// default round-robin reproduces the legacy homogeneous behaviour.
     pub router: RouterPolicy,
+    /// Per-platform service-level objectives, as `(platform index,
+    /// policy)` pairs — evaluated per window against that platform's
+    /// `fleet.*` series, alerting with the platform's name. Like
+    /// [`obs_window_s`](Self::obs_window_s), only read when telemetry is
+    /// enabled; it never changes the serving decisions or the report.
+    pub platform_slos: Vec<(usize, crate::obs::SloPolicy)>,
 }
 
 impl Default for ServerConfig {
@@ -219,6 +225,7 @@ impl Default for ServerConfig {
             slack_margin: 0.25,
             obs_window_s: 0.25,
             router: RouterPolicy::RoundRobin,
+            platform_slos: Vec::new(),
         }
     }
 }
@@ -280,6 +287,17 @@ impl ServerConfig {
         self
     }
 
+    /// Adds a per-platform service-level objective. `platform` is the
+    /// fleet index the policy monitors; [`validate`](Self::validate)
+    /// checks the policy's domains and
+    /// [`ServerBuilder::build`](crate::server::ServerBuilder::build)
+    /// rejects an index outside the fleet.
+    #[must_use]
+    pub fn with_platform_slo(mut self, platform: usize, slo: crate::obs::SloPolicy) -> Self {
+        self.platform_slos.push((platform, slo));
+        self
+    }
+
     /// Checks every knob. Called by
     /// [`ServerBuilder::build`](crate::server::ServerBuilder::build);
     /// callable directly when a config is assembled elsewhere.
@@ -326,6 +344,9 @@ impl ServerConfig {
             return Err(Error::InvalidInput {
                 what: "obs_window_s must be positive and finite",
             });
+        }
+        for (_, slo) in &self.platform_slos {
+            slo.validate()?;
         }
         Ok(())
     }
@@ -392,7 +413,14 @@ mod tests {
             .with_restore_patience(2)
             .with_slack_margin(0.5)
             .with_obs_window(1.0)
-            .with_router(RouterPolicy::Affinity);
+            .with_router(RouterPolicy::Affinity)
+            .with_platform_slo(
+                1,
+                crate::obs::SloPolicy {
+                    min_hit_rate: Some(0.9),
+                    ..crate::obs::SloPolicy::none()
+                },
+            );
         assert_eq!(c.max_batch, 32);
         assert!(!c.degradation);
         assert_eq!(c.queue_high_watermark, 0.9);
@@ -401,6 +429,8 @@ mod tests {
         assert_eq!(c.slack_margin, 0.5);
         assert_eq!(c.obs_window_s, 1.0);
         assert_eq!(c.router, RouterPolicy::Affinity);
+        assert_eq!(c.platform_slos.len(), 1);
+        assert_eq!(c.platform_slos[0].0, 1);
         c.validate().unwrap();
     }
 
@@ -442,6 +472,16 @@ mod tests {
         assert_eq!(
             what(ok().with_obs_window(f64::INFINITY)),
             "obs_window_s must be positive and finite"
+        );
+        assert_eq!(
+            what(ok().with_platform_slo(
+                0,
+                crate::obs::SloPolicy {
+                    min_hit_rate: Some(2.0),
+                    ..crate::obs::SloPolicy::none()
+                }
+            )),
+            "slo min_hit_rate must be within [0, 1]"
         );
         ok().validate().unwrap();
     }

@@ -161,6 +161,9 @@ pub struct RouteCtx<'c> {
     pub now: f64,
     /// Arrival time of the request at the head of the queue.
     pub head_arrival: f64,
+    /// Request id (within the workload) at the head of the queue — what
+    /// the audit trail keys "why did request X land on platform P" by.
+    pub head_req: usize,
     /// Images currently queued for this workload.
     pub queue_len: usize,
     /// Queue fill fraction (`queue_len / capacity`).
@@ -190,23 +193,167 @@ impl RouteCtx<'_> {
     }
 }
 
+/// Why a router placed (or held) a batch — the reason code the audit
+/// trail records with every decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RouteReason {
+    /// Capability-blind rotation landed here.
+    RoundRobin,
+    /// Chosen for deadline slack: the fastest platform among several
+    /// that meet the head deadline (others were skipped for slack).
+    DeadlineSlack,
+    /// Chosen for the lowest predicted joules per image.
+    JoulesPerImage,
+    /// Background affinity: pinned to a preferred (highest-peak) idle
+    /// platform.
+    Affinity,
+    /// Stolen: an idle platform took work whose preferred platform is
+    /// busy.
+    Steal,
+    /// The only candidate considered (a single idle platform) — no
+    /// ranking happened.
+    OnlyFeasible,
+    /// Held: no idle platform meets the deadline, but a busy one will —
+    /// the batch waits for it.
+    HoldForBusy,
+    /// Shed: the head misses everywhere; sent to the fastest platform to
+    /// clear it.
+    Shed,
+}
+
+impl RouteReason {
+    /// The stable name recorded in telemetry events and printed by
+    /// `pcnn obs route`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouteReason::RoundRobin => "RoundRobin",
+            RouteReason::DeadlineSlack => "DeadlineSlack",
+            RouteReason::JoulesPerImage => "JoulesPerImage",
+            RouteReason::Affinity => "Affinity",
+            RouteReason::Steal => "Steal",
+            RouteReason::OnlyFeasible => "OnlyFeasible",
+            RouteReason::HoldForBusy => "HoldForBusy",
+            RouteReason::Shed => "Shed",
+        }
+    }
+}
+
+/// The score a router computed for one candidate platform — kept in the
+/// decision so the audit trail can show what was *rejected*, not just
+/// what won.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateScore {
+    /// Platform index in fleet order.
+    pub platform: usize,
+    /// The batch size a dispatch here would aim for.
+    pub batch: usize,
+    /// Predicted batch latency on this platform, seconds.
+    pub predicted_s: f64,
+    /// Slack against the head deadline (`deadline - (now + predicted)`),
+    /// `None` for background work.
+    pub slack_s: Option<f64>,
+    /// Predicted joules per image at this batch size.
+    pub joules_per_image: f64,
+    /// Whether this platform meets the head deadline (always true for
+    /// background work).
+    pub feasible: bool,
+}
+
+/// What a router decided, and why: the chosen platform (or a hold), the
+/// reason code, the per-candidate scores it weighed, and — for stolen
+/// work — the platform the work was pinned to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteDecision {
+    /// The platform the batch goes to, or `None` to hold it for a busy
+    /// platform (the event loop retries when one frees).
+    pub platform: Option<usize>,
+    /// Why.
+    pub reason: RouteReason,
+    /// The candidates weighed, in idle-platform order. Only collected
+    /// while telemetry is enabled — the serving outcome never depends on
+    /// it.
+    pub candidates: Vec<CandidateScore>,
+    /// For [`RouteReason::Steal`]: the busy platform the work preferred.
+    pub stolen_from: Option<usize>,
+}
+
+impl RouteDecision {
+    /// A placement on platform `p`.
+    pub fn place(p: usize, reason: RouteReason) -> Self {
+        Self {
+            platform: Some(p),
+            reason,
+            candidates: Vec::new(),
+            stolen_from: None,
+        }
+    }
+
+    /// A hold — the batch waits for a busy platform.
+    pub fn hold(reason: RouteReason) -> Self {
+        Self {
+            platform: None,
+            reason,
+            candidates: Vec::new(),
+            stolen_from: None,
+        }
+    }
+
+    /// Attaches the candidate scores (builder-style).
+    #[must_use]
+    pub fn with_candidates(mut self, candidates: Vec<CandidateScore>) -> Self {
+        self.candidates = candidates;
+        self
+    }
+}
+
+/// Scores every idle platform for the audit trail. Collected only while
+/// telemetry is enabled; the extra oracle queries are memoized pure
+/// lookups, so they can never perturb the serving outcome — but skipping
+/// them keeps the disabled path at literally zero cost.
+fn scored_candidates(
+    ctx: &RouteCtx<'_>,
+    costs: &mut CostOracle<'_>,
+) -> Result<Vec<CandidateScore>> {
+    if !pcnn_telemetry::enabled() {
+        return Ok(Vec::new());
+    }
+    let deadline = ctx.deadline();
+    let mut out = Vec::with_capacity(ctx.idle.len());
+    for &p in ctx.idle {
+        let batch = ctx.batch_on(p);
+        let c = costs.cost(p, ctx.levels[p], batch)?;
+        let slack_s = deadline.map(|d| d - (ctx.now + c.seconds));
+        out.push(CandidateScore {
+            platform: p,
+            batch,
+            predicted_s: c.seconds,
+            slack_s,
+            joules_per_image: c.energy.total_j() / batch.max(1) as f64,
+            feasible: slack_s.is_none_or(|s| s >= -EPS),
+        });
+    }
+    Ok(out)
+}
+
 /// The routing seam: given a dispatchable workload and the idle platform
-/// set, pick the platform to place the batch on — or `None` to hold the
+/// set, pick the platform to place the batch on — or decide to hold the
 /// batch for a busy platform (the event loop retries when one frees).
 ///
-/// Contract: the returned index must be in `ctx.idle`, and a router must
-/// return `Some` whenever *every* platform is idle (otherwise the loop
-/// could stall with no pending event). Implementations must be
+/// Contract: the decision's platform must be in `ctx.idle`, and a router
+/// must place (not hold) whenever *every* platform is idle (otherwise the
+/// loop could stall with no pending event). Implementations must be
 /// deterministic — same context, same answer — to keep reports
-/// byte-identical per seed.
+/// byte-identical per seed. The reason code and candidate scores in the
+/// returned [`RouteDecision`] feed the audit trail; the candidates field
+/// may stay empty while telemetry is disabled.
 pub trait Router {
-    /// Picks a platform for the batch, querying predicted cost and energy
+    /// Decides where the batch goes, querying predicted cost and energy
     /// through the per-platform oracle.
     ///
     /// # Errors
     ///
     /// Propagates offline-compilation errors from the cost oracle.
-    fn route(&mut self, ctx: &RouteCtx<'_>, costs: &mut CostOracle<'_>) -> Result<Option<usize>>;
+    fn route(&mut self, ctx: &RouteCtx<'_>, costs: &mut CostOracle<'_>) -> Result<RouteDecision>;
 }
 
 /// Capability-blind rotation: the baseline every placement policy is
@@ -216,27 +363,31 @@ pub struct RoundRobinRouter {
 }
 
 impl Router for RoundRobinRouter {
-    fn route(&mut self, ctx: &RouteCtx<'_>, _costs: &mut CostOracle<'_>) -> Result<Option<usize>> {
+    fn route(&mut self, ctx: &RouteCtx<'_>, costs: &mut CostOracle<'_>) -> Result<RouteDecision> {
         let n = ctx.free_at.len();
         let g = (0..n)
             .map(|k| (self.next + k) % n)
             .find(|p| ctx.idle.contains(p))
             .unwrap_or(ctx.idle[0]);
         self.next = (g + 1) % n;
-        Ok(Some(g))
+        Ok(RouteDecision::place(g, RouteReason::RoundRobin)
+            .with_candidates(scored_candidates(ctx, costs)?))
     }
 }
 
-/// The fastest idle platform that still meets the head deadline, or
-/// `None` when only a busy platform can make it (wait for it) — shared
-/// by the affinity and energy policies. `key` ranks the platforms that
-/// meet the deadline (smaller is better).
+/// The fastest idle platform that still meets the head deadline, or a
+/// hold when only a busy platform can make it (wait for it) — shared by
+/// the affinity and energy policies. `key` ranks the platforms that meet
+/// the deadline (smaller is better); `reason` is the code recorded when
+/// that ranking picked among several candidates.
 fn deadline_place(
     ctx: &RouteCtx<'_>,
     costs: &mut CostOracle<'_>,
     deadline: f64,
     mut key: impl FnMut(usize, &NetworkCost) -> f64,
-) -> Result<Option<usize>> {
+    reason: RouteReason,
+) -> Result<RouteDecision> {
+    let candidates = scored_candidates(ctx, costs)?;
     let mut best: Option<(f64, usize)> = None;
     let mut fastest: Option<(f64, usize)> = None;
     for &p in ctx.idle {
@@ -252,7 +403,14 @@ fn deadline_place(
         }
     }
     if let Some((_, p)) = best {
-        return Ok(Some(p));
+        // With a single idle candidate no ranking happened; with several
+        // the caller's reason (slack, joules/image) names the criterion.
+        let reason = if ctx.idle.len() == 1 {
+            RouteReason::OnlyFeasible
+        } else {
+            reason
+        };
+        return Ok(RouteDecision::place(p, reason).with_candidates(candidates));
     }
     // No idle platform makes it. If a busy one could once free, hold the
     // batch for it — a guaranteed miss helps nobody.
@@ -262,11 +420,12 @@ fn deadline_place(
         }
         let c = costs.cost(p, ctx.levels[p], ctx.batch_on(p))?;
         if free.max(ctx.now) + c.seconds <= deadline + EPS {
-            return Ok(None);
+            return Ok(RouteDecision::hold(RouteReason::HoldForBusy).with_candidates(candidates));
         }
     }
     // The head misses everywhere: shed it as fast as possible.
-    Ok(fastest.map(|(_, p)| p))
+    let (_, p) = fastest.expect("route called with a non-empty idle set");
+    Ok(RouteDecision::place(p, RouteReason::Shed).with_candidates(candidates))
 }
 
 /// Platform-affinity placement. Deadline traffic goes to the fastest
@@ -279,9 +438,15 @@ pub struct AffinityRouter {
 }
 
 impl Router for AffinityRouter {
-    fn route(&mut self, ctx: &RouteCtx<'_>, costs: &mut CostOracle<'_>) -> Result<Option<usize>> {
+    fn route(&mut self, ctx: &RouteCtx<'_>, costs: &mut CostOracle<'_>) -> Result<RouteDecision> {
         match ctx.deadline() {
-            Some(deadline) => deadline_place(ctx, costs, deadline, |_, c| c.seconds),
+            Some(deadline) => deadline_place(
+                ctx,
+                costs,
+                deadline,
+                |_, c| c.seconds,
+                RouteReason::DeadlineSlack,
+            ),
             None => {
                 // Background: prefer the biggest platforms in the fleet.
                 let max_peak = ctx.peak_flops.iter().copied().fold(0.0, f64::max);
@@ -290,16 +455,42 @@ impl Router for AffinityRouter {
                     .iter()
                     .copied()
                     .find(|&p| ctx.peak_flops[p] >= max_peak - EPS);
+                let candidates = scored_candidates(ctx, costs)?;
                 match preferred {
-                    Some(p) => Ok(Some(p)),
+                    Some(p) => {
+                        Ok(RouteDecision::place(p, RouteReason::Affinity)
+                            .with_candidates(candidates))
+                    }
                     // Every top platform is busy: steal onto the biggest
                     // idle one, or hold the batch for the big GPU.
-                    None if self.steal => Ok(ctx.idle.iter().copied().max_by(|&a, &b| {
-                        ctx.peak_flops[a]
-                            .total_cmp(&ctx.peak_flops[b])
-                            .then(b.cmp(&a))
-                    })),
-                    None => Ok(None),
+                    None if self.steal => {
+                        let target = ctx
+                            .idle
+                            .iter()
+                            .copied()
+                            .max_by(|&a, &b| {
+                                ctx.peak_flops[a]
+                                    .total_cmp(&ctx.peak_flops[b])
+                                    .then(b.cmp(&a))
+                            })
+                            .expect("route called with a non-empty idle set");
+                        // The platform the work *preferred*: the first
+                        // top-peak platform in fleet order (busy, or we
+                        // would have placed there).
+                        let from = ctx
+                            .peak_flops
+                            .iter()
+                            .position(|&f| f >= max_peak - EPS)
+                            .unwrap_or(0);
+                        let mut d = RouteDecision::place(target, RouteReason::Steal)
+                            .with_candidates(candidates);
+                        d.stolen_from = Some(from);
+                        Ok(d)
+                    }
+                    None => {
+                        Ok(RouteDecision::hold(RouteReason::HoldForBusy)
+                            .with_candidates(candidates))
+                    }
                 }
             }
         }
@@ -312,11 +503,13 @@ impl Router for AffinityRouter {
 pub struct EnergyAwareRouter;
 
 impl Router for EnergyAwareRouter {
-    fn route(&mut self, ctx: &RouteCtx<'_>, costs: &mut CostOracle<'_>) -> Result<Option<usize>> {
+    fn route(&mut self, ctx: &RouteCtx<'_>, costs: &mut CostOracle<'_>) -> Result<RouteDecision> {
         let per_image =
             |p: usize, c: &NetworkCost| c.energy.total_j() / ctx.batch_on(p).max(1) as f64;
         match ctx.deadline() {
-            Some(deadline) => deadline_place(ctx, costs, deadline, per_image),
+            Some(deadline) => {
+                deadline_place(ctx, costs, deadline, per_image, RouteReason::JoulesPerImage)
+            }
             None => {
                 let mut best: Option<(f64, usize)> = None;
                 for &p in ctx.idle {
@@ -326,7 +519,13 @@ impl Router for EnergyAwareRouter {
                         best = Some((k, p));
                     }
                 }
-                Ok(best.map(|(_, p)| p))
+                let (_, p) = best.expect("route called with a non-empty idle set");
+                let reason = if ctx.idle.len() == 1 {
+                    RouteReason::OnlyFeasible
+                } else {
+                    RouteReason::JoulesPerImage
+                };
+                Ok(RouteDecision::place(p, reason).with_candidates(scored_candidates(ctx, costs)?))
             }
         }
     }
@@ -344,6 +543,44 @@ mod tests {
         assert_eq!(RouterPolicy::parse("rr"), Some(RouterPolicy::RoundRobin));
         assert_eq!(RouterPolicy::parse("nope"), None);
         assert_eq!(RouterPolicy::default(), RouterPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn route_reason_names_are_stable() {
+        let all = [
+            (RouteReason::RoundRobin, "RoundRobin"),
+            (RouteReason::DeadlineSlack, "DeadlineSlack"),
+            (RouteReason::JoulesPerImage, "JoulesPerImage"),
+            (RouteReason::Affinity, "Affinity"),
+            (RouteReason::Steal, "Steal"),
+            (RouteReason::OnlyFeasible, "OnlyFeasible"),
+            (RouteReason::HoldForBusy, "HoldForBusy"),
+            (RouteReason::Shed, "Shed"),
+        ];
+        for (reason, name) in all {
+            assert_eq!(reason.name(), name);
+        }
+    }
+
+    #[test]
+    fn decision_constructors_fill_the_obvious_fields() {
+        let d = RouteDecision::place(1, RouteReason::Affinity);
+        assert_eq!(d.platform, Some(1));
+        assert_eq!(d.reason, RouteReason::Affinity);
+        assert!(d.candidates.is_empty());
+        assert_eq!(d.stolen_from, None);
+        let h = RouteDecision::hold(RouteReason::HoldForBusy);
+        assert_eq!(h.platform, None);
+        let c = RouteDecision::place(0, RouteReason::Shed).with_candidates(vec![CandidateScore {
+            platform: 0,
+            batch: 4,
+            predicted_s: 0.02,
+            slack_s: Some(-0.01),
+            joules_per_image: 0.3,
+            feasible: false,
+        }]);
+        assert_eq!(c.candidates.len(), 1);
+        assert!(!c.candidates[0].feasible);
     }
 
     #[test]

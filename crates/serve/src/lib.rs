@@ -57,8 +57,8 @@ pub mod server;
 pub use baseline::{fifo_baseline, BaselineReport};
 pub use config::{DegradationLadder, DegradationLevel, ServeWorkload, ServerConfig};
 pub use fleet::{
-    AffinityRouter, Capability, EnergyAwareRouter, Platform, RoundRobinRouter, RouteCtx, Router,
-    RouterPolicy,
+    AffinityRouter, CandidateScore, Capability, EnergyAwareRouter, Platform, RoundRobinRouter,
+    RouteCtx, RouteDecision, RouteReason, Router, RouterPolicy,
 };
 pub use obs::SloPolicy;
 pub use report::{FleetSummary, GpuReport, LatencyAcc, LatencyStats, ServeReport, WorkloadReport};

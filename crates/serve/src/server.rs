@@ -209,8 +209,9 @@ impl<'a> ServerBuilder<'a> {
     /// # Errors
     ///
     /// Returns [`Error::InvalidInput`] if no platform was added, a
-    /// platform's ladder has no levels, or a config knob is out of domain
-    /// (see [`ServerConfig::validate`]), and [`Error::RateLenMismatch`]
+    /// platform's ladder has no levels, a config knob is out of domain
+    /// (see [`ServerConfig::validate`]), or a per-platform SLO names a
+    /// platform index outside the fleet, and [`Error::RateLenMismatch`]
     /// if any ladder level's rate vector does not match the network's
     /// conv-layer count.
     pub fn build(self) -> Result<Server<'a>> {
@@ -220,6 +221,13 @@ impl<'a> ServerBuilder<'a> {
             });
         }
         self.config.validate()?;
+        for (g, _) in &self.config.platform_slos {
+            if *g >= self.platforms.len() {
+                return Err(Error::InvalidInput {
+                    what: "platform_slo index must name a fleet platform",
+                });
+            }
+        }
         let n_convs = self.spec.conv_layers().len();
         for p in &self.platforms {
             if p.ladder.levels.is_empty() {
@@ -465,7 +473,7 @@ impl<'a> Server<'a> {
         // The recorder exists only while telemetry is enabled; with it
         // disabled the serving decisions and the report are bit-for-bit
         // the code paths of the un-instrumented server.
-        let mut obs = Obs::maybe(&self.config, &self.platforms, &self.workloads);
+        let mut obs = Obs::maybe(router_name, &self.config, &self.platforms, &self.workloads);
         let mut costs = CostOracle::new(&self.platforms, self.spec);
         let reference = self.reference();
         let peaks: Vec<f64> = self
@@ -646,14 +654,16 @@ impl<'a> Server<'a> {
                     }
                     let ws = &wstates[w];
                     let cap = self.workloads[w].queue_capacity;
+                    // Invariant: `dispatchable` required a non-empty
+                    // queue.
+                    let head = ws.queue.front().expect("non-empty queue");
                     let ctx = RouteCtx {
                         workload: w,
                         kind: self.workloads[w].app.kind,
                         t_user: ws.t_user,
                         now,
-                        // Invariant: `dispatchable` required a non-empty
-                        // queue.
-                        head_arrival: ws.queue.front().expect("non-empty queue").arrival,
+                        head_arrival: head.arrival,
+                        head_req: head.req,
                         queue_len: ws.queue.len(),
                         queue_fill: ws.queue.len() as f64 / cap.max(1) as f64,
                         idle: &idle,
@@ -662,16 +672,17 @@ impl<'a> Server<'a> {
                         targets: &ws.targets,
                         peak_flops: &peaks,
                     };
-                    let Some(g) = router.route(&ctx, &mut costs)? else {
-                        // The router holds this batch for a busy
-                        // platform; its completion event retries.
+                    let decision = router.route(&ctx, &mut costs)?;
+                    // A router returning a busy platform would corrupt
+                    // the timeline; treat it as a hold, like an explicit
+                    // one. Either way its completion event retries.
+                    let placed = decision.platform.filter(|p| idle.contains(p));
+                    let Some(g) = placed else {
+                        if let Some(o) = obs.as_mut() {
+                            o.on_route(w, now, &ctx, &decision, false);
+                        }
                         continue;
                     };
-                    // A router returning a busy platform would corrupt
-                    // the timeline; treat it as a hold.
-                    if !idle.contains(&g) {
-                        continue;
-                    }
                     // Slack fit: don't start work on `g` that would make
                     // a higher-priority waiting queue miss its
                     // forced-dispatch time — unless some *other* platform
@@ -717,8 +728,18 @@ impl<'a> Server<'a> {
                             }
                         }
                         if starves {
+                            // The server overrode the router's placement
+                            // to protect a higher-priority queue; the
+                            // audit trail records the decision as not
+                            // dispatched.
+                            if let Some(o) = obs.as_mut() {
+                                o.on_route(w, now, &ctx, &decision, false);
+                            }
                             continue;
                         }
+                    }
+                    if let Some(o) = obs.as_mut() {
+                        o.on_route(w, now, &ctx, &decision, true);
                     }
                     self.dispatch(w, g, now, &mut wstates, &mut gstates, &mut costs, &mut obs)?;
                     continue 'dispatch;
@@ -796,7 +817,7 @@ impl<'a> Server<'a> {
                 ws.calms[g] = 0;
                 pcnn_telemetry::counter("serve.degrade.up", 1);
                 if let Some(o) = obs.as_mut() {
-                    o.on_degrade(w, now, ws.levels[g], true);
+                    o.on_degrade(w, g, now, ws.levels[g], true);
                 }
             }
             // Invariant: `dispatchable` required a non-empty queue before
@@ -832,7 +853,7 @@ impl<'a> Server<'a> {
                         ws.calms[g] = 0;
                         pcnn_telemetry::counter("serve.degrade.up", 1);
                         if let Some(o) = obs.as_mut() {
-                            o.on_degrade(w, now, ws.levels[g], true);
+                            o.on_degrade(w, g, now, ws.levels[g], true);
                         }
                     }
                     if !meets(ws.levels[g], size)? {
@@ -920,6 +941,8 @@ impl<'a> Server<'a> {
                 ws.targets[g],
                 planned_s,
                 cost.seconds,
+                cost.energy.total_j(),
+                ws.queue.len(),
                 &members,
                 &completions,
             );
@@ -939,7 +962,7 @@ impl<'a> Server<'a> {
                         ws.calms[g] = 0;
                         pcnn_telemetry::counter("serve.degrade.down", 1);
                         if let Some(o) = obs.as_mut() {
-                            o.on_degrade(w, now, ws.levels[g], false);
+                            o.on_degrade(w, g, now, ws.levels[g], false);
                         }
                     }
                 } else {

@@ -8,10 +8,13 @@
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use pcnn_core::prelude::*;
-use pcnn_data::{RequestTrace, WorkloadKind};
-use pcnn_gpu::arch::K20C;
+use pcnn_data::{RequestTrace, TraceSpec, WorkloadKind};
+use pcnn_gpu::arch::{JETSON_TX1, K20C};
 use pcnn_nn::spec::{ConvSpec, FcSpec, LayerSpec, NetworkSpec};
-use pcnn_serve::{DegradationLadder, Platform, ServeWorkload, Server, ServerConfig, SloPolicy};
+use pcnn_serve::{
+    DegradationLadder, DegradationLevel, Platform, RouterPolicy, ServeWorkload, Server,
+    ServerConfig, SloPolicy,
+};
 
 fn telemetry_lock() -> MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
@@ -129,6 +132,151 @@ fn seeded_traces_are_byte_identical() {
     assert!(trace_a.contains("request.complete"));
     // Windowed series ride along as counter events.
     assert!(trace_a.contains("serve.throughput [obs overload]"));
+}
+
+/// Batch-1 latency of `spec` on the reference K20c.
+fn unit_cost(spec: &NetworkSpec) -> f64 {
+    let schedule = OfflineCompiler::new(&K20C, spec)
+        .try_compile_batch(1)
+        .unwrap();
+    simulate_schedule(&K20C, &schedule).seconds
+}
+
+/// A two-platform fleet run: the reference K20c plus a TX1 doctored to be
+/// 4x slower than its own compiled cost (a single-rung ladder, so it can
+/// never degrade its way back to feasibility), serving a real-time frame
+/// stream whose deadline K20c holds with 2x slack. Routed per `policy` at
+/// batch 1 so every frame is one routing decision.
+fn doctored_fleet_report(spec: &NetworkSpec, policy: RouterPolicy, frames: usize) -> String {
+    let c1 = unit_cost(spec);
+    let n_convs = spec.conv_layers().len();
+    let slow = DegradationLadder {
+        levels: vec![DegradationLevel {
+            rates: vec![0.0; n_convs],
+            entropy: 0.9,
+            time_scale: 4.0,
+        }],
+    };
+    let fps = 1.0 / (2.0 * c1);
+    let workload = ServeWorkload::new(
+        AppSpec::video_surveillance(fps),
+        TraceSpec::real_time(frames, fps),
+        64,
+    );
+    let config = ServerConfig {
+        max_batch: 1,
+        ..ServerConfig::default()
+    }
+    .with_router(policy);
+    let server = Server::builder(spec)
+        .platform(Platform::new(
+            &K20C,
+            DegradationLadder::default_ladder(n_convs),
+        ))
+        .platform(Platform::new(&JETSON_TX1, slow))
+        .config(config)
+        .workload(workload)
+        .build()
+        .unwrap();
+    server.run().unwrap().to_json()
+}
+
+/// Round-robin onto the doctored fleet misses deadlines on the slow
+/// platform, so the real-time SLO (95 % hit rate) alerts and freezes an
+/// incident snapshot — and two seeded runs produce byte-identical traces
+/// AND byte-identical incidents.
+#[test]
+fn fleet_incident_and_route_trail_are_deterministic() {
+    let spec = tiny_net();
+    let _guard = telemetry_lock();
+    let traced_run = || {
+        pcnn_telemetry::set_enabled(true);
+        pcnn_telemetry::reset();
+        pcnn_telemetry::set_export_mode(pcnn_telemetry::ExportMode::Deterministic);
+        let report = doctored_fleet_report(&spec, RouterPolicy::RoundRobin, 12);
+        let trace = pcnn_telemetry::render_chrome_trace();
+        let incident = pcnn_telemetry::incident();
+        pcnn_telemetry::set_export_mode(pcnn_telemetry::ExportMode::Full);
+        pcnn_telemetry::set_enabled(false);
+        (report, trace, incident)
+    };
+    let (report_a, trace_a, incident_a) = traced_run();
+    let (report_b, trace_b, incident_b) = traced_run();
+    assert_eq!(report_a, report_b, "seeded fleet reports differ");
+    assert_eq!(trace_a, trace_b, "seeded fleet traces differ");
+    assert_eq!(incident_a, incident_b, "seeded incidents differ");
+
+    // The audit trail rode along in the trace (the name lands in the
+    // string table when interned, so the literal always appears).
+    assert!(trace_a.contains("route.decision"), "no routing audit trail");
+    assert!(trace_a.contains("\"RoundRobin\""));
+
+    // The slow platform missed at least one deadline, which burned the
+    // 95 % error budget and froze a parseable, self-contained snapshot.
+    let incident = incident_a.expect("round-robin onto the slow platform must alert");
+    let doc = pcnn_telemetry::json::parse(&incident).expect("incident must be valid JSON");
+    assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("incident"));
+    assert_eq!(
+        doc.get("router").and_then(|v| v.as_str()),
+        Some("round-robin")
+    );
+    let alert = doc.get("alert").expect("incident carries the alert");
+    assert_eq!(
+        alert.get("metric").and_then(|v| v.as_str()),
+        Some("deadline_hit_rate")
+    );
+    let decisions = doc
+        .get("route_decisions")
+        .and_then(|v| v.as_array())
+        .expect("incident carries the recent route decisions");
+    assert!(!decisions.is_empty(), "flight recorder captured no routes");
+    let windows = doc
+        .get("windows")
+        .and_then(|v| v.as_array())
+        .expect("incident carries the recent windows");
+    assert!(!windows.is_empty(), "flight recorder captured no windows");
+}
+
+/// Affinity routing on the same doctored fleet keeps every frame on the
+/// fast platform: the audit trail must *name* `DeadlineSlack` as the
+/// reason and encode the slow candidate as infeasible — and with no
+/// misses, no incident is frozen.
+#[test]
+fn audit_trail_names_deadline_slack_for_the_infeasible_platform() {
+    let spec = tiny_net();
+    let _guard = telemetry_lock();
+    pcnn_telemetry::set_enabled(true);
+    pcnn_telemetry::reset();
+    pcnn_telemetry::set_export_mode(pcnn_telemetry::ExportMode::Deterministic);
+    let report = doctored_fleet_report(&spec, RouterPolicy::Affinity, 12);
+    let trace = pcnn_telemetry::render_chrome_trace();
+    let incident = pcnn_telemetry::incident();
+    pcnn_telemetry::set_export_mode(pcnn_telemetry::ExportMode::Full);
+    pcnn_telemetry::set_enabled(false);
+
+    // Every frame was placed for its deadline slack, on the fast K20c.
+    assert!(
+        trace.contains("\"reason\":\"DeadlineSlack\""),
+        "audit trail does not name DeadlineSlack"
+    );
+    assert!(trace.contains("\"platform\":\"K20c\""));
+    // The slow candidate is in the trail, scored and marked infeasible
+    // (the compact encoding's trailing `:0`).
+    let cand = trace
+        .split(";TX1:")
+        .nth(1)
+        .expect("slow platform scored in the candidate trail");
+    let cand = &cand[..cand.find('"').expect("candidate list is quoted")];
+    assert!(
+        cand.ends_with(":0"),
+        "slow platform should be encoded infeasible, got `TX1:{cand}`"
+    );
+    // All frames on the fast platform, all deadlines met, no incident.
+    assert!(report.contains("\"deadlines_met\": 12, \"deadline_total\": 12"));
+    assert!(
+        incident.is_none(),
+        "a clean run must not freeze an incident"
+    );
 }
 
 #[test]

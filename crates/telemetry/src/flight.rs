@@ -1,0 +1,103 @@
+//! Bounded ring buffers for the incident flight recorder.
+//!
+//! The serving observability layer keeps a short rolling history — the
+//! last N closed metric windows, recent routing decisions, recent ladder
+//! moves — so that when an SLO burn-rate alert fires it can dump a
+//! self-contained incident snapshot without full tracing. [`Ring`] is the
+//! storage primitive: a fixed-capacity FIFO that evicts its oldest entry
+//! on overflow, so memory stays bounded no matter how long the run is.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity FIFO that drops its oldest element when full.
+///
+/// Iteration order is insertion order (oldest first), which is the order
+/// an incident snapshot wants to replay history in.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding at most `capacity` elements. A zero capacity is
+    /// clamped to 1 so [`push`](Ring::push) never has to special-case an
+    /// unstorable ring.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Ring {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Appends `item`, evicting the oldest element if the ring is full.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+        }
+        self.items.push_back(item);
+    }
+
+    /// Elements currently held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted —
+    /// impossible without new pushes, so this means "never pushed").
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The bound this ring was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates oldest-to-newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// The most recently pushed element, if any.
+    pub fn last(&self) -> Option<&T> {
+        self.items.back()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_newest_capacity_items() {
+        let mut r = Ring::new(3);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        let held: Vec<i32> = r.iter().copied().collect();
+        assert_eq!(held, vec![2, 3, 4]);
+        assert_eq!(r.last(), Some(&4));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = Ring::new(0);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec!["b"]);
+    }
+
+    #[test]
+    fn iteration_is_oldest_first_within_capacity() {
+        let mut r = Ring::new(8);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

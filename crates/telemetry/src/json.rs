@@ -42,6 +42,14 @@ impl JsonValue {
         }
     }
 
+    /// The bool if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The str if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

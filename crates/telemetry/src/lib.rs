@@ -48,10 +48,12 @@
 //! telemetry::reset();
 //! ```
 
+pub mod flight;
 pub mod json;
 pub mod prom;
 pub mod windowed;
 
+pub use flight::Ring;
 pub use windowed::WindowedSeries;
 
 use std::collections::HashMap;
@@ -401,6 +403,11 @@ struct Collector {
     names: Vec<String>,
     /// Reverse lookup for [`Collector::intern`].
     name_ids: HashMap<String, u32>,
+    /// The first incident snapshot of the run (a self-contained JSON
+    /// document the serving flight recorder dumps when an SLO burn-rate
+    /// alert fires). First-wins: the state *at the first alert* is the
+    /// postmortem-relevant one.
+    incident: Option<String>,
 }
 
 impl Collector {
@@ -685,6 +692,25 @@ pub fn worker_slice(name: &str, worker: u64, start: Instant, dur_ns: u64) {
         },
         args: Vec::new(),
     });
+}
+
+/// Stores an incident snapshot (a self-contained JSON document) in the
+/// global sink. First-wins: later calls in the same run are ignored, so
+/// the snapshot always describes the state at the *first* alert. No-op
+/// while disabled.
+pub fn record_incident(snapshot: String) {
+    if !enabled() {
+        return;
+    }
+    let mut c = collector().lock().expect("telemetry lock");
+    if c.incident.is_none() {
+        c.incident = Some(snapshot);
+    }
+}
+
+/// The incident snapshot recorded this run, if any alert fired.
+pub fn incident() -> Option<String> {
+    collector().lock().expect("telemetry lock").incident.clone()
 }
 
 /// Merges a windowed virtual-time series into the global sink for
@@ -1432,6 +1458,23 @@ mod tests {
         assert_eq!(slice.get("dur").unwrap().as_f64(), Some(2.5));
         // Wall-clock data: dropped from deterministic export.
         assert!(!det.contains("worker pool"));
+    }
+
+    #[test]
+    fn incident_snapshot_is_first_wins_and_gated_on_enabled() {
+        let _g = test_guard();
+        set_enabled(false);
+        reset();
+        record_incident("{\"dropped\":true}".to_string());
+        assert_eq!(incident(), None);
+        set_enabled(true);
+        record_incident("{\"first\":true}".to_string());
+        record_incident("{\"second\":true}".to_string());
+        let snap = incident();
+        set_enabled(false);
+        assert_eq!(snap.as_deref(), Some("{\"first\":true}"));
+        reset();
+        assert_eq!(incident(), None);
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //! Windowed series are exposed cumulatively (totals across windows) with
 //! their label as a `label="…"` pair — per-window detail lives in the
 //! JSONL manifest and the Chrome trace counter track, which this
-//! exposition complements rather than duplicates.
+//! exposition complements rather than duplicates. Labels carrying the
+//! [`PLATFORM_LABEL_PREFIX`] convention (`"platform:<name>"`, used by the
+//! per-platform fleet series) render as a first-class `platform="…"`
+//! label pair instead of being flattened into the generic `label`
+//! dimension, so per-device SLO dashboards can select on `platform`
+//! directly.
 //!
 //! The output follows the exposition grammar: each metric family is one
 //! contiguous group headed by exactly one `# HELP` line followed by one
@@ -76,6 +81,11 @@ fn write_header(out: &mut String, name: &str, kind: &str, help: &str) {
         escape_help(help)
     ));
 }
+
+/// Windowed-series labels carrying this prefix denote a *platform*
+/// dimension (`"platform:<name>"`) and render as `platform="<name>"` in
+/// the exposition instead of the generic `label="…"` pair.
+pub const PLATFORM_LABEL_PREFIX: &str = "platform:";
 
 const HELP_COUNTER: &str = "Monotonic event counter.";
 const HELP_HISTOGRAM: &str = "Log2-bucketed distribution of observed values.";
@@ -181,12 +191,10 @@ pub fn render(metrics: &Metrics, windowed: &[WindowedSeries]) -> String {
         }
     }
     totals.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-    let labels_of = |label: &str| {
-        if label.is_empty() {
-            String::new()
-        } else {
-            format!("label=\"{}\"", escape_label(label))
-        }
+    let labels_of = |label: &str| match label.strip_prefix(PLATFORM_LABEL_PREFIX) {
+        Some(platform) => format!("platform=\"{}\"", escape_label(platform)),
+        None if label.is_empty() => String::new(),
+        None => format!("label=\"{}\"", escape_label(label)),
     };
     let mut i = 0;
     while i < totals.len() {
@@ -284,6 +292,35 @@ mod tests {
         assert_eq!(escape_help("a\\b\nc\"d"), "a\\\\b\\nc\"d");
     }
 
+    #[test]
+    fn platform_labels_render_as_their_own_dimension() {
+        let mut w = WindowedSeries::new(1.0);
+        w.add(0.5, "fleet.dispatches", "platform:K20c", 4);
+        w.add(0.5, "fleet.dispatches", "platform:Jetson TX1", 1);
+        w.observe(0.5, "fleet.batch_s", "platform:K20c", 0.25);
+        w.add(0.5, "wl.images", "age detection", 2);
+        let doc = render(&Metrics::default(), &[w]);
+        // Counters: one family, one sample per platform, sorted order.
+        assert!(doc.contains("fleet_dispatches{platform=\"Jetson TX1\"} 1"));
+        assert!(doc.contains("fleet_dispatches{platform=\"K20c\"} 4"));
+        // Histogram samples carry the platform pair alongside `le`.
+        assert!(doc.contains("fleet_batch_s_count{platform=\"K20c\"} 1"));
+        assert!(doc.contains("fleet_batch_s_bucket{platform=\"K20c\",le=\""));
+        assert!(doc.contains("fleet_batch_s_p99{platform=\"K20c\"} "));
+        // The prefix is consumed, never leaked into the value; workload
+        // labels keep the generic dimension.
+        assert!(!doc.contains("platform:"));
+        assert!(doc.contains("wl_images{label=\"age detection\"} 2"));
+    }
+
+    #[test]
+    fn platform_label_values_are_escaped() {
+        let mut w = WindowedSeries::new(1.0);
+        w.add(0.5, "fleet.dispatches", "platform:quo\"te\\x", 1);
+        let doc = render(&Metrics::default(), &[w]);
+        assert!(doc.contains("fleet_dispatches{platform=\"quo\\\"te\\\\x\"} 1"));
+    }
+
     /// Validates a name against `[a-zA-Z_:][a-zA-Z0-9_:]*`.
     fn valid_metric_name(name: &str) -> bool {
         let mut chars = name.chars();
@@ -305,6 +342,9 @@ mod tests {
         w.add(0.5, "wl.images", "face id", 3);
         w.observe(0.5, "wl.latency", "age detection", 0.25);
         w.observe(0.5, "wl.latency", "face id", 0.5);
+        w.add(0.5, "fleet.dispatches", "platform:K20c", 4);
+        w.add(0.5, "fleet.dispatches", "platform:Jetson TX1", 1);
+        w.observe(0.5, "fleet.batch_s", "platform:K20c", 0.01);
         render(&m, &[w])
     }
 

@@ -210,6 +210,41 @@ impl WindowedSeries {
         }
     }
 
+    /// The records of one window only, in deterministic `(name, label)`
+    /// order — what the incident flight recorder snapshots when a window
+    /// closes. Values are the same cells [`records`](Self::records)
+    /// flattens, so a snapshot always agrees with the exported trace.
+    pub fn records_in(&self, index: u64) -> Vec<WindowRecord<'_>> {
+        let (start_s, end_s) = self.bounds(index);
+        let mut out = Vec::new();
+        for ((name, label), windows) in &self.counters {
+            if let Some(&v) = windows.get(&index) {
+                out.push(WindowRecord {
+                    name,
+                    label,
+                    index,
+                    start_s,
+                    end_s,
+                    value: WindowValue::Count(v),
+                });
+            }
+        }
+        for ((name, label), windows) in &self.histograms {
+            if let Some(h) = windows.get(&index) {
+                out.push(WindowRecord {
+                    name,
+                    label,
+                    index,
+                    start_s,
+                    end_s,
+                    value: WindowValue::Hist(h),
+                });
+            }
+        }
+        out.sort_by(|a, b| a.name.cmp(b.name).then(a.label.cmp(b.label)));
+        out
+    }
+
     /// Flattens every `(series, window)` cell into deterministic
     /// `(name, label, window)` order — the order all exporters use.
     pub fn records(&self) -> Vec<WindowRecord<'_>> {
@@ -331,6 +366,26 @@ mod tests {
         assert_eq!(recs[1].start_s, 0.0);
         assert_eq!(recs[2].end_s, 2.0);
         assert!(matches!(recs[0].value, WindowValue::Hist(_)));
+    }
+
+    #[test]
+    fn records_in_matches_the_flattened_view() {
+        let mut s = WindowedSeries::new(1.0);
+        s.add(0.5, "b", "", 1);
+        s.add(1.5, "b", "", 2);
+        s.observe(1.5, "a", "platform:K20c", 3.0);
+        let one = s.records_in(1);
+        assert_eq!(one.len(), 2);
+        assert_eq!(one[0].name, "a");
+        assert_eq!(one[0].label, "platform:K20c");
+        assert_eq!(one[1].value, WindowValue::Count(2));
+        // Every record of window 1 appears (with equal values) in the
+        // full flattened view.
+        let all = s.records();
+        for rec in &one {
+            assert!(all.contains(rec));
+        }
+        assert!(s.records_in(7).is_empty());
     }
 
     #[test]
